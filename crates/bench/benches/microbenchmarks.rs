@@ -1,0 +1,165 @@
+//! Criterion micro-benchmarks of the G-COPSS building blocks: the
+//! operations whose costs the paper's router calibration aggregates
+//! (name handling, Bloom-filter ST lookup, FIB LPM, PIT churn) plus
+//! end-to-end engine and simulator throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use gcopss_copss::{CopssEngine, MulticastPacket, RpId, SubscriptionTable, TrafficWindow};
+use gcopss_core::experiments::{Workload, WorkloadParams};
+use gcopss_core::scenario::{build_gcopss, GcopssConfig, NetworkSpec};
+use gcopss_core::MetricsMode;
+use gcopss_game::GameMap;
+use gcopss_names::{BloomFilter, Cd, Name, NameTree};
+use gcopss_ndn::{Data, FaceId, Interest, NdnConfig, NdnEngine};
+
+fn bench_names(c: &mut Criterion) {
+    let mut g = c.benchmark_group("names");
+    g.bench_function("parse", |b| {
+        b.iter(|| black_box("/1/2/3".parse::<Name>().unwrap()));
+    });
+    let n = Name::parse_lit("/1/2/3");
+    g.bench_function("hash_chain", |b| {
+        b.iter(|| black_box(n.hash_chain()));
+    });
+    g.bench_function("cd_new", |b| {
+        b.iter(|| black_box(Cd::new(n.clone())));
+    });
+    let m = Name::parse_lit("/1/2");
+    g.bench_function("is_prefix_of", |b| {
+        b.iter(|| black_box(m.is_prefix_of(&n)));
+    });
+    g.finish();
+}
+
+fn bench_bloom_and_st(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subscription_table");
+    // The paper's map: 31 leaf CDs, 62 players' subscriptions.
+    let map = GameMap::paper_map();
+    let mut st = SubscriptionTable::default();
+    let anchors: BTreeSet<RpId> = [RpId(0)].into();
+    let mut f = 0u32;
+    for area in map.areas() {
+        for _ in 0..2 {
+            for cd in map.subscription_cds(area) {
+                st.subscribe(FaceId(f), cd, anchors.clone(), true);
+            }
+            f += 1;
+        }
+    }
+    let cd = Cd::parse_lit("/3/4");
+    g.bench_function("matching_faces_bloom", |b| {
+        b.iter(|| black_box(st.matching_faces(&cd, None, Some(RpId(0)))));
+    });
+    g.bench_function("matching_faces_exact", |b| {
+        b.iter(|| black_box(st.matching_faces_exact(&cd, None, Some(RpId(0)))));
+    });
+
+    let mut bloom = BloomFilter::default();
+    for leaf in map.leaf_cds() {
+        bloom.insert(leaf.stable_hash());
+    }
+    let hashes = cd.hashes().as_slice().to_vec();
+    g.bench_function("bloom_contains_any", |b| {
+        b.iter(|| black_box(bloom.contains_any(&hashes)));
+    });
+    g.finish();
+}
+
+fn bench_fib_pit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ndn_engine");
+    let mut tree: NameTree<u32> = NameTree::new();
+    for i in 0..400u32 {
+        tree.insert(Name::parse_lit("/player").child_index(i), i);
+    }
+    let probe = Name::parse_lit("/player/250/17");
+    g.bench_function("fib_lpm_400_routes", |b| {
+        b.iter(|| black_box(tree.longest_prefix(&probe)));
+    });
+
+    g.bench_function("interest_data_round", |b| {
+        let mut e = NdnEngine::new(NdnConfig::default());
+        e.fib_mut().add(Name::parse_lit("/a"), FaceId(9));
+        let mut nonce = 0u64;
+        b.iter(|| {
+            nonce += 1;
+            let i = Interest::new(Name::parse_lit("/a/b"), nonce);
+            black_box(e.process_interest(nonce, FaceId(1), i));
+            let d = Data::new(Name::parse_lit("/a/b"), bytes::Bytes::from_static(b"x"));
+            black_box(e.process_data(nonce, FaceId(9), d));
+        });
+    });
+    g.finish();
+}
+
+fn bench_copss_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("copss_engine");
+    let map = GameMap::paper_map();
+    let mut e = CopssEngine::new();
+    e.rp_table_mut().assign(Name::root(), RpId(0)).unwrap();
+    let mut f = 0u32;
+    for area in map.areas() {
+        e.handle_subscribe(FaceId(f), &map.subscription_cds(area), None);
+        f += 1;
+    }
+    let m = MulticastPacket::new(Cd::parse_lit("/2/3"), bytes::Bytes::new(), 1).on_tree(RpId(0));
+    g.bench_function("rp_st_lookup", |b| {
+        b.iter(|| black_box(e.multicast_faces(&m.cd, None, m.tree)));
+    });
+
+    g.bench_function("traffic_window_record", |b| {
+        let mut w = TrafficWindow::new(2_000);
+        let cd = Name::parse_lit("/1/2");
+        b.iter(|| w.record(black_box(cd.clone())));
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for &updates in &[500usize, 2_000] {
+        g.bench_with_input(
+            BenchmarkId::new("gcopss_3rp_backbone", updates),
+            &updates,
+            |b, &updates| {
+                let w = Workload::counter_strike(&WorkloadParams {
+                    updates,
+                    players: 100,
+                    ..WorkloadParams::default()
+                });
+                let net = NetworkSpec::default_backbone(7);
+                b.iter(|| {
+                    let cfg = GcopssConfig {
+                        metrics_mode: MetricsMode::StatsOnly,
+                        rp_count: 3,
+                        ..GcopssConfig::default()
+                    };
+                    let mut built = build_gcopss(
+                        cfg,
+                        &net,
+                        &w.map,
+                        &w.population,
+                        &Arc::clone(&w.trace),
+                        vec![],
+                    );
+                    built.sim.run();
+                    black_box(built.sim.world().metrics.delivered())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_names,
+    bench_bloom_and_st,
+    bench_fib_pit,
+    bench_copss_engine,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Fig. 5: per-publication update-latency timelines — 3 RPs (no
+//! congestion), 2 RPs (congestion partway through the trace), and automatic
+//! RP balancing (splits bring latency back down).
+//!
+//! ```text
+//! cargo run --release -p gcopss-bench --bin exp_fig5 [--full] [--scale f]
+//! ```
+
+use gcopss_bench::{header, ExpOptions};
+use gcopss_core::experiments::rp_sweep::{self, RpSweepConfig};
+use gcopss_core::experiments::WorkloadParams;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let updates = opts.scaled(20_000, 100_000);
+    let out = rp_sweep::run(&RpSweepConfig {
+        workload: WorkloadParams {
+            seed: opts.seed,
+            updates,
+            ..WorkloadParams::default()
+        },
+        rp_counts: vec![2, 3],
+        include_auto: true,
+        server_counts: vec![],
+        fig5_detail: true,
+        fig5_points: 60,
+        ..RpSweepConfig::default()
+    });
+
+    for series in &out.fig5 {
+        header(&format!(
+            "Fig. 5 series: {} (publication id -> min/mean/max latency ms)",
+            series.label
+        ));
+        println!("{:>10} {:>10} {:>10} {:>10}", "pub id", "min", "mean", "max");
+        for (id, min, mean, max) in &series.points {
+            println!("{id:>10} {min:>10.2} {mean:>10.2} {max:>10.2}");
+        }
+    }
+
+    header("Automatic splits (paper Fig. 5c: the router split CDs twice)");
+    if out.auto_splits.is_empty() {
+        println!("(no splits occurred at this scale)");
+    }
+    for s in &out.auto_splits {
+        println!(
+            "t={:.2}s rp{} -> rp{}: moved {:?}",
+            s.at.as_secs_f64(),
+            s.from_rp,
+            s.to_rp,
+            s.moved.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
+    }
+
+    header("Shape check");
+    for series in &out.fig5 {
+        let first_q: f64 = {
+            let k = series.points.len() / 4;
+            series.points[..k.max(1)].iter().map(|p| p.2).sum::<f64>() / k.max(1) as f64
+        };
+        let last_q: f64 = {
+            let k = series.points.len() / 4;
+            series.points[series.points.len() - k.max(1)..]
+                .iter()
+                .map(|p| p.2)
+                .sum::<f64>()
+                / k.max(1) as f64
+        };
+        println!(
+            "{}: mean latency first-quarter {first_q:.1} ms -> last-quarter {last_q:.1} ms",
+            series.label
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Fig. 6: response latency and aggregate network load vs the number of
+//! players (3 RPs vs 3 servers).
+//!
+//! ```text
+//! cargo run --release -p gcopss-bench --bin exp_fig6 [--full] [--scale f]
+//! ```
+
+use gcopss_bench::{header, ExpOptions};
+use gcopss_core::experiments::player_sweep::{self, PlayerSweepConfig};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let updates_per_player = opts.scaled(40, 250);
+    let player_counts = if opts.full {
+        vec![50, 100, 150, 200, 250, 300, 350, 400]
+    } else {
+        vec![50, 100, 200, 300, 400]
+    };
+    let out = player_sweep::run(&PlayerSweepConfig {
+        seed: opts.seed,
+        player_counts,
+        updates_per_player,
+        ..PlayerSweepConfig::default()
+    });
+
+    header("Fig. 6a — response latency vs #players (3 RPs / 3 servers)");
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "players", "G-COPSS (ms)", "IP server (ms)"
+    );
+    for (g, i) in out.gcopss.iter().zip(&out.ip) {
+        println!(
+            "{:>8} {:>16.2} {:>16.2}",
+            g.players,
+            g.summary.mean_latency.as_millis_f64(),
+            i.summary.mean_latency.as_millis_f64()
+        );
+    }
+
+    header("Fig. 6b — aggregate network load vs #players");
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "players", "G-COPSS (GB)", "IP server (GB)"
+    );
+    for (g, i) in out.gcopss.iter().zip(&out.ip) {
+        println!(
+            "{:>8} {:>16.4} {:>16.4}",
+            g.players,
+            g.summary.network_gb(),
+            i.summary.network_gb()
+        );
+    }
+
+    header("Shape check (paper: G-COPSS flat; server knee ~250 players)");
+    let g_first = out.gcopss.first().unwrap().summary.mean_latency.as_millis_f64();
+    let g_last = out.gcopss.last().unwrap().summary.mean_latency.as_millis_f64();
+    let i_first = out.ip.first().unwrap().summary.mean_latency.as_millis_f64();
+    let i_last = out.ip.last().unwrap().summary.mean_latency.as_millis_f64();
+    println!("G-COPSS latency growth = {:.1}x over the sweep", g_last / g_first.max(1e-9));
+    println!("IP server latency growth = {:.1}x over the sweep", i_last / i_first.max(1e-9));
+}

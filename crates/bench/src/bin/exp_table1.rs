@@ -1,0 +1,75 @@
+//! Table I: update latency and network load of G-COPSS (1/2/3/6/auto RPs)
+//! vs the IP server (1/2/3/6 servers) over the first 100,000 trace updates
+//! with 414 players.
+//!
+//! ```text
+//! cargo run --release -p gcopss-bench --bin exp_table1 [--full] [--scale f]
+//! ```
+
+use gcopss_bench::{header, ExpOptions};
+use gcopss_core::experiments::rp_sweep::{self, RpSweepConfig};
+use gcopss_core::experiments::WorkloadParams;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let updates = opts.scaled(20_000, 100_000);
+    let out = rp_sweep::run(&RpSweepConfig {
+        workload: WorkloadParams {
+            seed: opts.seed,
+            updates,
+            ..WorkloadParams::default()
+        },
+        fig5_detail: false,
+        ..RpSweepConfig::default()
+    });
+
+    header(&format!(
+        "Table I — {updates} updates, 414 players (paper: 1-2 RPs congest, ≥3 fine, auto ≈ 3)"
+    ));
+    println!(
+        "{:<28} {:>14} {:>12}",
+        "configuration", "latency (ms)", "load (GB)"
+    );
+    for r in &out.gcopss_rows {
+        println!("{}", r.row());
+    }
+    for r in &out.server_rows {
+        println!("{}", r.row());
+    }
+
+    if !out.auto_splits.is_empty() {
+        header("Automatic splits");
+        for s in &out.auto_splits {
+            println!(
+                "t={:.2}s rp{} -> rp{}: moved {:?}",
+                s.at.as_secs_f64(),
+                s.from_rp,
+                s.to_rp,
+                s.moved.iter().map(ToString::to_string).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    header("Shape check");
+    let find = |label_part: &str| {
+        out.gcopss_rows
+            .iter()
+            .find(|r| r.label.contains(label_part))
+    };
+    if let (Some(r1), Some(r3)) = (find("1 RP"), find("3 RP")) {
+        println!(
+            "G-COPSS 1RP/3RP latency ratio = {:.0}x (paper: ~3 orders of magnitude)",
+            r1.mean_latency.as_millis_f64() / r3.mean_latency.as_millis_f64().max(1e-9)
+        );
+    }
+    if let (Some(g3), Some(s3)) = (
+        find("3 RP"),
+        out.server_rows.iter().find(|r| r.label.contains("x3")),
+    ) {
+        println!(
+            "IP(3)/G-COPSS(3) latency ratio = {:.1}x, load ratio = {:.2}x (paper: load ~2x)",
+            s3.mean_latency.as_millis_f64() / g3.mean_latency.as_millis_f64().max(1e-9),
+            s3.network_gb() / g3.network_gb().max(1e-12)
+        );
+    }
+}

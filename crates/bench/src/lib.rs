@@ -1,0 +1,96 @@
+//! Shared helpers for the experiment binaries and benchmarks.
+
+use std::env;
+
+/// Simple CLI options shared by every experiment binary.
+///
+/// * `--full` — run at the paper's full scale (slow).
+/// * `--scale <f>` — scale the workload size by `f` (default varies per
+///   experiment; `--full` overrides).
+/// * `--seed <n>` — master seed (default 42).
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Run at full paper scale.
+    pub full: bool,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExpOptions {
+    /// Parses the process arguments (ignores unknown flags).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut out = Self {
+            full: false,
+            scale: 1.0,
+            seed: 42,
+        };
+        let args: Vec<String> = env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => out.full = true,
+                "--scale" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        out.scale = v;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        out.seed = v;
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Scales a baseline count, with a full-scale override.
+    #[must_use]
+    pub fn scaled(&self, default: usize, full: usize) -> usize {
+        if self.full {
+            full
+        } else {
+            ((default as f64) * self.scale).round().max(1.0) as usize
+        }
+    }
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats bytes as the paper's GB unit.
+#[must_use]
+pub fn gb(bytes: u64) -> f64 {
+    bytes as f64 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_math() {
+        let o = ExpOptions {
+            full: false,
+            scale: 0.5,
+            seed: 1,
+        };
+        assert_eq!(o.scaled(100, 1000), 50);
+        let o = ExpOptions {
+            full: true,
+            scale: 0.5,
+            seed: 1,
+        };
+        assert_eq!(o.scaled(100, 1000), 1000);
+        assert_eq!(gb(2_000_000_000), 2.0);
+    }
+}

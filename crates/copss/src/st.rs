@@ -1,0 +1,448 @@
+//! The Subscription Table.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use gcopss_names::{BloomParams, Cd, CdSet, CountingBloomFilter, Name};
+use gcopss_ndn::FaceId;
+
+use crate::RpId;
+
+/// One face's subscription to one CD name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SubEntry {
+    /// `true` when the subscription came from a host (no RP tag on the
+    /// wire): its anchor RPs are derived from the RP table and must be
+    /// recomputed when CDs move between RPs.
+    auto: bool,
+    /// The RP trees this entry belongs to. A multicast travelling tree `T`
+    /// leaves through this face only if `T` is in this set — this is what
+    /// keeps each publication on its own core-based tree (§III-B) instead
+    /// of leaking onto the trees of other RPs (which, on a cyclic
+    /// topology, would loop).
+    rps: BTreeSet<RpId>,
+}
+
+/// The COPSS Subscription Table: for every face, the set of CDs subscribed
+/// through that face, each tagged with the RP trees it was joined toward.
+///
+/// Following §III-C, each face's CD set is also represented as a counting
+/// Bloom filter so a multicast can be pre-matched with "simple bit
+/// comparison" against the per-level hashes it carries; the exact entries
+/// decide tree membership and make `Unsubscribe` exact.
+///
+/// The match rule is hierarchical: a multicast with CD `c` on tree `T` is
+/// forwarded to face `f` iff `f` subscribed to some *prefix* of `c` with
+/// `T` among its anchor RPs.
+///
+/// # Example
+///
+/// ```
+/// # use gcopss_copss::{RpId, SubscriptionTable};
+/// # use gcopss_names::{Cd, Name};
+/// # use gcopss_ndn::FaceId;
+/// let mut st = SubscriptionTable::default();
+/// st.subscribe(FaceId(1), Name::parse_lit("/sports"), [RpId(0)].into(), true);
+/// let out = st.matching_faces(&Cd::parse_lit("/sports/football"), None, Some(RpId(0)));
+/// assert_eq!(out, vec![FaceId(1)]);
+/// assert!(st
+///     .matching_faces(&Cd::parse_lit("/sports/football"), None, Some(RpId(9)))
+///     .is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubscriptionTable {
+    faces: BTreeMap<FaceId, FaceTable>,
+    bloom_params: BloomParams,
+}
+
+#[derive(Debug, Clone)]
+struct FaceTable {
+    entries: BTreeMap<Name, SubEntry>,
+    bloom: CountingBloomFilter,
+}
+
+impl SubscriptionTable {
+    /// Creates an empty table whose per-face Bloom filters use the given
+    /// sizing.
+    #[must_use]
+    pub fn new(bloom_params: BloomParams) -> Self {
+        Self {
+            faces: BTreeMap::new(),
+            bloom_params,
+        }
+    }
+
+    /// Adds a subscription for `cd` through `face`, anchored at `rps`.
+    /// Returns `true` if the face was not already subscribed to exactly
+    /// `cd`; re-subscribing merges the anchor sets.
+    pub fn subscribe(&mut self, face: FaceId, cd: Name, rps: BTreeSet<RpId>, auto: bool) -> bool {
+        let params = self.bloom_params;
+        let ft = self.faces.entry(face).or_insert_with(|| FaceTable {
+            entries: BTreeMap::new(),
+            bloom: CountingBloomFilter::new(params),
+        });
+        match ft.entries.get_mut(&cd) {
+            Some(e) => {
+                e.rps.extend(rps);
+                e.auto |= auto;
+                false
+            }
+            None => {
+                ft.bloom.insert(cd.stable_hash());
+                ft.entries.insert(cd, SubEntry { auto, rps });
+                true
+            }
+        }
+    }
+
+    /// Removes the subscription for exactly `cd` from `face`. With
+    /// `rp = Some(r)`, only the anchor `r` is removed and the entry stays
+    /// while other anchors remain; with `None` the whole entry goes.
+    /// Returns `true` if the entry was fully removed.
+    pub fn unsubscribe(&mut self, face: FaceId, cd: &Name, rp: Option<RpId>) -> bool {
+        let Some(ft) = self.faces.get_mut(&face) else {
+            return false;
+        };
+        let Some(e) = ft.entries.get_mut(cd) else {
+            return false;
+        };
+        let gone = match rp {
+            Some(r) => {
+                e.rps.remove(&r);
+                e.rps.is_empty()
+            }
+            None => true,
+        };
+        if gone {
+            ft.entries.remove(cd);
+            ft.bloom.remove(cd.stable_hash());
+            if ft.entries.is_empty() {
+                self.faces.remove(&face);
+            }
+        }
+        gone
+    }
+
+    /// Removes every subscription of `face` (e.g. the face went down),
+    /// returning the removed CDs.
+    pub fn remove_face(&mut self, face: FaceId) -> Vec<Name> {
+        self.faces
+            .remove(&face)
+            .map(|ft| ft.entries.into_keys().collect())
+            .unwrap_or_default()
+    }
+
+    /// Recomputes the anchor sets of host-derived (`auto`) entries from the
+    /// current RP table — called after an `RpUpdate` moved CDs. (Hosts keep
+    /// receiving from draining trees regardless: delivery to host faces is
+    /// name-matched without a tree check, since leaves cannot loop.)
+    pub fn retag_auto(&mut self, anchors_of: impl Fn(&Name) -> BTreeSet<RpId>) {
+        for ft in self.faces.values_mut() {
+            for (name, e) in &mut ft.entries {
+                if e.auto {
+                    e.rps = anchors_of(name);
+                }
+            }
+        }
+    }
+
+    /// The faces a multicast with CD `cd` travelling tree `tree` must be
+    /// forwarded to, excluding `arrival` — Bloom prefilter on the packet's
+    /// precomputed per-level hashes, then the exact tree-membership check.
+    /// `tree = None` matches any tree (host-side and hybrid tables).
+    #[must_use]
+    pub fn matching_faces(
+        &self,
+        cd: &Cd,
+        arrival: Option<FaceId>,
+        tree: Option<RpId>,
+    ) -> Vec<FaceId> {
+        let hashes = cd.hashes().as_slice();
+        self.faces
+            .iter()
+            .filter(|(f, _)| Some(**f) != arrival)
+            .filter(|(_, ft)| ft.bloom.contains_any(hashes))
+            .filter(|(_, ft)| Self::face_matches(ft, cd.name(), tree))
+            .map(|(f, _)| *f)
+            .collect()
+    }
+
+    /// Like [`SubscriptionTable::matching_faces`] but skipping the Bloom
+    /// prefilter (ground truth for tests).
+    #[must_use]
+    pub fn matching_faces_exact(
+        &self,
+        cd: &Cd,
+        arrival: Option<FaceId>,
+        tree: Option<RpId>,
+    ) -> Vec<FaceId> {
+        self.faces
+            .iter()
+            .filter(|(f, _)| Some(**f) != arrival)
+            .filter(|(_, ft)| Self::face_matches(ft, cd.name(), tree))
+            .map(|(f, _)| *f)
+            .collect()
+    }
+
+    fn face_matches(ft: &FaceTable, cd: &Name, tree: Option<RpId>) -> bool {
+        cd.prefixes().any(|p| {
+            ft.entries
+                .get(&p)
+                .is_some_and(|e| tree.is_none() || tree.is_some_and(|t| e.rps.contains(&t)))
+        })
+    }
+
+    /// Returns `true` if any face other than `excluding` holds a
+    /// subscription at or below `prefix`.
+    #[must_use]
+    pub fn any_subscriber_under(&self, prefix: &Name, excluding: Option<FaceId>) -> bool {
+        self.faces
+            .iter()
+            .filter(|(f, _)| Some(**f) != excluding)
+            .any(|(_, ft)| {
+                ft.entries
+                    .range(prefix.clone()..)
+                    .next()
+                    .is_some_and(|(n, _)| prefix.is_prefix_of(n))
+            })
+    }
+
+    /// Returns `true` if any face other than `excluding` holds a
+    /// subscription that covers `cd` (is a prefix of it).
+    #[must_use]
+    pub fn any_subscriber_covering(&self, cd: &Name, excluding: Option<FaceId>) -> bool {
+        self.faces
+            .iter()
+            .filter(|(f, _)| Some(**f) != excluding)
+            .any(|(_, ft)| cd.prefixes().any(|p| ft.entries.contains_key(&p)))
+    }
+
+    /// The exact CDs subscribed through `face`.
+    #[must_use]
+    pub fn face_subscriptions(&self, face: FaceId) -> Vec<Name> {
+        self.faces
+            .get(&face)
+            .map(|ft| ft.entries.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// All faces with at least one subscription.
+    #[must_use]
+    pub fn faces(&self) -> Vec<FaceId> {
+        self.faces.keys().copied().collect()
+    }
+
+    /// Every `(name, anchor RPs)` subscription across all faces, merged.
+    #[must_use]
+    pub fn all_subscriptions_tagged(&self) -> BTreeMap<Name, BTreeSet<RpId>> {
+        let mut out: BTreeMap<Name, BTreeSet<RpId>> = BTreeMap::new();
+        for ft in self.faces.values() {
+            for (name, e) in &ft.entries {
+                out.entry(name.clone()).or_default().extend(e.rps.iter());
+            }
+        }
+        out
+    }
+
+    /// The union of all subscribed CD names across faces (untagged view).
+    #[must_use]
+    pub fn all_subscriptions(&self) -> CdSet {
+        self.faces
+            .values()
+            .flat_map(|ft| ft.entries.keys().cloned())
+            .collect()
+    }
+
+    /// Total number of (face, CD) subscription pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faces.values().map(|ft| ft.entries.len()).sum()
+    }
+
+    /// Returns `true` if no face has any subscription.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faces.is_empty()
+    }
+}
+
+impl Default for SubscriptionTable {
+    fn default() -> Self {
+        Self::new(BloomParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse_lit(s)
+    }
+
+    fn rps(ids: &[u32]) -> BTreeSet<RpId> {
+        ids.iter().map(|&i| RpId(i)).collect()
+    }
+
+    #[test]
+    fn hierarchical_matching() {
+        let mut st = SubscriptionTable::default();
+        st.subscribe(FaceId(1), n("/1"), rps(&[0]), true);
+        st.subscribe(FaceId(2), n("/1/2"), rps(&[0]), true);
+        st.subscribe(FaceId(3), n("/2"), rps(&[0]), true);
+
+        // Publication to /1/2 reaches the /1 subscriber and the /1/2
+        // subscriber, not the /2 subscriber.
+        let out = st.matching_faces(&Cd::parse_lit("/1/2"), None, Some(RpId(0)));
+        assert_eq!(out, vec![FaceId(1), FaceId(2)]);
+
+        // Publication to /1 reaches only the /1 subscriber (the /1/2
+        // subscription is more specific; it must NOT match /1 — that is the
+        // whole point of the own-area CDs).
+        let out = st.matching_faces(&Cd::parse_lit("/1"), None, Some(RpId(0)));
+        assert_eq!(out, vec![FaceId(1)]);
+    }
+
+    #[test]
+    fn tree_scoping_separates_rp_trees() {
+        let mut st = SubscriptionTable::default();
+        // Face 1 joined / toward RP 0 only; face 2 toward RP 1 only.
+        st.subscribe(FaceId(1), Name::root(), rps(&[0]), false);
+        st.subscribe(FaceId(2), Name::root(), rps(&[1]), false);
+        let cd = Cd::parse_lit("/1/2");
+        assert_eq!(st.matching_faces(&cd, None, Some(RpId(0))), vec![FaceId(1)]);
+        assert_eq!(st.matching_faces(&cd, None, Some(RpId(1))), vec![FaceId(2)]);
+        // Untagged matching sees both (host-side delivery).
+        assert_eq!(
+            st.matching_faces(&cd, None, None),
+            vec![FaceId(1), FaceId(2)]
+        );
+    }
+
+    #[test]
+    fn arrival_face_excluded() {
+        let mut st = SubscriptionTable::default();
+        st.subscribe(FaceId(1), n("/1"), rps(&[0]), true);
+        st.subscribe(FaceId(2), n("/1"), rps(&[0]), true);
+        let out = st.matching_faces(&Cd::parse_lit("/1/5"), Some(FaceId(1)), Some(RpId(0)));
+        assert_eq!(out, vec![FaceId(2)]);
+    }
+
+    #[test]
+    fn bloom_is_superset_of_exact() {
+        let mut st = SubscriptionTable::default();
+        for i in 1..=5u32 {
+            for j in 1..=5u32 {
+                st.subscribe(FaceId(i), n(&format!("/{i}/{j}")), rps(&[0]), true);
+            }
+        }
+        for i in 1..=5u32 {
+            for j in 1..=5u32 {
+                let cd = Cd::parse_lit(&format!("/{i}/{j}"));
+                let exact = st.matching_faces_exact(&cd, None, Some(RpId(0)));
+                let bloom = st.matching_faces(&cd, None, Some(RpId(0)));
+                for f in &exact {
+                    assert!(bloom.contains(f), "bloom missed subscribed face");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsubscribe_per_rp_and_whole() {
+        let mut st = SubscriptionTable::default();
+        st.subscribe(FaceId(1), n("/1"), rps(&[0, 1]), false);
+        // Removing one anchor keeps the entry.
+        assert!(!st.unsubscribe(FaceId(1), &n("/1"), Some(RpId(0))));
+        assert_eq!(
+            st.matching_faces(&Cd::parse_lit("/1/1"), None, Some(RpId(1))),
+            vec![FaceId(1)]
+        );
+        assert!(st
+            .matching_faces(&Cd::parse_lit("/1/1"), None, Some(RpId(0)))
+            .is_empty());
+        // Removing the last anchor removes the entry.
+        assert!(st.unsubscribe(FaceId(1), &n("/1"), Some(RpId(1))));
+        assert!(st.is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_untagged_removes_entry() {
+        let mut st = SubscriptionTable::default();
+        st.subscribe(FaceId(1), n("/1"), rps(&[0, 1]), true);
+        st.subscribe(FaceId(1), n("/2"), rps(&[0]), true);
+        assert!(st.unsubscribe(FaceId(1), &n("/1"), None));
+        assert!(!st.unsubscribe(FaceId(1), &n("/1"), None));
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn resubscribe_merges_anchors() {
+        let mut st = SubscriptionTable::default();
+        assert!(st.subscribe(FaceId(1), n("/1"), rps(&[0]), false));
+        assert!(!st.subscribe(FaceId(1), n("/1"), rps(&[1]), false));
+        for rp in [RpId(0), RpId(1)] {
+            assert_eq!(
+                st.matching_faces(&Cd::parse_lit("/1/9"), None, Some(rp)),
+                vec![FaceId(1)]
+            );
+        }
+    }
+
+    #[test]
+    fn counting_bloom_survives_unsubscribe_of_sibling() {
+        let mut st = SubscriptionTable::default();
+        st.subscribe(FaceId(1), n("/1/1"), rps(&[0]), true);
+        st.subscribe(FaceId(1), n("/1/2"), rps(&[0]), true);
+        st.unsubscribe(FaceId(1), &n("/1/2"), None);
+        let out = st.matching_faces(&Cd::parse_lit("/1/1"), None, Some(RpId(0)));
+        assert_eq!(out, vec![FaceId(1)]);
+    }
+
+    #[test]
+    fn retag_auto_recomputes_host_entries() {
+        let mut st = SubscriptionTable::default();
+        st.subscribe(FaceId(1), n("/1"), rps(&[0]), true); // host
+        st.subscribe(FaceId(2), n("/1"), rps(&[0]), false); // router join
+        st.retag_auto(|_| rps(&[5]));
+        let cd = Cd::parse_lit("/1/1");
+        assert_eq!(st.matching_faces(&cd, None, Some(RpId(5))), vec![FaceId(1)]);
+        assert_eq!(st.matching_faces(&cd, None, Some(RpId(0))), vec![FaceId(2)]);
+    }
+
+    #[test]
+    fn any_subscriber_queries() {
+        let mut st = SubscriptionTable::default();
+        st.subscribe(FaceId(1), n("/1/2"), rps(&[0]), true);
+        st.subscribe(FaceId(2), n("/3"), rps(&[0]), true);
+        assert!(st.any_subscriber_under(&n("/1"), None));
+        assert!(!st.any_subscriber_under(&n("/1"), Some(FaceId(1))));
+        assert!(st.any_subscriber_covering(&n("/3/4"), None));
+        assert!(!st.any_subscriber_covering(&n("/1"), None));
+    }
+
+    #[test]
+    fn remove_face_returns_cds() {
+        let mut st = SubscriptionTable::default();
+        st.subscribe(FaceId(1), n("/a"), rps(&[0]), true);
+        st.subscribe(FaceId(1), n("/b"), rps(&[0]), true);
+        let mut cds = st.remove_face(FaceId(1));
+        cds.sort();
+        assert_eq!(cds, vec![n("/a"), n("/b")]);
+        assert!(st.is_empty());
+        assert!(st.remove_face(FaceId(1)).is_empty());
+    }
+
+    #[test]
+    fn union_and_tagged_views() {
+        let mut st = SubscriptionTable::default();
+        st.subscribe(FaceId(1), n("/a"), rps(&[0]), true);
+        st.subscribe(FaceId(2), n("/a"), rps(&[1]), true);
+        st.subscribe(FaceId(2), n("/b"), rps(&[0]), true);
+        assert_eq!(st.faces(), vec![FaceId(1), FaceId(2)]);
+        assert_eq!(st.face_subscriptions(FaceId(2)).len(), 2);
+        assert_eq!(st.all_subscriptions().len(), 2);
+        let tagged = st.all_subscriptions_tagged();
+        assert_eq!(tagged[&n("/a")], rps(&[0, 1]));
+        assert_eq!(st.len(), 3);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the COPSS layer.
+
+use gcopss_copss::{CopssEngine, RpId, RpTable, SubscriptionTable, TrafficWindow};
+use gcopss_names::{Cd, Component, Name};
+use gcopss_ndn::FaceId;
+use proptest::prelude::*;
+
+fn name() -> impl Strategy<Value = Name> {
+    prop::collection::vec(0u32..4, 1..4).prop_map(|cs| {
+        Name::from_components(cs.into_iter().map(Component::index))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bloom-filter forwarding is a superset of exact forwarding (no false
+    /// negatives) under arbitrary subscribe/unsubscribe churn.
+    #[test]
+    fn bloom_superset_of_exact_under_churn(
+        ops in prop::collection::vec((any::<bool>(), 0u32..6, name()), 1..60),
+        probe in name(),
+    ) {
+        let mut st = SubscriptionTable::default();
+        let mut model: std::collections::BTreeSet<(u32, Name)> = Default::default();
+        let anchor: std::collections::BTreeSet<RpId> = [RpId(0)].into();
+        for (sub, face, n) in ops {
+            if sub {
+                st.subscribe(FaceId(face), n.clone(), anchor.clone(), true);
+                model.insert((face, n));
+            } else if model.remove(&(face, n.clone())) {
+                st.unsubscribe(FaceId(face), &n, None);
+            }
+        }
+        let cd = Cd::new(probe.clone());
+        let exact = st.matching_faces_exact(&cd, None, Some(RpId(0)));
+        let bloom = st.matching_faces(&cd, None, Some(RpId(0)));
+        // exact must equal the model...
+        let want: Vec<FaceId> = {
+            let mut v: Vec<FaceId> = model
+                .iter()
+                .filter(|(_, s)| s.is_prefix_of(&probe))
+                .map(|(f, _)| FaceId(*f))
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        prop_assert_eq!(&exact, &want);
+        // ...and bloom must contain every exact face.
+        for f in &exact {
+            prop_assert!(bloom.contains(f));
+        }
+    }
+
+    /// The RP table stays prefix-free under random valid assignment and
+    /// splitting, and publication coverage is unique.
+    #[test]
+    fn rp_table_invariants(
+        prefixes in prop::collection::btree_set(name(), 1..12),
+        probes in prop::collection::vec(name(), 1..8),
+    ) {
+        let mut t = RpTable::new();
+        let mut accepted = 0u32;
+        for (i, p) in prefixes.iter().enumerate() {
+            if t.assign(p.clone(), RpId(i as u32)).is_ok() {
+                accepted += 1;
+            }
+        }
+        prop_assert!(accepted > 0);
+        prop_assert!(t.is_prefix_free());
+        for probe in &probes {
+            // At most one served prefix covers the probe.
+            let covering: Vec<_> = t
+                .assignments()
+                .into_iter()
+                .filter(|(p, _)| p.is_prefix_of(probe))
+                .collect();
+            prop_assert!(covering.len() <= 1);
+            prop_assert_eq!(t.rp_for(probe), covering.first().map(|(_, rp)| *rp));
+        }
+    }
+
+    /// After any sequence of subscriptions, reconcile() is a fixpoint and
+    /// the joined set covers exactly the subscribed names per overlapping RP.
+    #[test]
+    fn reconcile_reaches_fixpoint(
+        subs in prop::collection::vec((0u32..5, name()), 1..20),
+    ) {
+        let mut e = CopssEngine::new();
+        e.rp_table_mut().assign(Name::root(), RpId(0)).unwrap();
+        for (f, n) in &subs {
+            e.handle_subscribe(FaceId(*f), &[n.clone()], None);
+        }
+        let (j, p) = e.reconcile();
+        prop_assert!(j.is_empty());
+        prop_assert!(p.is_empty());
+        // Every subscribed name is covered by some join.
+        let joined = e.joined_toward(RpId(0));
+        for (_, n) in &subs {
+            prop_assert!(
+                joined.iter().any(|jn| jn.is_prefix_of(n)),
+                "subscription {} not covered by joins {:?}", n, joined
+            );
+        }
+        // Joins are minimal: none covers another.
+        for a in &joined {
+            for b in &joined {
+                prop_assert!(!(a != b && a.is_strict_prefix_of(b)));
+            }
+        }
+    }
+
+    /// Splitting a traffic window always produces two disjoint, non-empty,
+    /// prefix-free sides that jointly cover all observed traffic.
+    #[test]
+    fn split_plan_partitions_load(
+        cds in prop::collection::vec(name(), 2..80),
+    ) {
+        let mut w = TrafficWindow::new(128);
+        for cd in &cds {
+            w.record(cd.clone());
+        }
+        if let Some(plan) = w.plan_split(&[Name::root()], 0.5) {
+            prop_assert!(!plan.moved.is_empty());
+            prop_assert!(!plan.retained.is_empty());
+            let mut all = plan.moved.clone();
+            all.extend(plan.retained.clone());
+            // Pairwise prefix-free.
+            for (i, a) in all.iter().enumerate() {
+                for b in all.iter().skip(i + 1) {
+                    prop_assert!(!a.is_prefix_of(b) && !b.is_prefix_of(a));
+                }
+            }
+            // Every observed CD is covered by exactly one side.
+            for cd in &cds {
+                let m = plan.moved.iter().filter(|p| p.is_prefix_of(cd)).count();
+                let r = plan.retained.iter().filter(|p| p.is_prefix_of(cd)).count();
+                prop_assert_eq!(m + r, 1, "cd {} covered {}+{} times", cd, m, r);
+            }
+        }
+    }
+}

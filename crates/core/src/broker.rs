@@ -1,0 +1,849 @@
+//! Snapshot brokers and player movement (§IV-A, Table III).
+//!
+//! When a player moves into a new sub-world it must obtain the current
+//! snapshot of the areas that just became visible. G-COPSS uses a
+//! decentralized set of *brokers*, each subscribing to the leaf CDs of its
+//! serving area and maintaining up-to-date object snapshots. Two retrieval
+//! modes are evaluated:
+//!
+//! * **Query/response (QR)**: the mover queries `/snapshot/<cd>/…` with NDN
+//!   Interests, pipelining a window of outstanding queries (Table III uses
+//!   windows of 5 and 15); each Data carries one object.
+//! * **Cyclic multicast**: the mover subscribes to `/snapcast/<cd>`; the
+//!   broker, as the group's only publisher, multicasts the area's objects
+//!   round-robin from the first join until the last leave, so simultaneous
+//!   movers share one stream.
+//!
+//! Modeling notes (documented deviations):
+//! * The "first Subscribe / last Unsubscribe" signal that starts/stops a
+//!   cyclic stream is carried by explicit `/snapcastctl/<cd>/join|leave`
+//!   Interests addressed to the broker (in COPSS the Subscribe itself would
+//!   reach the broker's first-hop router).
+//! * Update events keep following the trace's static placement while a
+//!   player moves; movement drives subscriptions and snapshot retrieval.
+//!   Convergence time depends on object counts/sizes, which the trace's
+//!   updates fully determine.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use gcopss_copss::{CopssPacket, MulticastPacket};
+use gcopss_game::trace::TraceEvent;
+use gcopss_game::{AreaId, GameMap, MoveEvent, ObjectModel, PlayerId};
+use gcopss_names::{Cd, Component, Name};
+use gcopss_ndn::{Data, Interest};
+use gcopss_sim::{Ctx, NodeBehavior, NodeId, SimDuration, SimTime};
+
+use crate::client::{DedupWindow, TraceCursor};
+use crate::{payload_of, ConvergenceRecord, GPacket, GameWorld, SimParams};
+
+/// The `/snapshot` QR namespace root.
+#[must_use]
+pub fn snapshot_ns() -> Name {
+    Name::parse_lit("/snapshot")
+}
+
+/// The `/snapcast` cyclic-multicast namespace root.
+#[must_use]
+pub fn snapcast_ns() -> Name {
+    Name::parse_lit("/snapcast")
+}
+
+/// The `/snapcastctl` join/leave control namespace root.
+#[must_use]
+pub fn snapcastctl_ns() -> Name {
+    Name::parse_lit("/snapcastctl")
+}
+
+/// How a moving player retrieves snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotMode {
+    /// NDN query/response with a pipelining window.
+    QueryResponse {
+        /// Maximum outstanding object queries.
+        window: u32,
+    },
+    /// Cyclic multicast groups.
+    CyclicMulticast,
+}
+
+/// A snapshot broker host: subscribes to its serving leaf CDs, applies
+/// every update to its object model, and serves snapshots in both modes.
+pub struct SnapshotBroker {
+    params: SimParams,
+    edge: NodeId,
+    /// Leaf CDs this broker is responsible for.
+    serving: Vec<Name>,
+    objects: ObjectModel,
+    /// The shared trace: publication id → (object, size), to apply updates.
+    trace: Arc<Vec<TraceEvent>>,
+    dedup: DedupWindow,
+    /// Active cyclic streams: cd index → (subscriber count, next object).
+    cyclic: BTreeMap<usize, CyclicStream>,
+    /// Monotonic id source for snapshot multicasts (distinct from update
+    /// publication ids).
+    next_snap_id: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CyclicStream {
+    subscribers: u32,
+    next_obj: u32,
+}
+
+impl SnapshotBroker {
+    /// Creates a broker serving `serving` (leaf CDs), attached to `edge`.
+    #[must_use]
+    pub fn new(
+        params: SimParams,
+        edge: NodeId,
+        serving: Vec<Name>,
+        objects: ObjectModel,
+        trace: Arc<Vec<TraceEvent>>,
+    ) -> Self {
+        Self {
+            params,
+            edge,
+            serving,
+            objects,
+            trace,
+            dedup: DedupWindow::new(1024),
+            cyclic: BTreeMap::new(),
+            next_snap_id: 1 << 60,
+        }
+    }
+
+    /// The FIB prefixes the network must route toward this broker.
+    #[must_use]
+    pub fn fib_prefixes(serving: &[Name]) -> Vec<Name> {
+        serving
+            .iter()
+            .flat_map(|cd| [snapshot_ns().join(cd), snapcastctl_ns().join(cd)])
+            .collect()
+    }
+
+    fn serving_index(&self, cd: &Name) -> Option<usize> {
+        self.serving.iter().position(|c| c == cd)
+    }
+
+    /// Parses `/snapshot/<cd>/meta` or `/snapshot/<cd>/obj/<k>`, returning
+    /// the serving index and the request kind.
+    fn parse_snapshot_name(&self, name: &Name) -> Option<(usize, SnapshotRequest)> {
+        let comps = name.components();
+        if comps.first()?.as_str() != "snapshot" {
+            return None;
+        }
+        if comps.last()?.as_str() == "meta" {
+            let cd = Name::from_components(comps[1..comps.len() - 1].iter().cloned());
+            return Some((self.serving_index(&cd)?, SnapshotRequest::Meta));
+        }
+        if comps.len() >= 3 && comps[comps.len() - 2].as_str() == "obj" {
+            let k: u32 = comps.last()?.as_str().parse().ok()?;
+            let cd = Name::from_components(comps[1..comps.len() - 2].iter().cloned());
+            return Some((self.serving_index(&cd)?, SnapshotRequest::Object(k)));
+        }
+        None
+    }
+
+    fn parse_ctl_name(&self, name: &Name) -> Option<(usize, bool)> {
+        let comps = name.components();
+        if comps.first()?.as_str() != "snapcastctl" {
+            return None;
+        }
+        let join = match comps.last()?.as_str() {
+            "join" => true,
+            "leave" => false,
+            _ => return None,
+        };
+        let cd = Name::from_components(comps[1..comps.len() - 1].iter().cloned());
+        Some((self.serving_index(&cd)?, join))
+    }
+
+    fn send_data(&self, ctx: &mut Ctx<'_, GPacket, GameWorld>, name: Name, payload: Bytes) {
+        // Snapshot data ages out quickly in a gaming scenario (§V-B): keep
+        // freshness short so concurrent movers may share router caches but
+        // stale state does not linger.
+        let data = Data::with_freshness(name, payload, 50_000_000);
+        let g = GPacket::Data(data);
+        let size = g.wire_size();
+        ctx.send(self.edge, g, size);
+    }
+
+    fn object_payload(&self, serving_idx: usize, k: u32) -> Bytes {
+        let cd = &self.serving[serving_idx];
+        let objs = self.objects.objects_in(cd);
+        let size = objs
+            .get(k as usize)
+            .map_or(0, |&o| self.objects.state(o).snapshot_bytes());
+        // Pristine objects are not shipped: a 1-byte marker stands in.
+        payload_of((size.max(1) as usize).min(4096))
+    }
+
+    fn emit_cyclic(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, idx: usize) {
+        let Some(stream) = self.cyclic.get_mut(&idx) else {
+            return;
+        };
+        if stream.subscribers == 0 {
+            self.cyclic.remove(&idx);
+            return;
+        }
+        let cd = &self.serving[idx];
+        let total = self.objects.objects_in(cd).len() as u32;
+        if total == 0 {
+            return;
+        }
+        let k = stream.next_obj % total;
+        stream.next_obj = (stream.next_obj + 1) % total;
+        // Payload carries [k, total] so receivers can detect a full cycle;
+        // padded to the object's snapshot size.
+        let obj_size = {
+            let objs = self.objects.objects_in(cd);
+            self.objects.state(objs[k as usize]).snapshot_bytes()
+        };
+        let mut body = vec![0u8; (obj_size.max(8) as usize).min(4096)];
+        body[..4].copy_from_slice(&k.to_le_bytes());
+        body[4..8].copy_from_slice(&total.to_le_bytes());
+        let id = self.next_snap_id;
+        self.next_snap_id += 1;
+        let m = MulticastPacket::new(Cd::new(snapcast_ns().join(cd)), Bytes::from(body), id);
+        let g = GPacket::Copss(CopssPacket::Multicast(m));
+        let size = g.wire_size();
+        ctx.send(self.edge, g, size);
+        ctx.world().bump("broker-cyclic-sent");
+        ctx.schedule(self.params.cyclic_gap, idx as u64);
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SnapshotRequest {
+    Meta,
+    Object(u32),
+}
+
+impl NodeBehavior<GPacket, GameWorld> for SnapshotBroker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        // Subscribe to the serving areas to keep snapshots current (§IV-A:
+        // "it only subscribes to the leaf CDs representing its serving
+        // area").
+        let g = GPacket::Copss(CopssPacket::Subscribe {
+            cds: self.serving.clone(),
+            rp: None,
+        });
+        let size = g.wire_size();
+        ctx.send(self.edge, g, size);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, key: u64) {
+        self.emit_cyclic(ctx, key as usize);
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut Ctx<'_, GPacket, GameWorld>,
+        _from: Option<NodeId>,
+        pkt: GPacket,
+    ) {
+        match pkt {
+            // Updates for the serving areas: apply to the object model.
+            GPacket::Copss(CopssPacket::Multicast(m)) => {
+                if !self.dedup.insert(m.id) {
+                    return;
+                }
+                if let Some(e) = self.trace.get(m.id as usize) {
+                    self.objects.apply_update(e.object, e.size);
+                    ctx.world().bump("broker-updates-applied");
+                }
+            }
+            GPacket::Interest(i) => {
+                if let Some((idx, req)) = self.parse_snapshot_name(&i.name) {
+                    ctx.consume(self.params.broker_per_object);
+                    match req {
+                        SnapshotRequest::Meta => {
+                            let total = self.objects.objects_in(&self.serving[idx]).len() as u32;
+                            self.send_data(
+                                ctx,
+                                i.name,
+                                Bytes::copy_from_slice(&total.to_le_bytes()),
+                            );
+                        }
+                        SnapshotRequest::Object(k) => {
+                            let payload = self.object_payload(idx, k);
+                            self.send_data(ctx, i.name, payload);
+                        }
+                    }
+                    ctx.world().bump("broker-qr-served");
+                } else if let Some((idx, join)) = self.parse_ctl_name(&i.name) {
+                    if join {
+                        let starting = !self.cyclic.contains_key(&idx);
+                        let s = self.cyclic.entry(idx).or_insert(CyclicStream {
+                            subscribers: 0,
+                            next_obj: 0,
+                        });
+                        s.subscribers += 1;
+                        if starting {
+                            ctx.schedule(self.params.cyclic_gap, idx as u64);
+                        }
+                        ctx.world().bump("broker-cyclic-joins");
+                    } else if let Some(s) = self.cyclic.get_mut(&idx) {
+                        s.subscribers = s.subscribers.saturating_sub(1);
+                        // The stream stops at the next tick when empty; the
+                        // packets sent meanwhile are the paper's "wasted"
+                        // tail transmissions.
+                    }
+                    // Acknowledge so the PIT breadcrumbs are consumed.
+                    self.send_data(ctx, i.name, payload_of(1));
+                } else {
+                    ctx.world().bump("broker-unknown-interest");
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn service_time(&self, _pkt: &GPacket) -> SimDuration {
+        SimDuration::ZERO
+    }
+}
+
+/// Per-CD progress of an in-flight snapshot fetch.
+#[derive(Debug)]
+enum CdFetch {
+    Qr {
+        total: Option<u32>,
+        received: u32,
+    },
+    Cyclic {
+        total: Option<u32>,
+        received: HashSet<u32>,
+    },
+}
+
+impl CdFetch {
+    fn done(&self) -> bool {
+        match self {
+            Self::Qr {
+                total: Some(t),
+                received,
+            } => received >= t,
+            Self::Cyclic {
+                total: Some(t),
+                received,
+            } => received.len() as u32 >= *t,
+            _ => false,
+        }
+    }
+}
+
+/// An in-flight post-move snapshot fetch.
+struct FetchState {
+    move_type: gcopss_game::MoveType,
+    started: SimTime,
+    per_cd: BTreeMap<Name, CdFetch>,
+    bytes: u64,
+    outstanding: u32,
+    /// (cd, k) object queries not yet issued (QR mode).
+    queue: VecDeque<(Name, u32)>,
+}
+
+/// A player client that additionally executes a movement schedule,
+/// re-subscribing and fetching snapshots of newly visible areas; records a
+/// [`ConvergenceRecord`] per move (Table III).
+pub struct MovingPlayerClient {
+    player: PlayerId,
+    edge: NodeId,
+    area: AreaId,
+    map: Arc<GameMap>,
+    cursor: TraceCursor,
+    moves: Vec<MoveEvent>,
+    next_move: usize,
+    warmup: SimDuration,
+    mode: SnapshotMode,
+    dedup: DedupWindow,
+    fetch: Option<FetchState>,
+    next_nonce: u64,
+    /// §IV-A offline support: until this instant the player is offline —
+    /// not subscribed, not publishing. Coming online subscribes and fetches
+    /// the snapshot of the entire current view.
+    online_at: Option<SimTime>,
+    fetch_is_join: bool,
+}
+
+/// Timer keys: publications use 0 (like the base client), moves use 1,
+/// coming online uses 2.
+const TIMER_PUBLISH: u64 = 0;
+const TIMER_MOVE: u64 = 1;
+const TIMER_ONLINE: u64 = 2;
+
+impl MovingPlayerClient {
+    /// Creates a moving client. `moves` is this player's movement schedule
+    /// (trace-relative times).
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn new(
+        player: PlayerId,
+        edge: NodeId,
+        area: AreaId,
+        map: Arc<GameMap>,
+        cursor: TraceCursor,
+        moves: Vec<MoveEvent>,
+        warmup: SimDuration,
+        mode: SnapshotMode,
+    ) -> Self {
+        Self {
+            player,
+            edge,
+            area,
+            map,
+            cursor,
+            moves,
+            next_move: 0,
+            warmup,
+            mode,
+            dedup: DedupWindow::new(1024),
+            fetch: None,
+            next_nonce: u64::from(player.0) << 32,
+            online_at: None,
+            fetch_is_join: false,
+        }
+    }
+
+    /// Makes this player start *offline*: it neither subscribes nor
+    /// publishes until `online_at`, then joins the game at its area —
+    /// subscribing, fetching the snapshot of everything it can see, and
+    /// starting to publish (§IV-A: "besides the general pub/sub support
+    /// provided in COPSS for offline users").
+    #[must_use]
+    pub fn offline_until(mut self, online_at: SimTime) -> Self {
+        self.online_at = Some(online_at);
+        self
+    }
+
+    fn send(&self, ctx: &mut Ctx<'_, GPacket, GameWorld>, g: GPacket) {
+        let size = g.wire_size();
+        ctx.send(self.edge, g, size);
+    }
+
+    fn nonce(&mut self) -> u64 {
+        self.next_nonce += 1;
+        self.next_nonce
+    }
+
+    fn schedule_publish(&self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        if let Some(at) = self.cursor.next_time() {
+            ctx.schedule(at.saturating_duration_since(ctx.now()), TIMER_PUBLISH);
+        }
+    }
+
+    fn schedule_move(&self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        if let Some(m) = self.moves.get(self.next_move) {
+            let at = SimTime::from_nanos(m.time_ns) + self.warmup;
+            ctx.schedule(at.saturating_duration_since(ctx.now()), TIMER_MOVE);
+        }
+    }
+
+    fn begin_move(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let Some(mv) = self.moves.get(self.next_move).cloned() else {
+            return;
+        };
+        self.next_move += 1;
+        // Re-subscribe for the new location.
+        let old = self.map.subscription_cds(self.area);
+        let new = self.map.subscription_cds(mv.to);
+        self.area = mv.to;
+        self.send(ctx, GPacket::Copss(CopssPacket::Unsubscribe { cds: old, rp: None }));
+        self.send(
+            ctx,
+            GPacket::Copss(CopssPacket::Subscribe { cds: new, rp: None }),
+        );
+
+        // Abort any unfinished fetch (superseded by the new move); leave
+        // any cyclic groups it was still draining.
+        if let Some(old_fetch) = self.fetch.take() {
+            if self.mode == SnapshotMode::CyclicMulticast {
+                for cd in old_fetch.per_cd.keys() {
+                    self.send(
+                        ctx,
+                        GPacket::Copss(CopssPacket::Unsubscribe {
+                            cds: vec![snapcast_ns().join(cd)],
+                            rp: None,
+                        }),
+                    );
+                    let name = snapcastctl_ns()
+                        .join(cd)
+                        .child(Component::new("leave").expect("valid"));
+                    let nonce = self.nonce();
+                    self.send(ctx, GPacket::Interest(Interest::new(name, nonce)));
+                }
+            }
+            ctx.world().bump("mover-fetch-superseded");
+        }
+
+        if mv.snapshot_cds.is_empty() {
+            // Descending: the view only narrows, nothing to download.
+            ctx.world().convergence.push(ConvergenceRecord {
+                player: self.player,
+                move_type: mv.move_type,
+                leaf_cds: 0,
+                convergence: SimDuration::ZERO,
+                bytes: 0,
+                online_join: false,
+            });
+            self.schedule_move(ctx);
+            return;
+        }
+
+        self.start_fetch(ctx, mv.move_type, &mv.snapshot_cds, false);
+        self.schedule_move(ctx);
+    }
+
+    /// Begins fetching the snapshots of `cds`, recording completion under
+    /// `move_type` (and the `online_join` flag).
+    fn start_fetch(
+        &mut self,
+        ctx: &mut Ctx<'_, GPacket, GameWorld>,
+        move_type: gcopss_game::MoveType,
+        cds: &[Name],
+        is_join: bool,
+    ) {
+        self.fetch_is_join = is_join;
+        let mut st = FetchState {
+            move_type,
+            started: ctx.now(),
+            per_cd: BTreeMap::new(),
+            bytes: 0,
+            outstanding: 0,
+            queue: VecDeque::new(),
+        };
+        for cd in cds {
+            match self.mode {
+                SnapshotMode::QueryResponse { .. } => {
+                    st.per_cd.insert(
+                        cd.clone(),
+                        CdFetch::Qr {
+                            total: None,
+                            received: 0,
+                        },
+                    );
+                    let name = snapshot_ns()
+                        .join(cd)
+                        .child(Component::new("meta").expect("valid"));
+                    let nonce = self.nonce();
+                    st.outstanding += 1;
+                    self.send(ctx, GPacket::Interest(Interest::new(name, nonce)));
+                }
+                SnapshotMode::CyclicMulticast => {
+                    st.per_cd.insert(
+                        cd.clone(),
+                        CdFetch::Cyclic {
+                            total: None,
+                            received: HashSet::new(),
+                        },
+                    );
+                    self.send(
+                        ctx,
+                        GPacket::Copss(CopssPacket::Subscribe {
+                            cds: vec![snapcast_ns().join(cd)],
+                            rp: None,
+                        }),
+                    );
+                    let name = snapcastctl_ns()
+                        .join(cd)
+                        .child(Component::new("join").expect("valid"));
+                    let nonce = self.nonce();
+                    self.send(ctx, GPacket::Interest(Interest::new(name, nonce)));
+                }
+            }
+        }
+        self.fetch = Some(st);
+    }
+
+    /// Pipelines further QR object queries up to the window.
+    fn refill_qr_window(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let SnapshotMode::QueryResponse { window } = self.mode else {
+            return;
+        };
+        let mut to_send = Vec::new();
+        if let Some(st) = self.fetch.as_mut() {
+            while st.outstanding < window {
+                let Some((cd, k)) = st.queue.pop_front() else {
+                    break;
+                };
+                st.outstanding += 1;
+                to_send.push((cd, k));
+            }
+        }
+        for (cd, k) in to_send {
+            let name = snapshot_ns()
+                .join(&cd)
+                .child(Component::new("obj").expect("valid"))
+                .child_index(k);
+            let nonce = self.nonce();
+            self.send(ctx, GPacket::Interest(Interest::new(name, nonce)));
+        }
+    }
+
+    fn finish_if_done(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let done = self
+            .fetch
+            .as_ref()
+            .is_some_and(|st| st.per_cd.values().all(CdFetch::done) && st.outstanding == 0);
+        if !done {
+            return;
+        }
+        let st = self.fetch.take().expect("fetch present");
+        // Cyclic mode: leave the groups now that the snapshot is complete.
+        if self.mode == SnapshotMode::CyclicMulticast {
+            for cd in st.per_cd.keys() {
+                self.send(
+                    ctx,
+                    GPacket::Copss(CopssPacket::Unsubscribe {
+                        cds: vec![snapcast_ns().join(cd)],
+                        rp: None,
+                    }),
+                );
+                let name = snapcastctl_ns()
+                    .join(cd)
+                    .child(Component::new("leave").expect("valid"));
+                let nonce = self.nonce();
+                self.send(ctx, GPacket::Interest(Interest::new(name, nonce)));
+            }
+        }
+        let now = ctx.now();
+        let online_join = self.fetch_is_join;
+        self.fetch_is_join = false;
+        ctx.world().convergence.push(ConvergenceRecord {
+            player: self.player,
+            move_type: st.move_type,
+            leaf_cds: st.per_cd.len(),
+            convergence: now.saturating_duration_since(st.started),
+            bytes: st.bytes,
+            online_join,
+        });
+    }
+
+    fn come_online(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let cds = self.map.subscription_cds(self.area);
+        self.send(ctx, GPacket::Copss(CopssPacket::Subscribe { cds, rp: None }));
+        self.schedule_publish(ctx);
+        self.schedule_move(ctx);
+        // A joining player has no prior view: fetch every visible leaf CD
+        // (classified as the broadest movement type for reporting).
+        let visible = self.map.visible_leaf_cds(self.area);
+        ctx.world().bump("online-joins");
+        self.start_fetch(ctx, gcopss_game::MoveType::RegionToWorld, &visible, true);
+    }
+
+    fn on_snapshot_data(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, d: &Data) {
+        let comps = d.name.components();
+        if comps.first().map(Component::as_str) != Some("snapshot") {
+            return;
+        }
+        let Some(st) = self.fetch.as_mut() else {
+            return;
+        };
+        if comps.last().map(Component::as_str) == Some("meta") {
+            let cd = Name::from_components(comps[1..comps.len() - 1].iter().cloned());
+            st.bytes += d.payload.len() as u64;
+            st.outstanding = st.outstanding.saturating_sub(1);
+            let total = d
+                .payload
+                .get(..4)
+                .map_or(0, |b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+            if let Some(CdFetch::Qr { total: t, .. }) = st.per_cd.get_mut(&cd) {
+                if t.is_none() {
+                    *t = Some(total);
+                    for k in 0..total {
+                        st.queue.push_back((cd.clone(), k));
+                    }
+                }
+            }
+        } else if comps.len() >= 3 && comps[comps.len() - 2].as_str() == "obj" {
+            let cd = Name::from_components(comps[1..comps.len() - 2].iter().cloned());
+            st.bytes += d.payload.len() as u64;
+            st.outstanding = st.outstanding.saturating_sub(1);
+            if let Some(CdFetch::Qr { received, .. }) = st.per_cd.get_mut(&cd) {
+                *received += 1;
+            }
+        }
+        self.refill_qr_window(ctx);
+        self.finish_if_done(ctx);
+    }
+
+    fn on_snapcast(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, m: &MulticastPacket) {
+        let comps = m.cd.name().components();
+        let cd = Name::from_components(comps[1..].iter().cloned());
+        let Some(st) = self.fetch.as_mut() else {
+            return;
+        };
+        let Some(CdFetch::Cyclic { total, received }) = st.per_cd.get_mut(&cd) else {
+            return;
+        };
+        let k = m
+            .payload
+            .get(..4)
+            .map_or(0, |b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+        let t = m
+            .payload
+            .get(4..8)
+            .map_or(0, |b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+        if total.is_none() {
+            *total = Some(t);
+        }
+        if received.insert(k) {
+            st.bytes += m.payload.len() as u64;
+        }
+        self.finish_if_done(ctx);
+    }
+
+    fn publish(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let Some((id, e)) = self.cursor.pop() else {
+            return;
+        };
+        let (cd, size) = (e.cd.clone(), e.size);
+        let now = ctx.now();
+        ctx.world().metrics.publish(id, self.player, now);
+        self.dedup.insert(id);
+        let m = MulticastPacket::new(Cd::new(cd), payload_of(size as usize), id);
+        self.send(ctx, GPacket::Copss(CopssPacket::Multicast(m)));
+        self.schedule_publish(ctx);
+    }
+}
+
+impl NodeBehavior<GPacket, GameWorld> for MovingPlayerClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        if let Some(at) = self.online_at {
+            // Offline: stay silent until the join instant.
+            ctx.schedule(at.saturating_duration_since(ctx.now()), TIMER_ONLINE);
+            return;
+        }
+        let cds = self.map.subscription_cds(self.area);
+        self.send(ctx, GPacket::Copss(CopssPacket::Subscribe { cds, rp: None }));
+        self.schedule_publish(ctx);
+        self.schedule_move(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, key: u64) {
+        match key {
+            TIMER_PUBLISH => self.publish(ctx),
+            TIMER_MOVE => self.begin_move(ctx),
+            TIMER_ONLINE => self.come_online(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut Ctx<'_, GPacket, GameWorld>,
+        _from: Option<NodeId>,
+        pkt: GPacket,
+    ) {
+        match pkt {
+            GPacket::Copss(CopssPacket::Multicast(m)) => {
+                if !self.dedup.insert(m.id) {
+                    ctx.world().bump("client-duplicate-dropped");
+                    return;
+                }
+                if m.cd.name().get(0).map(Component::as_str) == Some("snapcast") {
+                    self.on_snapcast(ctx, &m);
+                } else {
+                    let now = ctx.now();
+                    ctx.world().record_delivery(m.id, self.player, now);
+                }
+            }
+            GPacket::Data(d) => self.on_snapshot_data(ctx, &d),
+            _ => {}
+        }
+    }
+
+    fn service_time(&self, _pkt: &GPacket) -> SimDuration {
+        SimDuration::ZERO
+    }
+}
+
+/// Round-robin partition of the map's leaf CDs across `broker_count`
+/// brokers (the paper's movement experiment uses 3 brokers).
+#[must_use]
+pub fn partition_cds_to_brokers(map: &GameMap, broker_count: usize) -> Vec<Vec<Name>> {
+    let mut out = vec![Vec::new(); broker_count.max(1)];
+    for (i, cd) in map.leaf_cds().iter().enumerate() {
+        out[i % broker_count.max(1)].push(cd.clone());
+    }
+    out
+}
+
+/// The extra RP-table prefixes a movement scenario needs: the whole
+/// `/snapcast` namespace, anchored at one RP.
+#[must_use]
+pub fn snapcast_rp_prefixes() -> Vec<Name> {
+    vec![snapcast_ns()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcopss_game::{ObjectModelParams, PlayerPopulation};
+
+    #[test]
+    fn broker_partition_covers_map() {
+        let map = GameMap::paper_map();
+        let serving = partition_cds_to_brokers(&map, 3);
+        let total: usize = serving.iter().map(Vec::len).sum();
+        assert_eq!(total, 31);
+        assert_eq!(serving.len(), 3);
+        // Disjoint.
+        let mut seen = std::collections::BTreeSet::new();
+        for cds in &serving {
+            for cd in cds {
+                assert!(seen.insert(cd.clone()));
+            }
+        }
+        let _ = PlayerPopulation::uniform_per_area(&map, 1);
+    }
+
+    #[test]
+    fn snapshot_name_parsing() {
+        let map = GameMap::paper_map();
+        let objects = ObjectModel::generate(1, &map, &ObjectModelParams::default());
+        let trace = Arc::new(Vec::new());
+        let broker = SnapshotBroker::new(
+            SimParams::default(),
+            NodeId(0),
+            vec![Name::parse_lit("/1/2"), Name::parse_lit("/1/0")],
+            objects,
+            trace,
+        );
+        assert_eq!(
+            broker.parse_snapshot_name(&Name::parse_lit("/snapshot/1/2/meta")),
+            Some((0, SnapshotRequest::Meta))
+        );
+        assert_eq!(
+            broker.parse_snapshot_name(&Name::parse_lit("/snapshot/1/0/obj/17")),
+            Some((1, SnapshotRequest::Object(17)))
+        );
+        assert_eq!(
+            broker.parse_snapshot_name(&Name::parse_lit("/snapshot/9/9/meta")),
+            None
+        );
+        assert_eq!(
+            broker.parse_ctl_name(&Name::parse_lit("/snapcastctl/1/2/join")),
+            Some((0, true))
+        );
+        assert_eq!(
+            broker.parse_ctl_name(&Name::parse_lit("/snapcastctl/1/2/leave")),
+            Some((0, false))
+        );
+        assert_eq!(
+            broker.parse_ctl_name(&Name::parse_lit("/snapcastctl/1/2/bogus")),
+            None
+        );
+    }
+
+    #[test]
+    fn fib_prefixes_cover_both_namespaces() {
+        let serving = vec![Name::parse_lit("/1/2")];
+        let p = SnapshotBroker::fib_prefixes(&serving);
+        assert!(p.contains(&Name::parse_lit("/snapshot/1/2")));
+        assert!(p.contains(&Name::parse_lit("/snapcastctl/1/2")));
+    }
+}

@@ -1,0 +1,245 @@
+//! The G-COPSS game client (player host) behavior.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+
+use gcopss_copss::{CopssPacket, MulticastPacket};
+use gcopss_game::trace::TraceEvent;
+use gcopss_game::{AreaId, GameMap, PlayerId};
+use gcopss_names::Cd;
+use gcopss_sim::{Ctx, NodeBehavior, NodeId, SimDuration, SimTime};
+
+use crate::{payload_of, GPacket, GameWorld};
+
+/// A bounded duplicate-suppression window, used by receivers to drop the
+/// duplicate deliveries that can occur while both the old and the new RP
+/// tree are live during a split (§IV-B guarantees no *loss*; duplicates are
+/// the receivers' job).
+#[derive(Debug, Default)]
+pub struct DedupWindow {
+    seen: HashSet<u64>,
+    order: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl DedupWindow {
+    /// Creates a window remembering the last `capacity` ids.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            seen: HashSet::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Records `id`; returns `true` if it was not seen recently (i.e. the
+    /// packet should be processed).
+    pub fn insert(&mut self, id: u64) -> bool {
+        if self.capacity == 0 {
+            return true;
+        }
+        if !self.seen.insert(id) {
+            return false;
+        }
+        self.order.push_back(id);
+        if self.order.len() > self.capacity {
+            let old = self.order.pop_front().expect("non-empty");
+            self.seen.remove(&old);
+        }
+        true
+    }
+}
+
+/// A client's view into the shared trace: the whole trace is kept once
+/// (`Arc`), each client walks its own event indices. The publication id of
+/// an event is its global index in the trace.
+#[derive(Debug, Clone)]
+pub struct TraceCursor {
+    trace: Arc<Vec<TraceEvent>>,
+    indices: Vec<u32>,
+    next: usize,
+    /// Offset added to all trace times (lets subscriptions settle first).
+    warmup: SimDuration,
+}
+
+impl TraceCursor {
+    /// Creates a cursor over `player`'s events in `trace`.
+    #[must_use]
+    pub fn for_player(
+        trace: Arc<Vec<TraceEvent>>,
+        player: PlayerId,
+        warmup: SimDuration,
+    ) -> Self {
+        let indices = trace
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.player == player)
+            .map(|(i, _)| u32::try_from(i).expect("trace fits in u32 indices"))
+            .collect();
+        Self {
+            trace,
+            indices,
+            next: 0,
+            warmup,
+        }
+    }
+
+    /// Absolute publish time of the next event, if any.
+    #[must_use]
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.indices.get(self.next).map(|&i| {
+            SimTime::from_nanos(self.trace[i as usize].time_ns) + self.warmup
+        })
+    }
+
+    /// Pops the next event, returning `(publication id, event)`.
+    pub fn pop(&mut self) -> Option<(u64, &TraceEvent)> {
+        let &i = self.indices.get(self.next)?;
+        self.next += 1;
+        Some((u64::from(i), &self.trace[i as usize]))
+    }
+
+    /// Remaining events.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.indices.len() - self.next
+    }
+}
+
+/// The G-COPSS player client: subscribes according to its map position at
+/// start-up, publishes its trace slice, and records delivery latencies of
+/// everything it receives.
+pub struct GamePlayerClient {
+    player: PlayerId,
+    edge: NodeId,
+    area: AreaId,
+    map: Arc<GameMap>,
+    cursor: TraceCursor,
+    dedup: DedupWindow,
+}
+
+impl GamePlayerClient {
+    /// Creates a client attached to edge router `edge`, located at `area`.
+    #[must_use]
+    pub fn new(
+        player: PlayerId,
+        edge: NodeId,
+        area: AreaId,
+        map: Arc<GameMap>,
+        cursor: TraceCursor,
+    ) -> Self {
+        Self {
+            player,
+            edge,
+            area,
+            map,
+            cursor,
+            dedup: DedupWindow::new(1024),
+        }
+    }
+
+    fn schedule_next(&self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        if let Some(at) = self.cursor.next_time() {
+            ctx.schedule(at.saturating_duration_since(ctx.now()), 0);
+        }
+    }
+
+    fn publish(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let Some((id, e)) = self.cursor.pop() else {
+            return;
+        };
+        let (cd, size) = (e.cd.clone(), e.size);
+        let now = ctx.now();
+        ctx.world().metrics.publish(id, self.player, now);
+        // Don't wait for our own copy to come back.
+        self.dedup.insert(id);
+        let m = MulticastPacket::new(Cd::new(cd), payload_of(size as usize), id);
+        let g = GPacket::Copss(CopssPacket::Multicast(m));
+        let wire = g.wire_size();
+        ctx.send(self.edge, g, wire);
+        self.schedule_next(ctx);
+    }
+}
+
+impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let cds = self.map.subscription_cds(self.area);
+        let g = GPacket::Copss(CopssPacket::Subscribe { cds, rp: None });
+        let size = g.wire_size();
+        ctx.send(self.edge, g, size);
+        self.schedule_next(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, _key: u64) {
+        self.publish(ctx);
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut Ctx<'_, GPacket, GameWorld>,
+        _from: Option<NodeId>,
+        pkt: GPacket,
+    ) {
+        if let GPacket::Copss(CopssPacket::Multicast(m)) = pkt {
+            if self.dedup.insert(m.id) {
+                let now = ctx.now();
+                ctx.world().record_delivery(m.id, self.player, now);
+            } else {
+                ctx.world().bump("client-duplicate-dropped");
+            }
+        }
+    }
+
+    fn service_time(&self, _pkt: &GPacket) -> SimDuration {
+        SimDuration::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcopss_names::Name;
+
+    #[test]
+    fn dedup_window_basics() {
+        let mut d = DedupWindow::new(2);
+        assert!(d.insert(1));
+        assert!(!d.insert(1));
+        assert!(d.insert(2));
+        assert!(d.insert(3)); // evicts 1
+        assert!(d.insert(1), "evicted id accepted again");
+    }
+
+    #[test]
+    fn zero_capacity_accepts_everything() {
+        let mut d = DedupWindow::new(0);
+        assert!(d.insert(7));
+        assert!(d.insert(7));
+    }
+
+    #[test]
+    fn cursor_walks_only_own_events() {
+        let mk = |t: u64, p: u32| TraceEvent {
+            time_ns: t,
+            player: PlayerId(p),
+            cd: Name::parse_lit("/1/1"),
+            object: gcopss_game::ObjectId(0),
+            size: 100,
+        };
+        let trace = Arc::new(vec![mk(10, 0), mk(20, 1), mk(30, 0)]);
+        let mut c = TraceCursor::for_player(trace, PlayerId(0), SimDuration::from_millis(1));
+        assert_eq!(c.remaining(), 2);
+        assert_eq!(
+            c.next_time(),
+            Some(SimTime::from_nanos(10) + SimDuration::from_millis(1))
+        );
+        let (id, e) = c.pop().unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(e.time_ns, 10);
+        let (id, e) = c.pop().unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(e.time_ns, 30);
+        assert!(c.pop().is_none());
+    }
+}

@@ -1,0 +1,121 @@
+//! Table II: the whole event trace on IP (6 servers), G-COPSS (6 RPs) and
+//! hybrid-G-COPSS (6 IP multicast groups), when there is no congestion.
+
+use crate::scenario::{build_hybrid, HybridConfig, NetworkSpec};
+use crate::MetricsMode;
+
+use super::rp_sweep::{run_gcopss_once, run_ip_once, summarize};
+use super::{RunSummary, Workload, WorkloadParams};
+
+/// Configuration of the Table II run.
+#[derive(Debug, Clone)]
+pub struct FullTraceConfig {
+    /// Workload; the paper uses the full 1,686,905-update trace — set
+    /// `updates` accordingly, or smaller for quick runs.
+    pub workload: WorkloadParams,
+    /// Topology seed.
+    pub net_seed: u64,
+    /// RPs / servers / IP multicast groups (paper: 6 of each).
+    pub cores: usize,
+}
+
+impl Default for FullTraceConfig {
+    fn default() -> Self {
+        Self {
+            workload: WorkloadParams {
+                updates: 1_686_905,
+                ..WorkloadParams::default()
+            },
+            net_seed: 7,
+            cores: 6,
+        }
+    }
+}
+
+/// Table II output: one row per system.
+#[derive(Debug, Clone)]
+pub struct FullTraceOutput {
+    /// `IP Server` row.
+    pub ip: RunSummary,
+    /// `G-COPSS` row.
+    pub gcopss: RunSummary,
+    /// `hybrid-G-COPSS` row.
+    pub hybrid: RunSummary,
+}
+
+/// Runs the three systems over the same workload.
+#[must_use]
+pub fn run(cfg: &FullTraceConfig) -> FullTraceOutput {
+    let w = Workload::counter_strike(&cfg.workload);
+    let net = NetworkSpec::default_backbone(cfg.net_seed);
+
+    let (world, bytes) = run_ip_once(&w, &net, cfg.cores, MetricsMode::StatsOnly);
+    let ip = summarize(format!("IP server x{}", cfg.cores), &world, bytes);
+
+    let (world, bytes) = run_gcopss_once(&w, &net, cfg.cores, None, MetricsMode::StatsOnly);
+    let gcopss = summarize(format!("G-COPSS {} RPs", cfg.cores), &world, bytes);
+
+    let hybrid = {
+        let c = HybridConfig {
+            metrics_mode: MetricsMode::StatsOnly,
+            group_count: cfg.cores as u32,
+            ..HybridConfig::default()
+        };
+        let mut built = build_hybrid(c, &net, &w.map, &w.population, &w.trace);
+        built.sim.run();
+        let bytes = built.sim.total_link_bytes();
+        summarize(
+            format!("hybrid-G-COPSS {} groups", cfg.cores),
+            &built.sim.into_world(),
+            bytes,
+        )
+    };
+
+    FullTraceOutput { ip, gcopss, hybrid }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Miniature Table II: the paper's two orderings must hold —
+    /// latency: hybrid ≤ G-COPSS < IP; load: G-COPSS < hybrid < IP.
+    #[test]
+    fn mini_full_trace_orderings() {
+        let cfg = FullTraceConfig {
+            workload: WorkloadParams {
+                updates: 6_000,
+                players: 150,
+                ..WorkloadParams::default()
+            },
+            ..FullTraceConfig::default()
+        };
+        let out = run(&cfg);
+        // Latency: hybrid best (fast IP core, no RP detour), IP worst.
+        assert!(
+            out.hybrid.mean_latency <= out.gcopss.mean_latency,
+            "hybrid {} vs gcopss {}",
+            out.hybrid.mean_latency,
+            out.gcopss.mean_latency
+        );
+        assert!(
+            out.gcopss.mean_latency < out.ip.mean_latency,
+            "gcopss {} vs ip {}",
+            out.gcopss.mean_latency,
+            out.ip.mean_latency
+        );
+        // Network load: G-COPSS least, hybrid in between, IP most.
+        assert!(
+            out.gcopss.network_bytes < out.hybrid.network_bytes,
+            "gcopss {} vs hybrid {}",
+            out.gcopss.network_bytes,
+            out.hybrid.network_bytes
+        );
+        assert!(
+            out.hybrid.network_bytes < out.ip.network_bytes,
+            "hybrid {} vs ip {}",
+            out.hybrid.network_bytes,
+            out.ip.network_bytes
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Fig. 4: microbenchmark latency CDFs of G-COPSS, the NDN baseline, and
+//! the IP server, on the 6-router testbed with 62 players.
+
+use gcopss_sim::{SimDuration, SimTime};
+
+use crate::ndn_baseline::NdnClientConfig;
+use crate::scenario::{
+    build_gcopss, build_ip_server, build_ndn_baseline, GcopssConfig, IpConfig, NdnBaselineConfig,
+    NetworkSpec,
+};
+use crate::{MetricsMode, SimParams};
+
+use super::{rp_sweep::summarize, RunSummary, Workload};
+
+/// Configuration of the microbenchmark (paper defaults: 1 minute, 12,440
+/// events; scale `duration` down for quick runs).
+#[derive(Debug, Clone)]
+pub struct MicrobenchConfig {
+    /// Workload seed.
+    pub seed: u64,
+    /// Trace duration (paper: 60 s).
+    pub duration: SimDuration,
+    /// NDN baseline pipelining window (paper: 3).
+    pub ndn_window: u32,
+    /// NDN baseline accumulation interval `t`.
+    pub ndn_accum: SimDuration,
+    /// CDF resolution.
+    pub cdf_points: usize,
+}
+
+impl Default for MicrobenchConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            duration: SimDuration::from_secs(60),
+            ndn_window: 3,
+            ndn_accum: SimDuration::from_millis(100),
+            cdf_points: 100,
+        }
+    }
+}
+
+/// One system's microbenchmark result.
+#[derive(Debug, Clone)]
+pub struct SystemResult {
+    /// Table row.
+    pub summary: RunSummary,
+    /// Latency CDF `(ms, cumulative fraction)`.
+    pub cdf: Vec<(f64, f64)>,
+    /// Fraction of deliveries above 55 ms (the paper's tail remark).
+    pub frac_over_55ms: f64,
+}
+
+/// The full Fig. 4 output.
+#[derive(Debug, Clone)]
+pub struct MicrobenchOutput {
+    /// G-COPSS on the testbed (1 RP at R1).
+    pub gcopss: SystemResult,
+    /// The IP server baseline (1 server at R1).
+    pub ip: SystemResult,
+    /// The VoCCN-style NDN baseline.
+    pub ndn: SystemResult,
+}
+
+fn system_result(label: &str, mut world: crate::GameWorld, bytes: u64, points: usize) -> SystemResult {
+    let summary = summarize(label.to_string(), &world, bytes);
+    let over = 1.0
+        - world
+            .metrics
+            .samples_mut()
+            .fraction_at_most(SimDuration::from_millis(55));
+    let cdf = world
+        .metrics
+        .samples_mut()
+        .cdf(points)
+        .into_iter()
+        .map(|(d, f)| (d.as_millis_f64(), f))
+        .collect();
+    SystemResult {
+        summary,
+        cdf,
+        frac_over_55ms: over,
+    }
+}
+
+/// Runs all three systems on the testbed and returns their CDFs.
+#[must_use]
+pub fn run(cfg: &MicrobenchConfig) -> MicrobenchOutput {
+    let w = Workload::microbenchmark(cfg.seed, cfg.duration);
+    let net = NetworkSpec::Testbed;
+
+    // G-COPSS: RP at R1 (one RP, as in the paper's testbed).
+    let gcopss = {
+        let c = GcopssConfig {
+            params: SimParams::microbenchmark(),
+            metrics_mode: MetricsMode::Full,
+            rp_count: 1,
+            ..GcopssConfig::default()
+        };
+        let mut built = build_gcopss(c, &net, &w.map, &w.population, &w.trace, vec![]);
+        built.sim.run();
+        let bytes = built.sim.total_link_bytes();
+        system_result("G-COPSS", built.sim.into_world(), bytes, cfg.cdf_points)
+    };
+
+    // IP server at R1.
+    let ip = {
+        let c = IpConfig {
+            params: SimParams::microbenchmark(),
+            metrics_mode: MetricsMode::Full,
+            server_count: 1,
+            ..IpConfig::default()
+        };
+        let mut built = build_ip_server(c, &net, &w.map, &w.population, &w.trace);
+        built.sim.run();
+        let bytes = built.sim.total_link_bytes();
+        system_result("IP server", built.sim.into_world(), bytes, cfg.cdf_points)
+    };
+
+    // NDN baseline: bounded horizon because consumers poll forever.
+    let ndn = {
+        let c = NdnBaselineConfig {
+            params: SimParams::microbenchmark(),
+            metrics_mode: MetricsMode::Full,
+            client: NdnClientConfig {
+                window: cfg.ndn_window,
+                accum_interval: cfg.ndn_accum,
+                ..NdnClientConfig::default()
+            },
+            ..NdnBaselineConfig::default()
+        };
+        let warmup = c.warmup;
+        let mut built = build_ndn_baseline(c, &net, &w.map, &w.population, &w.trace);
+        let horizon = SimTime::ZERO + warmup + cfg.duration + SimDuration::from_secs(120);
+        built.sim.run_until(horizon);
+        let bytes = built.sim.total_link_bytes();
+        system_result("NDN", built.sim.into_world(), bytes, cfg.cdf_points)
+    };
+
+    MicrobenchOutput { gcopss, ip, ndn }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Miniature Fig. 4: the qualitative ordering must hold.
+    #[test]
+    fn mini_microbench_ordering() {
+        let cfg = MicrobenchConfig {
+            duration: SimDuration::from_secs(4),
+            ..MicrobenchConfig::default()
+        };
+        let out = run(&cfg);
+        let g = out.gcopss.summary.mean_latency;
+        let i = out.ip.summary.mean_latency;
+        let n = out.ndn.summary.mean_latency;
+        assert!(g < i, "G-COPSS ({g}) must beat IP ({i})");
+        assert!(i < n, "IP ({i}) must beat NDN ({n})");
+        // Queueing at the melted-down NDN routers builds with trace length;
+        // even this short run must show an order of magnitude vs G-COPSS.
+        assert!(n > g * 10, "NDN should melt down ({n} vs G-COPSS {g})");
+        // CDFs are monotone and end at 1.0.
+        for s in [&out.gcopss, &out.ip, &out.ndn] {
+            assert!(!s.cdf.is_empty(), "{}", s.summary.label);
+            assert!((s.cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        }
+        // G-COPSS delivered everything it should.
+        assert!(out.gcopss.summary.delivered > 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Experiment drivers: one per table/figure of the paper's §V.
+//!
+//! Every driver is a pure function from a (scalable) configuration to
+//! structured results; the `gcopss-bench` binaries print them in the
+//! paper's row/series format. All drivers are deterministic given their
+//! seeds.
+//!
+//! | Paper artifact | Driver |
+//! |---|---|
+//! | Fig. 3c/3d (trace characterization) | [`trace_stats`] |
+//! | Fig. 4 (microbenchmark latency CDFs) | [`microbench`] |
+//! | Table I + Fig. 5 (RPs vs servers, congestion, auto-balancing) | [`rp_sweep`] |
+//! | Fig. 6 (scalability in #players) | [`player_sweep`] |
+//! | Table II (full trace: IP vs G-COPSS vs hybrid) | [`full_trace`] |
+//! | Table III (player movement, QR vs cyclic multicast) | [`movement`] |
+//! | Design-choice sweeps (groups, thresholds, windows) | [`ablation`] |
+
+pub mod ablation;
+pub mod full_trace;
+pub mod microbench;
+pub mod movement;
+pub mod player_sweep;
+pub mod rp_sweep;
+pub mod trace_stats;
+
+use std::sync::Arc;
+
+use gcopss_game::trace::{CsTraceGenerator, CsTraceParams, TraceEvent};
+use gcopss_game::{GameMap, ObjectModel, ObjectModelParams, PlayerPopulation};
+use gcopss_sim::SimDuration;
+
+/// Workload shared by the large-scale experiments (§V-B): the paper's map,
+/// a 414-player population and a synthetic Counter-Strike trace.
+pub struct Workload {
+    /// The 5×5 hierarchical map.
+    pub map: Arc<GameMap>,
+    /// The object placement (for brokers and statistics).
+    pub objects: ObjectModel,
+    /// Player placement.
+    pub population: PlayerPopulation,
+    /// The shared trace.
+    pub trace: Arc<Vec<TraceEvent>>,
+}
+
+/// Parameters of [`Workload::counter_strike`].
+#[derive(Debug, Clone)]
+pub struct WorkloadParams {
+    /// Master seed.
+    pub seed: u64,
+    /// Number of players (paper: 414).
+    pub players: usize,
+    /// Number of update events to generate.
+    pub updates: usize,
+    /// Network-wide mean inter-arrival (paper: ≈2.4 ms at peak).
+    pub mean_interarrival: SimDuration,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            players: 414,
+            updates: 100_000,
+            mean_interarrival: SimDuration::from_micros(2_400),
+        }
+    }
+}
+
+impl Workload {
+    /// Builds the §V-B workload: 414 players (4–20 per area), heavy-tailed
+    /// per-player update rates, objects 80–120 per area.
+    #[must_use]
+    pub fn counter_strike(p: &WorkloadParams) -> Self {
+        let map = Arc::new(GameMap::paper_map());
+        let objects = ObjectModel::generate(p.seed ^ 0x0b, &map, &ObjectModelParams::default());
+        let population =
+            PlayerPopulation::random_per_area(p.seed ^ 0x17, &map, (4, 20)).resize(p.players);
+        let gen = CsTraceGenerator::new(
+            p.seed ^ 0x23,
+            &population,
+            CsTraceParams {
+                total_updates: p.updates,
+                mean_interarrival_ns: p.mean_interarrival.as_nanos(),
+                ..CsTraceParams::default()
+            },
+        );
+        let trace = Arc::new(gen.generate(p.seed ^ 0x31, &map, &objects, &population));
+        Self {
+            map,
+            objects,
+            population,
+            trace,
+        }
+    }
+
+    /// Builds the §V-A microbenchmark workload: 62 players (2 per area),
+    /// `duration` of publishing at 100–500 ms intervals.
+    #[must_use]
+    pub fn microbenchmark(seed: u64, duration: SimDuration) -> Self {
+        use gcopss_game::trace::{microbenchmark_trace, MicrobenchParams};
+        let map = Arc::new(GameMap::paper_map());
+        let objects = ObjectModel::generate(seed ^ 0x0b, &map, &ObjectModelParams::default());
+        let population = PlayerPopulation::uniform_per_area(&map, 2);
+        let trace = Arc::new(microbenchmark_trace(
+            seed ^ 0x23,
+            &map,
+            &objects,
+            &population,
+            &MicrobenchParams {
+                duration_ns: duration.as_nanos(),
+                ..MicrobenchParams::default()
+            },
+        ));
+        Self {
+            map,
+            objects,
+            population,
+            trace,
+        }
+    }
+}
+
+/// Summary of one system run: the quantities the paper tabulates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Row label (system + configuration).
+    pub label: String,
+    /// Updates published.
+    pub published: u64,
+    /// Deliveries recorded (excluding self-deliveries).
+    pub delivered: u64,
+    /// Mean end-to-end update latency.
+    pub mean_latency: SimDuration,
+    /// Largest observed latency.
+    pub max_latency: SimDuration,
+    /// Aggregate network load in bytes (sum over all links).
+    pub network_bytes: u64,
+}
+
+impl RunSummary {
+    /// Network load in the paper's GB unit.
+    #[must_use]
+    pub fn network_gb(&self) -> f64 {
+        self.network_bytes as f64 / 1e9
+    }
+
+    /// One formatted table row: `label  latency_ms  load_gb`.
+    #[must_use]
+    pub fn row(&self) -> String {
+        format!(
+            "{:<28} {:>14.2} {:>12.3}",
+            self.label,
+            self.mean_latency.as_millis_f64(),
+            self.network_gb()
+        )
+    }
+}

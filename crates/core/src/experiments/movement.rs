@@ -1,0 +1,335 @@
+//! Table III: snapshot convergence time for moving players, comparing the
+//! query/response (QR, windows 5 and 15) and cyclic-multicast dissemination
+//! modes, with 3 brokers.
+
+use std::sync::Arc;
+
+use gcopss_game::{MoveType, MovementModel, MovementParams};
+use gcopss_names::Name;
+use gcopss_sim::{SimDuration, SimTime};
+
+use crate::broker::{partition_cds_to_brokers, MovingPlayerClient, SnapshotBroker, SnapshotMode};
+use crate::scenario::{build_gcopss_custom, ClientFactory, ExtraHost, GcopssConfig, NetworkSpec};
+use crate::{MetricsMode, SimParams};
+
+use super::{Workload, WorkloadParams};
+
+/// Configuration of the movement experiment.
+#[derive(Debug, Clone)]
+pub struct MovementConfig {
+    /// The update workload running underneath the movements.
+    pub workload: WorkloadParams,
+    /// Topology seed.
+    pub net_seed: u64,
+    /// RPs for the update plane (paper: 3).
+    pub rp_count: usize,
+    /// Snapshot brokers (paper: 3).
+    pub broker_count: usize,
+    /// Per-player interval between moves. The paper uses 5–35 min over a
+    /// 7-hour trace; scale this with the trace length so every run sees
+    /// enough moves.
+    pub move_interval: (SimDuration, SimDuration),
+    /// How many players execute movement schedules (the rest stay put).
+    /// Scaled-down traces must also scale the *move rate* — the paper's
+    /// 414 movers over 7 hours average ≈0.35 moves/s network-wide; pushing
+    /// all 414 through a 40 s trace would melt the brokers' access links
+    /// instead of measuring dissemination.
+    pub mover_count: usize,
+    /// Pre-apply the whole trace to the brokers' object models so snapshot
+    /// sizes are in the paper's end-of-trace regime (579–1,740 B) from the
+    /// first move.
+    pub prewarm: bool,
+    /// Extra simulated time after the last trace event for fetches to
+    /// finish.
+    pub drain: SimDuration,
+}
+
+impl Default for MovementConfig {
+    fn default() -> Self {
+        Self {
+            workload: WorkloadParams::default(),
+            net_seed: 7,
+            rp_count: 3,
+            broker_count: 3,
+            move_interval: (
+                SimDuration::from_secs(300),
+                SimDuration::from_secs(2_100),
+            ),
+            mover_count: 80,
+            prewarm: true,
+            drain: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// One Table III row: statistics of one movement type under one mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoveTypeRow {
+    /// The movement classification.
+    pub move_type: MoveType,
+    /// Moves of this type observed.
+    pub count: usize,
+    /// Mean number of leaf-CD snapshots downloaded.
+    pub leaf_cds: f64,
+    /// Mean convergence time.
+    pub mean: SimDuration,
+    /// Half-width of the 95% confidence interval.
+    pub ci95: SimDuration,
+    /// Snapshot payload bytes received by the movers (sum).
+    pub bytes: u64,
+}
+
+/// The result of one mode's run.
+#[derive(Debug, Clone)]
+pub struct MovementOutput {
+    /// Mode label (`QR, window = 5` / `Cyclic-Multicast` …).
+    pub label: String,
+    /// Rows in Table III order.
+    pub rows: Vec<MoveTypeRow>,
+    /// Overall convergence mean across all snapshot-requiring moves.
+    pub total_mean: SimDuration,
+    /// Overall 95% CI half-width.
+    pub total_ci95: SimDuration,
+    /// Total moves completed.
+    pub moves: usize,
+    /// Total snapshot payload bytes received by movers.
+    pub snapshot_bytes: u64,
+    /// Aggregate network load of the whole run (updates + snapshots).
+    pub network_bytes: u64,
+    /// Snapshot objects served by brokers (QR responses or cyclic sends).
+    pub broker_served: u64,
+}
+
+fn mean_ci(samples: &[SimDuration]) -> (SimDuration, SimDuration) {
+    if samples.is_empty() {
+        return (SimDuration::ZERO, SimDuration::ZERO);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().map(|d| d.as_secs_f64()).sum::<f64>() / n;
+    let var = samples
+        .iter()
+        .map(|d| (d.as_secs_f64() - mean).powi(2))
+        .sum::<f64>()
+        / n.max(1.0);
+    let ci = 1.96 * (var / n).sqrt();
+    (
+        SimDuration::from_secs_f64(mean),
+        SimDuration::from_secs_f64(ci),
+    )
+}
+
+/// Runs one snapshot mode.
+#[must_use]
+pub fn run_mode(cfg: &MovementConfig, mode: SnapshotMode) -> MovementOutput {
+    let w = Workload::counter_strike(&cfg.workload);
+    let net = NetworkSpec::default_backbone(cfg.net_seed);
+    let trace_span = w.trace.last().map_or(0, |e| e.time_ns);
+
+    // Movement schedule for every player.
+    let model = MovementModel::new(MovementParams {
+        interval_ns: (cfg.move_interval.0.as_nanos(), cfg.move_interval.1.as_nanos()),
+        ..MovementParams::default()
+    });
+    let mut moves = model.generate(cfg.workload.seed ^ 0x77, &w.map, &w.population, trace_span);
+    // Spread the movers across the whole population (player ids are
+    // assigned area by area, so a prefix would bias toward upper layers).
+    let stride = (w.population.len() / cfg.mover_count.max(1)).max(1);
+    moves.retain(|m| m.player.index() % stride == 0);
+
+    // Brokers with (optionally prewarmed) object models.
+    let mut broker_objects = w.objects.clone();
+    if cfg.prewarm {
+        for e in w.trace.iter() {
+            broker_objects.apply_update(e.object, e.size);
+        }
+    }
+    let serving = partition_cds_to_brokers(&w.map, cfg.broker_count);
+    let pool = net.rp_pool_preview();
+    let params = SimParams::default();
+    let mut extra_hosts = Vec::new();
+    let mut extra_rps = Vec::new();
+    for (i, cds) in serving.into_iter().enumerate() {
+        let routes = SnapshotBroker::fib_prefixes(&cds);
+        // Offset past the game-RP placements so brokers get their own
+        // cores, and anchor each broker's /snapcast groups at a dedicated
+        // RP on that same core: bulk snapshot streams never queue behind
+        // the latency-critical game RPs.
+        let attach = pool[(cfg.rp_count + i) % pool.len()];
+        let snapcast_prefixes: Vec<Name> = cds
+            .iter()
+            .map(|cd| crate::broker::snapcast_ns().join(cd))
+            .collect();
+        extra_rps.push((snapcast_prefixes, attach));
+        let objects = broker_objects.clone();
+        let trace = Arc::clone(&w.trace);
+        let p = params.clone();
+        extra_hosts.push(ExtraHost {
+            attach_to: attach,
+            routes,
+            make: Box::new(move |_node, edge| {
+                Box::new(SnapshotBroker::new(p, edge, cds, objects, trace))
+            }),
+        });
+    }
+
+    let gcfg = GcopssConfig {
+        params: params.clone(),
+        metrics_mode: MetricsMode::StatsOnly,
+        rp_count: cfg.rp_count,
+        extra_rps,
+        ..GcopssConfig::default()
+    };
+    let warmup = gcfg.warmup;
+    let map = Arc::clone(&w.map);
+    let pop = &w.population;
+    let moves_ref = &moves;
+    let factory: ClientFactory<'_> = Box::new(move |p, edge, cursor| {
+        let my_moves: Vec<_> = moves_ref
+            .iter()
+            .filter(|m| m.player == p)
+            .cloned()
+            .collect();
+        Box::new(MovingPlayerClient::new(
+            p,
+            edge,
+            pop.area_of(p),
+            Arc::clone(&map),
+            cursor,
+            my_moves,
+            warmup,
+            mode,
+        ))
+    });
+    let mut built = build_gcopss_custom(
+        gcfg,
+        &net,
+        &w.map,
+        &w.population,
+        &w.trace,
+        extra_hosts,
+        factory,
+    );
+    let horizon = SimTime::ZERO + warmup + SimDuration::from_nanos(trace_span) + cfg.drain;
+    built.sim.run_until(horizon);
+    let network_bytes = built.sim.total_link_bytes();
+    let world = built.sim.into_world();
+
+    // Group records by movement type.
+    let mut rows = Vec::new();
+    let mut all = Vec::new();
+    let mut snapshot_bytes = 0u64;
+    for t in MoveType::all() {
+        let recs: Vec<_> = world
+            .convergence
+            .iter()
+            .filter(|r| r.move_type == t && !r.online_join)
+            .collect();
+        let samples: Vec<SimDuration> = recs.iter().map(|r| r.convergence).collect();
+        let bytes: u64 = recs.iter().map(|r| r.bytes).sum();
+        snapshot_bytes += bytes;
+        // Descending moves converge instantly and are excluded from the
+        // total (the paper's total covers snapshot-requiring moves).
+        if t != MoveType::ToLowerLayer {
+            all.extend(samples.iter().copied());
+        }
+        let (mean, ci95) = mean_ci(&samples);
+        rows.push(MoveTypeRow {
+            move_type: t,
+            count: recs.len(),
+            leaf_cds: if recs.is_empty() {
+                0.0
+            } else {
+                recs.iter().map(|r| r.leaf_cds as f64).sum::<f64>() / recs.len() as f64
+            },
+            mean,
+            ci95,
+            bytes,
+        });
+    }
+    let (total_mean, total_ci95) = mean_ci(&all);
+    let label = match mode {
+        SnapshotMode::QueryResponse { window } => format!("QR, window = {window}"),
+        SnapshotMode::CyclicMulticast => "Cyclic-Multicast".to_string(),
+    };
+    MovementOutput {
+        label,
+        rows,
+        total_mean,
+        total_ci95,
+        moves: world.convergence.len(),
+        snapshot_bytes,
+        network_bytes,
+        broker_served: world.counter("broker-qr-served") + world.counter("broker-cyclic-sent"),
+    }
+}
+
+/// Runs the paper's three modes: QR window 5, QR window 15, cyclic.
+#[must_use]
+pub fn run_all(cfg: &MovementConfig) -> Vec<MovementOutput> {
+    vec![
+        run_mode(cfg, SnapshotMode::QueryResponse { window: 5 }),
+        run_mode(cfg, SnapshotMode::QueryResponse { window: 15 }),
+        run_mode(cfg, SnapshotMode::CyclicMulticast),
+    ]
+}
+
+/// The extra CD namespaces the movement scenario anchors at RP 0.
+#[must_use]
+pub fn extra_namespaces() -> Vec<Name> {
+    crate::broker::snapcast_rp_prefixes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_cfg() -> MovementConfig {
+        MovementConfig {
+            workload: WorkloadParams {
+                updates: 3_000,
+                players: 100,
+                ..WorkloadParams::default()
+            },
+            // Trace spans ~7.2 s; 12 movers, one move each every 2–4 s.
+            move_interval: (SimDuration::from_secs(2), SimDuration::from_secs(4)),
+            mover_count: 12,
+            drain: SimDuration::from_secs(120),
+            ..MovementConfig::default()
+        }
+    }
+
+    #[test]
+    fn qr_mode_completes_moves() {
+        let out = run_mode(&mini_cfg(), SnapshotMode::QueryResponse { window: 15 });
+        assert!(out.moves > 0, "no moves completed");
+        assert!(out.snapshot_bytes > 0);
+        assert!(out.total_mean > SimDuration::ZERO);
+        // Snapshot-requiring rows have positive convergence.
+        let any_fetch = out
+            .rows
+            .iter()
+            .any(|r| r.move_type != MoveType::ToLowerLayer && r.count > 0);
+        assert!(any_fetch);
+    }
+
+    #[test]
+    fn cyclic_mode_completes_moves() {
+        let out = run_mode(&mini_cfg(), SnapshotMode::CyclicMulticast);
+        assert!(out.moves > 0, "no moves completed");
+        assert!(out.snapshot_bytes > 0);
+        assert!(out.total_mean > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn wider_qr_window_is_faster() {
+        let cfg = mini_cfg();
+        let qr5 = run_mode(&cfg, SnapshotMode::QueryResponse { window: 5 });
+        let qr15 = run_mode(&cfg, SnapshotMode::QueryResponse { window: 15 });
+        assert!(
+            qr15.total_mean < qr5.total_mean,
+            "window 15 ({}) should beat window 5 ({})",
+            qr15.total_mean,
+            qr5.total_mean
+        );
+    }
+}

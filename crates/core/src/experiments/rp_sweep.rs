@@ -1,0 +1,245 @@
+//! Table I and Fig. 5: update latency and network load with different
+//! numbers of RPs/servers, congestion timelines, and automatic RP
+//! balancing.
+
+use gcopss_sim::SimDuration;
+
+use crate::scenario::{build_gcopss, build_ip_server, GcopssConfig, IpConfig, NetworkSpec};
+use crate::{GameWorld, MetricsMode, SimParams, SplitRecord};
+
+use super::{RunSummary, Workload, WorkloadParams};
+
+/// Configuration of the RP/server sweep.
+#[derive(Debug, Clone)]
+pub struct RpSweepConfig {
+    /// Workload (Table I uses the first 100,000 trace updates).
+    pub workload: WorkloadParams,
+    /// Topology seed.
+    pub net_seed: u64,
+    /// RP counts for the G-COPSS rows (paper: 1, 2, 3, 6).
+    pub rp_counts: Vec<usize>,
+    /// Include the automatic-balancing row (starts from 1 RP).
+    pub include_auto: bool,
+    /// RP queue-length threshold that triggers a split in the auto row.
+    pub auto_threshold: usize,
+    /// Server counts for the IP rows (paper: 1, 2, 3, 6).
+    pub server_counts: Vec<usize>,
+    /// Capture downsampled per-publication latency series (Fig. 5) for the
+    /// interesting G-COPSS runs (2 RPs, 3 RPs, auto).
+    pub fig5_detail: bool,
+    /// Max points per Fig. 5 series after downsampling.
+    pub fig5_points: usize,
+}
+
+impl Default for RpSweepConfig {
+    fn default() -> Self {
+        Self {
+            workload: WorkloadParams::default(),
+            net_seed: 7,
+            rp_counts: vec![1, 2, 3, 6],
+            include_auto: true,
+            auto_threshold: 50,
+            server_counts: vec![1, 2, 3, 6],
+            fig5_detail: true,
+            fig5_points: 400,
+        }
+    }
+}
+
+/// One Fig. 5 series: per-publication (id, min, mean, max) latency in ms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Series {
+    /// Run label (e.g. `gcopss-2rp`).
+    pub label: String,
+    /// Downsampled `(publication id, min ms, mean ms, max ms)` points.
+    pub points: Vec<(u64, f64, f64, f64)>,
+}
+
+/// The sweep's full output.
+#[derive(Debug, Clone)]
+pub struct RpSweepOutput {
+    /// G-COPSS rows of Table I (one per RP count, plus `auto`).
+    pub gcopss_rows: Vec<RunSummary>,
+    /// IP-server rows of Table I.
+    pub server_rows: Vec<RunSummary>,
+    /// Fig. 5 latency timelines.
+    pub fig5: Vec<Fig5Series>,
+    /// The automatic splits that occurred in the auto run (Fig. 5c shows
+    /// two).
+    pub auto_splits: Vec<SplitRecord>,
+}
+
+pub(crate) fn summarize(label: String, world: &GameWorld, network_bytes: u64) -> RunSummary {
+    RunSummary {
+        label,
+        published: world.metrics.published(),
+        delivered: world.metrics.delivered(),
+        mean_latency: world.metrics.stats().mean(),
+        max_latency: world.metrics.stats().max().unwrap_or(SimDuration::ZERO),
+        network_bytes,
+    }
+}
+
+fn downsample(
+    rows: &[(u64, SimDuration, SimDuration, SimDuration)],
+    max: usize,
+) -> Vec<(u64, f64, f64, f64)> {
+    let step = (rows.len() / max.max(1)).max(1);
+    rows.iter()
+        .step_by(step)
+        .map(|&(id, min, mean, max)| {
+            (
+                id,
+                min.as_millis_f64(),
+                mean.as_millis_f64(),
+                max.as_millis_f64(),
+            )
+        })
+        .collect()
+}
+
+/// Runs one G-COPSS configuration over the workload; returns the world and
+/// total link bytes.
+#[must_use]
+pub fn run_gcopss_once(
+    w: &Workload,
+    net: &NetworkSpec,
+    rp_count: usize,
+    auto_threshold: Option<usize>,
+    mode: MetricsMode,
+) -> (GameWorld, u64) {
+    let mut params = SimParams::default();
+    if let Some(t) = auto_threshold {
+        params = params.with_auto_balancing(t);
+    }
+    let cfg = GcopssConfig {
+        params,
+        metrics_mode: mode,
+        rp_count,
+        ..GcopssConfig::default()
+    };
+    let mut built = build_gcopss(cfg, net, &w.map, &w.population, &w.trace, vec![]);
+    built.sim.run();
+    let bytes = built.sim.total_link_bytes();
+    (built.sim.into_world(), bytes)
+}
+
+/// Runs one IP-server configuration over the workload.
+#[must_use]
+pub fn run_ip_once(
+    w: &Workload,
+    net: &NetworkSpec,
+    server_count: usize,
+    mode: MetricsMode,
+) -> (GameWorld, u64) {
+    let cfg = IpConfig {
+        metrics_mode: mode,
+        server_count,
+        ..IpConfig::default()
+    };
+    let mut built = build_ip_server(cfg, net, &w.map, &w.population, &w.trace);
+    built.sim.run();
+    let bytes = built.sim.total_link_bytes();
+    (built.sim.into_world(), bytes)
+}
+
+/// Runs the full sweep.
+#[must_use]
+pub fn run(cfg: &RpSweepConfig) -> RpSweepOutput {
+    let w = Workload::counter_strike(&cfg.workload);
+    let net = NetworkSpec::default_backbone(cfg.net_seed);
+
+    let mut gcopss_rows = Vec::new();
+    let mut fig5 = Vec::new();
+    for &n in &cfg.rp_counts {
+        let want_detail = cfg.fig5_detail && (n == 2 || n == 3);
+        let mode = if want_detail {
+            MetricsMode::PerPublication
+        } else {
+            MetricsMode::StatsOnly
+        };
+        let (world, bytes) = run_gcopss_once(&w, &net, n, None, mode);
+        gcopss_rows.push(summarize(format!("G-COPSS {n} RP"), &world, bytes));
+        if want_detail {
+            fig5.push(Fig5Series {
+                label: format!("gcopss-{n}rp"),
+                points: downsample(&world.metrics.per_publication_rows(), cfg.fig5_points),
+            });
+        }
+    }
+
+    let mut auto_splits = Vec::new();
+    if cfg.include_auto {
+        let mode = if cfg.fig5_detail {
+            MetricsMode::PerPublication
+        } else {
+            MetricsMode::StatsOnly
+        };
+        let (world, bytes) = run_gcopss_once(&w, &net, 1, Some(cfg.auto_threshold), mode);
+        auto_splits = world.splits.clone();
+        gcopss_rows.push(summarize(
+            format!("G-COPSS auto ({} splits)", world.splits.len()),
+            &world,
+            bytes,
+        ));
+        if cfg.fig5_detail {
+            fig5.push(Fig5Series {
+                label: "gcopss-auto".into(),
+                points: downsample(&world.metrics.per_publication_rows(), cfg.fig5_points),
+            });
+        }
+    }
+
+    let mut server_rows = Vec::new();
+    for &n in &cfg.server_counts {
+        let (world, bytes) = run_ip_once(&w, &net, n, MetricsMode::StatsOnly);
+        server_rows.push(summarize(format!("IP server x{n}"), &world, bytes));
+    }
+
+    RpSweepOutput {
+        gcopss_rows,
+        server_rows,
+        fig5,
+        auto_splits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature Table I: congestion ordering must hold.
+    #[test]
+    fn mini_sweep_shows_congestion_ordering() {
+        let cfg = RpSweepConfig {
+            workload: WorkloadParams {
+                updates: 4_000,
+                players: 120,
+                ..WorkloadParams::default()
+            },
+            rp_counts: vec![1, 3],
+            include_auto: false,
+            server_counts: vec![1],
+            fig5_detail: false,
+            ..RpSweepConfig::default()
+        };
+        let out = run(&cfg);
+        assert_eq!(out.gcopss_rows.len(), 2);
+        assert_eq!(out.server_rows.len(), 1);
+        let rp1 = &out.gcopss_rows[0];
+        let rp3 = &out.gcopss_rows[1];
+        // 1 RP congests under the 2.4 ms inter-arrival (3.3 ms service);
+        // 3 RPs must be far faster.
+        assert!(
+            rp1.mean_latency > rp3.mean_latency * 3,
+            "1 RP {} vs 3 RP {}",
+            rp1.mean_latency,
+            rp3.mean_latency
+        );
+        // All rows delivered something and moved bytes.
+        for r in out.gcopss_rows.iter().chain(&out.server_rows) {
+            assert!(r.delivered > 0, "{}", r.label);
+            assert!(r.network_bytes > 0, "{}", r.label);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Fig. 3c / Fig. 3d: characterization of the synthetic Counter-Strike
+//! trace — updates per player (CDF) and players/objects per area.
+
+use gcopss_game::stats::{per_area_stats, updates_per_player_cdf, AreaStats};
+
+use super::{Workload, WorkloadParams};
+
+/// The trace characterization output.
+#[derive(Debug, Clone)]
+pub struct TraceStatsOutput {
+    /// Fig. 3c: `(updates, cumulative fraction of players)`.
+    pub updates_cdf: Vec<(u64, f64)>,
+    /// Fig. 3d: per-leaf-CD players / objects / updates.
+    pub per_area: Vec<AreaStats>,
+    /// Total updates in the trace.
+    pub total_updates: usize,
+    /// Number of players.
+    pub players: usize,
+    /// Total objects.
+    pub objects: usize,
+}
+
+/// Generates the workload and computes its statistics.
+#[must_use]
+pub fn run(p: &WorkloadParams) -> TraceStatsOutput {
+    let w = Workload::counter_strike(p);
+    TraceStatsOutput {
+        updates_cdf: updates_per_player_cdf(&w.trace, w.population.len()),
+        per_area: per_area_stats(&w.map, &w.objects, &w.population, &w.trace),
+        total_updates: w.trace.len(),
+        players: w.population.len(),
+        objects: w.objects.object_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_match_paper_shape() {
+        let out = run(&WorkloadParams {
+            updates: 30_000,
+            ..WorkloadParams::default()
+        });
+        assert_eq!(out.players, 414);
+        assert_eq!(out.per_area.len(), 31);
+        assert_eq!(out.total_updates, 30_000);
+        // Players per area within the configured 4..=20 (resize may trim
+        // the last area slightly).
+        let total_players: usize = out.per_area.iter().map(|a| a.players).sum();
+        assert_eq!(total_players, 414);
+        // Objects per area 80..=120; total near the paper's 3,197.
+        for a in &out.per_area {
+            assert!((80..=120).contains(&a.objects), "{:?}", a);
+        }
+        assert!((31 * 80..=31 * 120).contains(&out.objects));
+        // The CDF covers all players and ends at 1.
+        assert_eq!(out.updates_cdf.len(), 414);
+        assert!((out.updates_cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        // Heavy tail: the busiest player has far more updates than the
+        // median.
+        let median = out.updates_cdf[207].0;
+        let max = out.updates_cdf.last().unwrap().0;
+        assert!(max > median * 4, "median {median}, max {max}");
+    }
+}

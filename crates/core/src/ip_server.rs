@@ -1,0 +1,277 @@
+//! The IP client/server baseline (§V): players unicast updates to a game
+//! server, which determines the interested players and unicasts a copy to
+//! each.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use gcopss_game::{AreaId, GameMap, PlayerId};
+use gcopss_names::Name;
+use gcopss_sim::{Ctx, NodeBehavior, NodeId, SimDuration};
+
+use crate::client::TraceCursor;
+use crate::{GPacket, GameWorld, IpPacket, IpUpdate, SimParams};
+
+/// Global game knowledge a server needs: which player sits where, and which
+/// players must receive an update to a given leaf CD.
+#[derive(Debug)]
+pub struct Roster {
+    /// Host node of each player.
+    pub player_nodes: Vec<NodeId>,
+    /// Area of each player.
+    pub player_areas: Vec<AreaId>,
+    /// Precomputed: leaf CD → players whose subscriptions match it.
+    viewers: BTreeMap<Name, Vec<PlayerId>>,
+}
+
+impl Roster {
+    /// Builds the roster (and the per-CD viewer lists) from static player
+    /// placements.
+    #[must_use]
+    pub fn new(map: &GameMap, player_nodes: Vec<NodeId>, player_areas: Vec<AreaId>) -> Self {
+        let mut viewers: BTreeMap<Name, Vec<PlayerId>> = BTreeMap::new();
+        for cd in map.leaf_cds() {
+            let area = map.area_of_leaf_cd(cd).expect("leaf CD maps to an area");
+            let list = (0..player_areas.len() as u32)
+                .map(PlayerId)
+                .filter(|p| map.can_see(player_areas[p.index()], area))
+                .collect();
+            viewers.insert(cd.clone(), list);
+        }
+        Self {
+            player_nodes,
+            player_areas,
+            viewers,
+        }
+    }
+
+    /// Players that must receive an update published to `cd`.
+    #[must_use]
+    pub fn viewers_of(&self, cd: &Name) -> &[PlayerId] {
+        self.viewers.get(cd).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of players.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.player_nodes.len()
+    }
+
+    /// Returns `true` if there are no players.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.player_nodes.is_empty()
+    }
+}
+
+/// The game server: receives one update, spends `server_proc` on game
+/// logic, then unicasts a copy to every interested player (paying
+/// `server_per_recipient` of send work each).
+pub struct IpServer {
+    params: SimParams,
+    roster: Arc<Roster>,
+}
+
+impl IpServer {
+    /// Creates a server with shared `roster` knowledge.
+    #[must_use]
+    pub fn new(params: SimParams, roster: Arc<Roster>) -> Self {
+        Self { params, roster }
+    }
+}
+
+impl NodeBehavior<GPacket, GameWorld> for IpServer {
+    fn service_time(&self, pkt: &GPacket) -> SimDuration {
+        match pkt {
+            GPacket::Ip(IpPacket::ToServer { .. }) => self.params.server_proc,
+            _ => self.params.ip_proc,
+        }
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut Ctx<'_, GPacket, GameWorld>,
+        _from: Option<NodeId>,
+        pkt: GPacket,
+    ) {
+        let GPacket::Ip(IpPacket::ToServer { update, .. }) = pkt else {
+            ctx.world().bump("server-unexpected-packet");
+            return;
+        };
+        let publisher = ctx.world().metrics.publisher_of(update.id);
+        let mut recipients = 0u64;
+        for &p in self.roster.viewers_of(&update.cd) {
+            if Some(p) == publisher {
+                continue;
+            }
+            let client = self.roster.player_nodes[p.index()];
+            let g = GPacket::Ip(IpPacket::ToClient {
+                client,
+                update: update.clone(),
+            });
+            let size = g.wire_size();
+            ctx.send_toward(client, g, size);
+            recipients += 1;
+        }
+        ctx.consume(self.params.server_per_recipient.saturating_mul(recipients));
+    }
+}
+
+/// The IP baseline's player host: publishes its trace slice to the server
+/// owning each CD, and records deliveries.
+pub struct IpClient {
+    player: PlayerId,
+    edge: NodeId,
+    /// CD → server node (servers partition the leaf CDs).
+    server_of: Arc<BTreeMap<Name, NodeId>>,
+    cursor: TraceCursor,
+}
+
+impl IpClient {
+    /// Creates a client publishing its trace slice to the servers in
+    /// `server_of`.
+    #[must_use]
+    pub fn new(
+        player: PlayerId,
+        edge: NodeId,
+        server_of: Arc<BTreeMap<Name, NodeId>>,
+        cursor: TraceCursor,
+    ) -> Self {
+        Self {
+            player,
+            edge,
+            server_of,
+            cursor,
+        }
+    }
+
+    fn schedule_next(&self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        if let Some(at) = self.cursor.next_time() {
+            ctx.schedule(at.saturating_duration_since(ctx.now()), 0);
+        }
+    }
+}
+
+impl NodeBehavior<GPacket, GameWorld> for IpClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        self.schedule_next(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, _key: u64) {
+        let Some((id, e)) = self.cursor.pop() else {
+            return;
+        };
+        let (cd, size) = (e.cd.clone(), e.size);
+        let Some(&server) = self.server_of.get(&cd) else {
+            ctx.world().bump("ip-client-no-server");
+            return;
+        };
+        let now = ctx.now();
+        ctx.world().metrics.publish(id, self.player, now);
+        let g = GPacket::Ip(IpPacket::ToServer {
+            server,
+            update: IpUpdate { id, cd, size },
+        });
+        let wire = g.wire_size();
+        ctx.send(self.edge, g, wire);
+        self.schedule_next(ctx);
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut Ctx<'_, GPacket, GameWorld>,
+        _from: Option<NodeId>,
+        pkt: GPacket,
+    ) {
+        if let GPacket::Ip(IpPacket::ToClient { update, .. }) = pkt {
+            let now = ctx.now();
+            ctx.world().record_delivery(update.id, self.player, now);
+        }
+    }
+}
+
+/// Partitions the leaf CDs of `map` across `server_nodes` round-robin by
+/// level-1 prefix (the same scheme RPs use), returning the CD → server
+/// mapping clients publish with.
+#[must_use]
+pub fn partition_cds_to_servers(
+    map: &GameMap,
+    server_nodes: &[NodeId],
+) -> BTreeMap<Name, NodeId> {
+    let mut out = BTreeMap::new();
+    if server_nodes.is_empty() {
+        return out;
+    }
+    // Group leaf CDs by level-1 component for locality, then round-robin.
+    let mut tops: Vec<Name> = map
+        .leaf_cds()
+        .iter()
+        .map(|cd| cd.prefix(1))
+        .collect();
+    tops.sort();
+    tops.dedup();
+    let top_server: BTreeMap<Name, NodeId> = tops
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.clone(), server_nodes[i % server_nodes.len()]))
+        .collect();
+    for cd in map.leaf_cds() {
+        out.insert(cd.clone(), top_server[&cd.prefix(1)]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcopss_game::PlayerPopulation;
+
+    #[test]
+    fn roster_viewers_match_visibility() {
+        let map = GameMap::paper_map();
+        let pop = PlayerPopulation::uniform_per_area(&map, 2);
+        let areas: Vec<AreaId> = pop.players().map(|p| pop.area_of(p)).collect();
+        let nodes: Vec<NodeId> = (0..pop.len() as u32).map(NodeId).collect();
+        let roster = Roster::new(&map, nodes, areas.clone());
+        assert_eq!(roster.len(), 62);
+        // Everyone sees the world layer: /0 has 62 viewers.
+        assert_eq!(roster.viewers_of(&Name::parse_lit("/0")).len(), 62);
+        // A zone is seen by its 2 soldiers + 2 region flyers + 2 satellites.
+        assert_eq!(roster.viewers_of(&Name::parse_lit("/1/2")).len(), 6);
+        for &p in roster.viewers_of(&Name::parse_lit("/1/2")) {
+            let viewer_area = areas[p.index()];
+            let target = map.area_of_leaf_cd(&Name::parse_lit("/1/2")).unwrap();
+            assert!(map.can_see(viewer_area, target));
+        }
+    }
+
+    #[test]
+    fn cd_partition_covers_all_leaf_cds() {
+        let map = GameMap::paper_map();
+        let servers = vec![NodeId(100), NodeId(101), NodeId(102)];
+        let part = partition_cds_to_servers(&map, &servers);
+        assert_eq!(part.len(), 31);
+        for (_, s) in &part {
+            assert!(servers.contains(s));
+        }
+        // All CDs of one region go to one server.
+        assert_eq!(
+            part[&Name::parse_lit("/1/1")],
+            part[&Name::parse_lit("/1/5")]
+        );
+        // With 6 level-1 prefixes and 3 servers, each serves 2.
+        let mut counts: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for cd in map.leaf_cds() {
+            *counts.entry(part[cd]).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 3);
+    }
+
+    #[test]
+    fn single_server_gets_everything() {
+        let map = GameMap::paper_map();
+        let part = partition_cds_to_servers(&map, &[NodeId(7)]);
+        assert!(part.values().all(|n| *n == NodeId(7)));
+        assert!(partition_cds_to_servers(&map, &[]).is_empty());
+    }
+}

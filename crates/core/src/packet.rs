@@ -1,0 +1,219 @@
+//! The unified packet type carried by the simulated network.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use gcopss_copss::{CopssPacket, MulticastPacket, RpId};
+use gcopss_ndn::{Data, Interest};
+use gcopss_sim::NodeId;
+
+/// A shared 4 KiB buffer used to materialize payloads of arbitrary size
+/// without per-packet allocation: `payload_of(n)` is a zero-copy slice.
+static PAYLOAD_POOL: &[u8] = &[0u8; 4096];
+
+/// Returns an `n`-byte payload backed by a shared static buffer (zero-copy,
+/// cheap to clone).
+///
+/// # Panics
+///
+/// Panics if `n > 4096`.
+#[must_use]
+pub fn payload_of(n: usize) -> Bytes {
+    assert!(n <= PAYLOAD_POOL.len(), "payload too large: {n}");
+    Bytes::from_static(&PAYLOAD_POOL[..n])
+}
+
+/// An update delivered by the IP-server baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IpUpdate {
+    /// Publication id (same id space as G-COPSS multicasts).
+    pub id: u64,
+    /// The leaf CD (area) the update pertains to; the server uses it to
+    /// find the interested players.
+    pub cd: gcopss_names::Name,
+    /// Update payload size in bytes.
+    pub size: u32,
+}
+
+impl IpUpdate {
+    /// Wire size: IP header + addresses + payload (the paper's server test
+    /// uses packets with source address, destination address and payload).
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        28 + self.size as usize
+    }
+}
+
+/// Packets of the hybrid-G-COPSS and IP baselines that are routed by
+/// destination node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IpPacket {
+    /// Client → server: a published update.
+    ToServer {
+        /// The destination server.
+        server: NodeId,
+        /// The update.
+        update: IpUpdate,
+    },
+    /// Server → client: a unicast copy of an update.
+    ToClient {
+        /// The destination player host.
+        client: NodeId,
+        /// The update.
+        update: IpUpdate,
+    },
+    /// An IP-multicast packet of hybrid-G-COPSS: forwarded hop-by-hop along
+    /// the union of shortest paths to `dsts`, duplicating only where paths
+    /// diverge (standard multicast tree behavior).
+    Mcast {
+        /// The IP multicast group (hashed from high-level CDs).
+        group: u32,
+        /// Member edge routers still to be reached via this copy.
+        dsts: Arc<Vec<NodeId>>,
+        /// The encapsulated COPSS multicast.
+        inner: MulticastPacket,
+    },
+}
+
+impl IpPacket {
+    /// Wire size for network-load accounting.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Self::ToServer { update, .. } | Self::ToClient { update, .. } => {
+                update.encoded_len()
+            }
+            // Group id + encapsulated multicast; the destination set is
+            // multicast routing state, not wire bytes.
+            Self::Mcast { inner, .. } => 8 + inner.encoded_len(),
+        }
+    }
+}
+
+/// Every packet kind that can traverse the simulated network, across all
+/// evaluated systems (G-COPSS, hybrid, IP server, NDN baseline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GPacket {
+    /// A native COPSS packet (hop-by-hop pub/sub plane).
+    Copss(CopssPacket),
+    /// A COPSS multicast encapsulated toward an RP — on the real wire this
+    /// is an NDN Interest named `/rp/<id>` whose payload is the multicast
+    /// (§III-C); routers forward it with the NDN engine's FIB.
+    ToRp {
+        /// The target RP.
+        rp: RpId,
+        /// The encapsulated publication.
+        inner: MulticastPacket,
+    },
+    /// An NDN Interest (snapshot queries, NDN baseline).
+    Interest(Interest),
+    /// An NDN Data packet.
+    Data(Data),
+    /// An IP packet (baselines and hybrid core).
+    Ip(IpPacket),
+    /// A node-addressed control packet, routed hop-by-hop by destination —
+    /// used for the RP handoff of §IV-B ("R sends a packet containing the
+    /// list of CDs that R' needs to handle").
+    Control {
+        /// Destination node.
+        dst: NodeId,
+        /// The carried control message.
+        inner: CopssPacket,
+    },
+}
+
+impl GPacket {
+    /// Wire size in bytes, for link-load accounting.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Self::Copss(p) => p.encoded_len(),
+            // Encapsulation: Interest header + /rp/<id> name + multicast.
+            Self::ToRp { inner, .. } => 12 + inner.encoded_len(),
+            Self::Interest(i) => i.encoded_len(),
+            Self::Data(d) => d.encoded_len(),
+            Self::Ip(p) => p.encoded_len(),
+            Self::Control { inner, .. } => 8 + inner.encoded_len(),
+        }
+    }
+
+    /// Wire size as `u32` (what the simulator's send API takes).
+    #[must_use]
+    pub fn wire_size(&self) -> u32 {
+        u32::try_from(self.encoded_len()).unwrap_or(u32::MAX)
+    }
+
+    /// Short tag for counters and logs.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Copss(p) => p.kind(),
+            Self::ToRp { .. } => "to-rp",
+            Self::Interest(_) => "interest",
+            Self::Data(_) => "data",
+            Self::Ip(IpPacket::ToServer { .. }) => "ip-to-server",
+            Self::Ip(IpPacket::ToClient { .. }) => "ip-to-client",
+            Self::Ip(IpPacket::Mcast { .. }) => "ip-mcast",
+            Self::Control { .. } => "control",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcopss_names::{Cd, Name};
+
+    #[test]
+    fn payload_pool_slices() {
+        let p = payload_of(350);
+        assert_eq!(p.len(), 350);
+        let q = payload_of(0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "payload too large")]
+    fn payload_pool_bounds() {
+        let _ = payload_of(5000);
+    }
+
+    #[test]
+    fn encoded_lens_positive() {
+        let m = MulticastPacket::new(Cd::parse_lit("/1/2"), payload_of(100), 7);
+        let pkts = [
+            GPacket::Copss(CopssPacket::Multicast(m.clone())),
+            GPacket::ToRp {
+                rp: RpId(0),
+                inner: m.clone(),
+            },
+            GPacket::Interest(Interest::new(Name::parse_lit("/snapshot/1/2"), 1)),
+            GPacket::Data(Data::new(Name::parse_lit("/snapshot/1/2"), payload_of(64))),
+            GPacket::Ip(IpPacket::ToServer {
+                server: NodeId(0),
+                update: IpUpdate {
+                    id: 1,
+                    cd: Name::parse_lit("/1/2"),
+                    size: 100,
+                },
+            }),
+            GPacket::Ip(IpPacket::Mcast {
+                group: 3,
+                dsts: Arc::new(vec![NodeId(1)]),
+                inner: m,
+            }),
+        ];
+        for p in &pkts {
+            assert!(p.encoded_len() > 0, "{}", p.kind());
+            assert_eq!(p.wire_size() as usize, p.encoded_len());
+        }
+    }
+
+    #[test]
+    fn encapsulation_overhead() {
+        let m = MulticastPacket::new(Cd::parse_lit("/1/2"), payload_of(100), 7);
+        let native = GPacket::Copss(CopssPacket::Multicast(m.clone())).encoded_len();
+        let encap = GPacket::ToRp { rp: RpId(0), inner: m }.encoded_len();
+        assert!(encap > native, "encapsulation adds header bytes");
+    }
+}

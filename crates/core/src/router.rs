@@ -1,0 +1,808 @@
+//! The G-COPSS router: an NDN engine and a COPSS engine side by side
+//! (Fig. 2 of the paper), plus the dynamic RP-balancing control plane
+//! (§IV-B).
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use gcopss_copss::{CopssEngine, CopssPacket, JoinRequest, MulticastPacket, PruneRequest, RpId, TrafficWindow};
+use gcopss_names::Name;
+use gcopss_ndn::{FaceId, NdnAction, NdnConfig, NdnEngine};
+use gcopss_sim::{Ctx, NodeBehavior, NodeId, SimDuration, SimTime, Topology};
+
+use crate::{GPacket, GameWorld, SimParams, SplitRecord};
+
+/// Maps between the simulator's neighbor [`NodeId`]s and the engines'
+/// local [`FaceId`]s. Faces are assigned in ascending neighbor order, so
+/// the mapping is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct FaceMap {
+    nodes: Vec<NodeId>,
+    by_node: BTreeMap<NodeId, FaceId>,
+}
+
+impl FaceMap {
+    /// Builds the face map of `me` from the topology's adjacency.
+    #[must_use]
+    pub fn new(topology: &Topology, me: NodeId) -> Self {
+        let mut nodes: Vec<NodeId> = topology.neighbors(me).map(|(n, _)| n).collect();
+        nodes.sort_unstable();
+        let by_node = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, FaceId(i as u32)))
+            .collect();
+        Self { nodes, by_node }
+    }
+
+    /// The face leading to `node`, if adjacent.
+    #[must_use]
+    pub fn face_of(&self, node: NodeId) -> Option<FaceId> {
+        self.by_node.get(&node).copied()
+    }
+
+    /// The neighbor behind `face`.
+    #[must_use]
+    pub fn node_of(&self, face: FaceId) -> Option<NodeId> {
+        self.nodes.get(face.0 as usize).copied()
+    }
+
+    /// All `(face, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FaceId, NodeId)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (FaceId(i as u32), n))
+    }
+
+    /// Number of faces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the node has no neighbors.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// How a new RP's node is chosen when a split fires. The paper uses a
+/// random selection and names network-coordinate systems (Vivaldi) as the
+/// intended improvement; these strategies are deterministic stand-ins
+/// spanning that design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RpSelection {
+    /// Rotate through the candidate list (the paper's evaluation setting:
+    /// load spread without placement intelligence).
+    #[default]
+    Rotation,
+    /// Pick the candidate closest (by routing delay) to the overloaded RP —
+    /// minimizes handoff/transition cost.
+    ClosestToSelf,
+    /// Pick the candidate farthest (by routing delay) from every existing
+    /// RP — a network-coordinate-style spread that avoids co-locating hot
+    /// cores.
+    Spread,
+}
+
+/// Configuration for automatic RP splitting on this router.
+#[derive(Debug, Clone, Default)]
+pub struct SplitConfig {
+    /// Candidate nodes for newly created RPs.
+    pub candidates: Vec<NodeId>,
+    /// Placement strategy over the candidates.
+    pub strategy: RpSelection,
+    /// Grace period during which the old RP keeps multicasting moved CDs
+    /// down its existing tree while the new tree forms (the paper's
+    /// "R continues to act as the core till the complete network is aware
+    /// of the new RP").
+    pub grace: SimDuration,
+}
+
+/// Timer key used to flush deferred prunes after the split grace period.
+const PRUNE_TIMER: u64 = 0xdefe_55;
+
+/// The G-COPSS router behavior.
+///
+/// One instance runs on every router node of a G-COPSS simulation. It hosts
+/// the two engines of Fig. 2 — the NDN engine (FIB/PIT/Content Store) and
+/// the COPSS engine (ST/RP table) — and implements:
+///
+/// * native COPSS forwarding (`Subscribe`/`Unsubscribe`/`Multicast`),
+/// * RP encapsulation: publications travel as [`GPacket::ToRp`] (an
+///   Interest named `/rp/<id>` on the real wire) routed by the NDN FIB,
+/// * RP duties when this router serves CD prefixes: decapsulation, ST
+///   multicast, traffic monitoring, and the three-stage split protocol of
+///   §IV-B when the service queue exceeds the configured threshold,
+/// * plain NDN Interest/Data forwarding (snapshot queries, baselines).
+pub struct GCopssRouter {
+    params: SimParams,
+    faces: FaceMap,
+    copss: CopssEngine,
+    ndn: NdnEngine,
+    /// RPs hosted on this router.
+    local_rps: BTreeSet<RpId>,
+    /// Traffic window for split planning (only RPs record into it).
+    traffic: TrafficWindow,
+    served_since_split: u64,
+    split: SplitConfig,
+    next_candidate: usize,
+    /// Flood deduplication for `RpUpdate`s.
+    seen_updates: HashSet<u64>,
+    /// Joins waiting for a route to a not-yet-announced RP.
+    pending_joins: Vec<JoinRequest>,
+    /// Prunes deferred by the pending-ST rule of §IV-B: during an RP move
+    /// a router "does not leave the original ST branch until it is added
+    /// to a new ST branch" — we keep the old branch for the grace period.
+    deferred_prunes: Vec<PruneRequest>,
+    /// Old-tree grace multicast: CDs this router recently handed off, and
+    /// the deadline until which it keeps serving them down its old tree.
+    legacy: Vec<(Name, SimTime)>,
+    /// Reverse tunnel while a handoff settles: as the *new* RP, send every
+    /// freshly served publication for these CDs back to the old RP (which
+    /// still multicasts its old tree) until the deadline.
+    tunnel_back: Vec<(Name, RpId, SimTime)>,
+}
+
+impl GCopssRouter {
+    /// Creates a router.
+    ///
+    /// `copss` arrives preconfigured with the initial RP table; `fib_routes`
+    /// seeds the NDN FIB (notably `/rp/<id>` prefixes toward each initial
+    /// RP and any application prefixes such as `/snapshot`).
+    #[must_use]
+    pub fn new(
+        params: SimParams,
+        faces: FaceMap,
+        copss: CopssEngine,
+        fib_routes: Vec<(Name, FaceId)>,
+        local_rps: BTreeSet<RpId>,
+        split: SplitConfig,
+    ) -> Self {
+        let mut ndn = NdnEngine::new(NdnConfig::default());
+        for (prefix, face) in fib_routes {
+            ndn.fib_mut().add(prefix, face);
+        }
+        let window = params.rp_window;
+        // The cooldown spaces out *successive* splits; the first split may
+        // fire as soon as the queue threshold is crossed.
+        let served_since_split = params.rp_split_cooldown_packets;
+        Self {
+            params,
+            faces,
+            copss,
+            ndn,
+            local_rps,
+            traffic: TrafficWindow::new(window.max(1)),
+            served_since_split,
+            split,
+            next_candidate: 0,
+            seen_updates: HashSet::new(),
+            pending_joins: Vec::new(),
+            deferred_prunes: Vec::new(),
+            legacy: Vec::new(),
+            tunnel_back: Vec::new(),
+        }
+    }
+
+    /// The COPSS engine (for inspection in tests).
+    #[must_use]
+    pub fn copss(&self) -> &CopssEngine {
+        &self.copss
+    }
+
+    /// The NDN engine (for inspection in tests).
+    #[must_use]
+    pub fn ndn(&self) -> &NdnEngine {
+        &self.ndn
+    }
+
+    /// The RPs hosted here.
+    #[must_use]
+    pub fn local_rps(&self) -> &BTreeSet<RpId> {
+        &self.local_rps
+    }
+
+    fn face_of(&self, node: Option<NodeId>) -> Option<FaceId> {
+        node.and_then(|n| self.faces.face_of(n))
+    }
+
+    /// Sends a COPSS packet to the neighbor behind `face`.
+    fn send_copss(&self, ctx: &mut Ctx<'_, GPacket, GameWorld>, face: FaceId, pkt: CopssPacket) {
+        if let Some(node) = self.faces.node_of(face) {
+            let g = GPacket::Copss(pkt);
+            let size = g.wire_size();
+            ctx.send(node, g, size);
+        }
+    }
+
+    /// The next-hop face toward an RP, via the NDN FIB entry `/rp/<id>`.
+    fn face_toward_rp(&self, rp: RpId) -> Option<FaceId> {
+        self.ndn
+            .fib()
+            .lookup(&rp.ndn_prefix())
+            .and_then(|faces| faces.first().copied())
+    }
+
+    fn send_joins(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, joins: Vec<JoinRequest>) {
+        for j in joins {
+            if self.local_rps.contains(&j.rp) {
+                continue; // the tree roots here
+            }
+            match self.face_toward_rp(j.rp) {
+                Some(face) => {
+                    self.send_copss(
+                        ctx,
+                        face,
+                        CopssPacket::Subscribe {
+                            cds: vec![j.name],
+                            rp: Some(j.rp),
+                        },
+                    );
+                }
+                None => {
+                    ctx.world().bump("join-pending-no-route");
+                    self.pending_joins.push(j);
+                }
+            }
+        }
+    }
+
+    fn send_prunes(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, prunes: Vec<PruneRequest>) {
+        for p in prunes {
+            if self.local_rps.contains(&p.rp) {
+                continue;
+            }
+            if let Some(face) = self.face_toward_rp(p.rp) {
+                self.send_copss(
+                    ctx,
+                    face,
+                    CopssPacket::Unsubscribe {
+                        cds: vec![p.name.clone()],
+                        rp: Some(p.rp),
+                    },
+                );
+            }
+            // A prune toward an unknown RP is moot: nothing was joined.
+            self.pending_joins.retain(|j| !(j.rp == p.rp && j.name == p.name));
+        }
+    }
+
+    /// Multicasts `m` (already tagged with its tree) out of every
+    /// subscribed face of that tree except `arrival`.
+    ///
+    /// Router faces require a tree match (a publication stays on its own
+    /// core-based tree — anything else loops on cyclic topologies); host
+    /// faces are leaves and are matched by name alone, so subscribers keep
+    /// receiving from a draining old tree during RP moves.
+    fn multicast(
+        &self,
+        ctx: &mut Ctx<'_, GPacket, GameWorld>,
+        m: &MulticastPacket,
+        arrival: Option<FaceId>,
+    ) {
+        let mut faces = self.copss.multicast_faces(&m.cd, arrival, m.tree);
+        if m.tree.is_some() {
+            for face in self.copss.multicast_faces(&m.cd, arrival, None) {
+                if faces.contains(&face) {
+                    continue;
+                }
+                let is_host = self.faces.node_of(face).is_some_and(|n| {
+                    ctx.topology().node_kind(n) == gcopss_sim::NodeKind::Host
+                });
+                if is_host {
+                    faces.push(face);
+                }
+            }
+        }
+        for face in faces {
+            self.send_copss(ctx, face, CopssPacket::Multicast(m.clone()));
+        }
+    }
+
+    /// Serves a publication as the responsible RP: decapsulate, tag with
+    /// our tree, multicast along the ST.
+    fn serve_as_rp(
+        &mut self,
+        ctx: &mut Ctx<'_, GPacket, GameWorld>,
+        rp: RpId,
+        m: &MulticastPacket,
+    ) {
+        self.traffic.record(m.cd.name().clone());
+        self.served_since_split += 1;
+        let tagged = m.on_tree(rp);
+        self.multicast(ctx, &tagged, None);
+        // §IV-B transition: a *fresh* publication (not one proxied over
+        // from the old RP, which already served its old tree) is tunneled
+        // back so subscribers that have not re-anchored yet still get it.
+        if m.tree.is_none() && !self.tunnel_back.is_empty() {
+            let now = ctx.now();
+            self.tunnel_back.retain(|(_, _, until)| *until >= now);
+            let back: Vec<RpId> = self
+                .tunnel_back
+                .iter()
+                .filter(|(cd, _, _)| cd.is_prefix_of(m.cd.name()))
+                .map(|(_, old, _)| *old)
+                .collect();
+            for old_rp in back {
+                if let Some(face) = self.face_toward_rp(old_rp) {
+                    if let Some(node) = self.faces.node_of(face) {
+                        let g = GPacket::ToRp {
+                            rp: old_rp,
+                            inner: tagged.clone(),
+                        };
+                        let size = g.wire_size();
+                        ctx.send(node, g, size);
+                    }
+                }
+            }
+        }
+        self.maybe_split(ctx);
+    }
+
+    /// §IV-B: when the service queue exceeds the threshold, pick ~half the
+    /// observed load, appoint a new RP, and kick off handoff + flood.
+    fn maybe_split(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let Some(threshold) = self.params.rp_split_queue_threshold else {
+            return;
+        };
+        if ctx.queue_len() <= threshold
+            || self.served_since_split < self.params.rp_split_cooldown_packets
+            || self.split.candidates.is_empty()
+        {
+            return;
+        }
+        // Served prefixes of every RP hosted here (splits move load off
+        // this *node*). Only CDs this node still owns and that are not in
+        // a settling handoff are eligible to move.
+        let served: Vec<Name> = self
+            .local_rps
+            .iter()
+            .flat_map(|rp| self.copss.rp_table().prefixes_of(*rp))
+            .collect();
+        let now = ctx.now();
+        let table = self.copss.rp_table();
+        let local = &self.local_rps;
+        let legacy = &self.legacy;
+        let tunnels = &self.tunnel_back;
+        let eligible = |cd: &Name| {
+            table.rp_for(cd).is_some_and(|rp| local.contains(&rp))
+                && !legacy
+                    .iter()
+                    .any(|(p, until)| *until >= now && p.is_prefix_of(cd))
+                && !tunnels
+                    .iter()
+                    .any(|(p, _, until)| *until >= now && p.is_prefix_of(cd))
+        };
+        let Some(plan) = self.traffic.plan_split_where(&served, 0.5, eligible) else {
+            return;
+        };
+        // Pick the new RP node per the configured strategy, skipping self
+        // and nodes already hosting an RP.
+        let me = ctx.node();
+        let taken: Vec<NodeId> = ctx
+            .world()
+            .rp_locations
+            .values()
+            .map(|&n| NodeId(n))
+            .collect();
+        let free = |c: &NodeId| *c != me && !taken.contains(c);
+        let chosen = match self.split.strategy {
+            RpSelection::Rotation => {
+                let mut pick = None;
+                for _ in 0..self.split.candidates.len() {
+                    let c =
+                        self.split.candidates[self.next_candidate % self.split.candidates.len()];
+                    self.next_candidate += 1;
+                    if free(&c) {
+                        pick = Some(c);
+                        break;
+                    }
+                }
+                pick
+            }
+            RpSelection::ClosestToSelf => self
+                .split
+                .candidates
+                .iter()
+                .copied()
+                .filter(free)
+                .min_by_key(|c| ctx.routing().distance(me, *c)),
+            RpSelection::Spread => self
+                .split
+                .candidates
+                .iter()
+                .copied()
+                .filter(free)
+                .max_by_key(|c| {
+                    taken
+                        .iter()
+                        .chain(std::iter::once(&me))
+                        .filter_map(|r| ctx.routing().distance(*r, *c))
+                        .min()
+                        .unwrap_or(SimDuration::ZERO)
+                }),
+        };
+        let Some(new_node) = chosen else { return };
+        let new_rp = RpId(ctx.world().allocate_rp_id(new_node.0));
+        let old_rp = *self.local_rps.iter().next().expect("RP router");
+
+        // Refine our own table: retained stays with the (first) local RP,
+        // moved goes to the new one. Coarser shadowed entries are resolved
+        // by longest-prefix matching.
+        for r in &plan.retained {
+            self.copss.rp_table_mut().apply_move(std::slice::from_ref(r), old_rp);
+        }
+        let (joins, prunes) = self.copss.handle_rp_update(&plan.moved, new_rp);
+        self.send_joins(ctx, joins);
+        if !prunes.is_empty() {
+            let empty_before = self.deferred_prunes.is_empty();
+            self.deferred_prunes.extend(prunes);
+            if empty_before {
+                ctx.schedule(self.split.grace, PRUNE_TIMER);
+            }
+        }
+
+        // Stage 2 (handoff): route the CD list to the new RP; install our
+        // FIB entry so stale publications are proxied (the intermediate
+        // routers install theirs while forwarding the control packet).
+        if let Some(hop) = ctx.routing().next_hop(me, new_node) {
+            if let Some(face) = self.faces.face_of(hop) {
+                self.ndn.fib_mut().add(new_rp.ndn_prefix(), face);
+            }
+            let ctrl = GPacket::Control {
+                dst: new_node,
+                inner: CopssPacket::RpHandoff {
+                    cds: plan.moved.clone(),
+                    new_rp,
+                    old_rp,
+                },
+            };
+            let size = ctrl.wire_size();
+            ctx.send(hop, ctrl, size);
+        }
+
+        // Old-tree grace: keep multicasting the moved CDs ourselves until
+        // the new tree has formed.
+        let until = ctx.now() + self.split.grace;
+        for cd in &plan.moved {
+            self.legacy.push((cd.clone(), until));
+        }
+        self.served_since_split = 0;
+
+        let now = ctx.now();
+        ctx.world().bump("rp-splits");
+        ctx.world().splits.push(SplitRecord {
+            at: now,
+            from_rp: old_rp.0,
+            to_rp: new_rp.0,
+            moved: plan.moved,
+        });
+    }
+
+    fn on_to_rp(
+        &mut self,
+        ctx: &mut Ctx<'_, GPacket, GameWorld>,
+        rp: RpId,
+        inner: MulticastPacket,
+    ) {
+        if self.local_rps.contains(&rp) {
+            match self.copss.rp_for_publication(inner.cd.name()) {
+                Some(current) if self.local_rps.contains(&current) => {
+                    self.serve_as_rp(ctx, current, &inner);
+                }
+                Some(new_rp) => {
+                    let back_tunneled = inner.tree == Some(new_rp);
+                    if !back_tunneled {
+                        // Stale publisher traffic: proxy to the new RP (no
+                        // loss), marked with our tree so it is not tunneled
+                        // back to us again.
+                        if let Some(face) = self.face_toward_rp(new_rp) {
+                            let g = GPacket::ToRp {
+                                rp: new_rp,
+                                inner: inner.on_tree(rp),
+                            };
+                            let size = g.wire_size();
+                            if let Some(node) = self.faces.node_of(face) {
+                                ctx.send(node, g, size);
+                            }
+                        } else {
+                            ctx.world().bump("torp-no-route");
+                        }
+                    }
+                    // Keep the old tree warm during the grace period (both
+                    // for stale traffic and for back-tunneled packets).
+                    let now = ctx.now();
+                    self.legacy.retain(|(_, until)| *until >= now);
+                    if self
+                        .legacy
+                        .iter()
+                        .any(|(cd, _)| cd.is_prefix_of(inner.cd.name()))
+                    {
+                        let tagged = inner.on_tree(rp);
+                        self.multicast(ctx, &tagged, None);
+                    }
+                }
+                None => ctx.world().bump("torp-unserved-cd"),
+            }
+        } else {
+            // Transit: forward the encapsulated Interest along the FIB.
+            match self.face_toward_rp(rp) {
+                Some(face) => {
+                    if let Some(node) = self.faces.node_of(face) {
+                        let g = GPacket::ToRp { rp, inner };
+                        let size = g.wire_size();
+                        ctx.send(node, g, size);
+                    }
+                }
+                None => ctx.world().bump("torp-no-route"),
+            }
+        }
+    }
+
+    fn on_rp_update(
+        &mut self,
+        ctx: &mut Ctx<'_, GPacket, GameWorld>,
+        from: Option<NodeId>,
+        cds: Vec<Name>,
+        new_rp: RpId,
+    ) {
+        // Flood dedup key over (rp, cds).
+        let mut key = u64::from(new_rp.0) << 32;
+        for cd in &cds {
+            key ^= cd.stable_hash().rotate_left(7);
+        }
+        if !self.seen_updates.insert(key) {
+            return;
+        }
+        // Learn the route to the new RP from the flood's arrival direction
+        // (reverse-path FIB construction).
+        if let Some(face) = self.face_of(from) {
+            if self.ndn.fib().exact(&new_rp.ndn_prefix()).is_none() && !self.local_rps.contains(&new_rp) {
+                self.ndn.fib_mut().add(new_rp.ndn_prefix(), face);
+            }
+        }
+        let (joins, prunes) = self.copss.handle_rp_update(&cds, new_rp);
+        self.send_joins(ctx, joins);
+        // Pending-ST: defer leaving the old trees until the new tree has
+        // had the grace period to form (no subscriber misses a packet).
+        if !prunes.is_empty() {
+            let empty_before = self.deferred_prunes.is_empty();
+            self.deferred_prunes.extend(prunes);
+            if empty_before {
+                ctx.schedule(self.split.grace, PRUNE_TIMER);
+            }
+        }
+        // A route to the new RP may unblock pending joins.
+        let pending = std::mem::take(&mut self.pending_joins);
+        self.send_joins(ctx, pending);
+        // Re-flood to every router neighbor except the arrival.
+        for (face, node) in self.faces.iter().collect::<Vec<_>>() {
+            if Some(node) == from {
+                continue;
+            }
+            if ctx.topology().node_kind(node) == gcopss_sim::NodeKind::Host {
+                continue;
+            }
+            self.send_copss(
+                ctx,
+                face,
+                CopssPacket::RpUpdate {
+                    cds: cds.clone(),
+                    new_rp,
+                },
+            );
+        }
+    }
+
+    fn on_rp_handoff(
+        &mut self,
+        ctx: &mut Ctx<'_, GPacket, GameWorld>,
+        cds: Vec<Name>,
+        new_rp: RpId,
+        old_rp: RpId,
+    ) {
+        // Stage 2 complete: we are now the RP for `cds`. Do not split
+        // again before serving a full cooldown's worth of traffic.
+        self.local_rps.insert(new_rp);
+        self.served_since_split = 0;
+        let until = ctx.now() + self.split.grace;
+        for cd in &cds {
+            self.tunnel_back.push((cd.clone(), old_rp, until));
+        }
+        let (joins, prunes) = self.copss.handle_rp_update(&cds, new_rp);
+        self.send_joins(ctx, joins);
+        if !prunes.is_empty() {
+            let empty_before = self.deferred_prunes.is_empty();
+            self.deferred_prunes.extend(prunes);
+            if empty_before {
+                ctx.schedule(self.split.grace, PRUNE_TIMER);
+            }
+        }
+        // Stage 3: announce network-wide.
+        self.on_rp_update(ctx, None, cds, new_rp);
+        ctx.world().bump("rp-handoffs");
+    }
+
+    fn run_ndn_actions(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, actions: Vec<NdnAction>) {
+        for a in actions {
+            match a {
+                NdnAction::SendInterest { face, interest } => {
+                    if let Some(node) = self.faces.node_of(face) {
+                        let g = GPacket::Interest(interest);
+                        let size = g.wire_size();
+                        ctx.send(node, g, size);
+                    }
+                }
+                NdnAction::SendData { face, data } => {
+                    if let Some(node) = self.faces.node_of(face) {
+                        let g = GPacket::Data(data);
+                        let size = g.wire_size();
+                        ctx.send(node, g, size);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, key: u64) {
+        if key == PRUNE_TIMER {
+            let prunes = std::mem::take(&mut self.deferred_prunes);
+            // Only prune joins that are still stale (a re-subscription may
+            // have made them live again meanwhile).
+            let still_stale: Vec<PruneRequest> = prunes
+                .into_iter()
+                .filter(|p| !self.copss.joined_toward(p.rp).contains(&p.name))
+                .collect();
+            self.send_prunes(ctx, still_stale);
+        }
+    }
+
+    fn service_time(&self, pkt: &GPacket) -> SimDuration {
+        match pkt {
+            GPacket::Copss(CopssPacket::Multicast(_)) => self.params.copss_multicast_proc,
+            GPacket::Copss(_) | GPacket::Control { .. } => self.params.control_proc,
+            GPacket::ToRp { rp, .. } => {
+                if self.local_rps.contains(rp) {
+                    self.params.rp_proc
+                } else {
+                    self.params.encap_proc
+                }
+            }
+            GPacket::Interest(_) | GPacket::Data(_) => self.params.ndn_proc,
+            GPacket::Ip(_) => self.params.ip_proc,
+        }
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut Ctx<'_, GPacket, GameWorld>,
+        from: Option<NodeId>,
+        pkt: GPacket,
+    ) {
+        let arrival = self.face_of(from);
+        match pkt {
+            GPacket::Copss(CopssPacket::Subscribe { cds, rp }) => {
+                let Some(face) = arrival else { return };
+                let joins = self.copss.handle_subscribe(face, &cds, rp);
+                self.send_joins(ctx, joins);
+            }
+            GPacket::Copss(CopssPacket::Unsubscribe { cds, rp }) => {
+                let Some(face) = arrival else { return };
+                let (joins, prunes) = self.copss.handle_unsubscribe(face, &cds, rp);
+                self.send_joins(ctx, joins);
+                self.send_prunes(ctx, prunes);
+            }
+            GPacket::Copss(CopssPacket::Multicast(m)) => {
+                // First hop for a host publication: encapsulate toward the
+                // RP. Otherwise: native ST forwarding.
+                let from_host = from.is_some_and(|n| {
+                    ctx.topology().node_kind(n) == gcopss_sim::NodeKind::Host
+                });
+                if from_host || from.is_none() {
+                    match self.copss.rp_for_publication(m.cd.name()) {
+                        Some(rp) if self.local_rps.contains(&rp) => {
+                            self.serve_as_rp(ctx, rp, &m);
+                        }
+                        Some(rp) => self.on_to_rp(ctx, rp, m),
+                        None => ctx.world().bump("publication-unserved-cd"),
+                    }
+                } else {
+                    self.multicast(ctx, &m, arrival);
+                }
+            }
+            GPacket::Copss(CopssPacket::FibAdd { prefixes }) => {
+                if let Some(face) = arrival {
+                    for p in prefixes {
+                        self.ndn.fib_mut().add(p, face);
+                    }
+                }
+            }
+            GPacket::Copss(CopssPacket::FibRemove { prefixes }) => {
+                if let Some(face) = arrival {
+                    for p in prefixes {
+                        self.ndn.fib_mut().remove(&p, face);
+                    }
+                }
+            }
+            GPacket::Copss(CopssPacket::RpUpdate { cds, new_rp }) => {
+                self.on_rp_update(ctx, from, cds, new_rp);
+            }
+            GPacket::Copss(CopssPacket::RpHandoff { cds, new_rp, old_rp }) => {
+                // Bare handoff (not wrapped): treat as addressed to us.
+                self.on_rp_handoff(ctx, cds, new_rp, old_rp);
+            }
+            GPacket::Control { dst, inner } => {
+                if dst == ctx.node() {
+                    match inner {
+                        CopssPacket::RpHandoff { cds, new_rp, old_rp } => {
+                            self.on_rp_handoff(ctx, cds, new_rp, old_rp);
+                        }
+                        other => {
+                            let Some(face) = arrival else { return };
+                            // Delegate any other control packet locally.
+                            let g = GPacket::Copss(other);
+                            let _ = (face, g);
+                        }
+                    }
+                } else {
+                    // Route onward; if it is a handoff, install the FIB
+                    // entry for the new RP toward the destination (the
+                    // paper's FIB-add along the old→new RP path).
+                    if let CopssPacket::RpHandoff { new_rp, .. } = &inner {
+                        if let Some(hop) = ctx.routing().next_hop(ctx.node(), dst) {
+                            if let Some(face) = self.faces.face_of(hop) {
+                                self.ndn.fib_mut().add(new_rp.ndn_prefix(), face);
+                            }
+                        }
+                    }
+                    let g = GPacket::Control { dst, inner };
+                    let size = g.wire_size();
+                    ctx.send_toward(dst, g, size);
+                }
+            }
+            GPacket::ToRp { rp, inner } => self.on_to_rp(ctx, rp, inner),
+            GPacket::Interest(i) => {
+                let Some(face) = arrival else { return };
+                let now = ctx.now().as_nanos();
+                let actions = self.ndn.process_interest(now, face, i);
+                self.run_ndn_actions(ctx, actions);
+            }
+            GPacket::Data(d) => {
+                let Some(face) = arrival else { return };
+                let now = ctx.now().as_nanos();
+                let actions = self.ndn.process_data(now, face, d);
+                self.run_ndn_actions(ctx, actions);
+            }
+            GPacket::Ip(ip) => {
+                crate::hybrid::route_ip_at_router(ctx, ip);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn face_map_is_deterministic() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        t.add_link(b, a, SimDuration::from_millis(1), None);
+        t.add_link(b, c, SimDuration::from_millis(1), None);
+        let fm = FaceMap::new(&t, b);
+        assert_eq!(fm.len(), 2);
+        assert_eq!(fm.face_of(a), Some(FaceId(0)));
+        assert_eq!(fm.face_of(c), Some(FaceId(1)));
+        assert_eq!(fm.node_of(FaceId(0)), Some(a));
+        assert_eq!(fm.node_of(FaceId(9)), None);
+        assert_eq!(fm.face_of(b), None);
+        assert!(!fm.is_empty());
+    }
+}

@@ -1,0 +1,794 @@
+//! Scenario assembly: builds complete simulations (topology + routing +
+//! behaviors) for every evaluated system.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use gcopss_copss::{CopssEngine, RpId, RpTable};
+use gcopss_game::trace::TraceEvent;
+use gcopss_game::{GameMap, PlayerPopulation};
+use gcopss_names::Name;
+use gcopss_ndn::FaceId;
+use gcopss_sim::generators::{attach_hosts, benchmark_testbed, rocketfuel_like, BackboneParams};
+use gcopss_sim::{NodeBehavior, NodeId, RoutingTable, SimDuration, Simulator, Topology};
+
+use crate::client::{GamePlayerClient, TraceCursor};
+use crate::hybrid::HybridEdgeRouter;
+use crate::ip_server::{partition_cds_to_servers, IpClient, IpServer, Roster};
+use crate::ndn_baseline::{player_prefix, NdnClientConfig, NdnPlayerClient};
+use crate::router::{FaceMap, GCopssRouter, SplitConfig};
+use crate::{GPacket, GameWorld, MetricsMode, SimParams};
+
+/// Builds the behavior of one player host given its id, its edge router and
+/// its trace cursor (used by movement scenarios to substitute
+/// [`crate::broker::MovingPlayerClient`]s).
+pub type ClientFactory<'a> = Box<
+    dyn FnMut(gcopss_game::PlayerId, NodeId, TraceCursor) -> Box<dyn NodeBehavior<GPacket, GameWorld>>
+        + 'a,
+>;
+
+/// Which physical network to simulate.
+#[derive(Debug, Clone)]
+pub enum NetworkSpec {
+    /// The 6-router lab testbed of Fig. 3b (microbenchmark).
+    Testbed,
+    /// A Rocketfuel-like backbone (§V-B).
+    Backbone {
+        /// Topology seed.
+        seed: u64,
+        /// Generator parameters (79 core routers by default).
+        params: BackboneParams,
+    },
+}
+
+impl NetworkSpec {
+    /// The paper's large-scale network with default parameters.
+    #[must_use]
+    pub fn default_backbone(seed: u64) -> Self {
+        Self::Backbone {
+            seed,
+            params: BackboneParams::default(),
+        }
+    }
+
+    /// The router nodes where RPs/servers/brokers would be placed, in
+    /// placement order — lets callers pick `ExtraHost::attach_to` points
+    /// before building.
+    #[must_use]
+    pub fn rp_pool_preview(&self) -> Vec<NodeId> {
+        self.build().rp_pool
+    }
+
+    fn build(&self) -> BuiltNetwork {
+        match self {
+            Self::Testbed => {
+                let (topology, routers) = benchmark_testbed();
+                BuiltNetwork {
+                    attach_points: routers.clone(),
+                    rp_pool: routers.clone(),
+                    routers,
+                    topology,
+                }
+            }
+            Self::Backbone { seed, params } => {
+                let b = rocketfuel_like(*seed, params);
+                // Spread RP/server placements over the core with a stride
+                // so consecutive picks land far apart.
+                let stride = 29usize;
+                let mut rp_pool = Vec::new();
+                let n = b.core.len();
+                for i in 0..n {
+                    let c = b.core[(i * stride) % n];
+                    if !rp_pool.contains(&c) {
+                        rp_pool.push(c);
+                    }
+                }
+                for &c in &b.core {
+                    if !rp_pool.contains(&c) {
+                        rp_pool.push(c);
+                    }
+                }
+                BuiltNetwork {
+                    routers: b
+                        .core
+                        .iter()
+                        .chain(b.edge.iter())
+                        .copied()
+                        .collect(),
+                    attach_points: b.edge,
+                    rp_pool,
+                    topology: b.topology,
+                }
+            }
+        }
+    }
+}
+
+struct BuiltNetwork {
+    topology: Topology,
+    routers: Vec<NodeId>,
+    attach_points: Vec<NodeId>,
+    rp_pool: Vec<NodeId>,
+}
+
+/// Partitions the map's level-1 CD prefixes across `n` RPs (or servers),
+/// round-robin. `n = 1` yields the single root prefix `/`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or exceeds the number of level-1 prefixes.
+#[must_use]
+pub fn rp_prefix_partition(map: &GameMap, n: usize) -> Vec<Vec<Name>> {
+    assert!(n >= 1, "need at least one RP");
+    if n == 1 {
+        return vec![vec![Name::root()]];
+    }
+    let mut tops: Vec<Name> = map.leaf_cds().iter().map(|cd| cd.prefix(1)).collect();
+    tops.sort();
+    tops.dedup();
+    assert!(
+        n <= tops.len(),
+        "cannot spread {} level-1 prefixes across {n} RPs",
+        tops.len()
+    );
+    let mut groups = vec![Vec::new(); n];
+    for (i, t) in tops.into_iter().enumerate() {
+        groups[i % n].push(t);
+    }
+    groups
+}
+
+/// Configuration of a G-COPSS simulation.
+#[derive(Debug, Clone)]
+pub struct GcopssConfig {
+    /// Calibration constants.
+    pub params: SimParams,
+    /// Latency-metrics retention.
+    pub metrics_mode: MetricsMode,
+    /// Exact delivery log + duplicate detection (small runs only).
+    pub delivery_log: bool,
+    /// Number of initial RPs.
+    pub rp_count: usize,
+    /// Time before the first trace event (lets subscriptions settle).
+    pub warmup: SimDuration,
+    /// Grace period for old-tree multicast during RP splits.
+    pub split_grace: SimDuration,
+    /// Extra CD prefixes anchored at RP 0 (e.g. `/snapcast` for movement
+    /// scenarios).
+    pub extra_rp_prefixes: Vec<Name>,
+    /// Additional RPs hosted at explicit router nodes, each serving the
+    /// given prefixes — e.g. a dedicated snapshot-stream RP co-located
+    /// with each broker so bulk cyclic multicast never shares a core with
+    /// the latency-critical game RPs.
+    pub extra_rps: Vec<(Vec<Name>, NodeId)>,
+    /// Placement strategy for automatically created RPs.
+    pub rp_selection: crate::RpSelection,
+}
+
+impl Default for GcopssConfig {
+    fn default() -> Self {
+        Self {
+            params: SimParams::default(),
+            metrics_mode: MetricsMode::StatsOnly,
+            delivery_log: false,
+            rp_count: 3,
+            warmup: SimDuration::from_secs(2),
+            split_grace: SimDuration::from_secs(2),
+            extra_rp_prefixes: Vec::new(),
+            extra_rps: Vec::new(),
+            rp_selection: crate::RpSelection::default(),
+        }
+    }
+}
+
+/// An extra host (broker, monitor, …) attached to the network at build
+/// time.
+pub struct ExtraHost {
+    /// Router the host hangs off (1 ms access link).
+    pub attach_to: NodeId,
+    /// Name prefixes every router routes toward this host (FIB seeding,
+    /// e.g. `/snapshot/...` for a broker).
+    pub routes: Vec<Name>,
+    /// Behavior factory, invoked with the host's node id and its edge
+    /// router's node id.
+    #[allow(clippy::type_complexity)]
+    pub make: Box<dyn FnOnce(NodeId, NodeId) -> Box<dyn NodeBehavior<GPacket, GameWorld>>>,
+}
+
+/// A fully-assembled G-COPSS simulation.
+pub struct GcopssSim {
+    /// The simulator, ready to run.
+    pub sim: Simulator<GPacket, GameWorld>,
+    /// Host node of each player.
+    pub player_nodes: Vec<NodeId>,
+    /// Where the initial RPs live.
+    pub rp_nodes: BTreeMap<RpId, NodeId>,
+    /// Nodes created for [`ExtraHost`]s, in input order.
+    pub extra_nodes: Vec<NodeId>,
+    /// End of the warmup period (first trace event earliest time).
+    pub warmup: SimDuration,
+}
+
+/// Builds a complete G-COPSS simulation: routers with NDN+COPSS engines,
+/// seeded `/rp/<id>` FIB routes, per-player clients driving the shared
+/// trace, and any extra hosts.
+#[must_use]
+pub fn build_gcopss(
+    cfg: GcopssConfig,
+    net: &NetworkSpec,
+    map: &Arc<GameMap>,
+    population: &PlayerPopulation,
+    trace: &Arc<Vec<TraceEvent>>,
+    extra_hosts: Vec<ExtraHost>,
+) -> GcopssSim {
+    let pop = population;
+    let map_arc = Arc::clone(map);
+    let factory: ClientFactory<'_> = Box::new(move |p, edge, cursor| {
+        Box::new(GamePlayerClient::new(
+            p,
+            edge,
+            pop.area_of(p),
+            Arc::clone(&map_arc),
+            cursor,
+        ))
+    });
+    build_gcopss_custom(cfg, net, map, population, trace, extra_hosts, factory)
+}
+
+/// Like [`build_gcopss`] but with a caller-supplied player behavior factory
+/// (movement scenarios install [`crate::broker::MovingPlayerClient`]s).
+#[must_use]
+pub fn build_gcopss_custom(
+    cfg: GcopssConfig,
+    net: &NetworkSpec,
+    map: &Arc<GameMap>,
+    population: &PlayerPopulation,
+    trace: &Arc<Vec<TraceEvent>>,
+    extra_hosts: Vec<ExtraHost>,
+    mut client_factory: ClientFactory<'_>,
+) -> GcopssSim {
+    let _ = map;
+    let mut bn = net.build();
+    let player_nodes = attach_hosts(
+        &mut bn.topology,
+        &bn.attach_points,
+        population.len(),
+        SimDuration::from_millis(1),
+        "player",
+    );
+    let mut extra_nodes = Vec::new();
+    let mut extra_makes = Vec::new();
+    for h in extra_hosts {
+        let node = bn
+            .topology
+            .add_node_kind(format!("extra{}", extra_nodes.len()), gcopss_sim::NodeKind::Host);
+        bn.topology
+            .add_link(node, h.attach_to, SimDuration::from_millis(1), None);
+        extra_nodes.push(node);
+        extra_makes.push((node, h.attach_to, h.routes, h.make));
+    }
+    let routing = RoutingTable::shortest_paths(&bn.topology);
+
+    // Initial RP assignment.
+    let groups = rp_prefix_partition(map, cfg.rp_count);
+    let mut rp_table = RpTable::new();
+    let mut rp_nodes = BTreeMap::new();
+    for (i, group) in groups.iter().enumerate() {
+        let rp = RpId(i as u32);
+        for prefix in group {
+            rp_table
+                .assign(prefix.clone(), rp)
+                .expect("partition is prefix-free");
+        }
+        rp_nodes.insert(rp, bn.rp_pool[i % bn.rp_pool.len()]);
+    }
+    for prefix in &cfg.extra_rp_prefixes {
+        rp_table
+            .assign(prefix.clone(), RpId(0))
+            .expect("extra prefixes must not overlap the map namespace");
+    }
+    for (prefixes, node) in &cfg.extra_rps {
+        let rp = RpId(rp_nodes.len() as u32);
+        for prefix in prefixes {
+            rp_table
+                .assign(prefix.clone(), rp)
+                .expect("extra RP prefixes must be disjoint");
+        }
+        rp_nodes.insert(rp, *node);
+    }
+
+    let mut world = GameWorld::new(cfg.metrics_mode);
+    if cfg.delivery_log {
+        world = world.with_delivery_log();
+    }
+    world.next_rp_id = cfg.rp_count as u32;
+    for (rp, node) in &rp_nodes {
+        world.rp_locations.insert(rp.0, node.0);
+    }
+
+    let mut sim = Simulator::with_routing(bn.topology, routing, world);
+
+    // Routers.
+    for &r in &bn.routers {
+        let faces = FaceMap::new(sim.topology(), r);
+        let mut copss = CopssEngine::new();
+        for (prefix, rp) in rp_table.assignments() {
+            copss
+                .rp_table_mut()
+                .assign(prefix, rp)
+                .expect("prefix-free");
+        }
+        let mut local_rps = std::collections::BTreeSet::new();
+        let mut fib_routes: Vec<(Name, FaceId)> = Vec::new();
+        for (&rp, &node) in &rp_nodes {
+            if node == r {
+                local_rps.insert(rp);
+            } else if let Some(hop) = sim.routing().next_hop(r, node) {
+                if let Some(face) = faces.face_of(hop) {
+                    fib_routes.push((rp.ndn_prefix(), face));
+                }
+            }
+        }
+        for (node, _, routes, _) in &extra_makes {
+            if let Some(hop) = sim.routing().next_hop(r, *node) {
+                if let Some(face) = faces.face_of(hop) {
+                    for prefix in routes {
+                        fib_routes.push((prefix.clone(), face));
+                    }
+                }
+            }
+        }
+        let split = SplitConfig {
+            candidates: bn.rp_pool.clone(),
+            strategy: cfg.rp_selection,
+            grace: cfg.split_grace,
+        };
+        sim.set_behavior(
+            r,
+            Box::new(GCopssRouter::new(
+                cfg.params.clone(),
+                faces,
+                copss,
+                fib_routes,
+                local_rps,
+                split,
+            )),
+        );
+    }
+
+    // Players.
+    for p in population.players() {
+        let node = player_nodes[p.index()];
+        let (edge, _) = sim
+            .topology()
+            .neighbors(node)
+            .next()
+            .expect("player attached");
+        let cursor = TraceCursor::for_player(Arc::clone(trace), p, cfg.warmup);
+        sim.set_behavior(node, client_factory(p, edge, cursor));
+    }
+
+    // Extra hosts.
+    for (node, edge, _, make) in extra_makes {
+        let behavior = make(node, edge);
+        sim.set_behavior(node, behavior);
+    }
+
+    GcopssSim {
+        sim,
+        player_nodes,
+        rp_nodes,
+        extra_nodes,
+        warmup: cfg.warmup,
+    }
+}
+
+/// Configuration of an IP client/server baseline simulation.
+#[derive(Debug, Clone)]
+pub struct IpConfig {
+    /// Calibration constants.
+    pub params: SimParams,
+    /// Latency-metrics retention.
+    pub metrics_mode: MetricsMode,
+    /// Exact delivery log (small runs only).
+    pub delivery_log: bool,
+    /// Number of game servers.
+    pub server_count: usize,
+    /// Time before the first trace event.
+    pub warmup: SimDuration,
+}
+
+impl Default for IpConfig {
+    fn default() -> Self {
+        Self {
+            params: SimParams::default(),
+            metrics_mode: MetricsMode::StatsOnly,
+            delivery_log: false,
+            server_count: 3,
+            warmup: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// A fully-assembled IP-server baseline simulation.
+pub struct IpSim {
+    /// The simulator, ready to run.
+    pub sim: Simulator<GPacket, GameWorld>,
+    /// Host node of each player.
+    pub player_nodes: Vec<NodeId>,
+    /// The server nodes.
+    pub server_nodes: Vec<NodeId>,
+}
+
+/// Builds the IP client/server baseline: plain IP forwarding at routers,
+/// `server_count` servers partitioning the leaf CDs, and unicast fan-out to
+/// every interested player.
+#[must_use]
+pub fn build_ip_server(
+    cfg: IpConfig,
+    net: &NetworkSpec,
+    map: &Arc<GameMap>,
+    population: &PlayerPopulation,
+    trace: &Arc<Vec<TraceEvent>>,
+) -> IpSim {
+    let mut bn = net.build();
+    let player_nodes = attach_hosts(
+        &mut bn.topology,
+        &bn.attach_points,
+        population.len(),
+        SimDuration::from_millis(1),
+        "player",
+    );
+    // Servers attach to the RP pool positions (R1 on the testbed).
+    let mut server_nodes = Vec::new();
+    for i in 0..cfg.server_count {
+        let at = bn.rp_pool[i % bn.rp_pool.len()];
+        let node = bn
+            .topology
+            .add_node_kind(format!("server{i}"), gcopss_sim::NodeKind::Host);
+        bn.topology
+            .add_link(node, at, SimDuration::from_millis(1), None);
+        server_nodes.push(node);
+    }
+    let routing = RoutingTable::shortest_paths(&bn.topology);
+
+    let mut world = GameWorld::new(cfg.metrics_mode);
+    if cfg.delivery_log {
+        world = world.with_delivery_log();
+    }
+    let mut sim = Simulator::with_routing(bn.topology, routing, world);
+
+    // Plain IP routers (a G-COPSS router with no RPs forwards IP packets).
+    for &r in &bn.routers {
+        let faces = FaceMap::new(sim.topology(), r);
+        sim.set_behavior(
+            r,
+            Box::new(GCopssRouter::new(
+                cfg.params.clone(),
+                faces,
+                CopssEngine::new(),
+                Vec::new(),
+                std::collections::BTreeSet::new(),
+                SplitConfig::default(),
+            )),
+        );
+    }
+
+    let areas: Vec<_> = population.players().map(|p| population.area_of(p)).collect();
+    let roster = Arc::new(Roster::new(map, player_nodes.clone(), areas));
+    for &s in &server_nodes {
+        sim.set_behavior(s, Box::new(IpServer::new(cfg.params.clone(), Arc::clone(&roster))));
+    }
+
+    let server_of = Arc::new(partition_cds_to_servers(map, &server_nodes));
+    for p in population.players() {
+        let node = player_nodes[p.index()];
+        let (edge, _) = sim
+            .topology()
+            .neighbors(node)
+            .next()
+            .expect("player attached");
+        let cursor = TraceCursor::for_player(Arc::clone(trace), p, cfg.warmup);
+        sim.set_behavior(
+            node,
+            Box::new(IpClient::new(p, edge, Arc::clone(&server_of), cursor)),
+        );
+    }
+
+    IpSim {
+        sim,
+        player_nodes,
+        server_nodes,
+    }
+}
+
+/// Configuration of a hybrid-G-COPSS simulation (§III-D).
+#[derive(Debug, Clone)]
+pub struct HybridConfig {
+    /// Calibration constants.
+    pub params: SimParams,
+    /// Latency-metrics retention.
+    pub metrics_mode: MetricsMode,
+    /// Exact delivery log (small runs only).
+    pub delivery_log: bool,
+    /// Available IP multicast groups (Table II uses 6).
+    pub group_count: u32,
+    /// Time before the first trace event.
+    pub warmup: SimDuration,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self {
+            params: SimParams::default(),
+            metrics_mode: MetricsMode::StatsOnly,
+            delivery_log: false,
+            group_count: 6,
+            warmup: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// A fully-assembled hybrid-G-COPSS simulation.
+pub struct HybridSim {
+    /// The simulator, ready to run.
+    pub sim: Simulator<GPacket, GameWorld>,
+    /// Host node of each player.
+    pub player_nodes: Vec<NodeId>,
+}
+
+/// Builds hybrid-G-COPSS: COPSS-aware edge routers mapping CDs onto
+/// `group_count` IP multicast groups, plain IP core.
+#[must_use]
+pub fn build_hybrid(
+    cfg: HybridConfig,
+    net: &NetworkSpec,
+    map: &Arc<GameMap>,
+    population: &PlayerPopulation,
+    trace: &Arc<Vec<TraceEvent>>,
+) -> HybridSim {
+    let mut bn = net.build();
+    let player_nodes = attach_hosts(
+        &mut bn.topology,
+        &bn.attach_points,
+        population.len(),
+        SimDuration::from_millis(1),
+        "player",
+    );
+    let routing = RoutingTable::shortest_paths(&bn.topology);
+    let mut world = GameWorld::new(cfg.metrics_mode);
+    if cfg.delivery_log {
+        world = world.with_delivery_log();
+    }
+    let mut sim = Simulator::with_routing(bn.topology, routing, world);
+
+    for &r in &bn.routers {
+        let faces = FaceMap::new(sim.topology(), r);
+        if bn.attach_points.contains(&r) {
+            sim.set_behavior(
+                r,
+                Box::new(HybridEdgeRouter::new(cfg.params.clone(), faces, cfg.group_count)),
+            );
+        } else {
+            sim.set_behavior(
+                r,
+                Box::new(GCopssRouter::new(
+                    cfg.params.clone(),
+                    faces,
+                    CopssEngine::new(),
+                    Vec::new(),
+                    std::collections::BTreeSet::new(),
+                    SplitConfig::default(),
+                )),
+            );
+        }
+    }
+
+    for p in population.players() {
+        let node = player_nodes[p.index()];
+        let (edge, _) = sim
+            .topology()
+            .neighbors(node)
+            .next()
+            .expect("player attached");
+        let cursor = TraceCursor::for_player(Arc::clone(trace), p, cfg.warmup);
+        sim.set_behavior(
+            node,
+            Box::new(GamePlayerClient::new(
+                p,
+                edge,
+                population.area_of(p),
+                Arc::clone(map),
+                cursor,
+            )),
+        );
+    }
+
+    HybridSim { sim, player_nodes }
+}
+
+/// Configuration of the NDN (VoCCN-style) baseline simulation.
+#[derive(Debug, Clone)]
+pub struct NdnBaselineConfig {
+    /// Calibration constants.
+    pub params: SimParams,
+    /// Latency-metrics retention.
+    pub metrics_mode: MetricsMode,
+    /// Exact delivery log (small runs only).
+    pub delivery_log: bool,
+    /// Client pipelining/accumulation settings.
+    pub client: NdnClientConfig,
+    /// Time before the first trace event.
+    pub warmup: SimDuration,
+}
+
+impl Default for NdnBaselineConfig {
+    fn default() -> Self {
+        Self {
+            params: SimParams::default(),
+            metrics_mode: MetricsMode::StatsOnly,
+            delivery_log: false,
+            client: NdnClientConfig::default(),
+            warmup: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// A fully-assembled NDN-baseline simulation.
+pub struct NdnSim {
+    /// The simulator. Because consumers poll forever, run it with
+    /// [`Simulator::run_until`] up to a horizon rather than to quiescence.
+    pub sim: Simulator<GPacket, GameWorld>,
+    /// Host node of each player.
+    pub player_nodes: Vec<NodeId>,
+}
+
+/// Builds the VoCCN-style NDN baseline: plain NDN routers with
+/// `/player/<id>` routes toward every player, and clients that pipeline
+/// Interests to every producer in their AoI (roster from ACT).
+#[must_use]
+pub fn build_ndn_baseline(
+    cfg: NdnBaselineConfig,
+    net: &NetworkSpec,
+    map: &Arc<GameMap>,
+    population: &PlayerPopulation,
+    trace: &Arc<Vec<TraceEvent>>,
+) -> NdnSim {
+    let mut bn = net.build();
+    let player_nodes = attach_hosts(
+        &mut bn.topology,
+        &bn.attach_points,
+        population.len(),
+        SimDuration::from_millis(1),
+        "player",
+    );
+    let routing = RoutingTable::shortest_paths(&bn.topology);
+    let mut world = GameWorld::new(cfg.metrics_mode);
+    if cfg.delivery_log {
+        world = world.with_delivery_log();
+    }
+    let mut sim = Simulator::with_routing(bn.topology, routing, world);
+
+    // NDN routers with /player/<id> routes toward every player host.
+    for &r in &bn.routers {
+        let faces = FaceMap::new(sim.topology(), r);
+        let mut fib_routes: Vec<(Name, FaceId)> = Vec::new();
+        for p in population.players() {
+            let node = player_nodes[p.index()];
+            if let Some(hop) = sim.routing().next_hop(r, node) {
+                if let Some(face) = faces.face_of(hop) {
+                    fib_routes.push((player_prefix(p), face));
+                }
+            }
+        }
+        sim.set_behavior(
+            r,
+            Box::new(GCopssRouter::new(
+                cfg.params.clone(),
+                faces,
+                CopssEngine::new(),
+                fib_routes,
+                std::collections::BTreeSet::new(),
+                SplitConfig::default(),
+            )),
+        );
+    }
+
+    let areas: Vec<_> = population.players().map(|p| population.area_of(p)).collect();
+    let rosters = NdnPlayerClient::rosters(map, &areas);
+    for p in population.players() {
+        let node = player_nodes[p.index()];
+        let (edge, _) = sim
+            .topology()
+            .neighbors(node)
+            .next()
+            .expect("player attached");
+        let cursor = TraceCursor::for_player(Arc::clone(trace), p, cfg.warmup);
+        sim.set_behavior(
+            node,
+            Box::new(NdnPlayerClient::new(
+                p,
+                edge,
+                cfg.client.clone(),
+                cursor,
+                rosters[p.index()].clone(),
+            )),
+        );
+    }
+
+    NdnSim { sim, player_nodes }
+}
+
+/// The number of deliveries a correct dissemination must produce for
+/// `trace` with static player placements: for every event, every player
+/// that can see the event's area, minus the publisher.
+#[must_use]
+pub fn expected_deliveries(
+    map: &GameMap,
+    population: &PlayerPopulation,
+    trace: &[TraceEvent],
+) -> u64 {
+    let mut viewers: BTreeMap<&Name, u64> = BTreeMap::new();
+    for cd in map.leaf_cds() {
+        let area = map.area_of_leaf_cd(cd).expect("leaf CD");
+        let count = population
+            .players()
+            .filter(|p| map.can_see(population.area_of(*p), area))
+            .count() as u64;
+        viewers.insert(cd, count);
+    }
+    trace
+        .iter()
+        .map(|e| viewers.get(&e.cd).copied().unwrap_or(0).saturating_sub(1))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcopss_game::PlayerId;
+
+    #[test]
+    fn rp_partition_shapes() {
+        let map = GameMap::paper_map();
+        assert_eq!(rp_prefix_partition(&map, 1), vec![vec![Name::root()]]);
+        let g3 = rp_prefix_partition(&map, 3);
+        assert_eq!(g3.len(), 3);
+        let all: Vec<Name> = g3.iter().flatten().cloned().collect();
+        assert_eq!(all.len(), 6); // /0, /1..5
+        let g6 = rp_prefix_partition(&map, 6);
+        assert!(g6.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot spread")]
+    fn rp_partition_rejects_too_many() {
+        let map = GameMap::paper_map();
+        let _ = rp_prefix_partition(&map, 7);
+    }
+
+    #[test]
+    fn expected_deliveries_counts_visibility() {
+        use gcopss_game::trace::TraceEvent;
+        let map = GameMap::paper_map();
+        let pop = PlayerPopulation::uniform_per_area(&map, 2);
+        // One event to zone /1/2: 6 viewers - publisher = 5.
+        let trace = vec![TraceEvent {
+            time_ns: 0,
+            player: PlayerId(0),
+            cd: Name::parse_lit("/1/2"),
+            object: gcopss_game::ObjectId(0),
+            size: 100,
+        }];
+        assert_eq!(expected_deliveries(&map, &pop, &trace), 5);
+        // World layer: 62 viewers - publisher = 61.
+        let trace = vec![TraceEvent {
+            time_ns: 0,
+            player: PlayerId(0),
+            cd: Name::parse_lit("/0"),
+            object: gcopss_game::ObjectId(0),
+            size: 100,
+        }];
+        assert_eq!(expected_deliveries(&map, &pop, &trace), 61);
+    }
+}

@@ -1,0 +1,337 @@
+//! Content Descriptors: names used as pub/sub topics.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::Name;
+
+/// The precomputed per-level hash chain of a CD.
+///
+/// Element `i` is the stable hash of the CD's prefix with `i` components;
+/// the chain therefore has `name.len() + 1` elements. The paper's §III-C
+/// optimization has the first-hop router compute these once so that every
+/// downstream router can match its Bloom filters with integer operations
+/// only.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CdHashes(Vec<u64>);
+
+impl CdHashes {
+    /// Computes the hash chain for `name`.
+    #[must_use]
+    pub fn compute(name: &Name) -> Self {
+        Self(name.hash_chain())
+    }
+
+    /// Returns the hash of the prefix with `levels` components.
+    #[must_use]
+    pub fn level(&self, levels: usize) -> Option<u64> {
+        self.0.get(levels).copied()
+    }
+
+    /// Returns the hash of the full CD.
+    #[must_use]
+    pub fn full(&self) -> u64 {
+        *self.0.last().expect("hash chain is never empty")
+    }
+
+    /// All per-level hashes, root first.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Number of levels (name length + 1).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// A hash chain always contains at least the root hash.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A Content Descriptor: a [`Name`] used as a publish/subscribe topic,
+/// bundled with its precomputed [`CdHashes`].
+///
+/// `Cd` is cheap to clone (`Arc` internally) because multicast packets carry
+/// their CD across every hop of the simulated network.
+///
+/// # Example
+///
+/// ```
+/// # use gcopss_names::{Cd, Name};
+/// let cd = Cd::parse_lit("/1/2");
+/// assert_eq!(cd.name().to_string(), "/1/2");
+/// assert_eq!(cd.hashes().len(), 3); // "/", "/1", "/1/2"
+/// ```
+#[derive(Clone)]
+pub struct Cd {
+    inner: Arc<CdInner>,
+}
+
+struct CdInner {
+    name: Name,
+    hashes: CdHashes,
+}
+
+impl Cd {
+    /// Creates a CD from a name, computing its hash chain.
+    #[must_use]
+    pub fn new(name: Name) -> Self {
+        let hashes = CdHashes::compute(&name);
+        Self {
+            inner: Arc::new(CdInner { name, hashes }),
+        }
+    }
+
+    /// Parses a CD from a string literal, panicking on failure. Intended for
+    /// tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a valid name.
+    #[must_use]
+    pub fn parse_lit(s: &str) -> Self {
+        Self::new(Name::parse_lit(s))
+    }
+
+    /// The underlying name.
+    #[must_use]
+    pub fn name(&self) -> &Name {
+        &self.inner.name
+    }
+
+    /// The precomputed per-level hashes.
+    #[must_use]
+    pub fn hashes(&self) -> &CdHashes {
+        &self.inner.hashes
+    }
+
+    /// Number of name components.
+    #[must_use]
+    pub fn level_count(&self) -> usize {
+        self.inner.name.len()
+    }
+}
+
+impl fmt::Display for Cd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.name.fmt(f)
+    }
+}
+
+impl fmt::Debug for Cd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cd({})", self.inner.name)
+    }
+}
+
+impl PartialEq for Cd {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.name == other.inner.name
+    }
+}
+
+impl Eq for Cd {}
+
+impl PartialOrd for Cd {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cd {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.inner.name.cmp(&other.inner.name)
+    }
+}
+
+impl std::hash::Hash for Cd {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.inner.name.hash(state);
+    }
+}
+
+impl From<Name> for Cd {
+    fn from(name: Name) -> Self {
+        Self::new(name)
+    }
+}
+
+impl std::str::FromStr for Cd {
+    type Err = crate::ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(Self::new(s.parse()?))
+    }
+}
+
+/// An ordered set of subscription names, with the prefix-closure queries the
+/// COPSS layer needs.
+///
+/// `CdSet` is the exact (non-probabilistic) ground truth that sits next to
+/// the Bloom filter in a subscription table entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CdSet {
+    names: BTreeSet<Name>,
+}
+
+impl CdSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a subscription name; returns `true` if newly inserted.
+    pub fn insert(&mut self, name: Name) -> bool {
+        self.names.insert(name)
+    }
+
+    /// Removes a subscription name; returns `true` if it was present.
+    pub fn remove(&mut self, name: &Name) -> bool {
+        self.names.remove(name)
+    }
+
+    /// Returns `true` if the exact name is present.
+    #[must_use]
+    pub fn contains(&self, name: &Name) -> bool {
+        self.names.contains(name)
+    }
+
+    /// Returns `true` if any stored subscription is a prefix of `cd` —
+    /// i.e. whether a publication to `cd` must be delivered here.
+    #[must_use]
+    pub fn matches_publication(&self, cd: &Name) -> bool {
+        cd.prefixes().any(|p| self.names.contains(&p))
+    }
+
+    /// Returns `true` if any stored subscription has `prefix` as a prefix
+    /// (i.e. the set contains subscriptions at or below `prefix`).
+    #[must_use]
+    pub fn any_under(&self, prefix: &Name) -> bool {
+        self.names
+            .range(prefix.clone()..)
+            .next()
+            .is_some_and(|n| prefix.is_prefix_of(n))
+    }
+
+    /// Number of stored names.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no names are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates the stored names in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Name> {
+        self.names.iter()
+    }
+}
+
+impl FromIterator<Name> for CdSet {
+    fn from_iter<I: IntoIterator<Item = Name>>(iter: I) -> Self {
+        Self {
+            names: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Name> for CdSet {
+    fn extend<I: IntoIterator<Item = Name>>(&mut self, iter: I) {
+        self.names.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a CdSet {
+    type Item = &'a Name;
+    type IntoIter = std::collections::btree_set::Iter<'a, Name>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.names.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cd_exposes_name_and_hashes() {
+        let cd = Cd::parse_lit("/1/2");
+        assert_eq!(cd.name(), &Name::parse_lit("/1/2"));
+        assert_eq!(cd.hashes().len(), 3);
+        assert_eq!(cd.level_count(), 2);
+        assert_eq!(
+            cd.hashes().level(1).unwrap(),
+            Name::parse_lit("/1").stable_hash()
+        );
+        assert_eq!(cd.hashes().full(), Name::parse_lit("/1/2").stable_hash());
+    }
+
+    #[test]
+    fn cd_equality_ignores_arc_identity() {
+        let a = Cd::parse_lit("/1");
+        let b = Cd::parse_lit("/1");
+        assert_eq!(a, b);
+        let c = a.clone();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn cd_clone_is_shallow() {
+        let a = Cd::parse_lit("/1/2/3");
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.inner, &b.inner));
+    }
+
+    #[test]
+    fn cdset_matches_publication_via_prefix() {
+        let mut s = CdSet::new();
+        s.insert(Name::parse_lit("/1"));
+        assert!(s.matches_publication(&Name::parse_lit("/1/2")));
+        assert!(s.matches_publication(&Name::parse_lit("/1")));
+        assert!(!s.matches_publication(&Name::parse_lit("/2/1")));
+        assert!(!s.matches_publication(&Name::root()));
+    }
+
+    #[test]
+    fn cdset_root_subscription_matches_everything() {
+        let mut s = CdSet::new();
+        s.insert(Name::root());
+        assert!(s.matches_publication(&Name::parse_lit("/9/9/9")));
+        assert!(s.matches_publication(&Name::root()));
+    }
+
+    #[test]
+    fn cdset_any_under() {
+        let mut s = CdSet::new();
+        s.insert(Name::parse_lit("/1/2"));
+        s.insert(Name::parse_lit("/3"));
+        assert!(s.any_under(&Name::parse_lit("/1")));
+        assert!(s.any_under(&Name::parse_lit("/1/2")));
+        assert!(s.any_under(&Name::root()));
+        assert!(!s.any_under(&Name::parse_lit("/2")));
+        assert!(!s.any_under(&Name::parse_lit("/1/2/3")));
+    }
+
+    #[test]
+    fn cdset_insert_remove() {
+        let mut s = CdSet::new();
+        assert!(s.insert(Name::parse_lit("/1")));
+        assert!(!s.insert(Name::parse_lit("/1")));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(&Name::parse_lit("/1")));
+        assert!(!s.remove(&Name::parse_lit("/1")));
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! A single label of a hierarchical [`Name`](crate::Name).
+
+use std::borrow::Borrow;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ParseNameError;
+
+/// One component (label) of a hierarchical name.
+///
+/// Components are non-empty UTF-8 strings that do not contain the `/`
+/// separator. The component `"0"` is reserved by convention for the
+/// "own-area" CD of a non-leaf map area (see the crate-level docs); it is an
+/// ordinary component as far as this type is concerned.
+///
+/// # Example
+///
+/// ```
+/// # use gcopss_names::Component;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = Component::new("lobby")?;
+/// assert_eq!(c.as_str(), "lobby");
+/// assert!(Component::new("a/b").is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Component(Box<str>);
+
+impl Component {
+    /// The reserved "own-area" component used by hierarchical game maps.
+    pub const OWN_AREA_LABEL: &'static str = "0";
+
+    /// Creates a component from a string, validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNameError`] if the string is empty or contains `/`.
+    pub fn new(s: impl Into<String>) -> Result<Self, ParseNameError> {
+        let s: String = s.into();
+        if s.is_empty() {
+            return Err(ParseNameError::EmptyComponent);
+        }
+        if s.contains('/') {
+            return Err(ParseNameError::SeparatorInComponent);
+        }
+        Ok(Self(s.into_boxed_str()))
+    }
+
+    /// Creates the reserved own-area component (`"0"`).
+    #[must_use]
+    pub fn own_area() -> Self {
+        Self(Self::OWN_AREA_LABEL.into())
+    }
+
+    /// Creates a numeric component (`1`, `2`, …), the form used for map
+    /// regions and zones.
+    #[must_use]
+    pub fn index(i: u32) -> Self {
+        Self(i.to_string().into_boxed_str())
+    }
+
+    /// Returns the component as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns the raw bytes of the component.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        self.0.as_bytes()
+    }
+
+    /// Returns `true` if this is the reserved own-area component.
+    #[must_use]
+    pub fn is_own_area(&self) -> bool {
+        &*self.0 == Self::OWN_AREA_LABEL
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Component({})", self.0)
+    }
+}
+
+impl std::str::FromStr for Component {
+    type Err = ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::new(s)
+    }
+}
+
+impl TryFrom<&str> for Component {
+    type Error = ParseNameError;
+
+    fn try_from(s: &str) -> Result<Self, Self::Error> {
+        Self::new(s)
+    }
+}
+
+impl TryFrom<String> for Component {
+    type Error = ParseNameError;
+
+    fn try_from(s: String) -> Result<Self, Self::Error> {
+        Self::new(s)
+    }
+}
+
+impl From<u32> for Component {
+    fn from(i: u32) -> Self {
+        Self::index(i)
+    }
+}
+
+impl AsRef<str> for Component {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for Component {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_plain_labels() {
+        let c = Component::new("sports").unwrap();
+        assert_eq!(c.as_str(), "sports");
+        assert_eq!(c.to_string(), "sports");
+    }
+
+    #[test]
+    fn new_rejects_empty() {
+        assert_eq!(
+            Component::new("").unwrap_err(),
+            ParseNameError::EmptyComponent
+        );
+    }
+
+    #[test]
+    fn new_rejects_separator() {
+        assert_eq!(
+            Component::new("a/b").unwrap_err(),
+            ParseNameError::SeparatorInComponent
+        );
+    }
+
+    #[test]
+    fn own_area_is_zero_label() {
+        let c = Component::own_area();
+        assert!(c.is_own_area());
+        assert_eq!(c.as_str(), "0");
+        assert_eq!(c, Component::index(0));
+    }
+
+    #[test]
+    fn index_components_are_numeric() {
+        assert_eq!(Component::index(17).as_str(), "17");
+        assert!(!Component::index(1).is_own_area());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Component::new("1").unwrap() < Component::new("2").unwrap());
+        // Note: lexicographic, not numeric.
+        assert!(Component::new("10").unwrap() < Component::new("2").unwrap());
+    }
+
+    #[test]
+    fn borrow_allows_str_lookup() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert(Component::new("a").unwrap(), 1);
+        assert_eq!(m.get("a"), Some(&1));
+    }
+}

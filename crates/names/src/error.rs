@@ -1,0 +1,48 @@
+//! Errors produced while parsing names.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error returned when parsing a [`Name`](crate::Name) or
+/// [`Component`](crate::Component) from a string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ParseNameError {
+    /// The name did not start with the `/` separator.
+    MissingLeadingSlash,
+    /// A component was empty (e.g. `//` inside a name, or a trailing `/`).
+    EmptyComponent,
+    /// A component contained the `/` separator.
+    SeparatorInComponent,
+}
+
+impl fmt::Display for ParseNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingLeadingSlash => write!(f, "name must start with '/'"),
+            Self::EmptyComponent => write!(f, "name contains an empty component"),
+            Self::SeparatorInComponent => write!(f, "component contains '/'"),
+        }
+    }
+}
+
+impl Error for ParseNameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_punctuation() {
+        for e in [
+            ParseNameError::MissingLeadingSlash,
+            ParseNameError::EmptyComponent,
+            ParseNameError::SeparatorInComponent,
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+}

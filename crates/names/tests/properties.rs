@@ -1,0 +1,148 @@
+//! Property-based tests for the naming substrate.
+
+use gcopss_names::{BloomFilter, BloomParams, Cd, CdSet, Component, Name, NameTree};
+use proptest::prelude::*;
+
+/// Strategy producing valid name components (no '/', non-empty).
+fn component() -> impl Strategy<Value = Component> {
+    "[a-z0-9]{1,6}".prop_map(|s| Component::new(s).expect("valid component"))
+}
+
+/// Strategy producing names of up to 6 components.
+fn name() -> impl Strategy<Value = Name> {
+    prop::collection::vec(component(), 0..6).prop_map(Name::from_components)
+}
+
+proptest! {
+    #[test]
+    fn parse_display_round_trip(n in name()) {
+        let s = n.to_string();
+        let back: Name = s.parse().unwrap();
+        prop_assert_eq!(n, back);
+    }
+
+    #[test]
+    fn prefix_reflexive_and_antisymmetric(a in name(), b in name()) {
+        prop_assert!(a.is_prefix_of(&a));
+        if a.is_prefix_of(&b) && b.is_prefix_of(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+
+    #[test]
+    fn prefix_transitive(a in name(), suffix1 in name(), suffix2 in name()) {
+        let b = a.join(&suffix1);
+        let c = b.join(&suffix2);
+        prop_assert!(a.is_prefix_of(&b));
+        prop_assert!(b.is_prefix_of(&c));
+        prop_assert!(a.is_prefix_of(&c));
+    }
+
+    #[test]
+    fn parent_is_strict_prefix(n in name()) {
+        if let Some(p) = n.parent() {
+            prop_assert!(p.is_strict_prefix_of(&n));
+            prop_assert_eq!(p.len() + 1, n.len());
+        } else {
+            prop_assert!(n.is_empty());
+        }
+    }
+
+    #[test]
+    fn hash_chain_consistent_with_prefixes(n in name()) {
+        let chain = n.hash_chain();
+        prop_assert_eq!(chain.len(), n.len() + 1);
+        for (i, p) in n.prefixes().enumerate() {
+            prop_assert_eq!(chain[i], p.stable_hash());
+        }
+    }
+
+    #[test]
+    fn cd_hashes_match_name_hash_chain(n in name()) {
+        let cd = Cd::new(n.clone());
+        prop_assert_eq!(cd.hashes().as_slice(), &n.hash_chain()[..]);
+    }
+
+    #[test]
+    fn tree_longest_prefix_matches_naive_scan(
+        entries in prop::collection::btree_map(name(), any::<u32>(), 0..24),
+        probe in name(),
+    ) {
+        let tree: NameTree<u32> = entries.clone().into_iter().collect();
+        let naive = entries
+            .iter()
+            .filter(|(k, _)| k.is_prefix_of(&probe))
+            .max_by_key(|(k, _)| k.len())
+            .map(|(k, v)| (k.clone(), *v));
+        let got = tree.longest_prefix(&probe).map(|(k, v)| (k, *v));
+        prop_assert_eq!(got, naive);
+    }
+
+    #[test]
+    fn tree_insert_remove_round_trip(
+        entries in prop::collection::btree_map(name(), any::<u32>(), 0..24),
+    ) {
+        let mut tree: NameTree<u32> = entries.clone().into_iter().collect();
+        prop_assert_eq!(tree.len(), entries.len());
+        for (k, v) in &entries {
+            prop_assert_eq!(tree.get(k), Some(v));
+        }
+        for (k, v) in &entries {
+            prop_assert_eq!(tree.remove(k), Some(*v));
+        }
+        prop_assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn tree_descendants_agree_with_filter(
+        entries in prop::collection::btree_map(name(), any::<u32>(), 0..24),
+        prefix in name(),
+    ) {
+        let tree: NameTree<u32> = entries.clone().into_iter().collect();
+        let mut naive: Vec<Name> = entries
+            .keys()
+            .filter(|k| prefix.is_prefix_of(k))
+            .cloned()
+            .collect();
+        naive.sort();
+        let got: Vec<Name> = tree
+            .descendants(&prefix)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        prop_assert_eq!(got, naive);
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives(
+        names in prop::collection::btree_set(name(), 1..64),
+    ) {
+        let mut f = BloomFilter::new(BloomParams::for_items(64, 0.01));
+        for n in &names {
+            f.insert(n.stable_hash());
+        }
+        for n in &names {
+            prop_assert!(f.contains(n.stable_hash()));
+        }
+    }
+
+    #[test]
+    fn cdset_matches_publication_agrees_with_prefix_scan(
+        subs in prop::collection::btree_set(name(), 0..16),
+        publication in name(),
+    ) {
+        let set: CdSet = subs.clone().into_iter().collect();
+        let naive = subs.iter().any(|s| s.is_prefix_of(&publication));
+        prop_assert_eq!(set.matches_publication(&publication), naive);
+    }
+
+    #[test]
+    fn cdset_any_under_agrees_with_scan(
+        subs in prop::collection::btree_set(name(), 0..16),
+        prefix in name(),
+    ) {
+        let set: CdSet = subs.clone().into_iter().collect();
+        let naive = subs.iter().any(|s| prefix.is_prefix_of(s));
+        prop_assert_eq!(set.any_under(&prefix), naive);
+    }
+}

@@ -1,0 +1,269 @@
+//! The Content Store: an LRU cache of Data packets with freshness expiry.
+
+use std::collections::HashMap;
+
+use gcopss_names::{Name, NameTree};
+
+use crate::Data;
+
+/// Configuration for a [`ContentStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContentStoreConfig {
+    /// Maximum number of Data packets kept; the least recently used entry
+    /// is evicted when full. Zero disables caching entirely.
+    pub capacity: usize,
+}
+
+impl Default for ContentStoreConfig {
+    fn default() -> Self {
+        Self { capacity: 4096 }
+    }
+}
+
+/// An LRU Content Store.
+///
+/// Lookup matches an Interest name against cached Data exactly, or — when
+/// the Interest name is a proper prefix — against the first (lexicographically
+/// smallest) cached Data below it, mirroring NDN's "leftmost child" default.
+/// Entries whose freshness has lapsed are ignored and lazily evicted; the
+/// paper notes gaming traffic "ages out quickly", which is modeled by small
+/// `freshness_ns` on update Data.
+///
+/// # Example
+///
+/// ```
+/// # use gcopss_ndn::{ContentStore, ContentStoreConfig, Data};
+/// # use gcopss_names::Name;
+/// # use bytes::Bytes;
+/// let mut cs = ContentStore::new(ContentStoreConfig { capacity: 8 });
+/// cs.insert(0, Data::new(Name::parse_lit("/a/1"), Bytes::from_static(b"x")));
+/// assert!(cs.lookup(1, &Name::parse_lit("/a")).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContentStore {
+    config: ContentStoreConfig,
+    /// name -> (data, absolute expiry ns, lru stamp)
+    by_name: NameTree<Entry>,
+    /// lru stamp -> name (sparse; stale stamps skipped on eviction)
+    stamps: HashMap<u64, Name>,
+    next_stamp: u64,
+    oldest_stamp: u64,
+    len: usize,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    data: Data,
+    expires_ns: u64,
+    stamp: u64,
+}
+
+impl ContentStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new(config: ContentStoreConfig) -> Self {
+        Self {
+            config,
+            by_name: NameTree::new(),
+            stamps: HashMap::new(),
+            next_stamp: 0,
+            oldest_stamp: 0,
+            len: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Inserts (or refreshes) a Data packet at `now_ns`.
+    ///
+    /// Data with zero freshness is not cached. When the store is full the
+    /// least recently used entry is evicted.
+    pub fn insert(&mut self, now_ns: u64, data: Data) {
+        if self.config.capacity == 0 || data.freshness_ns == 0 {
+            return;
+        }
+        let name = data.name.clone();
+        let stamp = self.bump_stamp(&name);
+        let expires_ns = now_ns.saturating_add(data.freshness_ns);
+        let was_new = self
+            .by_name
+            .insert(
+                name,
+                Entry {
+                    data,
+                    expires_ns,
+                    stamp,
+                },
+            )
+            .is_none();
+        if was_new {
+            self.len += 1;
+            while self.len > self.config.capacity {
+                self.evict_lru();
+            }
+        }
+    }
+
+    /// Looks up fresh Data matching `interest_name` (exact, or leftmost
+    /// descendant for prefix Interests), refreshing its LRU position.
+    pub fn lookup(&mut self, now_ns: u64, interest_name: &Name) -> Option<Data> {
+        // Exact match first.
+        let matched: Option<Name> = match self.by_name.get(interest_name) {
+            Some(e) if e.expires_ns > now_ns => Some(interest_name.clone()),
+            _ => {
+                // Leftmost fresh descendant.
+                self.by_name
+                    .descendants(interest_name)
+                    .into_iter()
+                    .find(|(_, e)| e.expires_ns > now_ns)
+                    .map(|(n, _)| n)
+            }
+        };
+        match matched {
+            Some(name) => {
+                let stamp = self.bump_stamp(&name);
+                let e = self.by_name.get_mut(&name).expect("entry just matched");
+                e.stamp = stamp;
+                self.hits += 1;
+                Some(e.data.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Number of cached entries (including possibly stale ones awaiting
+    /// lazy eviction).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn bump_stamp(&mut self, name: &Name) -> u64 {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.stamps.insert(stamp, name.clone());
+        stamp
+    }
+
+    fn evict_lru(&mut self) {
+        while self.oldest_stamp < self.next_stamp {
+            let s = self.oldest_stamp;
+            self.oldest_stamp += 1;
+            if let Some(name) = self.stamps.remove(&s) {
+                // Only evict if this stamp is still the entry's current one.
+                let is_current = self.by_name.get(&name).is_some_and(|e| e.stamp == s);
+                if is_current {
+                    self.by_name.remove(&name);
+                    self.len -= 1;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Default for ContentStore {
+    fn default() -> Self {
+        Self::new(ContentStoreConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn d(name: &str, body: &'static [u8]) -> Data {
+        Data::new(Name::parse_lit(name), Bytes::from_static(body))
+    }
+
+    #[test]
+    fn exact_hit_and_miss() {
+        let mut cs = ContentStore::default();
+        cs.insert(0, d("/a/1", b"x"));
+        assert_eq!(
+            cs.lookup(1, &Name::parse_lit("/a/1")).unwrap().payload,
+            Bytes::from_static(b"x")
+        );
+        assert!(cs.lookup(1, &Name::parse_lit("/a/2")).is_none());
+        assert_eq!(cs.hits(), 1);
+        assert_eq!(cs.misses(), 1);
+    }
+
+    #[test]
+    fn prefix_lookup_returns_leftmost() {
+        let mut cs = ContentStore::default();
+        cs.insert(0, d("/a/2", b"two"));
+        cs.insert(0, d("/a/1", b"one"));
+        let got = cs.lookup(1, &Name::parse_lit("/a")).unwrap();
+        assert_eq!(got.name, Name::parse_lit("/a/1"));
+    }
+
+    #[test]
+    fn freshness_expiry() {
+        let mut cs = ContentStore::default();
+        cs.insert(0, Data::with_freshness(Name::parse_lit("/a"), Bytes::new(), 100));
+        assert!(cs.lookup(50, &Name::parse_lit("/a")).is_some());
+        assert!(cs.lookup(150, &Name::parse_lit("/a")).is_none());
+    }
+
+    #[test]
+    fn zero_freshness_not_cached() {
+        let mut cs = ContentStore::default();
+        cs.insert(0, Data::with_freshness(Name::parse_lit("/a"), Bytes::new(), 0));
+        assert!(cs.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let mut cs = ContentStore::new(ContentStoreConfig { capacity: 0 });
+        cs.insert(0, d("/a", b"x"));
+        assert!(cs.lookup(1, &Name::parse_lit("/a")).is_none());
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut cs = ContentStore::new(ContentStoreConfig { capacity: 2 });
+        cs.insert(0, d("/a", b"a"));
+        cs.insert(0, d("/b", b"b"));
+        // Touch /a so /b becomes LRU.
+        assert!(cs.lookup(1, &Name::parse_lit("/a")).is_some());
+        cs.insert(2, d("/c", b"c"));
+        assert_eq!(cs.len(), 2);
+        assert!(cs.lookup(3, &Name::parse_lit("/b")).is_none(), "/b evicted");
+        assert!(cs.lookup(3, &Name::parse_lit("/a")).is_some());
+        assert!(cs.lookup(3, &Name::parse_lit("/c")).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes() {
+        let mut cs = ContentStore::new(ContentStoreConfig { capacity: 2 });
+        cs.insert(0, Data::with_freshness(Name::parse_lit("/a"), Bytes::new(), 100));
+        cs.insert(50, Data::with_freshness(Name::parse_lit("/a"), Bytes::new(), 100));
+        assert_eq!(cs.len(), 1);
+        assert!(cs.lookup(120, &Name::parse_lit("/a")).is_some());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the NDN engine.
+
+use bytes::Bytes;
+use gcopss_names::{Component, Name};
+use gcopss_ndn::{Data, FaceId, Interest, NdnAction, NdnConfig, NdnEngine};
+use proptest::prelude::*;
+
+fn name() -> impl Strategy<Value = Name> {
+    prop::collection::vec("[a-c]{1,2}", 1..4).prop_map(|cs| {
+        Name::from_components(cs.into_iter().map(|c| Component::new(c).unwrap()))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every Interest that was forwarded and later answered produces Data on
+    /// exactly the faces that expressed it (no loss, no duplication).
+    #[test]
+    fn data_reaches_every_pending_face(
+        consumers in prop::collection::vec((1u32..8, name()), 1..16),
+    ) {
+        let mut e = NdnEngine::new(NdnConfig::default());
+        let upstream = FaceId(99);
+        e.fib_mut().add(Name::root(), upstream);
+
+        // Track which faces asked for each name (cache hits answer some
+        // consumers immediately).
+        let mut pending: std::collections::BTreeMap<Name, Vec<FaceId>> = Default::default();
+        let mut nonce = 0u64;
+        let mut satisfied_from_cache = 0usize;
+        for (f, n) in &consumers {
+            nonce += 1;
+            let acts = e.process_interest(0, FaceId(*f), Interest::new(n.clone(), nonce));
+            let cache_hit = acts
+                .iter()
+                .any(|a| matches!(a, NdnAction::SendData { .. }));
+            if cache_hit {
+                satisfied_from_cache += 1;
+            } else {
+                let entry = pending.entry(n.clone()).or_default();
+                if !entry.contains(&FaceId(*f)) {
+                    entry.push(FaceId(*f));
+                }
+            }
+            // Upstream answers each distinct name exactly once, as soon as
+            // its first Interest leaves.
+            if acts
+                .iter()
+                .any(|a| matches!(a, NdnAction::SendInterest { .. }))
+            {
+                let data = Data::new(n.clone(), Bytes::from_static(b"d"));
+                let replies = e.process_data(1, upstream, data);
+                let expect = pending.remove(n).unwrap_or_default();
+                let mut got: Vec<FaceId> = replies
+                    .iter()
+                    .map(|a| match a {
+                        NdnAction::SendData { face, .. } => *face,
+                        NdnAction::SendInterest { .. } => panic!("unexpected interest"),
+                    })
+                    .collect();
+                got.sort_unstable();
+                let mut expect = expect;
+                expect.sort_unstable();
+                prop_assert_eq!(got, expect);
+            }
+        }
+        // Everything was answered one way or another.
+        prop_assert!(pending.is_empty() || satisfied_from_cache <= consumers.len());
+    }
+
+    /// The engine never reflects a packet back to its arrival face.
+    #[test]
+    fn no_reflection(
+        routes in prop::collection::vec((name(), 0u32..6), 1..10),
+        probe in name(),
+        arrival in 0u32..6,
+    ) {
+        let mut e = NdnEngine::new(NdnConfig::default());
+        for (n, f) in routes {
+            e.fib_mut().add(n, FaceId(f));
+        }
+        let acts = e.process_interest(0, FaceId(arrival), Interest::new(probe, 1));
+        for a in acts {
+            match a {
+                NdnAction::SendInterest { face, .. } => prop_assert_ne!(face, FaceId(arrival)),
+                NdnAction::SendData { face, .. } => prop_assert_eq!(face, FaceId(arrival)),
+            }
+        }
+    }
+
+    /// PIT aggregation: for one name, at most one upstream forward happens
+    /// per distinct (face, nonce) burst until Data consumes the entry.
+    #[test]
+    fn at_most_one_upstream_forward_per_name(
+        faces in prop::collection::vec(1u32..8, 2..12),
+        n in name(),
+    ) {
+        let mut e = NdnEngine::new(NdnConfig::default());
+        let upstream = FaceId(99);
+        e.fib_mut().add(Name::root(), upstream);
+        let mut forwards = 0;
+        let mut seen_faces: Vec<u32> = Vec::new();
+        for (i, f) in faces.iter().enumerate() {
+            let acts = e.process_interest(0, FaceId(*f), Interest::new(n.clone(), i as u64));
+            let fwd = acts
+                .iter()
+                .filter(|a| matches!(a, NdnAction::SendInterest { .. }))
+                .count();
+            if seen_faces.contains(f) {
+                // Retransmission from a known face is re-forwarded by design.
+                prop_assert!(fwd <= 1);
+            } else if seen_faces.is_empty() {
+                prop_assert_eq!(fwd, 1, "first interest must forward");
+            } else {
+                prop_assert_eq!(fwd, 0, "aggregated interest must not forward");
+            }
+            if !seen_faces.contains(f) {
+                seen_faces.push(*f);
+            }
+            forwards += fwd;
+        }
+        prop_assert!(forwards >= 1);
+    }
+}

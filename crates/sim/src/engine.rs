@@ -1,0 +1,825 @@
+//! The discrete-event simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::{LinkId, NodeId, RoutingTable, SimDuration, SimTime, Topology};
+
+/// The behavior of one node in the simulated network.
+///
+/// A behavior is a state machine driven by the [`Simulator`]: it receives
+/// packets (after they waited in the node's FIFO service queue) and timer
+/// callbacks, and reacts by sending packets to neighbors, scheduling timers,
+/// or mutating the shared world state `W`.
+///
+/// `P` is the packet type (defined by the protocol layer on top, e.g. the
+/// G-COPSS packet enum); `W` is experiment-defined shared state (metrics
+/// sinks, global tables).
+pub trait NodeBehavior<P, W> {
+    /// Called once at simulation start (time zero), in node-id order.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, P, W>) {
+        let _ = ctx;
+    }
+
+    /// Called when a packet reaches the head of this node's service queue.
+    ///
+    /// `from` is the neighbor that sent the packet, or `None` for packets
+    /// injected from outside the network (trace sources, local apps).
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, P, W>, from: Option<NodeId>, pkt: P);
+
+    /// Called when a timer scheduled with [`Ctx::schedule`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, P, W>, key: u64) {
+        let _ = (ctx, key);
+    }
+
+    /// Per-packet service time of this node's single-server queue.
+    ///
+    /// This is where the paper's calibration constants live: ~3.3 ms at an
+    /// RP, ~6 ms at a game server, tens of microseconds at an IP router.
+    /// The default is zero (infinitely fast node).
+    fn service_time(&self, pkt: &P) -> SimDuration {
+        let _ = pkt;
+        SimDuration::ZERO
+    }
+}
+
+/// The context handed to a [`NodeBehavior`] callback: the node's window onto
+/// the simulation.
+///
+/// All effects requested through the context (sends, timers) are applied by
+/// the engine after the callback returns.
+pub struct Ctx<'a, P, W> {
+    now: SimTime,
+    node: NodeId,
+    world: &'a mut W,
+    topology: &'a Topology,
+    routing: &'a RoutingTable,
+    queue_len: usize,
+    sends: Vec<(NodeId, P, u32)>,
+    timers: Vec<(SimDuration, u64)>,
+    extra_busy: SimDuration,
+    stop: bool,
+}
+
+impl<P, W> Ctx<'_, P, W> {
+    /// The current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node whose behavior is running.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Mutable access to the shared world state.
+    pub fn world(&mut self) -> &mut W {
+        self.world
+    }
+
+    /// The network topology (read-only).
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        self.topology
+    }
+
+    /// The precomputed shortest-path routing table.
+    #[must_use]
+    pub fn routing(&self) -> &RoutingTable {
+        self.routing
+    }
+
+    /// The number of packets currently waiting in this node's service queue
+    /// (not counting the one being processed). This is the quantity the
+    /// G-COPSS RP monitors to trigger automatic rebalancing (§IV-B).
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue_len
+    }
+
+    /// Sends `pkt` of `size_bytes` to a *neighboring* node.
+    ///
+    /// The packet experiences the link's serialization delay (if the link
+    /// has finite bandwidth) plus its propagation delay, then enters the
+    /// neighbor's service queue.
+    ///
+    /// # Panics
+    ///
+    /// The engine panics when applying the effect if `to` is not adjacent to
+    /// this node.
+    pub fn send(&mut self, to: NodeId, pkt: P, size_bytes: u32) {
+        self.sends.push((to, pkt, size_bytes));
+    }
+
+    /// Sends `pkt` one hop along the shortest path toward `dst`.
+    ///
+    /// Convenience for behaviors that forward by destination (the IP
+    /// baseline). Does nothing if `dst` is this node or unreachable;
+    /// returns the chosen next hop.
+    pub fn send_toward(&mut self, dst: NodeId, pkt: P, size_bytes: u32) -> Option<NodeId> {
+        let hop = self.routing.next_hop(self.node, dst)?;
+        self.send(hop, pkt, size_bytes);
+        Some(hop)
+    }
+
+    /// Schedules [`NodeBehavior::on_timer`] on this node after `delay`.
+    pub fn schedule(&mut self, delay: SimDuration, key: u64) {
+        self.timers.push((delay, key));
+    }
+
+    /// Keeps this node's server busy for an additional `d` after the current
+    /// packet completes, before the next queued packet starts service.
+    ///
+    /// Used to model per-recipient transmission work (e.g. a game server
+    /// unicasting one update to N subscribers pays N send costs).
+    pub fn consume(&mut self, d: SimDuration) {
+        self.extra_busy += d;
+    }
+
+    /// Requests that the simulation stop after the current event.
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+#[derive(Debug)]
+enum Event<P> {
+    Arrival {
+        node: NodeId,
+        from: Option<NodeId>,
+        pkt: P,
+        size: u32,
+    },
+    EndService {
+        node: NodeId,
+    },
+    Resume {
+        node: NodeId,
+    },
+    Timer {
+        node: NodeId,
+        key: u64,
+    },
+}
+
+struct NodeState<P> {
+    queue: VecDeque<(Option<NodeId>, P, u32)>,
+    busy: bool,
+    max_queue: usize,
+    processed: u64,
+    busy_time: SimDuration,
+}
+
+impl<P> Default for NodeState<P> {
+    fn default() -> Self {
+        Self {
+            queue: VecDeque::new(),
+            busy: false,
+            max_queue: 0,
+            processed: 0,
+            busy_time: SimDuration::ZERO,
+        }
+    }
+}
+
+/// The discrete-event simulator: topology + routing + one [`NodeBehavior`]
+/// per node + shared world state `W`.
+///
+/// See the crate-level documentation for a complete example.
+pub struct Simulator<P, W> {
+    topology: Topology,
+    routing: RoutingTable,
+    behaviors: Vec<Option<Box<dyn NodeBehavior<P, W>>>>,
+    nodes: Vec<NodeState<P>>,
+    world: W,
+    events: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    payloads: Vec<Option<Event<P>>>,
+    free_slots: Vec<usize>,
+    seq: u64,
+    now: SimTime,
+    /// bytes sent per directed link: index link*2 + dir
+    link_bytes: Vec<u64>,
+    /// busy-until per directed link (serialization)
+    link_busy: Vec<SimTime>,
+    events_processed: u64,
+    stopped: bool,
+    on_start_done: bool,
+}
+
+impl<P, W> Simulator<P, W> {
+    /// Creates a simulator over `topology`, computing shortest-path routing,
+    /// with all nodes initially running a drop-everything behavior.
+    #[must_use]
+    pub fn new(topology: Topology, world: W) -> Self {
+        let routing = RoutingTable::shortest_paths(&topology);
+        Self::with_routing(topology, routing, world)
+    }
+
+    /// Creates a simulator with a pre-computed routing table (useful when
+    /// the caller also needs the table to configure behaviors).
+    #[must_use]
+    pub fn with_routing(topology: Topology, routing: RoutingTable, world: W) -> Self {
+        let n = topology.node_count();
+        let l = topology.link_count();
+        Self {
+            behaviors: (0..n).map(|_| None).collect(),
+            nodes: (0..n).map(|_| NodeState::default()).collect(),
+            world,
+            events: BinaryHeap::new(),
+            payloads: Vec::new(),
+            free_slots: Vec::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            link_bytes: vec![0; l * 2],
+            link_busy: vec![SimTime::ZERO; l * 2],
+            events_processed: 0,
+            stopped: false,
+            on_start_done: false,
+            topology,
+            routing,
+        }
+    }
+
+    /// Installs the behavior of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is unknown.
+    pub fn set_behavior(&mut self, node: NodeId, behavior: Box<dyn NodeBehavior<P, W>>) {
+        self.behaviors[node.index()] = Some(behavior);
+    }
+
+    /// The simulated clock.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology being simulated.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The routing table in use.
+    #[must_use]
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+
+    /// Shared world state.
+    #[must_use]
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Shared world state, mutably.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the simulator, returning the world state.
+    #[must_use]
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Injects a packet from outside the network into `node`'s service queue
+    /// at absolute time `at` (e.g. a trace event or an application request).
+    pub fn inject(&mut self, at: SimTime, node: NodeId, pkt: P, size_bytes: u32) {
+        self.push_event(
+            at,
+            Event::Arrival {
+                node,
+                from: None,
+                pkt,
+                size: size_bytes,
+            },
+        );
+    }
+
+    /// Total bytes carried by all links (the paper's "aggregate network
+    /// load").
+    #[must_use]
+    pub fn total_link_bytes(&self) -> u64 {
+        self.link_bytes.iter().sum()
+    }
+
+    /// Bytes carried by one link (both directions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is unknown.
+    #[must_use]
+    pub fn link_bytes(&self, link: LinkId) -> u64 {
+        self.link_bytes[link.index() * 2] + self.link_bytes[link.index() * 2 + 1]
+    }
+
+    /// Number of packets processed by a node so far.
+    #[must_use]
+    pub fn node_processed(&self, node: NodeId) -> u64 {
+        self.nodes[node.index()].processed
+    }
+
+    /// The largest service-queue length a node has seen.
+    #[must_use]
+    pub fn node_max_queue(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].max_queue
+    }
+
+    /// Cumulative time a node's server has been busy (utilization =
+    /// `busy_time / now`).
+    #[must_use]
+    pub fn node_busy_time(&self, node: NodeId) -> SimDuration {
+        self.nodes[node.index()].busy_time
+    }
+
+    /// Number of events executed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Runs every node's [`NodeBehavior::on_start`] hook, then processes
+    /// events until the queue drains or a behavior calls [`Ctx::stop`].
+    pub fn run(&mut self) {
+        self.run_until(SimTime::MAX);
+    }
+
+    /// Like [`Simulator::run`] but stops once the clock would pass `limit`
+    /// (events at exactly `limit` are processed).
+    pub fn run_until(&mut self, limit: SimTime) {
+        self.start_all();
+        while let Some(&Reverse((t, _, _))) = self.events.peek() {
+            if t > limit || self.stopped {
+                break;
+            }
+            let Reverse((t, _, slot)) = self.events.pop().expect("peeked");
+            self.now = t;
+            let ev = self.payloads[slot as usize]
+                .take()
+                .expect("event payload present");
+            self.free_slots.push(slot as usize);
+            self.events_processed += 1;
+            self.dispatch(ev);
+        }
+    }
+
+    /// Processes at most `n` further events (after running `on_start` hooks
+    /// if not yet run). Returns the number actually processed.
+    pub fn step(&mut self, n: u64) -> u64 {
+        self.start_all();
+        let mut done = 0;
+        while done < n && !self.stopped {
+            let Some(Reverse((t, _, slot))) = self.events.pop() else {
+                break;
+            };
+            self.now = t;
+            let ev = self.payloads[slot as usize]
+                .take()
+                .expect("event payload present");
+            self.free_slots.push(slot as usize);
+            self.events_processed += 1;
+            self.dispatch(ev);
+            done += 1;
+        }
+        done
+    }
+
+    fn start_all(&mut self) {
+        // Run on_start exactly once per simulator, before the first event.
+        if self.on_start_done {
+            return;
+        }
+        self.on_start_done = true;
+        for i in 0..self.behaviors.len() {
+            let node = NodeId(i as u32);
+            self.with_behavior(node, |b, ctx| b.on_start(ctx));
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event<P>) {
+        match ev {
+            Event::Arrival {
+                node, from, pkt, size,
+            } => {
+                let st = &mut self.nodes[node.index()];
+                st.queue.push_back((from, pkt, size));
+                st.max_queue = st.max_queue.max(st.queue.len());
+                self.try_start_service(node);
+            }
+            Event::EndService { node } => {
+                let (from, pkt, _size) = self.nodes[node.index()]
+                    .queue
+                    .pop_front()
+                    .expect("end of service with empty queue");
+                self.nodes[node.index()].processed += 1;
+                let extra = self.with_behavior(node, |b, ctx| {
+                    b.on_packet(ctx, from, pkt);
+                });
+                if extra.is_zero() {
+                    self.nodes[node.index()].busy = false;
+                    self.try_start_service(node);
+                } else {
+                    self.nodes[node.index()].busy_time += extra;
+                    let at = self.now + extra;
+                    self.push_event(at, Event::Resume { node });
+                }
+            }
+            Event::Resume { node } => {
+                self.nodes[node.index()].busy = false;
+                self.try_start_service(node);
+            }
+            Event::Timer { node, key } => {
+                self.with_behavior_timer(node, key);
+            }
+        }
+    }
+
+    fn try_start_service(&mut self, node: NodeId) {
+        let st = &self.nodes[node.index()];
+        if st.busy || st.queue.is_empty() {
+            return;
+        }
+        let pkt = &st.queue.front().expect("non-empty").1;
+        let service = self.behaviors[node.index()]
+            .as_ref()
+            .map_or(SimDuration::ZERO, |b| b.service_time(pkt));
+        self.nodes[node.index()].busy = true;
+        self.nodes[node.index()].busy_time += service;
+        let at = self.now + service;
+        self.push_event(at, Event::EndService { node });
+    }
+
+    /// Runs `f` with the node's behavior temporarily removed (so the
+    /// behavior can borrow the simulator context), then applies effects.
+    /// Returns the extra busy time requested via [`Ctx::consume`].
+    fn with_behavior(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn NodeBehavior<P, W>, &mut Ctx<'_, P, W>),
+    ) -> SimDuration {
+        let Some(mut behavior) = self.behaviors[node.index()].take() else {
+            return SimDuration::ZERO;
+        };
+        let mut ctx = Ctx {
+            now: self.now,
+            node,
+            world: &mut self.world,
+            topology: &self.topology,
+            routing: &self.routing,
+            queue_len: self.nodes[node.index()].queue.len(),
+            sends: Vec::new(),
+            timers: Vec::new(),
+            extra_busy: SimDuration::ZERO,
+            stop: false,
+        };
+        f(behavior.as_mut(), &mut ctx);
+        let Ctx {
+            sends,
+            timers,
+            extra_busy,
+            stop,
+            ..
+        } = ctx;
+        self.behaviors[node.index()] = Some(behavior);
+        if stop {
+            self.stopped = true;
+        }
+        for (to, pkt, size) in sends {
+            self.transmit(node, to, pkt, size);
+        }
+        for (delay, key) in timers {
+            let at = self.now + delay;
+            self.push_event(at, Event::Timer { node, key });
+        }
+        extra_busy
+    }
+
+    fn with_behavior_timer(&mut self, node: NodeId, key: u64) {
+        self.with_behavior(node, |b, ctx| b.on_timer(ctx, key));
+    }
+
+    fn transmit(&mut self, from: NodeId, to: NodeId, pkt: P, size: u32) {
+        let link = self
+            .topology
+            .link_between(from, to)
+            .unwrap_or_else(|| panic!("{from} is not adjacent to {to}"));
+        let (a, _) = self.topology.link_endpoints(link);
+        let dir = usize::from(from != a);
+        let idx = link.index() * 2 + dir;
+        self.link_bytes[idx] += u64::from(size);
+        let prop = self.topology.link_delay(link);
+        let arrival = match self.topology.link_bandwidth(link) {
+            None => self.now + prop,
+            Some(bw) => {
+                let tx = SimDuration::from_secs_f64(f64::from(size) / bw as f64);
+                let start = self.link_busy[idx].max(self.now);
+                self.link_busy[idx] = start + tx;
+                start + tx + prop
+            }
+        };
+        self.push_event(
+            arrival,
+            Event::Arrival {
+                node: to,
+                from: Some(from),
+                pkt,
+                size,
+            },
+        );
+    }
+
+    fn push_event(&mut self, at: SimTime, ev: Event<P>) {
+        debug_assert!(at >= self.now, "event scheduled in the past");
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.payloads[s] = Some(ev);
+                s
+            }
+            None => {
+                self.payloads.push(Some(ev));
+                self.payloads.len() - 1
+            }
+        };
+        self.seq += 1;
+        self.events.push(Reverse((at, self.seq, slot as u64)));
+    }
+}
+
+// `on_start_done` lives outside the main struct body above for readability;
+// define it here.
+impl<P, W> Simulator<P, W> {
+    /// Returns `true` if there are no pending events.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct World {
+        arrivals: Vec<(u64, u32)>, // (time ns, pkt)
+    }
+
+    struct Relay {
+        to: Option<NodeId>,
+        service: SimDuration,
+    }
+
+    impl NodeBehavior<u32, World> for Relay {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, _from: Option<NodeId>, pkt: u32) {
+            let now = ctx.now().as_nanos();
+            ctx.world().arrivals.push((now, pkt));
+            if let Some(to) = self.to {
+                ctx.send(to, pkt, 100);
+            }
+        }
+
+        fn service_time(&self, _pkt: &u32) -> SimDuration {
+            self.service
+        }
+    }
+
+    fn two_node_sim(service_b: SimDuration, bw: Option<u64>) -> (Simulator<u32, World>, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        t.add_link(a, b, SimDuration::from_millis(1), bw);
+        let mut sim = Simulator::new(t, World::default());
+        sim.set_behavior(
+            a,
+            Box::new(Relay {
+                to: Some(b),
+                service: SimDuration::ZERO,
+            }),
+        );
+        sim.set_behavior(
+            b,
+            Box::new(Relay {
+                to: None,
+                service: service_b,
+            }),
+        );
+        (sim, a, b)
+    }
+
+    #[test]
+    fn propagation_delay_applied() {
+        let (mut sim, a, _b) = two_node_sim(SimDuration::ZERO, None);
+        sim.inject(SimTime::ZERO, a, 7, 100);
+        sim.run();
+        // Arrival at a at t=0, forwarded, arrives at b at 1ms.
+        assert_eq!(sim.world().arrivals, vec![(0, 7), (1_000_000, 7)]);
+    }
+
+    #[test]
+    fn fifo_queueing_at_busy_server() {
+        let (mut sim, a, b) = two_node_sim(SimDuration::from_millis(10), None);
+        // Two packets injected back to back; b serves them serially.
+        sim.inject(SimTime::ZERO, a, 1, 100);
+        sim.inject(SimTime::ZERO, a, 2, 100);
+        sim.run();
+        let b_arrivals: Vec<_> = sim
+            .world()
+            .arrivals
+            .iter()
+            .filter(|(t, _)| *t > 0)
+            .collect();
+        // First completes service at 1ms + 10ms = 11ms; second at 21ms.
+        assert_eq!(b_arrivals, vec![&(11_000_000, 1), &(21_000_000, 2)]);
+        assert_eq!(sim.node_processed(b), 2);
+        assert!(sim.node_max_queue(b) >= 2);
+        assert_eq!(sim.node_busy_time(b), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn bandwidth_serialization_delay() {
+        // 100 bytes at 100_000 B/s = 1ms tx. Two packets: second waits for
+        // the first's serialization.
+        let (mut sim, a, _b) = two_node_sim(SimDuration::ZERO, Some(100_000));
+        sim.inject(SimTime::ZERO, a, 1, 100);
+        sim.inject(SimTime::ZERO, a, 2, 100);
+        sim.run();
+        let b_arrivals: Vec<_> = sim
+            .world()
+            .arrivals
+            .iter()
+            .filter(|(t, _)| *t > 0)
+            .collect();
+        // pkt1: tx 0..1ms, +1ms prop => 2ms. pkt2: tx 1..2ms, +1ms => 3ms.
+        assert_eq!(b_arrivals, vec![&(2_000_000, 1), &(3_000_000, 2)]);
+    }
+
+    #[test]
+    fn link_byte_accounting() {
+        let (mut sim, a, _b) = two_node_sim(SimDuration::ZERO, None);
+        sim.inject(SimTime::ZERO, a, 1, 100);
+        sim.inject(SimTime::ZERO, a, 2, 50);
+        sim.run();
+        // Injections do not traverse links; a's relay forwards each packet
+        // as 100 bytes, so the a-b link carries 200 bytes total.
+        assert_eq!(sim.total_link_bytes(), 200);
+        assert_eq!(sim.link_bytes(LinkId(0)), 200);
+    }
+
+    #[test]
+    fn run_until_stops_at_limit() {
+        let (mut sim, a, _b) = two_node_sim(SimDuration::ZERO, None);
+        sim.inject(SimTime::ZERO, a, 1, 100);
+        sim.inject(SimTime::from_millis(100), a, 2, 100);
+        sim.run_until(SimTime::from_millis(50));
+        // Second injection still pending.
+        assert!(!sim.is_idle());
+        assert_eq!(sim.world().arrivals.len(), 2); // a@0 and b@1ms
+        sim.run();
+        assert_eq!(sim.world().arrivals.len(), 4);
+    }
+
+    struct TimerNode {
+        fired: Vec<u64>,
+    }
+
+    impl NodeBehavior<u32, World> for TimerNode {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32, World>) {
+            ctx.schedule(SimDuration::from_millis(5), 42);
+            ctx.schedule(SimDuration::from_millis(1), 41);
+        }
+
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_, u32, World>, _from: Option<NodeId>, _pkt: u32) {}
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, World>, key: u64) {
+            let now = ctx.now().as_nanos();
+            ctx.world().arrivals.push((now, key as u32));
+            self.fired.push(key);
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let mut sim = Simulator::new(t, World::default());
+        sim.set_behavior(a, Box::new(TimerNode { fired: vec![] }));
+        sim.run();
+        assert_eq!(
+            sim.world().arrivals,
+            vec![(1_000_000, 41), (5_000_000, 42)]
+        );
+    }
+
+    struct Stopper;
+    impl NodeBehavior<u32, World> for Stopper {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, _from: Option<NodeId>, pkt: u32) {
+            let now = ctx.now().as_nanos();
+            ctx.world().arrivals.push((now, pkt));
+            if pkt == 2 {
+                ctx.stop();
+            }
+        }
+    }
+
+    #[test]
+    fn ctx_stop_halts_simulation() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let mut sim = Simulator::new(t, World::default());
+        sim.set_behavior(a, Box::new(Stopper));
+        for (i, ms) in [(1u32, 0u64), (2, 1), (3, 2)] {
+            sim.inject(SimTime::from_millis(ms), a, i, 10);
+        }
+        sim.run();
+        assert_eq!(sim.world().arrivals.len(), 2);
+    }
+
+    struct Consumer;
+    impl NodeBehavior<u32, World> for Consumer {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, _from: Option<NodeId>, pkt: u32) {
+            let now = ctx.now().as_nanos();
+            ctx.world().arrivals.push((now, pkt));
+            // Each packet costs an extra 10ms of post-processing.
+            ctx.consume(SimDuration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn consume_extends_busy_period() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let mut sim = Simulator::new(t, World::default());
+        sim.set_behavior(a, Box::new(Consumer));
+        sim.inject(SimTime::ZERO, a, 1, 10);
+        sim.inject(SimTime::ZERO, a, 2, 10);
+        sim.run();
+        // pkt1 processed at 0, then 10ms of extra work before pkt2.
+        assert_eq!(sim.world().arrivals, vec![(0, 1), (10_000_000, 2)]);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two packets at the same instant keep injection order.
+        let (mut sim, a, _b) = two_node_sim(SimDuration::ZERO, None);
+        sim.inject(SimTime::from_millis(1), a, 10, 1);
+        sim.inject(SimTime::from_millis(1), a, 20, 1);
+        sim.run();
+        let pkts: Vec<u32> = sim.world().arrivals.iter().map(|&(_, p)| p).collect();
+        assert_eq!(pkts, vec![10, 20, 10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not adjacent")]
+    fn sending_to_non_neighbor_panics() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        t.add_link(a, b, SimDuration::from_millis(1), None);
+        t.add_link(b, c, SimDuration::from_millis(1), None);
+        struct Bad(NodeId);
+        impl NodeBehavior<u32, World> for Bad {
+            fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, _f: Option<NodeId>, p: u32) {
+                ctx.send(self.0, p, 1);
+            }
+        }
+        let mut sim = Simulator::new(t, World::default());
+        sim.set_behavior(a, Box::new(Bad(c)));
+        sim.inject(SimTime::ZERO, a, 1, 1);
+        sim.run();
+    }
+
+    #[test]
+    fn send_toward_follows_routing() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        t.add_link(a, b, SimDuration::from_millis(1), None);
+        t.add_link(b, c, SimDuration::from_millis(1), None);
+        struct Fwd(NodeId);
+        impl NodeBehavior<u32, World> for Fwd {
+            fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, _f: Option<NodeId>, p: u32) {
+                let now = ctx.now().as_nanos();
+                ctx.world().arrivals.push((now, p));
+                if ctx.node() != self.0 {
+                    ctx.send_toward(self.0, p, 10);
+                }
+            }
+        }
+        let mut sim = Simulator::new(t, World::default());
+        sim.set_behavior(a, Box::new(Fwd(c)));
+        sim.set_behavior(b, Box::new(Fwd(c)));
+        sim.set_behavior(c, Box::new(Fwd(c)));
+        sim.inject(SimTime::ZERO, a, 5, 10);
+        sim.run();
+        assert_eq!(
+            sim.world().arrivals,
+            vec![(0, 5), (1_000_000, 5), (2_000_000, 5)]
+        );
+    }
+}

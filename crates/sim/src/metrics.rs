@@ -1,0 +1,395 @@
+//! Measurement utilities: latency recorders, summary statistics and CDFs.
+
+use std::collections::HashMap;
+
+use crate::{SimDuration, SimTime};
+
+/// Incremental summary statistics over a stream of durations.
+///
+/// # Example
+///
+/// ```
+/// # use gcopss_sim::{metrics::OnlineStats, SimDuration};
+/// let mut s = OnlineStats::new();
+/// s.record(SimDuration::from_millis(2));
+/// s.record(SimDuration::from_millis(4));
+/// assert_eq!(s.mean().as_millis_f64(), 3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    sum_ns: u128,
+    min: Option<SimDuration>,
+    max: Option<SimDuration>,
+}
+
+impl OnlineStats {
+    /// Creates empty statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.count += 1;
+        self.sum_ns += u128::from(d.as_nanos());
+        self.min = Some(self.min.map_or(d, |m| m.min(d)));
+        self.max = Some(self.max.map_or(d, |m| m.max(d)));
+    }
+
+    /// Merges another statistics object into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        if let Some(m) = other.min {
+            self.min = Some(self.min.map_or(m, |x| x.min(m)));
+        }
+        if let Some(m) = other.max {
+            self.max = Some(self.max.map_or(m, |x| x.max(m)));
+        }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples (zero if empty).
+    #[must_use]
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos((self.sum_ns / u128::from(self.count)) as u64)
+        }
+    }
+
+    /// Smallest sample, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<SimDuration> {
+        self.min
+    }
+
+    /// Largest sample, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<SimDuration> {
+        self.max
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> SimDuration {
+        SimDuration::from_nanos(u64::try_from(self.sum_ns).unwrap_or(u64::MAX))
+    }
+}
+
+/// A recorder that keeps every sample, for percentiles and CDFs.
+///
+/// Used to produce the paper's latency CDFs (Fig. 4) and per-packet latency
+/// timelines (Fig. 5).
+#[derive(Debug, Clone, Default)]
+pub struct LatencySamples {
+    samples: Vec<SimDuration>,
+    sorted: bool,
+}
+
+impl LatencySamples {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the samples (zero if empty).
+    #[must_use]
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u128 = self.samples.iter().map(|d| u128::from(d.as_nanos())).sum();
+        SimDuration::from_nanos((sum / self.samples.len() as u128) as u64)
+    }
+
+    /// The `q`-quantile (0.0 ≤ q ≤ 1.0) using nearest-rank, or `None` when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        Some(self.samples[idx])
+    }
+
+    /// Fraction of samples that are ≤ `d`.
+    #[must_use]
+    pub fn fraction_at_most(&self, d: SimDuration) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let n = self.samples.iter().filter(|&&x| x <= d).count();
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// `points` evenly spaced CDF points `(latency, cumulative fraction)`,
+    /// suitable for plotting Fig. 4-style curves.
+    pub fn cdf(&mut self, points: usize) -> Vec<(SimDuration, f64)> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        (1..=points)
+            .map(|i| {
+                let frac = i as f64 / points as f64;
+                let idx = ((n as f64 * frac).ceil() as usize).clamp(1, n) - 1;
+                (self.samples[idx], frac)
+            })
+            .collect()
+    }
+
+    /// Read-only access to the raw samples, in recording order only if no
+    /// quantile/CDF call has sorted them yet.
+    #[must_use]
+    pub fn raw(&self) -> &[SimDuration] {
+        &self.samples
+    }
+
+    /// Converts to [`OnlineStats`].
+    #[must_use]
+    pub fn stats(&self) -> OnlineStats {
+        let mut s = OnlineStats::new();
+        for &d in &self.samples {
+            s.record(d);
+        }
+        s
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+}
+
+/// Tracks in-flight publications so receivers can compute end-to-end update
+/// latency, plus a per-event timeline for Fig. 5-style plots.
+///
+/// Publications are identified by a `u64` id assigned by the publisher
+/// (carried in the packet). [`LatencyTracker::publish`] stamps the send
+/// time; each [`LatencyTracker::deliver`] records one receiver latency.
+#[derive(Debug, Default)]
+pub struct LatencyTracker {
+    sent: HashMap<u64, SimTime>,
+    /// (publication id, per-delivery latency)
+    all: LatencySamples,
+    /// publication id -> (min, max, sum, count) across its receivers
+    per_publication: HashMap<u64, (SimDuration, SimDuration, SimDuration, u32)>,
+}
+
+impl LatencyTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that publication `id` was sent at `at`.
+    pub fn publish(&mut self, id: u64, at: SimTime) {
+        self.sent.insert(id, at);
+    }
+
+    /// Records a delivery of publication `id` at `at`. Unknown ids are
+    /// ignored (e.g. deliveries of pre-warm traffic).
+    pub fn deliver(&mut self, id: u64, at: SimTime) {
+        let Some(&t0) = self.sent.get(&id) else {
+            return;
+        };
+        let lat = at.saturating_duration_since(t0);
+        self.all.record(lat);
+        let e = self
+            .per_publication
+            .entry(id)
+            .or_insert((lat, lat, SimDuration::ZERO, 0));
+        e.0 = e.0.min(lat);
+        e.1 = e.1.max(lat);
+        e.2 += lat;
+        e.3 += 1;
+    }
+
+    /// Number of publications stamped.
+    #[must_use]
+    pub fn published_count(&self) -> usize {
+        self.sent.len()
+    }
+
+    /// Number of individual deliveries recorded.
+    #[must_use]
+    pub fn delivered_count(&self) -> usize {
+        self.all.len()
+    }
+
+    /// All per-delivery latencies.
+    pub fn samples_mut(&mut self) -> &mut LatencySamples {
+        &mut self.all
+    }
+
+    /// All per-delivery latencies (read-only).
+    #[must_use]
+    pub fn samples(&self) -> &LatencySamples {
+        &self.all
+    }
+
+    /// Per-publication `(id, min, mean, max)` rows ordered by id — the
+    /// series plotted in Fig. 5.
+    #[must_use]
+    pub fn per_publication_rows(&self) -> Vec<(u64, SimDuration, SimDuration, SimDuration)> {
+        let mut rows: Vec<_> = self
+            .per_publication
+            .iter()
+            .map(|(&id, &(min, max, sum, count))| {
+                (id, min, sum / u64::from(count.max(1)), max)
+            })
+            .collect();
+        rows.sort_by_key(|r| r.0);
+        rows
+    }
+}
+
+/// Formats a byte count as gigabytes with two decimals, the unit used by the
+/// paper's network-load tables.
+#[must_use]
+pub fn bytes_to_gb(bytes: u64) -> f64 {
+    bytes as f64 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), SimDuration::ZERO);
+        s.record(ms(1));
+        s.record(ms(3));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), ms(2));
+        assert_eq!(s.min(), Some(ms(1)));
+        assert_eq!(s.max(), Some(ms(3)));
+        assert_eq!(s.sum(), ms(4));
+    }
+
+    #[test]
+    fn online_stats_merge() {
+        let mut a = OnlineStats::new();
+        a.record(ms(1));
+        let mut b = OnlineStats::new();
+        b.record(ms(5));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(ms(1)));
+        assert_eq!(a.max(), Some(ms(5)));
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut l = LatencySamples::new();
+        for i in 1..=100 {
+            l.record(ms(i));
+        }
+        assert_eq!(l.quantile(0.0), Some(ms(1)));
+        assert_eq!(l.quantile(1.0), Some(ms(100)));
+        let med = l.quantile(0.5).unwrap();
+        assert!(med >= ms(49) && med <= ms(52));
+    }
+
+    #[test]
+    fn quantile_empty_is_none() {
+        let mut l = LatencySamples::new();
+        assert_eq!(l.quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_rejects_out_of_range() {
+        let mut l = LatencySamples::new();
+        l.record(ms(1));
+        let _ = l.quantile(1.5);
+    }
+
+    #[test]
+    fn cdf_is_monotonic() {
+        let mut l = LatencySamples::new();
+        for i in (1..=50).rev() {
+            l.record(ms(i));
+        }
+        let cdf = l.cdf(10);
+        assert_eq!(cdf.len(), 10);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        assert_eq!(cdf.last().unwrap().0, ms(50));
+    }
+
+    #[test]
+    fn fraction_at_most() {
+        let mut l = LatencySamples::new();
+        for i in 1..=10 {
+            l.record(ms(i));
+        }
+        assert_eq!(l.fraction_at_most(ms(5)), 0.5);
+        assert_eq!(l.fraction_at_most(ms(0)), 0.0);
+        assert_eq!(l.fraction_at_most(ms(10)), 1.0);
+    }
+
+    #[test]
+    fn latency_tracker_end_to_end() {
+        let mut t = LatencyTracker::new();
+        t.publish(1, SimTime::from_millis(10));
+        t.deliver(1, SimTime::from_millis(14));
+        t.deliver(1, SimTime::from_millis(18));
+        t.deliver(99, SimTime::from_millis(20)); // unknown id ignored
+        assert_eq!(t.delivered_count(), 2);
+        assert_eq!(t.samples().raw(), &[ms(4), ms(8)]);
+        let rows = t.per_publication_rows();
+        assert_eq!(rows, vec![(1, ms(4), ms(6), ms(8))]);
+    }
+
+    #[test]
+    fn bytes_to_gb_conversion() {
+        assert_eq!(bytes_to_gb(2_500_000_000), 2.5);
+    }
+}

@@ -1,0 +1,157 @@
+//! Integration tests of the simulator's public control API: stepping,
+//! idleness, utilization accounting and bandwidth-constrained links.
+
+use gcopss_sim::{
+    generators, metrics::OnlineStats, Ctx, NodeBehavior, NodeId, SimDuration, SimTime, Simulator,
+    Topology,
+};
+
+type World = Vec<u64>;
+
+struct Echoes {
+    peer: Option<NodeId>,
+    service: SimDuration,
+}
+
+impl NodeBehavior<u32, World> for Echoes {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, _from: Option<NodeId>, pkt: u32) {
+        let now = ctx.now().as_nanos();
+        ctx.world().push(now);
+        if let Some(p) = self.peer {
+            if pkt > 0 {
+                ctx.send(p, pkt - 1, 64);
+            }
+        }
+    }
+    fn service_time(&self, _pkt: &u32) -> SimDuration {
+        self.service
+    }
+}
+
+fn ping_pong(service: SimDuration) -> (Simulator<u32, World>, NodeId, NodeId) {
+    let mut t = Topology::new();
+    let a = t.add_node("a");
+    let b = t.add_node("b");
+    t.add_link(a, b, SimDuration::from_millis(1), None);
+    let mut sim = Simulator::new(t, World::new());
+    sim.set_behavior(a, Box::new(Echoes { peer: Some(b), service }));
+    sim.set_behavior(b, Box::new(Echoes { peer: Some(a), service }));
+    (sim, a, b)
+}
+
+#[test]
+fn step_processes_bounded_events() {
+    let (mut sim, a, _) = ping_pong(SimDuration::ZERO);
+    sim.inject(SimTime::ZERO, a, 10, 64);
+    // Each step is one event; the ping-pong has 11 arrivals + 11 services.
+    let done = sim.step(3);
+    assert_eq!(done, 3);
+    assert!(!sim.is_idle());
+    // Drain the rest.
+    while sim.step(100) > 0 {}
+    assert!(sim.is_idle());
+    assert_eq!(sim.world().len(), 11, "10 bounces + initial");
+}
+
+#[test]
+fn busy_time_tracks_utilization() {
+    let (mut sim, a, b) = ping_pong(SimDuration::from_millis(2));
+    sim.inject(SimTime::ZERO, a, 9, 64);
+    sim.run();
+    // Ten packets served total (5 at each node), 2 ms each.
+    let total = sim.node_busy_time(a) + sim.node_busy_time(b);
+    assert_eq!(total, SimDuration::from_millis(20));
+    assert!(sim.events_processed() > 10);
+}
+
+#[test]
+fn bandwidth_throttles_throughput() {
+    // 64-byte packets over a 64 kB/s link take 1 ms of serialization each.
+    let mut t = Topology::new();
+    let a = t.add_node("a");
+    let b = t.add_node("b");
+    t.add_link(a, b, SimDuration::ZERO, Some(64_000));
+    struct Burst(NodeId);
+    impl NodeBehavior<u32, World> for Burst {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, from: Option<NodeId>, pkt: u32) {
+            if from.is_none() {
+                for _ in 0..pkt {
+                    ctx.send(self.0, 0, 64);
+                }
+            } else {
+                let now = ctx.now().as_nanos();
+                ctx.world().push(now);
+            }
+        }
+    }
+    let mut sim = Simulator::new(t, World::new());
+    sim.set_behavior(a, Box::new(Burst(b)));
+    sim.set_behavior(b, Box::new(Burst(a)));
+    sim.inject(SimTime::ZERO, a, 10, 1);
+    sim.run();
+    let w = sim.world();
+    assert_eq!(w.len(), 10);
+    // Arrival spacing equals the serialization time.
+    assert_eq!(w[0], 1_000_000);
+    assert_eq!(w[9], 10_000_000);
+}
+
+#[test]
+fn online_stats_merging_matches_bulk() {
+    let mut all = OnlineStats::new();
+    let mut a = OnlineStats::new();
+    let mut b = OnlineStats::new();
+    for i in 1..=10u64 {
+        let d = SimDuration::from_millis(i);
+        all.record(d);
+        if i % 2 == 0 {
+            a.record(d);
+        } else {
+            b.record(d);
+        }
+    }
+    a.merge(&b);
+    assert_eq!(a.count(), all.count());
+    assert_eq!(a.mean(), all.mean());
+    assert_eq!(a.min(), all.min());
+    assert_eq!(a.max(), all.max());
+}
+
+#[test]
+fn backbone_hosts_reach_each_other_through_sim() {
+    // End-to-end over a generated backbone: a packet relayed hop by hop
+    // arrives, and link-byte accounting sees every hop.
+    let b = generators::rocketfuel_like(5, &generators::BackboneParams {
+        core_routers: 12,
+        edge_per_core: 1,
+        ..Default::default()
+    });
+    let mut topo = b.topology;
+    let hosts = generators::attach_hosts(&mut topo, &b.edge, 2, SimDuration::from_millis(1), "h");
+    struct Relay {
+        dst: NodeId,
+    }
+    impl NodeBehavior<u32, World> for Relay {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, _f: Option<NodeId>, pkt: u32) {
+            if ctx.node() == self.dst {
+                let now = ctx.now().as_nanos();
+                ctx.world().push(now);
+            } else {
+                ctx.send_toward(self.dst, pkt, 100);
+            }
+        }
+    }
+    let all: Vec<NodeId> = topo.node_ids().collect();
+    let mut sim = Simulator::new(topo, World::new());
+    let dst = hosts[1];
+    for n in all {
+        sim.set_behavior(n, Box::new(Relay { dst }));
+    }
+    sim.inject(SimTime::ZERO, hosts[0], 7, 100);
+    sim.run();
+    assert_eq!(sim.world().len(), 1, "packet delivered once");
+    let arrival = SimTime::from_nanos(sim.world()[0]);
+    let direct = sim.routing().distance(hosts[0], dst).unwrap();
+    assert_eq!(arrival, SimTime::ZERO + direct, "shortest-path delay");
+    assert!(sim.total_link_bytes() >= 100 * 2, "multiple hops accounted");
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the discrete-event simulator.
+
+use gcopss_sim::{
+    generators, Ctx, NodeBehavior, NodeId, RoutingTable, SimDuration, SimTime, Simulator,
+};
+use proptest::prelude::*;
+
+/// A flooding behavior: records arrival order and forwards each packet to
+/// every neighbor except the one it came from, with a TTL embedded in the
+/// packet id (high byte).
+struct Flood;
+
+type World = Vec<(u64, u32, u32)>; // (time ns, node, pkt)
+
+impl NodeBehavior<u32, World> for Flood {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, from: Option<NodeId>, pkt: u32) {
+        let now = ctx.now().as_nanos();
+        let node = ctx.node();
+        ctx.world().push((now, node.0, pkt));
+        let ttl = pkt >> 24;
+        if ttl == 0 {
+            return;
+        }
+        let next = ((ttl - 1) << 24) | (pkt & 0x00ff_ffff);
+        let neighbors: Vec<NodeId> = ctx
+            .topology()
+            .neighbors(node)
+            .map(|(n, _)| n)
+            .filter(|n| Some(*n) != from)
+            .collect();
+        for n in neighbors {
+            ctx.send(n, next, 64);
+        }
+    }
+
+    fn service_time(&self, _pkt: &u32) -> SimDuration {
+        SimDuration::from_micros(10)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Event timestamps observed by behaviors never decrease.
+    #[test]
+    fn time_is_monotonic(seed in 0u64..1000, hosts in 2usize..8) {
+        let params = generators::BackboneParams {
+            core_routers: 6,
+            edge_per_core: 1,
+            ..Default::default()
+        };
+        let mut b = generators::rocketfuel_like(seed, &params);
+        let hs = generators::attach_hosts(
+            &mut b.topology, &b.edge, hosts, SimDuration::from_millis(1), "h");
+        let topo = b.topology;
+        let all: Vec<NodeId> = topo.node_ids().collect();
+        let mut sim = Simulator::new(topo, World::new());
+        for n in all {
+            sim.set_behavior(n, Box::new(Flood));
+        }
+        // Inject a TTL-3 flood from the first host.
+        sim.inject(SimTime::ZERO, hs[0], 3 << 24, 64);
+        sim.run();
+        let w = sim.world();
+        prop_assert!(!w.is_empty());
+        for pair in w.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time went backwards");
+        }
+    }
+
+    /// Same seed, same injections => bit-identical event log.
+    #[test]
+    fn simulation_is_deterministic(seed in 0u64..1000) {
+        let run = || {
+            let params = generators::BackboneParams {
+                core_routers: 8,
+                edge_per_core: 1,
+                ..Default::default()
+            };
+            let b = generators::rocketfuel_like(seed, &params);
+            let topo = b.topology;
+            let all: Vec<NodeId> = topo.node_ids().collect();
+            let mut sim = Simulator::new(topo, World::new());
+            for n in all {
+                sim.set_behavior(n, Box::new(Flood));
+            }
+            sim.inject(SimTime::ZERO, b.core[0], 2 << 24, 64);
+            sim.inject(SimTime::from_millis(1), b.core[1], (2 << 24) | 1, 64);
+            sim.run();
+            (sim.total_link_bytes(), sim.events_processed(), sim.into_world())
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Shortest-path distances satisfy the triangle inequality and symmetry
+    /// (links are bidirectional with symmetric delay).
+    #[test]
+    fn routing_distances_are_metric(seed in 0u64..500) {
+        let params = generators::BackboneParams {
+            core_routers: 10,
+            edge_per_core: 1,
+            ..Default::default()
+        };
+        let b = generators::rocketfuel_like(seed, &params);
+        let rt = RoutingTable::shortest_paths(&b.topology);
+        let nodes: Vec<NodeId> = b.topology.node_ids().collect();
+        for &x in nodes.iter().take(6) {
+            for &y in nodes.iter().take(6) {
+                let dxy = rt.distance(x, y).unwrap();
+                let dyx = rt.distance(y, x).unwrap();
+                prop_assert_eq!(dxy, dyx);
+                for &z in nodes.iter().take(6) {
+                    let dxz = rt.distance(x, z).unwrap();
+                    let dzy = rt.distance(z, y).unwrap();
+                    prop_assert!(dxy <= dxz + dzy, "triangle inequality violated");
+                }
+            }
+        }
+    }
+
+    /// The path returned by the routing table has total delay equal to the
+    /// reported distance.
+    #[test]
+    fn path_delay_equals_distance(seed in 0u64..500) {
+        let params = generators::BackboneParams {
+            core_routers: 12,
+            edge_per_core: 1,
+            ..Default::default()
+        };
+        let b = generators::rocketfuel_like(seed, &params);
+        let rt = RoutingTable::shortest_paths(&b.topology);
+        let nodes: Vec<NodeId> = b.topology.node_ids().collect();
+        for &x in nodes.iter().take(8) {
+            for &y in nodes.iter().take(8) {
+                let p = rt.path(x, y);
+                prop_assert!(!p.is_empty());
+                let total: SimDuration = p
+                    .windows(2)
+                    .map(|w| {
+                        let l = b.topology.link_between(w[0], w[1]).expect("adjacent");
+                        b.topology.link_delay(l)
+                    })
+                    .sum();
+                prop_assert_eq!(Some(total), rt.distance(x, y));
+            }
+        }
+    }
+}

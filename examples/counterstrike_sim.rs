@@ -1,0 +1,58 @@
+//! A Counter-Strike-like session at scale: 414 players on a Rocketfuel-like
+//! backbone, comparing G-COPSS (3 RPs) against the IP client/server
+//! baseline on the same trace — a miniature of the paper's §V-B headline.
+//!
+//! ```text
+//! cargo run --release --example counterstrike_sim [updates]
+//! ```
+
+use gcopss::core::experiments::rp_sweep::{run_gcopss_once, run_ip_once};
+use gcopss::core::experiments::{Workload, WorkloadParams};
+use gcopss::core::scenario::NetworkSpec;
+use gcopss::core::MetricsMode;
+
+fn main() {
+    let updates: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+
+    println!("generating a {updates}-update Counter-Strike-like trace (414 players)...");
+    let w = Workload::counter_strike(&WorkloadParams {
+        updates,
+        ..WorkloadParams::default()
+    });
+    let span = w.trace.last().map_or(0.0, |e| e.time_ns as f64 / 1e9);
+    println!(
+        "trace spans {span:.1}s of game time; mean inter-arrival {:.2} ms",
+        span * 1e3 / updates as f64
+    );
+
+    let net = NetworkSpec::default_backbone(7);
+
+    println!("\nrunning G-COPSS with 3 RPs...");
+    let (world, bytes) = run_gcopss_once(&w, &net, 3, None, MetricsMode::StatsOnly);
+    println!(
+        "  G-COPSS : mean latency {:>10.2} ms, load {:>8.3} GB, {} deliveries",
+        world.metrics.stats().mean().as_millis_f64(),
+        bytes as f64 / 1e9,
+        world.metrics.delivered()
+    );
+    let g_lat = world.metrics.stats().mean();
+    let g_load = bytes;
+
+    println!("running the IP server baseline with 3 servers...");
+    let (world, bytes) = run_ip_once(&w, &net, 3, MetricsMode::StatsOnly);
+    println!(
+        "  IP x3   : mean latency {:>10.2} ms, load {:>8.3} GB, {} deliveries",
+        world.metrics.stats().mean().as_millis_f64(),
+        bytes as f64 / 1e9,
+        world.metrics.delivered()
+    );
+
+    println!(
+        "\nG-COPSS advantage: {:.1}x lower latency, {:.2}x lower network load",
+        world.metrics.stats().mean().as_millis_f64() / g_lat.as_millis_f64().max(1e-9),
+        bytes as f64 / g_load.max(1) as f64
+    );
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper (scaled by default).
+# Usage: ./run_experiments.sh [--full]   (results land in results/)
+set -euo pipefail
+cd "$(dirname "$0")"
+mkdir -p results
+ARGS="${1:-}"
+for exp in trace_stats fig4 table1 fig5 fig6 table2 table3 ablation; do
+    echo ">>> exp_${exp} ${ARGS}"
+    cargo run --release -p gcopss-bench --bin "exp_${exp}" -- ${ARGS} \
+        | tee "results/exp_${exp}.txt"
+done
+echo "All experiment outputs written to results/"

@@ -1,0 +1,48 @@
+//! G-COPSS: a content-centric communication infrastructure for gaming
+//! applications — facade crate.
+//!
+//! This crate re-exports the public API of the whole workspace so that
+//! downstream users can depend on a single crate. See the individual crates
+//! for details:
+//!
+//! * [`names`] — hierarchical names, Content Descriptors, Bloom filters.
+//! * [`sim`] — the discrete-event network simulator.
+//! * [`ndn`] — the NDN forwarding engine (FIB / PIT / Content Store).
+//! * [`copss`] — the COPSS content-oriented publish/subscribe layer.
+//! * [`game`] — hierarchical game maps, players, objects and traces.
+//! * [`core`] — the G-COPSS system, baselines and experiment drivers.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete small game session; the
+//! short version:
+//!
+//! ```
+//! use gcopss::names::Name;
+//!
+//! let zone: Name = "/1/2".parse().unwrap();
+//! assert!(Name::parse_lit("/1").is_prefix_of(&zone));
+//! ```
+
+pub use gcopss_copss as copss;
+pub use gcopss_core as core;
+pub use gcopss_game as game;
+pub use gcopss_names as names;
+pub use gcopss_ndn as ndn;
+pub use gcopss_sim as sim;
+
+/// The types most programs need, in one import:
+/// `use gcopss::prelude::*;`.
+pub mod prelude {
+    pub use gcopss_copss::{CopssEngine, CopssPacket, MulticastPacket, RpId, RpTable};
+    pub use gcopss_core::experiments::{Workload, WorkloadParams};
+    pub use gcopss_core::scenario::{
+        build_gcopss, build_hybrid, build_ip_server, expected_deliveries, GcopssConfig,
+        HybridConfig, IpConfig, NetworkSpec,
+    };
+    pub use gcopss_core::{GCopssRouter, GamePlayerClient, GameWorld, MetricsMode, SimParams};
+    pub use gcopss_game::{GameMap, MoveType, ObjectModel, PlayerId, PlayerPopulation};
+    pub use gcopss_names::{Cd, Name};
+    pub use gcopss_ndn::{Data, FaceId, Interest, NdnEngine};
+    pub use gcopss_sim::{NodeBehavior, NodeId, SimDuration, SimTime, Simulator, Topology};
+}

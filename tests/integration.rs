@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: miniature versions of the paper's
+//! experiments asserting the qualitative results hold end to end.
+//!
+//! These run the real systems (routers, engines, clients) over the real
+//! simulator — small enough for CI, large enough to exercise every layer.
+
+use std::sync::Arc;
+
+use gcopss::core::experiments::rp_sweep::{run_gcopss_once, run_ip_once};
+use gcopss::core::experiments::{Workload, WorkloadParams};
+use gcopss::core::scenario::{
+    build_gcopss, build_hybrid, expected_deliveries, GcopssConfig, HybridConfig, NetworkSpec,
+};
+use gcopss::core::{MetricsMode, SimParams};
+use gcopss::sim::SimDuration;
+
+fn small_cs_workload(updates: usize, players: usize, seed: u64) -> Workload {
+    Workload::counter_strike(&WorkloadParams {
+        seed,
+        updates,
+        players,
+        ..WorkloadParams::default()
+    })
+}
+
+/// The headline claim: on the same trace and topology, G-COPSS beats the
+/// IP server on both update latency and aggregate network load.
+#[test]
+fn gcopss_beats_ip_server_on_latency_and_load() {
+    let w = small_cs_workload(2_500, 100, 11);
+    let net = NetworkSpec::default_backbone(5);
+    let (gw, g_bytes) = run_gcopss_once(&w, &net, 3, None, MetricsMode::StatsOnly);
+    let (iw, i_bytes) = run_ip_once(&w, &net, 3, MetricsMode::StatsOnly);
+    assert!(
+        gw.metrics.stats().mean() < iw.metrics.stats().mean(),
+        "latency: gcopss {} vs ip {}",
+        gw.metrics.stats().mean(),
+        iw.metrics.stats().mean()
+    );
+    assert!(
+        g_bytes < i_bytes,
+        "load: gcopss {g_bytes} vs ip {i_bytes}"
+    );
+    // Both systems deliver the same (complete) set of updates.
+    assert_eq!(gw.metrics.delivered(), iw.metrics.delivered());
+}
+
+/// Dissemination is exact across all three architectures.
+#[test]
+fn all_systems_deliver_exactly_the_aoi() {
+    let w = small_cs_workload(1_200, 80, 13);
+    let expected = expected_deliveries(&w.map, &w.population, &w.trace);
+    let net = NetworkSpec::default_backbone(9);
+
+    let cfg = GcopssConfig {
+        delivery_log: true,
+        rp_count: 3,
+        ..GcopssConfig::default()
+    };
+    let mut b = build_gcopss(cfg, &net, &w.map, &w.population, &w.trace, vec![]);
+    b.sim.run();
+    assert_eq!(b.sim.world().metrics.delivered(), expected, "gcopss");
+    assert_eq!(b.sim.world().duplicate_deliveries, 0);
+
+    let cfg = HybridConfig {
+        delivery_log: true,
+        ..HybridConfig::default()
+    };
+    let mut b = build_hybrid(cfg, &net, &w.map, &w.population, &w.trace);
+    b.sim.run();
+    assert_eq!(b.sim.world().metrics.delivered(), expected, "hybrid");
+}
+
+/// Automatic RP balancing (§IV-B): with one overloaded RP and balancing
+/// enabled, splits occur, no update is lost, and latency improves
+/// dramatically over the unbalanced single RP.
+#[test]
+fn auto_balancing_splits_without_loss() {
+    let w = small_cs_workload(3_000, 100, 17);
+    let expected = expected_deliveries(&w.map, &w.population, &w.trace);
+    let net = NetworkSpec::default_backbone(3);
+
+    // Unbalanced single RP: congested.
+    let (un, _) = run_gcopss_once(&w, &net, 1, None, MetricsMode::StatsOnly);
+
+    // Balanced: splits must fire and help.
+    let cfg = GcopssConfig {
+        params: SimParams::default().with_auto_balancing(40),
+        delivery_log: true,
+        rp_count: 1,
+        ..GcopssConfig::default()
+    };
+    let mut b = build_gcopss(cfg, &net, &w.map, &w.population, &w.trace, vec![]);
+    b.sim.run();
+    let world = b.sim.world();
+    assert!(!world.splits.is_empty(), "no split fired");
+    assert_eq!(
+        world.metrics.delivered(),
+        expected,
+        "the split protocol must not lose updates"
+    );
+    assert!(
+        world.metrics.stats().mean() * 2 < un.metrics.stats().mean(),
+        "balanced {} should clearly beat unbalanced {}",
+        world.metrics.stats().mean(),
+        un.metrics.stats().mean()
+    );
+}
+
+/// The microbenchmark trace reproduces the paper's event volume: ≈12,440
+/// publish events in one minute from 62 players.
+#[test]
+fn microbenchmark_workload_shape() {
+    let w = Workload::microbenchmark(1, SimDuration::from_secs(60));
+    assert_eq!(w.population.len(), 62);
+    assert!(
+        (11_500..=13_500).contains(&w.trace.len()),
+        "got {} events (paper: 12,440)",
+        w.trace.len()
+    );
+}
+
+/// Bigger maps work too: a 3-level hierarchy (Fig. 1-style arbitrary
+/// layering) disseminates exactly.
+#[test]
+fn deep_hierarchy_dissemination() {
+    use gcopss::game::trace::{microbenchmark_trace, MicrobenchParams};
+    use gcopss::game::{GameMap, ObjectModel, ObjectModelParams, PlayerPopulation};
+
+    let map = Arc::new(GameMap::uniform(&[2, 2, 2]));
+    let objects = ObjectModel::generate(
+        3,
+        &map,
+        &ObjectModelParams {
+            objects_per_area: (5, 10),
+            ..ObjectModelParams::default()
+        },
+    );
+    let pop = PlayerPopulation::uniform_per_area(&map, 1);
+    let trace = Arc::new(microbenchmark_trace(
+        4,
+        &map,
+        &objects,
+        &pop,
+        &MicrobenchParams {
+            duration_ns: 2_000_000_000,
+            ..MicrobenchParams::default()
+        },
+    ));
+    let expected = expected_deliveries(&map, &pop, &trace);
+    let cfg = GcopssConfig {
+        delivery_log: true,
+        rp_count: 2,
+        ..GcopssConfig::default()
+    };
+    let mut b = build_gcopss(cfg, &NetworkSpec::Testbed, &map, &pop, &trace, vec![]);
+    b.sim.run();
+    assert_eq!(b.sim.world().metrics.delivered(), expected);
+    assert_eq!(b.sim.world().duplicate_deliveries, 0);
+}
