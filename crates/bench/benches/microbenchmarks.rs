@@ -1,11 +1,17 @@
-//! Criterion micro-benchmarks of the G-COPSS building blocks: the
-//! operations whose costs the paper's router calibration aggregates
-//! (name handling, Bloom-filter ST lookup, FIB LPM, PIT churn) plus
-//! end-to-end engine and simulator throughput.
+//! Micro-benchmarks of the G-COPSS building blocks: the operations whose
+//! costs the paper's router calibration aggregates (name handling,
+//! Bloom-filter ST lookup, FIB LPM, PIT churn) plus end-to-end engine and
+//! simulator throughput.
+//!
+//! Runs on a self-contained warmup + timed-iterations loop (`harness =
+//! false`); no external benchmark framework. Invoke with
+//! `cargo bench --offline`. Pass a substring argument to run a subset,
+//! e.g. `cargo bench --offline -- names/`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::BTreeSet;
+use std::hint::black_box;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use gcopss_copss::{CopssEngine, MulticastPacket, RpId, SubscriptionTable, TrafficWindow};
 use gcopss_core::experiments::{Workload, WorkloadParams};
@@ -15,27 +21,97 @@ use gcopss_game::GameMap;
 use gcopss_names::{BloomFilter, Cd, Name, NameTree};
 use gcopss_ndn::{Data, FaceId, Interest, NdnConfig, NdnEngine};
 
-fn bench_names(c: &mut Criterion) {
-    let mut g = c.benchmark_group("names");
-    g.bench_function("parse", |b| {
-        b.iter(|| black_box("/1/2/3".parse::<Name>().unwrap()));
-    });
-    let n = Name::parse_lit("/1/2/3");
-    g.bench_function("hash_chain", |b| {
-        b.iter(|| black_box(n.hash_chain()));
-    });
-    g.bench_function("cd_new", |b| {
-        b.iter(|| black_box(Cd::new(n.clone())));
-    });
-    let m = Name::parse_lit("/1/2");
-    g.bench_function("is_prefix_of", |b| {
-        b.iter(|| black_box(m.is_prefix_of(&n)));
-    });
-    g.finish();
+/// Target wall time for the measurement phase of a fast benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(300);
+/// Target wall time for the warmup phase of a fast benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(100);
+
+struct Runner {
+    filter: Option<String>,
 }
 
-fn bench_bloom_and_st(c: &mut Criterion) {
-    let mut g = c.benchmark_group("subscription_table");
+impl Runner {
+    fn new() -> Self {
+        // `cargo bench -- <filter>` passes the filter as an argument; cargo
+        // also passes `--bench`, which we ignore.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--"));
+        println!("{:<44} {:>12} {:>14}", "benchmark", "iterations", "per-iter");
+        Runner { filter }
+    }
+
+    fn skip(&self, id: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !id.contains(f))
+    }
+
+    /// Warm up for ~WARMUP_TARGET, then time batches until MEASURE_TARGET
+    /// has elapsed, reporting the mean per-iteration cost.
+    fn bench<T>(&self, id: &str, mut f: impl FnMut() -> T) {
+        if self.skip(id) {
+            return;
+        }
+        // Warmup: discover a batch size that takes ≥ ~1ms so timer overhead
+        // is negligible, while warming caches/branch predictors.
+        let mut batch: u64 = 1;
+        let warm_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t.elapsed();
+            if dt < Duration::from_millis(1) {
+                batch = batch.saturating_mul(2);
+            }
+            if warm_start.elapsed() >= WARMUP_TARGET && dt >= Duration::from_millis(1) {
+                break;
+            }
+            if batch > 1 << 30 {
+                break;
+            }
+        }
+        // Measurement.
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < MEASURE_TARGET {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            elapsed += t.elapsed();
+            iters += batch;
+        }
+        let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        println!("{:<44} {:>12} {:>11.1} ns", id, iters, per_iter);
+    }
+
+    /// Variant for slow, end-to-end benchmarks: fixed small iteration count,
+    /// one warmup run.
+    fn bench_slow<T>(&self, id: &str, iters: u64, mut f: impl FnMut() -> T) {
+        if self.skip(id) {
+            return;
+        }
+        black_box(f()); // warmup
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per_iter = t.elapsed().as_secs_f64() * 1e3 / iters as f64;
+        println!("{:<44} {:>12} {:>11.2} ms", id, iters, per_iter);
+    }
+}
+
+fn bench_names(r: &Runner) {
+    r.bench("names/parse", || "/1/2/3".parse::<Name>().unwrap());
+    let n = Name::parse_lit("/1/2/3");
+    r.bench("names/hash_chain", || n.hash_chain());
+    r.bench("names/cd_new", || Cd::new(n.clone()));
+    let m = Name::parse_lit("/1/2");
+    r.bench("names/is_prefix_of", || m.is_prefix_of(&n));
+}
+
+fn bench_bloom_and_st(r: &Runner) {
     // The paper's map: 31 leaf CDs, 62 players' subscriptions.
     let map = GameMap::paper_map();
     let mut st = SubscriptionTable::default();
@@ -50,11 +126,11 @@ fn bench_bloom_and_st(c: &mut Criterion) {
         }
     }
     let cd = Cd::parse_lit("/3/4");
-    g.bench_function("matching_faces_bloom", |b| {
-        b.iter(|| black_box(st.matching_faces(&cd, None, Some(RpId(0)))));
+    r.bench("subscription_table/matching_faces_bloom", || {
+        st.matching_faces(&cd, None, Some(RpId(0)))
     });
-    g.bench_function("matching_faces_exact", |b| {
-        b.iter(|| black_box(st.matching_faces_exact(&cd, None, Some(RpId(0)))));
+    r.bench("subscription_table/matching_faces_exact", || {
+        st.matching_faces_exact(&cd, None, Some(RpId(0)))
     });
 
     let mut bloom = BloomFilter::default();
@@ -62,40 +138,35 @@ fn bench_bloom_and_st(c: &mut Criterion) {
         bloom.insert(leaf.stable_hash());
     }
     let hashes = cd.hashes().as_slice().to_vec();
-    g.bench_function("bloom_contains_any", |b| {
-        b.iter(|| black_box(bloom.contains_any(&hashes)));
+    r.bench("subscription_table/bloom_contains_any", || {
+        bloom.contains_any(&hashes)
     });
-    g.finish();
 }
 
-fn bench_fib_pit(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ndn_engine");
+fn bench_fib_pit(r: &Runner) {
     let mut tree: NameTree<u32> = NameTree::new();
     for i in 0..400u32 {
         tree.insert(Name::parse_lit("/player").child_index(i), i);
     }
     let probe = Name::parse_lit("/player/250/17");
-    g.bench_function("fib_lpm_400_routes", |b| {
-        b.iter(|| black_box(tree.longest_prefix(&probe)));
-    });
+    r.bench("ndn_engine/fib_lpm_400_routes", || tree.longest_prefix(&probe));
 
-    g.bench_function("interest_data_round", |b| {
-        let mut e = NdnEngine::new(NdnConfig::default());
-        e.fib_mut().add(Name::parse_lit("/a"), FaceId(9));
-        let mut nonce = 0u64;
-        b.iter(|| {
-            nonce += 1;
-            let i = Interest::new(Name::parse_lit("/a/b"), nonce);
-            black_box(e.process_interest(nonce, FaceId(1), i));
-            let d = Data::new(Name::parse_lit("/a/b"), bytes::Bytes::from_static(b"x"));
-            black_box(e.process_data(nonce, FaceId(9), d));
-        });
+    let mut e = NdnEngine::new(NdnConfig::default());
+    e.fib_mut().add(Name::parse_lit("/a"), FaceId(9));
+    let mut nonce = 0u64;
+    r.bench("ndn_engine/interest_data_round", || {
+        nonce += 1;
+        let i = Interest::new(Name::parse_lit("/a/b"), nonce);
+        black_box(e.process_interest(nonce, FaceId(1), i));
+        let d = Data::new(
+            Name::parse_lit("/a/b"),
+            gcopss_compat::bytes::Bytes::from_static(b"x"),
+        );
+        e.process_data(nonce, FaceId(9), d)
     });
-    g.finish();
 }
 
-fn bench_copss_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("copss_engine");
+fn bench_copss_engine(r: &Runner) {
     let map = GameMap::paper_map();
     let mut e = CopssEngine::new();
     e.rp_table_mut().assign(Name::root(), RpId(0)).unwrap();
@@ -104,62 +175,56 @@ fn bench_copss_engine(c: &mut Criterion) {
         e.handle_subscribe(FaceId(f), &map.subscription_cds(area), None);
         f += 1;
     }
-    let m = MulticastPacket::new(Cd::parse_lit("/2/3"), bytes::Bytes::new(), 1).on_tree(RpId(0));
-    g.bench_function("rp_st_lookup", |b| {
-        b.iter(|| black_box(e.multicast_faces(&m.cd, None, m.tree)));
+    let m = MulticastPacket::new(Cd::parse_lit("/2/3"), gcopss_compat::bytes::Bytes::new(), 1)
+        .on_tree(RpId(0));
+    r.bench("copss_engine/rp_st_lookup", || {
+        e.multicast_faces(&m.cd, None, m.tree)
     });
 
-    g.bench_function("traffic_window_record", |b| {
-        let mut w = TrafficWindow::new(2_000);
-        let cd = Name::parse_lit("/1/2");
-        b.iter(|| w.record(black_box(cd.clone())));
+    let mut w = TrafficWindow::new(2_000);
+    let cd = Name::parse_lit("/1/2");
+    r.bench("copss_engine/traffic_window_record", || {
+        w.record(black_box(cd.clone()))
     });
-    g.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
+fn bench_end_to_end(r: &Runner) {
     for &updates in &[500usize, 2_000] {
-        g.bench_with_input(
-            BenchmarkId::new("gcopss_3rp_backbone", updates),
-            &updates,
-            |b, &updates| {
-                let w = Workload::counter_strike(&WorkloadParams {
-                    updates,
-                    players: 100,
-                    ..WorkloadParams::default()
-                });
-                let net = NetworkSpec::default_backbone(7);
-                b.iter(|| {
-                    let cfg = GcopssConfig {
-                        metrics_mode: MetricsMode::StatsOnly,
-                        rp_count: 3,
-                        ..GcopssConfig::default()
-                    };
-                    let mut built = build_gcopss(
-                        cfg,
-                        &net,
-                        &w.map,
-                        &w.population,
-                        &Arc::clone(&w.trace),
-                        vec![],
-                    );
-                    built.sim.run();
-                    black_box(built.sim.world().metrics.delivered())
-                });
-            },
-        );
+        let id = format!("end_to_end/gcopss_3rp_backbone/{updates}");
+        if r.skip(&id) {
+            continue;
+        }
+        let w = Workload::counter_strike(&WorkloadParams {
+            updates,
+            players: 100,
+            ..WorkloadParams::default()
+        });
+        let net = NetworkSpec::default_backbone(7);
+        r.bench_slow(&id, 10, || {
+            let cfg = GcopssConfig {
+                metrics_mode: MetricsMode::StatsOnly,
+                rp_count: 3,
+                ..GcopssConfig::default()
+            };
+            let mut built = build_gcopss(
+                cfg,
+                &net,
+                &w.map,
+                &w.population,
+                &Arc::clone(&w.trace),
+                vec![],
+            );
+            built.sim.run();
+            black_box(built.sim.world().metrics.delivered())
+        });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_names,
-    bench_bloom_and_st,
-    bench_fib_pit,
-    bench_copss_engine,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    let r = Runner::new();
+    bench_names(&r);
+    bench_bloom_and_st(&r);
+    bench_fib_pit(&r);
+    bench_copss_engine(&r);
+    bench_end_to_end(&r);
+}

@@ -1,0 +1,28 @@
+//! In-tree shims for the external crates the workspace used to depend on.
+//!
+//! The build environment has no registry access, and the paper's
+//! trace-driven methodology wants bit-for-bit reproducible runs from a
+//! seed — neither works with floating external crate versions. This crate
+//! provides the small API surface the workspace actually uses:
+//!
+//! * [`rng`] — a seed-deterministic PRNG behind a `rand`-compatible
+//!   surface ([`Rng`], [`SeedableRng`], [`StdRng`], [`SmallRng`]), plus
+//!   [`distributions::WeightedIndex`] and [`seq::SliceRandom`];
+//! * [`bytes`] — a cheap-clone [`bytes::Bytes`] buffer;
+//! * [`prop`] — a minimal deterministic property-testing harness with
+//!   seeded case generation and shrink-on-failure.
+//!
+//! The PRNG streams are part of the repo's compatibility contract: golden
+//! sequences are pinned in `tests/golden.rs`, because every synthetic
+//! trace (and therefore every experiment result) derives from them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bytes;
+pub mod distributions;
+pub mod prop;
+pub mod rng;
+pub mod seq;
+
+pub use rng::{Rng, SeedableRng, SmallRng, StdRng};

@@ -1,0 +1,164 @@
+//! Golden-value tests pinning the exact output streams of the compat
+//! PRNGs and samplers.
+//!
+//! Every synthetic trace in this repo — and therefore every experiment
+//! number — derives from these streams. A change that alters any of them
+//! silently invalidates all recorded results and cross-run comparisons,
+//! so these tests fail loudly instead. If you change the generator on
+//! purpose, update the constants AND regenerate everything under
+//! `results/`.
+
+use gcopss_compat::distributions::{Distribution, WeightedIndex};
+use gcopss_compat::rng::RngCore;
+use gcopss_compat::seq::SliceRandom;
+use gcopss_compat::{bytes::Bytes, Rng, SeedableRng, SmallRng, StdRng};
+
+#[test]
+fn std_rng_golden_stream_seed_0() {
+    let mut r = StdRng::seed_from_u64(0);
+    let got: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+    assert_eq!(
+        got,
+        [
+            11091344671253066420,
+            13793997310169335082,
+            1900383378846508768,
+            7684712102626143532,
+            13521403990117723737,
+            18442103541295991498,
+            7788427924976520344,
+            9881088229871127103,
+        ]
+    );
+}
+
+#[test]
+fn std_rng_golden_stream_seed_42() {
+    let mut r = StdRng::seed_from_u64(42);
+    let got: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+    assert_eq!(
+        got,
+        [
+            1546998764402558742,
+            6990951692964543102,
+            12544586762248559009,
+            17057574109182124193,
+            18295552978065317476,
+            14199186830065750584,
+            13267978908934200754,
+            15679888225317814407,
+        ]
+    );
+}
+
+#[test]
+fn small_rng_golden_stream_seed_42() {
+    let mut r = SmallRng::seed_from_u64(42);
+    let got: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+    assert_eq!(
+        got,
+        [
+            13679457532755275413,
+            2949826092126892291,
+            5139283748462763858,
+            6349198060258255764,
+            701532786141963250,
+            16015981125662989062,
+            4028864712777624925,
+            14769051326987775908,
+        ]
+    );
+}
+
+#[test]
+fn unit_f64_golden_stream() {
+    let mut r = StdRng::seed_from_u64(7);
+    let got: Vec<f64> = (0..4).map(|_| r.gen::<f64>()).collect();
+    assert_eq!(
+        got,
+        [
+            0.7005764821796896,
+            0.2787512294737843,
+            0.8396274618764198,
+            0.9810977250149351,
+        ]
+    );
+}
+
+#[test]
+fn gen_range_golden_stream() {
+    let mut r = StdRng::seed_from_u64(7);
+    let got: Vec<u32> = (0..8).map(|_| r.gen_range(0u32..=100)).collect();
+    assert_eq!(got, [56, 77, 30, 8, 10, 7, 53, 9]);
+}
+
+#[test]
+fn shuffle_golden_permutation() {
+    let mut r = StdRng::seed_from_u64(9);
+    let mut v: Vec<u32> = (0..10).collect();
+    v.shuffle(&mut r);
+    assert_eq!(v, [9, 2, 6, 4, 3, 5, 8, 7, 1, 0]);
+}
+
+#[test]
+fn choose_golden_sequence() {
+    let mut r = StdRng::seed_from_u64(9);
+    let pool = [10u32, 20, 30, 40];
+    let got: Vec<u32> = (0..6).map(|_| *pool.choose(&mut r).unwrap()).collect();
+    assert_eq!(got, [10, 20, 40, 10, 20, 10]);
+}
+
+#[test]
+fn weighted_index_golden_sequence() {
+    let w = WeightedIndex::new([1.0, 2.0, 7.0]).unwrap();
+    let mut r = StdRng::seed_from_u64(5);
+    let got: Vec<usize> = (0..12).map(|_| w.sample(&mut r)).collect();
+    assert_eq!(got, [1, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 1]);
+}
+
+#[test]
+fn weighted_index_distribution_sanity() {
+    // Long-run frequencies track the weights to within 1%.
+    let w = WeightedIndex::new([3.0, 1.0, 6.0]).unwrap();
+    let mut r = StdRng::seed_from_u64(17);
+    let mut counts = [0u32; 3];
+    let n = 200_000u32;
+    for _ in 0..n {
+        counts[w.sample(&mut r)] += 1;
+    }
+    let f: Vec<f64> = counts.iter().map(|&c| f64::from(c) / f64::from(n)).collect();
+    assert!((f[0] - 0.3).abs() < 0.01, "{f:?}");
+    assert!((f[1] - 0.1).abs() < 0.01, "{f:?}");
+    assert!((f[2] - 0.6).abs() < 0.01, "{f:?}");
+}
+
+#[test]
+fn shuffle_and_choose_are_deterministic() {
+    let run = || {
+        let mut r = StdRng::seed_from_u64(1234);
+        let mut v: Vec<u64> = (0..256).collect();
+        v.shuffle(&mut r);
+        let picks: Vec<u64> = (0..32).map(|_| *v.choose(&mut r).unwrap()).collect();
+        (v, picks)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn bytes_clone_is_shallow() {
+    // Heap-backed: clones share the same Arc allocation.
+    let a = Bytes::copy_from_slice(&[1, 2, 3, 4, 5]);
+    let b = a.clone();
+    assert!(a.shares_storage_with(&b));
+    assert_eq!(a, b);
+
+    // Static-backed: clones point at the same static slice, no copy.
+    let s = Bytes::from_static(b"static payload");
+    let t = s.clone();
+    assert!(s.shares_storage_with(&t));
+
+    // Distinct allocations with equal content are equal but not shared.
+    let c = Bytes::copy_from_slice(&[1, 2, 3, 4, 5]);
+    assert_eq!(a, c);
+    assert!(!a.shares_storage_with(&c));
+}

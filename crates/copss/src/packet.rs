@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use bytes::Bytes;
+use gcopss_compat::bytes::Bytes;
 use gcopss_names::{Cd, Name};
 
 /// Identifier of a Rendezvous Point.

@@ -1,35 +1,43 @@
-//! Property-based tests for the COPSS layer.
+//! Property-based tests for the COPSS layer, on the deterministic
+//! `gcopss_compat::prop` harness.
 
+use gcopss_compat::prop::{self, Strategy};
 use gcopss_copss::{CopssEngine, RpId, RpTable, SubscriptionTable, TrafficWindow};
 use gcopss_names::{Cd, Component, Name};
 use gcopss_ndn::FaceId;
-use proptest::prelude::*;
 
-fn name() -> impl Strategy<Value = Name> {
-    prop::collection::vec(0u32..4, 1..4).prop_map(|cs| {
-        Name::from_components(cs.into_iter().map(Component::index))
-    })
+const CASES: u32 = 64;
+
+/// Raw name: 1–3 index components drawn from a 4-symbol space, so the
+/// generated names overlap and nest heavily.
+fn name_strategy() -> impl Strategy<Value = Vec<u32>> {
+    prop::vec(prop::range(0u32..4), 1..=3)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn name(parts: &[u32]) -> Name {
+    Name::from_components(parts.iter().map(|&c| Component::index(c)))
+}
 
-    /// Bloom-filter forwarding is a superset of exact forwarding (no false
-    /// negatives) under arbitrary subscribe/unsubscribe churn.
-    #[test]
-    fn bloom_superset_of_exact_under_churn(
-        ops in prop::collection::vec((any::<bool>(), 0u32..6, name()), 1..60),
-        probe in name(),
-    ) {
+/// Bloom-filter forwarding is a superset of exact forwarding (no false
+/// negatives) under arbitrary subscribe/unsubscribe churn.
+#[test]
+fn bloom_superset_of_exact_under_churn() {
+    let input = (
+        prop::vec((prop::bools(), prop::range(0u32..6), name_strategy()), 1..=59),
+        name_strategy(),
+    );
+    prop::check(0xC0501, CASES, &input, |(ops, probe_parts)| {
+        let probe = name(probe_parts);
         let mut st = SubscriptionTable::default();
         let mut model: std::collections::BTreeSet<(u32, Name)> = Default::default();
         let anchor: std::collections::BTreeSet<RpId> = [RpId(0)].into();
-        for (sub, face, n) in ops {
-            if sub {
-                st.subscribe(FaceId(face), n.clone(), anchor.clone(), true);
-                model.insert((face, n));
-            } else if model.remove(&(face, n.clone())) {
-                st.unsubscribe(FaceId(face), &n, None);
+        for (sub, face, parts) in ops {
+            let n = name(parts);
+            if *sub {
+                st.subscribe(FaceId(*face), n.clone(), anchor.clone(), true);
+                model.insert((*face, n));
+            } else if model.remove(&(*face, n.clone())) {
+                st.unsubscribe(FaceId(*face), &n, None);
             }
         }
         let cd = Cd::new(probe.clone());
@@ -46,20 +54,25 @@ proptest! {
             v.dedup();
             v
         };
-        prop_assert_eq!(&exact, &want);
+        assert_eq!(exact, want);
         // ...and bloom must contain every exact face.
         for f in &exact {
-            prop_assert!(bloom.contains(f));
+            assert!(bloom.contains(f));
         }
-    }
+    });
+}
 
-    /// The RP table stays prefix-free under random valid assignment and
-    /// splitting, and publication coverage is unique.
-    #[test]
-    fn rp_table_invariants(
-        prefixes in prop::collection::btree_set(name(), 1..12),
-        probes in prop::collection::vec(name(), 1..8),
-    ) {
+/// The RP table stays prefix-free under random valid assignment and
+/// splitting, and publication coverage is unique.
+#[test]
+fn rp_table_invariants() {
+    let input = (
+        prop::vec(name_strategy(), 1..=11),
+        prop::vec(name_strategy(), 1..=7),
+    );
+    prop::check(0xC0502, CASES, &input, |(raw_prefixes, raw_probes)| {
+        let prefixes: std::collections::BTreeSet<Name> =
+            raw_prefixes.iter().map(|p| name(p)).collect();
         let mut t = RpTable::new();
         let mut accepted = 0u32;
         for (i, p) in prefixes.iter().enumerate() {
@@ -67,77 +80,84 @@ proptest! {
                 accepted += 1;
             }
         }
-        prop_assert!(accepted > 0);
-        prop_assert!(t.is_prefix_free());
-        for probe in &probes {
+        assert!(accepted > 0);
+        assert!(t.is_prefix_free());
+        for raw in raw_probes {
+            let probe = name(raw);
             // At most one served prefix covers the probe.
             let covering: Vec<_> = t
                 .assignments()
                 .into_iter()
-                .filter(|(p, _)| p.is_prefix_of(probe))
+                .filter(|(p, _)| p.is_prefix_of(&probe))
                 .collect();
-            prop_assert!(covering.len() <= 1);
-            prop_assert_eq!(t.rp_for(probe), covering.first().map(|(_, rp)| *rp));
+            assert!(covering.len() <= 1);
+            assert_eq!(t.rp_for(&probe), covering.first().map(|(_, rp)| *rp));
         }
-    }
+    });
+}
 
-    /// After any sequence of subscriptions, reconcile() is a fixpoint and
-    /// the joined set covers exactly the subscribed names per overlapping RP.
-    #[test]
-    fn reconcile_reaches_fixpoint(
-        subs in prop::collection::vec((0u32..5, name()), 1..20),
-    ) {
+/// After any sequence of subscriptions, reconcile() is a fixpoint and
+/// the joined set covers exactly the subscribed names per overlapping RP.
+#[test]
+fn reconcile_reaches_fixpoint() {
+    let input = prop::vec((prop::range(0u32..5), name_strategy()), 1..=19);
+    prop::check(0xC0503, CASES, &input, |subs| {
         let mut e = CopssEngine::new();
         e.rp_table_mut().assign(Name::root(), RpId(0)).unwrap();
-        for (f, n) in &subs {
-            e.handle_subscribe(FaceId(*f), &[n.clone()], None);
+        for (f, parts) in subs {
+            e.handle_subscribe(FaceId(*f), &[name(parts)], None);
         }
         let (j, p) = e.reconcile();
-        prop_assert!(j.is_empty());
-        prop_assert!(p.is_empty());
+        assert!(j.is_empty());
+        assert!(p.is_empty());
         // Every subscribed name is covered by some join.
         let joined = e.joined_toward(RpId(0));
-        for (_, n) in &subs {
-            prop_assert!(
-                joined.iter().any(|jn| jn.is_prefix_of(n)),
-                "subscription {} not covered by joins {:?}", n, joined
+        for (_, parts) in subs {
+            let n = name(parts);
+            assert!(
+                joined.iter().any(|jn| jn.is_prefix_of(&n)),
+                "subscription {} not covered by joins {:?}",
+                n,
+                joined
             );
         }
         // Joins are minimal: none covers another.
         for a in &joined {
             for b in &joined {
-                prop_assert!(!(a != b && a.is_strict_prefix_of(b)));
+                assert!(!(a != b && a.is_strict_prefix_of(b)));
             }
         }
-    }
+    });
+}
 
-    /// Splitting a traffic window always produces two disjoint, non-empty,
-    /// prefix-free sides that jointly cover all observed traffic.
-    #[test]
-    fn split_plan_partitions_load(
-        cds in prop::collection::vec(name(), 2..80),
-    ) {
+/// Splitting a traffic window always produces two disjoint, non-empty,
+/// prefix-free sides that jointly cover all observed traffic.
+#[test]
+fn split_plan_partitions_load() {
+    let input = prop::vec(name_strategy(), 2..=79);
+    prop::check(0xC0504, CASES, &input, |raw_cds| {
+        let cds: Vec<Name> = raw_cds.iter().map(|p| name(p)).collect();
         let mut w = TrafficWindow::new(128);
         for cd in &cds {
             w.record(cd.clone());
         }
         if let Some(plan) = w.plan_split(&[Name::root()], 0.5) {
-            prop_assert!(!plan.moved.is_empty());
-            prop_assert!(!plan.retained.is_empty());
+            assert!(!plan.moved.is_empty());
+            assert!(!plan.retained.is_empty());
             let mut all = plan.moved.clone();
             all.extend(plan.retained.clone());
             // Pairwise prefix-free.
             for (i, a) in all.iter().enumerate() {
                 for b in all.iter().skip(i + 1) {
-                    prop_assert!(!a.is_prefix_of(b) && !b.is_prefix_of(a));
+                    assert!(!a.is_prefix_of(b) && !b.is_prefix_of(a));
                 }
             }
             // Every observed CD is covered by exactly one side.
             for cd in &cds {
                 let m = plan.moved.iter().filter(|p| p.is_prefix_of(cd)).count();
                 let r = plan.retained.iter().filter(|p| p.is_prefix_of(cd)).count();
-                prop_assert_eq!(m + r, 1, "cd {} covered {}+{} times", cd, m, r);
+                assert_eq!(m + r, 1, "cd {} covered {}+{} times", cd, m, r);
             }
         }
-    }
+    });
 }

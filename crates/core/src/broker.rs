@@ -27,7 +27,7 @@
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use bytes::Bytes;
+use gcopss_compat::bytes::Bytes;
 use gcopss_copss::{CopssPacket, MulticastPacket};
 use gcopss_game::trace::TraceEvent;
 use gcopss_game::{AreaId, GameMap, MoveEvent, ObjectModel, PlayerId};

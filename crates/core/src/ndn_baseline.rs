@@ -20,7 +20,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use bytes::Bytes;
+use gcopss_compat::bytes::Bytes;
 use gcopss_game::{GameMap, PlayerId};
 use gcopss_names::Name;
 use gcopss_ndn::{Data, Interest};

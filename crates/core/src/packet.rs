@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use bytes::Bytes;
+use gcopss_compat::bytes::Bytes;
 use gcopss_copss::{CopssPacket, MulticastPacket, RpId};
 use gcopss_ndn::{Data, Interest};
 use gcopss_sim::NodeId;

@@ -4,12 +4,11 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use gcopss_names::{Cd, Name};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of an area (any node of the map hierarchy: the world, a
 /// region, or a zone).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct AreaId(pub u32);
 
@@ -28,7 +27,7 @@ impl fmt::Display for AreaId {
 }
 
 /// The six movement types of Table III.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MoveType {
     /// To a lower layer, e.g. `/1/0 → /1/1` (plane landing). No snapshot
     /// download required.
@@ -73,7 +72,7 @@ impl MoveType {
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct AreaNode {
     /// Path from the root: `/` for the world, `/1` for region 1, `/1/2`
     /// for a zone.
@@ -96,7 +95,7 @@ struct AreaNode {
 /// Subscriptions follow §III-B: a player at area `a` subscribes to the
 /// own-area CDs of every strict ancestor of `a` plus `a`'s own path (which
 /// aggregates everything below `a`, including `a`'s own-area).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GameMap {
     areas: Vec<AreaNode>,
     by_path: BTreeMap<Name, AreaId>,

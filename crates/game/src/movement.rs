@@ -2,16 +2,15 @@
 //! Moving").
 
 use gcopss_names::Name;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use gcopss_compat::StdRng;
+use gcopss_compat::{Rng, SeedableRng};
 
 use crate::{AreaId, GameMap, MoveType, PlayerId, PlayerPopulation};
 
 /// Parameters of the movement model. The paper's defaults: every player
 /// moves after an interval of 5–35 minutes; each move goes up with
 /// probability 10%, down with 10% (when possible) and laterally otherwise.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MovementParams {
     /// Per-player interval between moves, in nanoseconds (paper:
     /// 5–35 min).
@@ -33,7 +32,7 @@ impl Default for MovementParams {
 }
 
 /// One movement of one player, with the snapshots it requires.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MoveEvent {
     /// Event time in nanoseconds from trace start.
     pub time_ns: u64,

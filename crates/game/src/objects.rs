@@ -3,15 +3,14 @@
 use std::fmt;
 
 use gcopss_names::Name;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use gcopss_compat::StdRng;
+use gcopss_compat::{Rng, SeedableRng};
 
 use crate::GameMap;
 
 /// Identifier of a game object.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct ObjectId(pub u32);
 
@@ -37,7 +36,7 @@ impl fmt::Display for ObjectId {
 /// equivalently `size_n = α·size_{n-1} + size(upd_n)`. Version 0 (the
 /// pristine object shipped with the map) has size 0 for snapshot purposes:
 /// the broker "does not send anything if the object has not changed".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ObjectState {
     /// Number of updates applied.
     pub version: u64,
@@ -76,7 +75,7 @@ impl Default for ObjectState {
 }
 
 /// Parameters of the object distribution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ObjectModelParams {
     /// Objects per leaf area, drawn uniformly from this inclusive range
     /// (the paper's Fig. 3d shows 80–120 per area; the trace totals 3,197

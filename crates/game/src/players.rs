@@ -2,15 +2,14 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use gcopss_compat::StdRng;
+use gcopss_compat::{Rng, SeedableRng};
 
 use crate::{AreaId, GameMap};
 
 /// Identifier of a player.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct PlayerId(pub u32);
 
@@ -34,7 +33,7 @@ impl fmt::Display for PlayerId {
 /// [`PlayerPopulation::uniform_per_area`] (the 62-player microbenchmark: 2
 /// players in every area) and [`PlayerPopulation::random_per_area`] (the
 /// 414-player trace: 4–20 players per area, Fig. 3d).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PlayerPopulation {
     /// Initial area of each player, indexed by player id.
     locations: Vec<AreaId>,

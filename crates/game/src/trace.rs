@@ -14,16 +14,15 @@
 //! statistics, deterministically from a seed.
 
 use gcopss_names::Name;
-use rand::distributions::{Distribution, WeightedIndex};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use gcopss_compat::distributions::{Distribution, WeightedIndex};
+use gcopss_compat::StdRng;
+use gcopss_compat::{Rng, SeedableRng};
 
 use crate::{GameMap, ObjectId, ObjectModel, PlayerId, PlayerPopulation};
 
 /// One publish event of a trace: at `time_ns`, `player` modifies `object`
 /// (located in leaf CD `cd`) with an update of `size` bytes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Event time in nanoseconds from trace start.
     pub time_ns: u64,
@@ -38,7 +37,7 @@ pub struct TraceEvent {
 }
 
 /// Parameters of the microbenchmark trace (§V-A defaults).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MicrobenchParams {
     /// Trace duration in nanoseconds (paper: 1 minute).
     pub duration_ns: u64,
@@ -93,7 +92,7 @@ pub fn microbenchmark_trace(
 }
 
 /// Parameters of the synthetic Counter-Strike trace (§V-B defaults).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CsTraceParams {
     /// Total number of update events (paper: 1,686,905). Scale this down
     /// for quick runs; the per-player distribution shape is preserved.

@@ -1,37 +1,40 @@
-//! Property-based tests for the game model.
+//! Property-based tests for the game model, on the deterministic
+//! `gcopss_compat::prop` harness.
 
+use gcopss_compat::prop::{self, Strategy};
+use gcopss_compat::{Rng, SeedableRng, StdRng};
 use gcopss_game::{GameMap, MoveType, ObjectModel, ObjectModelParams, ObjectState};
-use proptest::prelude::*;
 
-fn layout() -> impl Strategy<Value = Vec<u32>> {
-    prop::collection::vec(1u32..5, 1..3)
+const CASES: u32 = 48;
+
+/// Hierarchy layout: 1–2 layers of 1–4 areas each.
+fn layout_strategy() -> impl Strategy<Value = Vec<u32>> {
+    prop::vec(prop::range(1u32..5), 1..=2)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Visibility is reflexive and downward-closed along the hierarchy:
-    /// a player always sees its own area, and sees an area iff it sees
-    /// every deeper area under that area's subtree... (specifically: a
-    /// viewer sees all publications from areas in its own subtree and its
-    /// ancestor chain's own-areas).
-    #[test]
-    fn visibility_laws(layout in layout()) {
-        let map = GameMap::uniform(&layout);
+/// Visibility is reflexive and downward-closed along the hierarchy:
+/// a player always sees its own area, and sees an area iff it sees
+/// every deeper area under that area's subtree... (specifically: a
+/// viewer sees all publications from areas in its own subtree and its
+/// ancestor chain's own-areas).
+#[test]
+fn visibility_laws() {
+    prop::check(0x9A01, CASES, &layout_strategy(), |layout| {
+        let map = GameMap::uniform(layout);
         for viewer in map.areas() {
             // Reflexive.
-            prop_assert!(map.can_see(viewer, viewer));
+            assert!(map.can_see(viewer, viewer));
             // Sees every ancestor's layer (their own-area publications).
             let mut cur = map.parent(viewer);
             while let Some(a) = cur {
-                prop_assert!(map.can_see(viewer, a));
+                assert!(map.can_see(viewer, a));
                 cur = map.parent(a);
             }
             // Sees everything in its own subtree.
             let vp = map.path(viewer).clone();
             for other in map.areas() {
                 if vp.is_prefix_of(map.path(other)) {
-                    prop_assert!(map.can_see(viewer, other));
+                    assert!(map.can_see(viewer, other));
                 }
             }
             // Never sees a *sibling subtree's interior* at deeper level:
@@ -39,34 +42,37 @@ proptest! {
                 let op = map.path(other);
                 let unrelated = !vp.is_prefix_of(op) && !op.is_prefix_of(&vp);
                 if unrelated {
-                    prop_assert!(!map.can_see(viewer, other),
-                        "{} should not see {}", vp, op);
+                    assert!(!map.can_see(viewer, other), "{} should not see {}", vp, op);
                 }
             }
         }
-    }
+    });
+}
 
-    /// Publication CDs are exactly the leaf CDs, and each is unique.
-    #[test]
-    fn publication_cds_bijective_with_areas(layout in layout()) {
-        let map = GameMap::uniform(&layout);
+/// Publication CDs are exactly the leaf CDs, and each is unique.
+#[test]
+fn publication_cds_bijective_with_areas() {
+    prop::check(0x9A02, CASES, &layout_strategy(), |layout| {
+        let map = GameMap::uniform(layout);
         let mut seen = std::collections::BTreeSet::new();
         for a in map.areas() {
             let cd = map.publication_cd(a);
-            prop_assert!(map.leaf_cds().contains(cd.name()));
-            prop_assert!(seen.insert(cd.name().clone()), "duplicate pub CD");
-            prop_assert_eq!(map.area_of_leaf_cd(cd.name()), Some(a));
+            assert!(map.leaf_cds().contains(cd.name()));
+            assert!(seen.insert(cd.name().clone()), "duplicate pub CD");
+            assert_eq!(map.area_of_leaf_cd(cd.name()), Some(a));
         }
-        prop_assert_eq!(seen.len(), map.leaf_cds().len());
-    }
+        assert_eq!(seen.len(), map.leaf_cds().len());
+    });
+}
 
-    /// Snapshot requirement of a move equals newly-visible leaf CDs, and
-    /// moving down requires nothing.
-    #[test]
-    fn snapshot_requirements(layout in layout(), seed in 0u64..100) {
-        let map = GameMap::uniform(&layout);
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+/// Snapshot requirement of a move equals newly-visible leaf CDs, and
+/// moving down requires nothing.
+#[test]
+fn snapshot_requirements() {
+    let input = (layout_strategy(), prop::range(0u64..100));
+    prop::check(0x9A03, CASES, &input, |(layout, seed)| {
+        let map = GameMap::uniform(layout);
+        let mut rng = StdRng::seed_from_u64(*seed);
         let areas: Vec<_> = map.areas().collect();
         for _ in 0..20 {
             let from = areas[rng.gen_range(0..areas.len())];
@@ -75,47 +81,61 @@ proptest! {
             let old = map.visible_leaf_cds(from);
             let new = map.visible_leaf_cds(to);
             for cd in &snaps {
-                prop_assert!(new.contains(cd) && !old.contains(cd));
+                assert!(new.contains(cd) && !old.contains(cd));
             }
             if map.classify_move(from, to) == Some(MoveType::ToLowerLayer) {
-                prop_assert!(snaps.is_empty(), "descending needs no snapshot");
+                assert!(snaps.is_empty(), "descending needs no snapshot");
             }
         }
-    }
+    });
+}
 
-    /// The object size model: bounded by max_size, monotone under equal
-    /// updates, and consistent with the recurrence.
-    #[test]
-    fn object_size_model(updates in prop::collection::vec(50u32..350, 1..40)) {
+/// The object size model: bounded by max_size, monotone under equal
+/// updates, and consistent with the recurrence.
+#[test]
+fn object_size_model() {
+    let input = prop::vec(prop::range(50u32..350), 1..=39);
+    prop::check(0x9A04, CASES, &input, |updates| {
         let alpha = 0.95;
         let mut s = ObjectState::pristine();
         let mut prev = 0.0;
-        for &u in &updates {
+        for &u in updates {
             s.apply_update(alpha, u);
             // size_n = alpha*size_{n-1} + u  >  alpha*size_{n-1}
-            prop_assert!(s.size > prev * alpha - 1e-9);
+            assert!(s.size > prev * alpha - 1e-9);
             prev = s.size;
         }
-        prop_assert_eq!(s.version, updates.len() as u64);
+        assert_eq!(s.version, updates.len() as u64);
         // Bounded by the geometric-series bound.
-        prop_assert!(s.size <= 350.0 / (1.0 - alpha) + 1e-9);
-    }
+        assert!(s.size <= 350.0 / (1.0 - alpha) + 1e-9);
+    });
+}
 
-    /// Object generation covers every leaf CD with the configured range.
-    #[test]
-    fn object_generation_in_range(seed in 0u64..50, lo in 1u32..5, extra in 0u32..5) {
+/// Object generation covers every leaf CD with the configured range.
+#[test]
+fn object_generation_in_range() {
+    let input = (
+        prop::range(0u64..50),
+        prop::range(1u32..5),
+        prop::range(0u32..5),
+    );
+    prop::check(0x9A05, CASES, &input, |(seed, lo, extra)| {
         let map = GameMap::paper_map();
         let hi = lo + extra;
-        let m = ObjectModel::generate(seed, &map, &ObjectModelParams {
-            objects_per_area: (lo, hi),
-            ..Default::default()
-        });
+        let m = ObjectModel::generate(
+            *seed,
+            &map,
+            &ObjectModelParams {
+                objects_per_area: (*lo, hi),
+                ..Default::default()
+            },
+        );
         for (_, count) in m.objects_per_area() {
-            prop_assert!((lo as usize..=hi as usize).contains(&count));
+            assert!((*lo as usize..=hi as usize).contains(&count));
         }
-        prop_assert_eq!(
+        assert_eq!(
             m.objects_per_area().iter().map(|(_, c)| c).sum::<usize>(),
             m.object_count()
         );
-    }
+    });
 }

@@ -3,7 +3,6 @@
 use std::borrow::Borrow;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::ParseNameError;
 
@@ -25,8 +24,7 @@ use crate::ParseNameError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Component(Box<str>);
 
 impl Component {

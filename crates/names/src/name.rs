@@ -3,7 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
 
 use crate::{fnv1a, fnv1a_extend, Component, ParseNameError};
 
@@ -28,8 +27,7 @@ use crate::{fnv1a, fnv1a_extend, Component, ParseNameError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Name {
     components: Vec<Component>,
 }

@@ -1,148 +1,218 @@
-//! Property-based tests for the naming substrate.
+//! Property-based tests for the naming substrate, on the deterministic
+//! `gcopss_compat::prop` harness. Strategies generate raw component
+//! strings; names are built inside each property so shrinking stays
+//! structural.
 
+use gcopss_compat::prop::{self, Strategy};
 use gcopss_names::{BloomFilter, BloomParams, Cd, CdSet, Component, Name, NameTree};
-use proptest::prelude::*;
 
-/// Strategy producing valid name components (no '/', non-empty).
-fn component() -> impl Strategy<Value = Component> {
-    "[a-z0-9]{1,6}".prop_map(|s| Component::new(s).expect("valid component"))
+const CASES: u32 = 128;
+
+/// Raw name: up to 6 components over a small alphabet.
+fn name_strategy() -> impl Strategy<Value = Vec<String>> {
+    prop::vec(prop::string("abcdefghijklmnopqrstuvwxyz0123456789", 1..=6), 0..=6)
 }
 
-/// Strategy producing names of up to 6 components.
-fn name() -> impl Strategy<Value = Name> {
-    prop::collection::vec(component(), 0..6).prop_map(Name::from_components)
+fn name(parts: &[String]) -> Name {
+    Name::from_components(
+        parts
+            .iter()
+            .map(|s| Component::new(s.as_str()).expect("valid component")),
+    )
 }
 
-proptest! {
-    #[test]
-    fn parse_display_round_trip(n in name()) {
+#[test]
+fn parse_display_round_trip() {
+    prop::check(0x6f01, CASES, &name_strategy(), |parts| {
+        let n = name(parts);
         let s = n.to_string();
         let back: Name = s.parse().unwrap();
-        prop_assert_eq!(n, back);
-    }
+        assert_eq!(n, back);
+    });
+}
 
-    #[test]
-    fn prefix_reflexive_and_antisymmetric(a in name(), b in name()) {
-        prop_assert!(a.is_prefix_of(&a));
+#[test]
+fn prefix_reflexive_and_antisymmetric() {
+    prop::check(0x6f02, CASES, &(name_strategy(), name_strategy()), |(a, b)| {
+        let (a, b) = (name(a), name(b));
+        assert!(a.is_prefix_of(&a));
         if a.is_prefix_of(&b) && b.is_prefix_of(&a) {
-            prop_assert_eq!(&a, &b);
+            assert_eq!(a, b);
         }
-    }
+    });
+}
 
-    #[test]
-    fn prefix_transitive(a in name(), suffix1 in name(), suffix2 in name()) {
-        let b = a.join(&suffix1);
-        let c = b.join(&suffix2);
-        prop_assert!(a.is_prefix_of(&b));
-        prop_assert!(b.is_prefix_of(&c));
-        prop_assert!(a.is_prefix_of(&c));
-    }
+#[test]
+fn prefix_transitive() {
+    prop::check(
+        0x6f03,
+        CASES,
+        &(name_strategy(), name_strategy(), name_strategy()),
+        |(a, suffix1, suffix2)| {
+            let a = name(a);
+            let b = a.join(&name(suffix1));
+            let c = b.join(&name(suffix2));
+            assert!(a.is_prefix_of(&b));
+            assert!(b.is_prefix_of(&c));
+            assert!(a.is_prefix_of(&c));
+        },
+    );
+}
 
-    #[test]
-    fn parent_is_strict_prefix(n in name()) {
+#[test]
+fn parent_is_strict_prefix() {
+    prop::check(0x6f04, CASES, &name_strategy(), |parts| {
+        let n = name(parts);
         if let Some(p) = n.parent() {
-            prop_assert!(p.is_strict_prefix_of(&n));
-            prop_assert_eq!(p.len() + 1, n.len());
+            assert!(p.is_strict_prefix_of(&n));
+            assert_eq!(p.len() + 1, n.len());
         } else {
-            prop_assert!(n.is_empty());
+            assert!(n.is_empty());
         }
-    }
+    });
+}
 
-    #[test]
-    fn hash_chain_consistent_with_prefixes(n in name()) {
+#[test]
+fn hash_chain_consistent_with_prefixes() {
+    prop::check(0x6f05, CASES, &name_strategy(), |parts| {
+        let n = name(parts);
         let chain = n.hash_chain();
-        prop_assert_eq!(chain.len(), n.len() + 1);
+        assert_eq!(chain.len(), n.len() + 1);
         for (i, p) in n.prefixes().enumerate() {
-            prop_assert_eq!(chain[i], p.stable_hash());
+            assert_eq!(chain[i], p.stable_hash());
         }
-    }
+    });
+}
 
-    #[test]
-    fn cd_hashes_match_name_hash_chain(n in name()) {
+#[test]
+fn cd_hashes_match_name_hash_chain() {
+    prop::check(0x6f06, CASES, &name_strategy(), |parts| {
+        let n = name(parts);
         let cd = Cd::new(n.clone());
-        prop_assert_eq!(cd.hashes().as_slice(), &n.hash_chain()[..]);
-    }
+        assert_eq!(cd.hashes().as_slice(), &n.hash_chain()[..]);
+    });
+}
 
-    #[test]
-    fn tree_longest_prefix_matches_naive_scan(
-        entries in prop::collection::btree_map(name(), any::<u32>(), 0..24),
-        probe in name(),
-    ) {
-        let tree: NameTree<u32> = entries.clone().into_iter().collect();
-        let naive = entries
-            .iter()
-            .filter(|(k, _)| k.is_prefix_of(&probe))
-            .max_by_key(|(k, _)| k.len())
-            .map(|(k, v)| (k.clone(), *v));
-        let got = tree.longest_prefix(&probe).map(|(k, v)| (k, *v));
-        prop_assert_eq!(got, naive);
-    }
+/// Raw (name, value) entries; collecting into a BTreeMap dedups keys, the
+/// same shape `prop::collection::btree_map` produced.
+fn entries_strategy() -> impl Strategy<Value = Vec<(Vec<String>, u32)>> {
+    prop::vec((name_strategy(), prop::range(0u32..=u32::MAX)), 0..=23)
+}
 
-    #[test]
-    fn tree_insert_remove_round_trip(
-        entries in prop::collection::btree_map(name(), any::<u32>(), 0..24),
-    ) {
+fn entry_map(raw: &[(Vec<String>, u32)]) -> std::collections::BTreeMap<Name, u32> {
+    raw.iter().map(|(k, v)| (name(k), *v)).collect()
+}
+
+#[test]
+fn tree_longest_prefix_matches_naive_scan() {
+    prop::check(
+        0x6f07,
+        CASES,
+        &(entries_strategy(), name_strategy()),
+        |(raw, probe_parts)| {
+            let entries = entry_map(raw);
+            let probe = name(probe_parts);
+            let tree: NameTree<u32> = entries.clone().into_iter().collect();
+            let naive = entries
+                .iter()
+                .filter(|(k, _)| k.is_prefix_of(&probe))
+                .max_by_key(|(k, _)| k.len())
+                .map(|(k, v)| (k.clone(), *v));
+            let got = tree.longest_prefix(&probe).map(|(k, v)| (k, *v));
+            assert_eq!(got, naive);
+        },
+    );
+}
+
+#[test]
+fn tree_insert_remove_round_trip() {
+    prop::check(0x6f08, CASES, &entries_strategy(), |raw| {
+        let entries = entry_map(raw);
         let mut tree: NameTree<u32> = entries.clone().into_iter().collect();
-        prop_assert_eq!(tree.len(), entries.len());
+        assert_eq!(tree.len(), entries.len());
         for (k, v) in &entries {
-            prop_assert_eq!(tree.get(k), Some(v));
+            assert_eq!(tree.get(k), Some(v));
         }
         for (k, v) in &entries {
-            prop_assert_eq!(tree.remove(k), Some(*v));
+            assert_eq!(tree.remove(k), Some(*v));
         }
-        prop_assert!(tree.is_empty());
-    }
+        assert!(tree.is_empty());
+    });
+}
 
-    #[test]
-    fn tree_descendants_agree_with_filter(
-        entries in prop::collection::btree_map(name(), any::<u32>(), 0..24),
-        prefix in name(),
-    ) {
-        let tree: NameTree<u32> = entries.clone().into_iter().collect();
-        let mut naive: Vec<Name> = entries
-            .keys()
-            .filter(|k| prefix.is_prefix_of(k))
-            .cloned()
-            .collect();
-        naive.sort();
-        let got: Vec<Name> = tree
-            .descendants(&prefix)
-            .into_iter()
-            .map(|(k, _)| k)
-            .collect();
-        prop_assert_eq!(got, naive);
-    }
+#[test]
+fn tree_descendants_agree_with_filter() {
+    prop::check(
+        0x6f09,
+        CASES,
+        &(entries_strategy(), name_strategy()),
+        |(raw, prefix_parts)| {
+            let entries = entry_map(raw);
+            let prefix = name(prefix_parts);
+            let tree: NameTree<u32> = entries.clone().into_iter().collect();
+            let mut naive: Vec<Name> = entries
+                .keys()
+                .filter(|k| prefix.is_prefix_of(k))
+                .cloned()
+                .collect();
+            naive.sort();
+            let got: Vec<Name> = tree
+                .descendants(&prefix)
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect();
+            assert_eq!(got, naive);
+        },
+    );
+}
 
-    #[test]
-    fn bloom_has_no_false_negatives(
-        names in prop::collection::btree_set(name(), 1..64),
-    ) {
-        let mut f = BloomFilter::new(BloomParams::for_items(64, 0.01));
-        for n in &names {
-            f.insert(n.stable_hash());
-        }
-        for n in &names {
-            prop_assert!(f.contains(n.stable_hash()));
-        }
-    }
+#[test]
+fn bloom_has_no_false_negatives() {
+    prop::check(
+        0x6f0a,
+        CASES,
+        &prop::vec(name_strategy(), 1..=63),
+        |raw| {
+            let names: std::collections::BTreeSet<Name> = raw.iter().map(|p| name(p)).collect();
+            let mut f = BloomFilter::new(BloomParams::for_items(64, 0.01));
+            for n in &names {
+                f.insert(n.stable_hash());
+            }
+            for n in &names {
+                assert!(f.contains(n.stable_hash()));
+            }
+        },
+    );
+}
 
-    #[test]
-    fn cdset_matches_publication_agrees_with_prefix_scan(
-        subs in prop::collection::btree_set(name(), 0..16),
-        publication in name(),
-    ) {
-        let set: CdSet = subs.clone().into_iter().collect();
-        let naive = subs.iter().any(|s| s.is_prefix_of(&publication));
-        prop_assert_eq!(set.matches_publication(&publication), naive);
-    }
+#[test]
+fn cdset_matches_publication_agrees_with_prefix_scan() {
+    prop::check(
+        0x6f0b,
+        CASES,
+        &(prop::vec(name_strategy(), 0..=15), name_strategy()),
+        |(raw, pub_parts)| {
+            let subs: std::collections::BTreeSet<Name> = raw.iter().map(|p| name(p)).collect();
+            let publication = name(pub_parts);
+            let set: CdSet = subs.clone().into_iter().collect();
+            let naive = subs.iter().any(|s| s.is_prefix_of(&publication));
+            assert_eq!(set.matches_publication(&publication), naive);
+        },
+    );
+}
 
-    #[test]
-    fn cdset_any_under_agrees_with_scan(
-        subs in prop::collection::btree_set(name(), 0..16),
-        prefix in name(),
-    ) {
-        let set: CdSet = subs.clone().into_iter().collect();
-        let naive = subs.iter().any(|s| prefix.is_prefix_of(s));
-        prop_assert_eq!(set.any_under(&prefix), naive);
-    }
+#[test]
+fn cdset_any_under_agrees_with_scan() {
+    prop::check(
+        0x6f0c,
+        CASES,
+        &(prop::vec(name_strategy(), 0..=15), name_strategy()),
+        |(raw, prefix_parts)| {
+            let subs: std::collections::BTreeSet<Name> = raw.iter().map(|p| name(p)).collect();
+            let prefix = name(prefix_parts);
+            let set: CdSet = subs.clone().into_iter().collect();
+            let naive = subs.iter().any(|s| prefix.is_prefix_of(s));
+            assert_eq!(set.any_under(&prefix), naive);
+        },
+    );
 }

@@ -34,7 +34,7 @@ impl Default for ContentStoreConfig {
 /// ```
 /// # use gcopss_ndn::{ContentStore, ContentStoreConfig, Data};
 /// # use gcopss_names::Name;
-/// # use bytes::Bytes;
+/// # use gcopss_compat::bytes::Bytes;
 /// let mut cs = ContentStore::new(ContentStoreConfig { capacity: 8 });
 /// cs.insert(0, Data::new(Name::parse_lit("/a/1"), Bytes::from_static(b"x")));
 /// assert!(cs.lookup(1, &Name::parse_lit("/a")).is_some());
@@ -194,7 +194,7 @@ impl Default for ContentStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use gcopss_compat::bytes::Bytes;
 
     fn d(name: &str, body: &'static [u8]) -> Data {
         Data::new(Name::parse_lit(name), Bytes::from_static(body))

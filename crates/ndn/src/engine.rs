@@ -181,7 +181,7 @@ impl NdnEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use gcopss_compat::bytes::Bytes;
 
     fn n(s: &str) -> Name {
         Name::parse_lit(s)

@@ -38,7 +38,7 @@
 //! }]);
 //!
 //! // ...and Data follows the breadcrumb back.
-//! let d = Data::new(Name::parse_lit("/video/seg1"), bytes::Bytes::from_static(b"x"));
+//! let d = Data::new(Name::parse_lit("/video/seg1"), gcopss_compat::bytes::Bytes::from_static(b"x"));
 //! let actions = engine.process_data(0, producer_face, d.clone());
 //! assert_eq!(actions, vec![NdnAction::SendData { face: consumer_face, data: d }]);
 //! ```

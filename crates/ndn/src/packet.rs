@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use bytes::Bytes;
+use gcopss_compat::bytes::Bytes;
 use gcopss_names::Name;
 
 /// A local face (interface) identifier of one NDN node.

@@ -1,7 +1,7 @@
 //! Integration tests of the NDN engine pipeline: multi-hop chains of
 //! engines, cache interaction, and PIT expiry under load.
 
-use bytes::Bytes;
+use gcopss_compat::bytes::Bytes;
 use gcopss_ndn::{ContentStoreConfig, Data, FaceId, Interest, NdnAction, NdnConfig, NdnEngine};
 use gcopss_names::Name;
 

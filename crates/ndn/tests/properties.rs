@@ -1,25 +1,29 @@
-//! Property-based tests for the NDN engine.
+//! Property-based tests for the NDN engine, on the deterministic
+//! `gcopss_compat::prop` harness.
 
-use bytes::Bytes;
+use gcopss_compat::bytes::Bytes;
+use gcopss_compat::prop::{self, Strategy};
 use gcopss_names::{Component, Name};
 use gcopss_ndn::{Data, FaceId, Interest, NdnAction, NdnConfig, NdnEngine};
-use proptest::prelude::*;
 
-fn name() -> impl Strategy<Value = Name> {
-    prop::collection::vec("[a-c]{1,2}", 1..4).prop_map(|cs| {
-        Name::from_components(cs.into_iter().map(|c| Component::new(c).unwrap()))
-    })
+const CASES: u32 = 64;
+
+/// Raw name: 1–3 short components over a tiny alphabet, so distinct cases
+/// collide often (exercising PIT aggregation and cache hits).
+fn name_strategy() -> impl Strategy<Value = Vec<String>> {
+    prop::vec(prop::string("abc", 1..=2), 1..=3)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn name(parts: &[String]) -> Name {
+    Name::from_components(parts.iter().map(|s| Component::new(s.as_str()).unwrap()))
+}
 
-    /// Every Interest that was forwarded and later answered produces Data on
-    /// exactly the faces that expressed it (no loss, no duplication).
-    #[test]
-    fn data_reaches_every_pending_face(
-        consumers in prop::collection::vec((1u32..8, name()), 1..16),
-    ) {
+/// Every Interest that was forwarded and later answered produces Data on
+/// exactly the faces that expressed it (no loss, no duplication).
+#[test]
+fn data_reaches_every_pending_face() {
+    let consumers = prop::vec((prop::range(1u32..8), name_strategy()), 1..=15);
+    prop::check(0xAD01, CASES, &consumers, |consumers| {
         let mut e = NdnEngine::new(NdnConfig::default());
         let upstream = FaceId(99);
         e.fib_mut().add(Name::root(), upstream);
@@ -29,7 +33,8 @@ proptest! {
         let mut pending: std::collections::BTreeMap<Name, Vec<FaceId>> = Default::default();
         let mut nonce = 0u64;
         let mut satisfied_from_cache = 0usize;
-        for (f, n) in &consumers {
+        for (f, parts) in consumers {
+            let n = name(parts);
             nonce += 1;
             let acts = e.process_interest(0, FaceId(*f), Interest::new(n.clone(), nonce));
             let cache_hit = acts
@@ -51,7 +56,7 @@ proptest! {
             {
                 let data = Data::new(n.clone(), Bytes::from_static(b"d"));
                 let replies = e.process_data(1, upstream, data);
-                let expect = pending.remove(n).unwrap_or_default();
+                let expect = pending.remove(&n).unwrap_or_default();
                 let mut got: Vec<FaceId> = replies
                     .iter()
                     .map(|a| match a {
@@ -62,40 +67,44 @@ proptest! {
                 got.sort_unstable();
                 let mut expect = expect;
                 expect.sort_unstable();
-                prop_assert_eq!(got, expect);
+                assert_eq!(got, expect);
             }
         }
         // Everything was answered one way or another.
-        prop_assert!(pending.is_empty() || satisfied_from_cache <= consumers.len());
-    }
+        assert!(pending.is_empty() || satisfied_from_cache <= consumers.len());
+    });
+}
 
-    /// The engine never reflects a packet back to its arrival face.
-    #[test]
-    fn no_reflection(
-        routes in prop::collection::vec((name(), 0u32..6), 1..10),
-        probe in name(),
-        arrival in 0u32..6,
-    ) {
+/// The engine never reflects a packet back to its arrival face.
+#[test]
+fn no_reflection() {
+    let input = (
+        prop::vec((name_strategy(), prop::range(0u32..6)), 1..=9),
+        name_strategy(),
+        prop::range(0u32..6),
+    );
+    prop::check(0xAD02, CASES, &input, |(routes, probe, arrival)| {
         let mut e = NdnEngine::new(NdnConfig::default());
-        for (n, f) in routes {
-            e.fib_mut().add(n, FaceId(f));
+        for (parts, f) in routes {
+            e.fib_mut().add(name(parts), FaceId(*f));
         }
-        let acts = e.process_interest(0, FaceId(arrival), Interest::new(probe, 1));
+        let acts = e.process_interest(0, FaceId(*arrival), Interest::new(name(probe), 1));
         for a in acts {
             match a {
-                NdnAction::SendInterest { face, .. } => prop_assert_ne!(face, FaceId(arrival)),
-                NdnAction::SendData { face, .. } => prop_assert_eq!(face, FaceId(arrival)),
+                NdnAction::SendInterest { face, .. } => assert_ne!(face, FaceId(*arrival)),
+                NdnAction::SendData { face, .. } => assert_eq!(face, FaceId(*arrival)),
             }
         }
-    }
+    });
+}
 
-    /// PIT aggregation: for one name, at most one upstream forward happens
-    /// per distinct (face, nonce) burst until Data consumes the entry.
-    #[test]
-    fn at_most_one_upstream_forward_per_name(
-        faces in prop::collection::vec(1u32..8, 2..12),
-        n in name(),
-    ) {
+/// PIT aggregation: for one name, at most one upstream forward happens
+/// per distinct (face, nonce) burst until Data consumes the entry.
+#[test]
+fn at_most_one_upstream_forward_per_name() {
+    let input = (prop::vec(prop::range(1u32..8), 2..=11), name_strategy());
+    prop::check(0xAD03, CASES, &input, |(faces, parts)| {
+        let n = name(parts);
         let mut e = NdnEngine::new(NdnConfig::default());
         let upstream = FaceId(99);
         e.fib_mut().add(Name::root(), upstream);
@@ -109,17 +118,17 @@ proptest! {
                 .count();
             if seen_faces.contains(f) {
                 // Retransmission from a known face is re-forwarded by design.
-                prop_assert!(fwd <= 1);
+                assert!(fwd <= 1);
             } else if seen_faces.is_empty() {
-                prop_assert_eq!(fwd, 1, "first interest must forward");
+                assert_eq!(fwd, 1, "first interest must forward");
             } else {
-                prop_assert_eq!(fwd, 0, "aggregated interest must not forward");
+                assert_eq!(fwd, 0, "aggregated interest must not forward");
             }
             if !seen_faces.contains(f) {
                 seen_faces.push(*f);
             }
             forwards += fwd;
         }
-        prop_assert!(forwards >= 1);
-    }
+        assert!(forwards >= 1);
+    });
 }

@@ -1,9 +1,9 @@
 //! Topology generators: the paper's benchmark testbed and a Rocketfuel-like
 //! backbone.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use gcopss_compat::StdRng;
+use gcopss_compat::seq::SliceRandom;
+use gcopss_compat::{Rng, SeedableRng};
 
 use crate::{NodeId, NodeKind, SimDuration, Topology};
 

@@ -1,0 +1,224 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The workspace builds hermetically with no external crates (see
+//! `DESIGN.md`), so there is no serde. Experiment results that need a
+//! machine-readable form use this module instead: a small value tree with
+//! a spec-compliant serializer. There is deliberately no parser — the
+//! repo only ever *emits* JSON (results files for plotting scripts).
+//!
+//! # Example
+//!
+//! ```
+//! use gcopss_sim::json::Json;
+//!
+//! let j = Json::obj([
+//!     ("system", Json::str("gcopss")),
+//!     ("delivered", Json::from(12345u64)),
+//!     ("mean_ms", Json::from(8.51)),
+//! ]);
+//! assert_eq!(
+//!     j.to_string(),
+//!     r#"{"system":"gcopss","delivered":12345,"mean_ms":8.51}"#
+//! );
+//! ```
+
+use std::fmt;
+
+/// A JSON value tree.
+///
+/// Numbers keep their integer/float distinction so `u64` counters are
+/// emitted exactly (no `1.2e19` precision loss). Non-finite floats have no
+/// JSON representation and serialize as `null`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float; NaN and infinities serialize as `null`.
+    Float(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object; key order is preserved as given.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a string value.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds an array from any iterator of values.
+    #[must_use]
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    #[must_use]
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Serializes into `out`.
+    pub fn write_to(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{i}"));
+            }
+            Json::UInt(u) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{u}"));
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // Rust's shortest-roundtrip Display for f64 is valid JSON
+                    // except that it omits a fraction for whole numbers
+                    // ("3" not "3.0") — still valid JSON.
+                    let _ = fmt::Write::write_fmt(out, format_args!("{f}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_to(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_to(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_to(&mut s);
+        f.write_str(&s)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::UInt(u64::from(v))
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Int(-7).to_string(), "-7");
+        assert_eq!(Json::UInt(u64::MAX).to_string(), "18446744073709551615");
+        assert_eq!(Json::Float(8.51).to_string(), "8.51");
+        assert_eq!(Json::Float(3.0).to_string(), "3");
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(Json::str("a\"b\\c\nd").to_string(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::str("\u{1}").to_string(), "\"\\u0001\"");
+        assert_eq!(Json::str("héllo").to_string(), "\"héllo\"");
+    }
+
+    #[test]
+    fn containers() {
+        let j = Json::obj([
+            ("xs", Json::arr([Json::from(1u64), Json::from(2u64)])),
+            ("empty", Json::arr([])),
+            ("nested", Json::obj([("k", Json::Null)])),
+        ]);
+        assert_eq!(j.to_string(), r#"{"xs":[1,2],"empty":[],"nested":{"k":null}}"#);
+    }
+
+    #[test]
+    fn object_preserves_key_order() {
+        let j = Json::obj([("z", Json::from(1u64)), ("a", Json::from(2u64))]);
+        assert_eq!(j.to_string(), r#"{"z":1,"a":2}"#);
+    }
+}

@@ -64,6 +64,7 @@
 
 mod engine;
 pub mod generators;
+pub mod json;
 pub mod metrics;
 mod routing;
 mod time;

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use crate::json::Json;
 use crate::{SimDuration, SimTime};
 
 /// Incremental summary statistics over a stream of durations.
@@ -82,6 +83,22 @@ impl OnlineStats {
     #[must_use]
     pub fn sum(&self) -> SimDuration {
         SimDuration::from_nanos(u64::try_from(self.sum_ns).unwrap_or(u64::MAX))
+    }
+
+    /// Renders as a JSON object with latencies in milliseconds
+    /// (`min_ms`/`max_ms` are `null` when empty).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let ms = |d: Option<SimDuration>| {
+            d.map_or(Json::Null, |d| Json::from(d.as_millis_f64()))
+        };
+        Json::obj([
+            ("count", Json::from(self.count)),
+            ("mean_ms", Json::from(self.mean().as_millis_f64())),
+            ("min_ms", ms(self.min)),
+            ("max_ms", ms(self.max)),
+            ("sum_ms", Json::from(self.sum().as_millis_f64())),
+        ])
     }
 }
 
@@ -178,6 +195,18 @@ impl LatencySamples {
     #[must_use]
     pub fn raw(&self) -> &[SimDuration] {
         &self.samples
+    }
+
+    /// Renders the `points`-point CDF as a JSON array of
+    /// `{"ms": latency, "frac": cumulative}` rows — the machine-readable
+    /// form of the Fig. 4 curves.
+    pub fn cdf_json(&mut self, points: usize) -> Json {
+        Json::arr(self.cdf(points).into_iter().map(|(d, frac)| {
+            Json::obj([
+                ("ms", Json::from(d.as_millis_f64())),
+                ("frac", Json::from(frac)),
+            ])
+        }))
     }
 
     /// Converts to [`OnlineStats`].
@@ -391,5 +420,31 @@ mod tests {
     #[test]
     fn bytes_to_gb_conversion() {
         assert_eq!(bytes_to_gb(2_500_000_000), 2.5);
+    }
+
+    #[test]
+    fn online_stats_to_json() {
+        let mut s = OnlineStats::new();
+        s.record(ms(2));
+        s.record(ms(4));
+        assert_eq!(
+            s.to_json().to_string(),
+            r#"{"count":2,"mean_ms":3,"min_ms":2,"max_ms":4,"sum_ms":6}"#
+        );
+        assert_eq!(
+            OnlineStats::new().to_json().to_string(),
+            r#"{"count":0,"mean_ms":0,"min_ms":null,"max_ms":null,"sum_ms":0}"#
+        );
+    }
+
+    #[test]
+    fn cdf_json_rows() {
+        let mut l = LatencySamples::new();
+        l.record(ms(10));
+        l.record(ms(20));
+        assert_eq!(
+            l.cdf_json(2).to_string(),
+            r#"[{"ms":10,"frac":0.5},{"ms":20,"frac":1}]"#
+        );
     }
 }

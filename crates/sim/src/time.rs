@@ -4,7 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
 
 /// An instant of simulated time, in nanoseconds since the start of the
 /// simulation.
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_millis_f64(), 3.0);
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimTime(u64);
 
@@ -108,7 +107,7 @@ impl fmt::Display for SimTime {
 /// assert_eq!(d.as_millis_f64(), 2.5);
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimDuration(u64);
 

@@ -2,14 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::SimDuration;
 
 /// Identifier of a node in a [`Topology`]. Dense, assigned in insertion
 /// order.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct NodeId(pub u32);
 
@@ -29,7 +28,7 @@ impl fmt::Display for NodeId {
 
 /// Identifier of a bidirectional link in a [`Topology`].
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct LinkId(pub u32);
 
@@ -49,7 +48,7 @@ impl fmt::Display for LinkId {
 
 /// Coarse role of a node, used by experiment drivers to pick attachment
 /// points and by reports to label results.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum NodeKind {
     /// A backbone router.
     #[default]
@@ -60,14 +59,14 @@ pub enum NodeKind {
     Host,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct NodeInfo {
     name: String,
     kind: NodeKind,
 }
 
 /// A bidirectional link between two nodes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub(crate) struct Link {
     pub a: NodeId,
     pub b: NodeId,
@@ -93,7 +92,7 @@ pub(crate) struct Link {
 /// t.add_link(a, b, SimDuration::from_millis(2), None);
 /// assert_eq!(t.neighbors(a).count(), 1);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Topology {
     nodes: Vec<NodeInfo>,
     links: Vec<Link>,

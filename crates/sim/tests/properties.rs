@@ -1,9 +1,12 @@
-//! Property-based tests for the discrete-event simulator.
+//! Property-based tests for the discrete-event simulator, on the
+//! deterministic `gcopss_compat::prop` harness.
 
+use gcopss_compat::prop;
 use gcopss_sim::{
     generators, Ctx, NodeBehavior, NodeId, RoutingTable, SimDuration, SimTime, Simulator,
 };
-use proptest::prelude::*;
+
+const CASES: u32 = 24;
 
 /// A flooding behavior: records arrival order and forwards each packet to
 /// every neighbor except the one it came from, with a TTL embedded in the
@@ -38,20 +41,24 @@ impl NodeBehavior<u32, World> for Flood {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Event timestamps observed by behaviors never decrease.
-    #[test]
-    fn time_is_monotonic(seed in 0u64..1000, hosts in 2usize..8) {
+/// Event timestamps observed by behaviors never decrease.
+#[test]
+fn time_is_monotonic() {
+    let input = (prop::range(0u64..1000), prop::range(2usize..8));
+    prop::check(0x51301, CASES, &input, |(seed, hosts)| {
         let params = generators::BackboneParams {
             core_routers: 6,
             edge_per_core: 1,
             ..Default::default()
         };
-        let mut b = generators::rocketfuel_like(seed, &params);
+        let mut b = generators::rocketfuel_like(*seed, &params);
         let hs = generators::attach_hosts(
-            &mut b.topology, &b.edge, hosts, SimDuration::from_millis(1), "h");
+            &mut b.topology,
+            &b.edge,
+            *hosts,
+            SimDuration::from_millis(1),
+            "h",
+        );
         let topo = b.topology;
         let all: Vec<NodeId> = topo.node_ids().collect();
         let mut sim = Simulator::new(topo, World::new());
@@ -62,22 +69,24 @@ proptest! {
         sim.inject(SimTime::ZERO, hs[0], 3 << 24, 64);
         sim.run();
         let w = sim.world();
-        prop_assert!(!w.is_empty());
+        assert!(!w.is_empty());
         for pair in w.windows(2) {
-            prop_assert!(pair[0].0 <= pair[1].0, "time went backwards");
+            assert!(pair[0].0 <= pair[1].0, "time went backwards");
         }
-    }
+    });
+}
 
-    /// Same seed, same injections => bit-identical event log.
-    #[test]
-    fn simulation_is_deterministic(seed in 0u64..1000) {
+/// Same seed, same injections => bit-identical event log.
+#[test]
+fn simulation_is_deterministic() {
+    prop::check(0x51302, CASES, &prop::range(0u64..1000), |seed| {
         let run = || {
             let params = generators::BackboneParams {
                 core_routers: 8,
                 edge_per_core: 1,
                 ..Default::default()
             };
-            let b = generators::rocketfuel_like(seed, &params);
+            let b = generators::rocketfuel_like(*seed, &params);
             let topo = b.topology;
             let all: Vec<NodeId> = topo.node_ids().collect();
             let mut sim = Simulator::new(topo, World::new());
@@ -91,51 +100,55 @@ proptest! {
         };
         let a = run();
         let b = run();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// Shortest-path distances satisfy the triangle inequality and symmetry
-    /// (links are bidirectional with symmetric delay).
-    #[test]
-    fn routing_distances_are_metric(seed in 0u64..500) {
+/// Shortest-path distances satisfy the triangle inequality and symmetry
+/// (links are bidirectional with symmetric delay).
+#[test]
+fn routing_distances_are_metric() {
+    prop::check(0x51303, CASES, &prop::range(0u64..500), |seed| {
         let params = generators::BackboneParams {
             core_routers: 10,
             edge_per_core: 1,
             ..Default::default()
         };
-        let b = generators::rocketfuel_like(seed, &params);
+        let b = generators::rocketfuel_like(*seed, &params);
         let rt = RoutingTable::shortest_paths(&b.topology);
         let nodes: Vec<NodeId> = b.topology.node_ids().collect();
         for &x in nodes.iter().take(6) {
             for &y in nodes.iter().take(6) {
                 let dxy = rt.distance(x, y).unwrap();
                 let dyx = rt.distance(y, x).unwrap();
-                prop_assert_eq!(dxy, dyx);
+                assert_eq!(dxy, dyx);
                 for &z in nodes.iter().take(6) {
                     let dxz = rt.distance(x, z).unwrap();
                     let dzy = rt.distance(z, y).unwrap();
-                    prop_assert!(dxy <= dxz + dzy, "triangle inequality violated");
+                    assert!(dxy <= dxz + dzy, "triangle inequality violated");
                 }
             }
         }
-    }
+    });
+}
 
-    /// The path returned by the routing table has total delay equal to the
-    /// reported distance.
-    #[test]
-    fn path_delay_equals_distance(seed in 0u64..500) {
+/// The path returned by the routing table has total delay equal to the
+/// reported distance.
+#[test]
+fn path_delay_equals_distance() {
+    prop::check(0x51304, CASES, &prop::range(0u64..500), |seed| {
         let params = generators::BackboneParams {
             core_routers: 12,
             edge_per_core: 1,
             ..Default::default()
         };
-        let b = generators::rocketfuel_like(seed, &params);
+        let b = generators::rocketfuel_like(*seed, &params);
         let rt = RoutingTable::shortest_paths(&b.topology);
         let nodes: Vec<NodeId> = b.topology.node_ids().collect();
         for &x in nodes.iter().take(8) {
             for &y in nodes.iter().take(8) {
                 let p = rt.path(x, y);
-                prop_assert!(!p.is_empty());
+                assert!(!p.is_empty());
                 let total: SimDuration = p
                     .windows(2)
                     .map(|w| {
@@ -143,8 +156,8 @@ proptest! {
                         b.topology.link_delay(l)
                     })
                     .sum();
-                prop_assert_eq!(Some(total), rt.distance(x, y));
+                assert_eq!(Some(total), rt.distance(x, y));
             }
         }
-    }
+    });
 }

@@ -1,13 +1,26 @@
 #!/usr/bin/env bash
 # Regenerates every table and figure of the paper (scaled by default).
 # Usage: ./run_experiments.sh [--full]   (results land in results/)
+#
+# The workspace is hermetic: every dependency is in-tree (see DESIGN.md),
+# so everything builds and runs with --offline. If the build fails here,
+# something reintroduced an external crate — run scripts/check_hermetic.sh
+# for a precise diagnosis.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if ! cargo build --release --offline -p gcopss-bench; then
+    echo "error: offline build failed." >&2
+    echo "The workspace must build with no network access (hermetic-build" >&2
+    echo "policy, DESIGN.md). Run scripts/check_hermetic.sh to diagnose." >&2
+    exit 1
+fi
+
 mkdir -p results
 ARGS="${1:-}"
 for exp in trace_stats fig4 table1 fig5 fig6 table2 table3 ablation; do
     echo ">>> exp_${exp} ${ARGS}"
-    cargo run --release -p gcopss-bench --bin "exp_${exp}" -- ${ARGS} \
+    cargo run --release --offline -p gcopss-bench --bin "exp_${exp}" -- ${ARGS} \
         | tee "results/exp_${exp}.txt"
 done
 echo "All experiment outputs written to results/"
