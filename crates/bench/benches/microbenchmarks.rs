@@ -20,6 +20,7 @@ use gcopss_core::MetricsMode;
 use gcopss_game::GameMap;
 use gcopss_names::{BloomFilter, Cd, Name, NameTree};
 use gcopss_ndn::{Data, FaceId, Interest, NdnConfig, NdnEngine};
+use gcopss_sim::TelemetryConfig;
 
 /// Target wall time for the measurement phase of a fast benchmark.
 const MEASURE_TARGET: Duration = Duration::from_millis(300);
@@ -170,10 +171,8 @@ fn bench_copss_engine(r: &Runner) {
     let map = GameMap::paper_map();
     let mut e = CopssEngine::new();
     e.rp_table_mut().assign(Name::root(), RpId(0)).unwrap();
-    let mut f = 0u32;
-    for area in map.areas() {
-        e.handle_subscribe(FaceId(f), &map.subscription_cds(area), None);
-        f += 1;
+    for (f, area) in map.areas().enumerate() {
+        e.handle_subscribe(FaceId(f as u32), &map.subscription_cds(area), None);
     }
     let m = MulticastPacket::new(Cd::parse_lit("/2/3"), gcopss_compat::bytes::Bytes::new(), 1)
         .on_tree(RpId(0));
@@ -220,6 +219,54 @@ fn bench_end_to_end(r: &Runner) {
     }
 }
 
+/// Telemetry cost on the same end-to-end run: `off` must match the plain
+/// `end_to_end` numbers above (the disabled path is a single branch per
+/// packet), `on` shows the full-instrumentation price.
+fn bench_telemetry_overhead(r: &Runner) {
+    let variants: [(&str, Option<TelemetryConfig>); 3] = [
+        ("telemetry/end_to_end_off", None),
+        (
+            "telemetry/end_to_end_on_nojournal",
+            Some(TelemetryConfig {
+                journal_capacity: 0,
+                journal_sample: 1,
+            }),
+        ),
+        ("telemetry/end_to_end_on", Some(TelemetryConfig::default())),
+    ];
+    let w = Workload::counter_strike(&WorkloadParams {
+        updates: 2_000,
+        players: 100,
+        ..WorkloadParams::default()
+    });
+    let net = NetworkSpec::default_backbone(7);
+    for (id, tcfg) in variants {
+        if r.skip(id) {
+            continue;
+        }
+        r.bench_slow(id, 10, || {
+            let cfg = GcopssConfig {
+                metrics_mode: MetricsMode::StatsOnly,
+                rp_count: 3,
+                ..GcopssConfig::default()
+            };
+            let mut built = build_gcopss(
+                cfg,
+                &net,
+                &w.map,
+                &w.population,
+                &Arc::clone(&w.trace),
+                vec![],
+            );
+            if let Some(t) = &tcfg {
+                built.sim.enable_telemetry(t.clone());
+            }
+            built.sim.run();
+            black_box(built.sim.world().metrics.delivered())
+        });
+    }
+}
+
 fn main() {
     let r = Runner::new();
     bench_names(&r);
@@ -227,4 +274,5 @@ fn main() {
     bench_fib_pit(&r);
     bench_copss_engine(&r);
     bench_end_to_end(&r);
+    bench_telemetry_overhead(&r);
 }

@@ -5,15 +5,21 @@
 //! cargo run --release -p gcopss-bench --bin exp_ablation [--scale f]
 //! ```
 
-use gcopss_bench::{header, ExpOptions};
+use gcopss_bench::{header, write_telemetry, ExpOptions};
 use gcopss_core::experiments::ablation;
 use gcopss_core::experiments::movement::MovementConfig;
-use gcopss_core::experiments::WorkloadParams;
-use gcopss_sim::SimDuration;
+use gcopss_core::experiments::{TelemetryCapture, WorkloadParams};
+use gcopss_sim::{SimDuration, TelemetryConfig};
 
 fn main() {
     let opts = ExpOptions::from_args();
     let updates = opts.scaled(8_000, 50_000);
+    // One capture across all four sweeps: every run lands in the same
+    // merged telemetry document, one trace process per run label.
+    let mut cap = TelemetryCapture::new(TelemetryConfig {
+        journal_capacity: 8_192,
+        journal_sample: 16,
+    });
 
     header("Ablation 1 — hybrid-G-COPSS: IP multicast group count (§III-D)");
     println!(
@@ -25,7 +31,7 @@ fn main() {
         updates,
         ..WorkloadParams::default()
     };
-    for (g, s) in ablation::hybrid_group_sweep(&wl, 7, &[1, 2, 4, 6, 12, 31]) {
+    for (g, s) in ablation::hybrid_group_sweep_with(&wl, 7, &[1, 2, 4, 6, 12, 31], Some(&mut cap)) {
         println!(
             "{:>8} {:>14.2} {:>12.4}",
             g,
@@ -39,7 +45,7 @@ fn main() {
         "{:>10} {:>8} {:>14} {:>12}",
         "threshold", "splits", "latency (ms)", "load (GB)"
     );
-    for (t, splits, s) in ablation::split_threshold_sweep(&wl, 7, &[20, 50, 100, 250]) {
+    for (t, splits, s) in ablation::split_threshold_sweep_with(&wl, 7, &[20, 50, 100, 250], Some(&mut cap)) {
         println!(
             "{:>10} {:>8} {:>14.2} {:>12.4}",
             t,
@@ -55,7 +61,7 @@ fn main() {
         "t (ms)", "latency (ms)", "load (GB)"
     );
     let dur = SimDuration::from_secs(opts.scaled(6, 30) as u64);
-    for (t, s) in ablation::ndn_accumulation_sweep(
+    for (t, s) in ablation::ndn_accumulation_sweep_with(
         opts.seed,
         dur,
         &[
@@ -65,6 +71,7 @@ fn main() {
             SimDuration::from_millis(250),
             SimDuration::from_millis(500),
         ],
+        Some(&mut cap),
     ) {
         println!(
             "{:>8.0} {:>14.1} {:>12.5}",
@@ -89,7 +96,9 @@ fn main() {
         drain: SimDuration::from_secs(120),
         ..MovementConfig::default()
     };
-    for (w, mean) in ablation::qr_window_sweep(&mcfg, &[1, 5, 10, 15, 20, 30]) {
+    for (w, mean) in ablation::qr_window_sweep_with(&mcfg, &[1, 5, 10, 15, 20, 30], Some(&mut cap)) {
         println!("{:>8} {:>16.1}", w, mean.as_millis_f64());
     }
+
+    write_telemetry("ablation", opts.seed, &cap.reports).expect("write telemetry");
 }

@@ -8,18 +8,23 @@
 //! Paper reference points: G-COPSS mean 8.51 ms (all < 55 ms); IP server
 //! mean 25.52 ms with a tail beyond 55 ms; NDN mean > 12 s.
 
-use gcopss_bench::{gb, header, ExpOptions};
+use gcopss_bench::{gb, header, write_telemetry, ExpOptions};
 use gcopss_core::experiments::microbench::{self, MicrobenchConfig};
-use gcopss_sim::SimDuration;
+use gcopss_core::experiments::TelemetryCapture;
+use gcopss_sim::{SimDuration, TelemetryConfig};
 
 fn main() {
     let opts = ExpOptions::from_args();
     let secs = opts.scaled(10, 60) as u64;
-    let out = microbench::run(&MicrobenchConfig {
-        seed: opts.seed,
-        duration: SimDuration::from_secs(secs),
-        ..MicrobenchConfig::default()
-    });
+    let mut cap = TelemetryCapture::new(TelemetryConfig::default());
+    let out = microbench::run_with(
+        &MicrobenchConfig {
+            seed: opts.seed,
+            duration: SimDuration::from_secs(secs),
+            ..MicrobenchConfig::default()
+        },
+        Some(&mut cap),
+    );
 
     header(&format!(
         "Fig. 4 — update latency (testbed, 62 players, {secs}s trace)"
@@ -63,4 +68,6 @@ fn main() {
     let n = out.ndn.summary.mean_latency.as_millis_f64();
     println!("IP/G-COPSS mean ratio  = {:.2}x (paper ~3x)", i / g);
     println!("NDN/G-COPSS mean ratio = {:.0}x (paper ~1400x)", n / g);
+
+    write_telemetry("fig4", opts.seed, &cap.reports).expect("write telemetry");
 }

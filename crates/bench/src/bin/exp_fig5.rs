@@ -6,26 +6,34 @@
 //! cargo run --release -p gcopss-bench --bin exp_fig5 [--full] [--scale f]
 //! ```
 
-use gcopss_bench::{header, ExpOptions};
+use gcopss_bench::{header, write_telemetry, ExpOptions};
 use gcopss_core::experiments::rp_sweep::{self, RpSweepConfig};
-use gcopss_core::experiments::WorkloadParams;
+use gcopss_core::experiments::{TelemetryCapture, WorkloadParams};
+use gcopss_sim::TelemetryConfig;
 
 fn main() {
     let opts = ExpOptions::from_args();
     let updates = opts.scaled(20_000, 100_000);
-    let out = rp_sweep::run(&RpSweepConfig {
-        workload: WorkloadParams {
-            seed: opts.seed,
-            updates,
-            ..WorkloadParams::default()
-        },
-        rp_counts: vec![2, 3],
-        include_auto: true,
-        server_counts: vec![],
-        fig5_detail: true,
-        fig5_points: 60,
-        ..RpSweepConfig::default()
+    let mut cap = TelemetryCapture::new(TelemetryConfig {
+        journal_capacity: 8_192,
+        journal_sample: 16,
     });
+    let out = rp_sweep::run_with(
+        &RpSweepConfig {
+            workload: WorkloadParams {
+                seed: opts.seed,
+                updates,
+                ..WorkloadParams::default()
+            },
+            rp_counts: vec![2, 3],
+            include_auto: true,
+            server_counts: vec![],
+            fig5_detail: true,
+            fig5_points: 60,
+            ..RpSweepConfig::default()
+        },
+        Some(&mut cap),
+    );
 
     for series in &out.fig5 {
         header(&format!(
@@ -71,4 +79,6 @@ fn main() {
             series.label
         );
     }
+
+    write_telemetry("fig5", opts.seed, &cap.reports).expect("write telemetry");
 }

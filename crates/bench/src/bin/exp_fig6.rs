@@ -5,8 +5,10 @@
 //! cargo run --release -p gcopss-bench --bin exp_fig6 [--full] [--scale f]
 //! ```
 
-use gcopss_bench::{header, ExpOptions};
+use gcopss_bench::{header, write_telemetry, ExpOptions};
 use gcopss_core::experiments::player_sweep::{self, PlayerSweepConfig};
+use gcopss_core::experiments::TelemetryCapture;
+use gcopss_sim::TelemetryConfig;
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -16,12 +18,21 @@ fn main() {
     } else {
         vec![50, 100, 200, 300, 400]
     };
-    let out = player_sweep::run(&PlayerSweepConfig {
-        seed: opts.seed,
-        player_counts,
-        updates_per_player,
-        ..PlayerSweepConfig::default()
+    // Many runs in this sweep: sample the journal 1-in-16 and cap it low so
+    // the merged trace file stays small.
+    let mut cap = TelemetryCapture::new(TelemetryConfig {
+        journal_capacity: 8_192,
+        journal_sample: 16,
     });
+    let out = player_sweep::run_with(
+        &PlayerSweepConfig {
+            seed: opts.seed,
+            player_counts,
+            updates_per_player,
+            ..PlayerSweepConfig::default()
+        },
+        Some(&mut cap),
+    );
 
     header("Fig. 6a — response latency vs #players (3 RPs / 3 servers)");
     println!(
@@ -58,4 +69,6 @@ fn main() {
     let i_last = out.ip.last().unwrap().summary.mean_latency.as_millis_f64();
     println!("G-COPSS latency growth = {:.1}x over the sweep", g_last / g_first.max(1e-9));
     println!("IP server latency growth = {:.1}x over the sweep", i_last / i_first.max(1e-9));
+
+    write_telemetry("fig6", opts.seed, &cap.reports).expect("write telemetry");
 }

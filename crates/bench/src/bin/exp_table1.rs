@@ -6,22 +6,32 @@
 //! cargo run --release -p gcopss-bench --bin exp_table1 [--full] [--scale f]
 //! ```
 
-use gcopss_bench::{header, ExpOptions};
+use gcopss_bench::{gb, header, per_link_byte_sum, write_telemetry, ExpOptions};
 use gcopss_core::experiments::rp_sweep::{self, RpSweepConfig};
-use gcopss_core::experiments::WorkloadParams;
+use gcopss_core::experiments::{TelemetryCapture, WorkloadParams};
+use gcopss_sim::TelemetryConfig;
 
 fn main() {
     let opts = ExpOptions::from_args();
     let updates = opts.scaled(20_000, 100_000);
-    let out = rp_sweep::run(&RpSweepConfig {
-        workload: WorkloadParams {
-            seed: opts.seed,
-            updates,
-            ..WorkloadParams::default()
-        },
-        fig5_detail: false,
-        ..RpSweepConfig::default()
+    // Nine full-trace runs: sample the journal so the merged telemetry
+    // document stays a few MB (counters and histograms are unaffected).
+    let mut cap = TelemetryCapture::new(TelemetryConfig {
+        journal_capacity: 8_192,
+        journal_sample: 16,
     });
+    let out = rp_sweep::run_with(
+        &RpSweepConfig {
+            workload: WorkloadParams {
+                seed: opts.seed,
+                updates,
+                ..WorkloadParams::default()
+            },
+            fig5_detail: false,
+            ..RpSweepConfig::default()
+        },
+        Some(&mut cap),
+    );
 
     header(&format!(
         "Table I — {updates} updates, 414 players (paper: 1-2 RPs congest, ≥3 fine, auto ≈ 3)"
@@ -72,4 +82,26 @@ fn main() {
             s3.network_gb() / g3.network_gb().max(1e-12)
         );
     }
+
+    // Telemetry keeps its own per-directed-link byte counters; their sum
+    // must reconcile exactly with the engine's aggregate-load number that
+    // fills the table above.
+    header("Telemetry reconciliation (per-link byte sum vs aggregate load)");
+    let rows = out.gcopss_rows.iter().chain(&out.server_rows);
+    for (report, row) in cap.reports.iter().zip(rows) {
+        let link_sum = per_link_byte_sum(report).expect("run summary has a link table");
+        assert_eq!(
+            link_sum, row.network_bytes,
+            "{}: per-link telemetry bytes disagree with aggregate load",
+            report.label
+        );
+        println!(
+            "{:<14} per-link sum {:.4} GB == aggregate load {:.4} GB",
+            report.label,
+            gb(link_sum),
+            gb(row.network_bytes)
+        );
+    }
+
+    write_telemetry("table1", opts.seed, &cap.reports).expect("write telemetry");
 }

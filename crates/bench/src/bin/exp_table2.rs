@@ -8,21 +8,29 @@
 //! Paper shape: hybrid has the best latency; load ordering is
 //! G-COPSS < hybrid < IP server (IP roughly 2x G-COPSS).
 
-use gcopss_bench::{header, ExpOptions};
+use gcopss_bench::{header, write_telemetry, ExpOptions};
 use gcopss_core::experiments::full_trace::{self, FullTraceConfig};
-use gcopss_core::experiments::WorkloadParams;
+use gcopss_core::experiments::{TelemetryCapture, WorkloadParams};
+use gcopss_sim::TelemetryConfig;
 
 fn main() {
     let opts = ExpOptions::from_args();
     let updates = opts.scaled(60_000, 1_686_905);
-    let out = full_trace::run(&FullTraceConfig {
-        workload: WorkloadParams {
-            seed: opts.seed,
-            updates,
-            ..WorkloadParams::default()
-        },
-        ..FullTraceConfig::default()
+    let mut cap = TelemetryCapture::new(TelemetryConfig {
+        journal_capacity: 8_192,
+        journal_sample: 16,
     });
+    let out = full_trace::run_with(
+        &FullTraceConfig {
+            workload: WorkloadParams {
+                seed: opts.seed,
+                updates,
+                ..WorkloadParams::default()
+            },
+            ..FullTraceConfig::default()
+        },
+        Some(&mut cap),
+    );
 
     header(&format!(
         "Table II — {updates} updates, 414 players, 6 servers/RPs/groups"
@@ -56,4 +64,6 @@ fn main() {
         "IP/G-COPSS load ratio = {:.2}x (paper ~2x)",
         out.ip.network_gb() / out.gcopss.network_gb().max(1e-12)
     );
+
+    write_telemetry("table2", opts.seed, &cap.reports).expect("write telemetry");
 }

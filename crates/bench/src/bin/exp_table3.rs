@@ -10,10 +10,10 @@
 //! downloaded; QR window 15 beats window 5; cyclic multicast has the best
 //! average; QR carries roughly 2x the snapshot traffic of cyclic.
 
-use gcopss_bench::{gb, header, ExpOptions};
+use gcopss_bench::{gb, header, write_telemetry, ExpOptions};
 use gcopss_core::experiments::movement::{self, MovementConfig};
-use gcopss_core::experiments::WorkloadParams;
-use gcopss_sim::SimDuration;
+use gcopss_core::experiments::{TelemetryCapture, WorkloadParams};
+use gcopss_sim::{SimDuration, TelemetryConfig};
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -40,7 +40,11 @@ fn main() {
         drain: SimDuration::from_secs(120),
         ..MovementConfig::default()
     };
-    let outputs = movement::run_all(&cfg);
+    let mut cap = TelemetryCapture::new(TelemetryConfig {
+        journal_capacity: 8_192,
+        journal_sample: 16,
+    });
+    let outputs = movement::run_all_with(&cfg, Some(&mut cap));
 
     for out in &outputs {
         header(&format!(
@@ -96,4 +100,6 @@ fn main() {
             qr15.network_bytes as f64 / cyc.network_bytes.max(1) as f64
         );
     }
+
+    write_telemetry("table3", opts.seed, &cap.reports).expect("write telemetry");
 }

@@ -5,18 +5,19 @@
 //! cargo run --release -p gcopss-bench --bin exp_trace_stats [--full] [--scale f]
 //! ```
 
-use gcopss_bench::{header, ExpOptions};
+use gcopss_bench::{header, write_telemetry, ExpOptions};
 use gcopss_core::experiments::trace_stats;
 use gcopss_core::experiments::WorkloadParams;
 
 fn main() {
     let opts = ExpOptions::from_args();
     let updates = opts.scaled(100_000, 1_686_905);
-    let out = trace_stats::run(&WorkloadParams {
+    let params = WorkloadParams {
         seed: opts.seed,
         updates,
         ..WorkloadParams::default()
-    });
+    };
+    let out = trace_stats::run(&params);
 
     header("Workload (paper: 414 players, 1,686,905 updates, 3,197 objects)");
     println!(
@@ -50,4 +51,9 @@ fn main() {
     let max = out.updates_cdf.last().map_or(0, |x| x.0);
     let median = out.updates_cdf[out.updates_cdf.len() / 2].0;
     println!("heavy tail: max/median updates per player = {:.1}", max as f64 / median.max(1) as f64);
+
+    // No simulator runs here — the telemetry report characterizes the
+    // workload itself with log-scale histograms.
+    let report = trace_stats::telemetry_report(&params, &out);
+    write_telemetry("trace_stats", opts.seed, &[report]).expect("write telemetry");
 }

@@ -2,6 +2,9 @@
 
 use std::env;
 
+use gcopss_sim::json::Json;
+use gcopss_sim::TelemetryReport;
+
 /// Simple CLI options shared by every experiment binary.
 ///
 /// * `--full` — run at the paper's full scale (slow).
@@ -67,10 +70,102 @@ pub fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Assembles the unified telemetry document for one experiment: per-run
+/// summaries plus a merged Chrome trace-event stream (one trace "process"
+/// per run, named by its label — open the file directly in Perfetto).
+#[must_use]
+pub fn telemetry_json(exp: &str, seed: u64, reports: &[TelemetryReport]) -> Json {
+    let mut trace_events: Vec<Json> = Vec::new();
+    for (pid, r) in reports.iter().enumerate() {
+        if r.trace_events.is_empty() {
+            continue;
+        }
+        trace_events.push(Json::obj([
+            ("name", Json::str("process_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::UInt(pid as u64)),
+            ("tid", Json::UInt(0)),
+            ("args", Json::obj([("name", Json::str(r.label.clone()))])),
+        ]));
+        trace_events.extend(r.trace_events.iter().cloned());
+    }
+    Json::obj([
+        ("schema", Json::str("gcopss-telemetry-v1")),
+        ("exp", Json::str(exp)),
+        ("seed", Json::UInt(seed)),
+        (
+            "runs",
+            Json::arr(reports.iter().map(|r| r.summary.clone())),
+        ),
+        ("traceEvents", Json::Array(trace_events)),
+    ])
+}
+
+/// Writes `results/telemetry_<exp>.json` and prints one line per run with
+/// its journal fingerprint (the determinism witness: equal seeds must
+/// produce equal fingerprints). Returns the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (`results/` not creatable, disk full, …).
+pub fn write_telemetry(
+    exp: &str,
+    seed: u64,
+    reports: &[TelemetryReport],
+) -> std::io::Result<String> {
+    std::fs::create_dir_all("results")?;
+    let path = format!("results/telemetry_{exp}.json");
+    let doc = telemetry_json(exp, seed, reports);
+    std::fs::write(&path, doc.to_string())?;
+    println!();
+    for r in reports {
+        println!("telemetry run {:<14} journal fingerprint {:016x}", r.label, r.fingerprint);
+    }
+    println!("telemetry written to {path}");
+    Ok(path)
+}
+
 /// Formats bytes as the paper's GB unit.
 #[must_use]
 pub fn gb(bytes: u64) -> f64 {
     bytes as f64 / 1e9
+}
+
+/// Looks up a key in a JSON object (`None` for non-objects and missing
+/// keys).
+#[must_use]
+pub fn json_get<'a>(j: &'a Json, key: &str) -> Option<&'a Json> {
+    match j {
+        Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_u64(j: &Json) -> u64 {
+    match j {
+        Json::UInt(v) => *v,
+        Json::Int(v) if *v >= 0 => *v as u64,
+        _ => 0,
+    }
+}
+
+/// Sums both directions of every per-link byte counter in a report's
+/// summary. `None` when the report carries no link table (e.g. the
+/// trace-characterization pseudo-run, which has no simulator).
+#[must_use]
+pub fn per_link_byte_sum(r: &TelemetryReport) -> Option<u64> {
+    let Json::Array(items) = json_get(&r.summary, "links")? else {
+        return None;
+    };
+    Some(
+        items
+            .iter()
+            .map(|l| {
+                as_u64(json_get(l, "bytes_ab").unwrap_or(&Json::Null))
+                    + as_u64(json_get(l, "bytes_ba").unwrap_or(&Json::Null))
+            })
+            .sum(),
+    )
 }
 
 #[cfg(test)]

@@ -315,7 +315,7 @@ mod tests {
             let z = rng.gen_range(0usize..3);
             assert!(z < 3);
             let f = rng.gen_range(f64::EPSILON..1.0);
-            assert!(f >= f64::EPSILON && f < 1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
             let g = rng.gen_range(-5i32..=5);
             assert!((-5..=5).contains(&g));
         }

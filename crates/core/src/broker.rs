@@ -210,6 +210,10 @@ impl SnapshotBroker {
         let g = GPacket::Copss(CopssPacket::Multicast(m));
         let size = g.wire_size();
         ctx.send(self.edge, g, size);
+        if ctx.telemetry_enabled() {
+            ctx.counter("broker-cyclic-sent", 1);
+            ctx.observe("broker-snapshot-bytes", u64::from(size));
+        }
         ctx.world().bump("broker-cyclic-sent");
         ctx.schedule(self.params.cyclic_gap, idx as u64);
     }
@@ -272,6 +276,9 @@ impl NodeBehavior<GPacket, GameWorld> for SnapshotBroker {
                             self.send_data(ctx, i.name, payload);
                         }
                     }
+                    if ctx.telemetry_enabled() {
+                        ctx.counter("broker-qr-served", 1);
+                    }
                     ctx.world().bump("broker-qr-served");
                 } else if let Some((idx, join)) = self.parse_ctl_name(&i.name) {
                     if join {
@@ -294,6 +301,11 @@ impl NodeBehavior<GPacket, GameWorld> for SnapshotBroker {
                     // Acknowledge so the PIT breadcrumbs are consumed.
                     self.send_data(ctx, i.name, payload_of(1));
                 } else {
+                    ctx.emit(
+                        gcopss_sim::TraceEvent::Drop,
+                        "broker-unknown-interest",
+                        i.encoded_len() as u32,
+                    );
                     ctx.world().bump("broker-unknown-interest");
                 }
             }
@@ -741,6 +753,11 @@ impl NodeBehavior<GPacket, GameWorld> for MovingPlayerClient {
         match pkt {
             GPacket::Copss(CopssPacket::Multicast(m)) => {
                 if !self.dedup.insert(m.id) {
+                    ctx.emit(
+                        gcopss_sim::TraceEvent::Drop,
+                        "client-duplicate-dropped",
+                        m.encoded_len() as u32,
+                    );
                     ctx.world().bump("client-duplicate-dropped");
                     return;
                 }

@@ -186,6 +186,11 @@ impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
                 let now = ctx.now();
                 ctx.world().record_delivery(m.id, self.player, now);
             } else {
+                ctx.emit(
+                    gcopss_sim::TraceEvent::Drop,
+                    "client-duplicate-dropped",
+                    m.encoded_len() as u32,
+                );
                 ctx.world().bump("client-duplicate-dropped");
             }
         }

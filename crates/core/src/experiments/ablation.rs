@@ -15,9 +15,9 @@ use crate::ndn_baseline::NdnClientConfig;
 use crate::scenario::{build_hybrid, build_ndn_baseline, HybridConfig, NdnBaselineConfig, NetworkSpec};
 use crate::{MetricsMode, SimParams};
 
-use super::movement::{run_mode, MovementConfig};
-use super::rp_sweep::{run_gcopss_once, summarize};
-use super::{RunSummary, Workload, WorkloadParams};
+use super::movement::{run_mode_with, MovementConfig};
+use super::rp_sweep::{run_gcopss_once_with, summarize};
+use super::{RunSummary, TelemetryCapture, Workload, WorkloadParams};
 
 /// Hybrid group-count sweep: fewer groups = more CD sharing = more
 /// filtered (wasted) traffic.
@@ -26,6 +26,17 @@ pub fn hybrid_group_sweep(
     workload: &WorkloadParams,
     net_seed: u64,
     group_counts: &[u32],
+) -> Vec<(u32, RunSummary)> {
+    hybrid_group_sweep_with(workload, net_seed, group_counts, None)
+}
+
+/// [`hybrid_group_sweep`] with optional telemetry capture.
+#[must_use]
+pub fn hybrid_group_sweep_with(
+    workload: &WorkloadParams,
+    net_seed: u64,
+    group_counts: &[u32],
+    mut telemetry: Option<&mut TelemetryCapture>,
 ) -> Vec<(u32, RunSummary)> {
     let w = Workload::counter_strike(workload);
     let net = NetworkSpec::default_backbone(net_seed);
@@ -38,8 +49,14 @@ pub fn hybrid_group_sweep(
                 ..HybridConfig::default()
             };
             let mut built = build_hybrid(cfg, &net, &w.map, &w.population, &w.trace);
+            if let Some(cap) = telemetry.as_mut() {
+                cap.arm(&mut built.sim);
+            }
             built.sim.run();
             let bytes = built.sim.total_link_bytes();
+            if let Some(cap) = telemetry.as_mut() {
+                cap.collect(&built.sim, &format!("hybrid-{g}g"));
+            }
             (
                 g,
                 summarize(format!("hybrid {g} groups"), &built.sim.into_world(), bytes),
@@ -56,13 +73,26 @@ pub fn split_threshold_sweep(
     net_seed: u64,
     thresholds: &[usize],
 ) -> Vec<(usize, usize, RunSummary)> {
+    split_threshold_sweep_with(workload, net_seed, thresholds, None)
+}
+
+/// [`split_threshold_sweep`] with optional telemetry capture.
+#[must_use]
+pub fn split_threshold_sweep_with(
+    workload: &WorkloadParams,
+    net_seed: u64,
+    thresholds: &[usize],
+    mut telemetry: Option<&mut TelemetryCapture>,
+) -> Vec<(usize, usize, RunSummary)> {
     let w = Workload::counter_strike(workload);
     let net = NetworkSpec::default_backbone(net_seed);
     thresholds
         .iter()
         .map(|&t| {
+            let label = format!("auto-thr{t}");
+            let cap = telemetry.as_mut().map(|c| (&mut **c, label.as_str()));
             let (world, bytes) =
-                run_gcopss_once(&w, &net, 1, Some(t), MetricsMode::StatsOnly);
+                run_gcopss_once_with(&w, &net, 1, Some(t), MetricsMode::StatsOnly, cap);
             let splits = world.splits.len();
             (
                 t,
@@ -81,6 +111,17 @@ pub fn ndn_accumulation_sweep(
     duration: SimDuration,
     intervals: &[SimDuration],
 ) -> Vec<(SimDuration, RunSummary)> {
+    ndn_accumulation_sweep_with(seed, duration, intervals, None)
+}
+
+/// [`ndn_accumulation_sweep`] with optional telemetry capture.
+#[must_use]
+pub fn ndn_accumulation_sweep_with(
+    seed: u64,
+    duration: SimDuration,
+    intervals: &[SimDuration],
+    mut telemetry: Option<&mut TelemetryCapture>,
+) -> Vec<(SimDuration, RunSummary)> {
     let w = Workload::microbenchmark(seed, duration);
     let net = NetworkSpec::Testbed;
     intervals
@@ -97,9 +138,15 @@ pub fn ndn_accumulation_sweep(
             };
             let warmup = cfg.warmup;
             let mut built = build_ndn_baseline(cfg, &net, &w.map, &w.population, &w.trace);
+            if let Some(cap) = telemetry.as_mut() {
+                cap.arm(&mut built.sim);
+            }
             let horizon = SimTime::ZERO + warmup + duration + SimDuration::from_secs(120);
             built.sim.run_until(horizon);
             let bytes = built.sim.total_link_bytes();
+            if let Some(cap) = telemetry.as_mut() {
+                cap.collect(&built.sim, &format!("ndn-t{:.0}ms", t.as_millis_f64()));
+            }
             (
                 t,
                 summarize(
@@ -118,10 +165,24 @@ pub fn qr_window_sweep(
     base: &MovementConfig,
     windows: &[u32],
 ) -> Vec<(u32, SimDuration)> {
+    qr_window_sweep_with(base, windows, None)
+}
+
+/// [`qr_window_sweep`] with optional telemetry capture.
+#[must_use]
+pub fn qr_window_sweep_with(
+    base: &MovementConfig,
+    windows: &[u32],
+    mut telemetry: Option<&mut TelemetryCapture>,
+) -> Vec<(u32, SimDuration)> {
     windows
         .iter()
         .map(|&win| {
-            let out = run_mode(base, SnapshotMode::QueryResponse { window: win });
+            let out = run_mode_with(
+                base,
+                SnapshotMode::QueryResponse { window: win },
+                telemetry.as_deref_mut(),
+            );
             (win, out.total_mean)
         })
         .collect()

@@ -4,8 +4,8 @@
 use crate::scenario::{build_hybrid, HybridConfig, NetworkSpec};
 use crate::MetricsMode;
 
-use super::rp_sweep::{run_gcopss_once, run_ip_once, summarize};
-use super::{RunSummary, Workload, WorkloadParams};
+use super::rp_sweep::{run_gcopss_once_with, run_ip_once_with, summarize};
+use super::{RunSummary, TelemetryCapture, Workload, WorkloadParams};
 
 /// Configuration of the Table II run.
 #[derive(Debug, Clone)]
@@ -46,13 +46,25 @@ pub struct FullTraceOutput {
 /// Runs the three systems over the same workload.
 #[must_use]
 pub fn run(cfg: &FullTraceConfig) -> FullTraceOutput {
+    run_with(cfg, None)
+}
+
+/// Runs the three systems, optionally harvesting one telemetry report per
+/// system run.
+#[must_use]
+pub fn run_with(
+    cfg: &FullTraceConfig,
+    mut telemetry: Option<&mut TelemetryCapture>,
+) -> FullTraceOutput {
     let w = Workload::counter_strike(&cfg.workload);
     let net = NetworkSpec::default_backbone(cfg.net_seed);
 
-    let (world, bytes) = run_ip_once(&w, &net, cfg.cores, MetricsMode::StatsOnly);
+    let t = telemetry.as_mut().map(|c| (&mut **c, "ip"));
+    let (world, bytes) = run_ip_once_with(&w, &net, cfg.cores, MetricsMode::StatsOnly, t);
     let ip = summarize(format!("IP server x{}", cfg.cores), &world, bytes);
 
-    let (world, bytes) = run_gcopss_once(&w, &net, cfg.cores, None, MetricsMode::StatsOnly);
+    let t = telemetry.as_mut().map(|c| (&mut **c, "gcopss"));
+    let (world, bytes) = run_gcopss_once_with(&w, &net, cfg.cores, None, MetricsMode::StatsOnly, t);
     let gcopss = summarize(format!("G-COPSS {} RPs", cfg.cores), &world, bytes);
 
     let hybrid = {
@@ -62,8 +74,14 @@ pub fn run(cfg: &FullTraceConfig) -> FullTraceOutput {
             ..HybridConfig::default()
         };
         let mut built = build_hybrid(c, &net, &w.map, &w.population, &w.trace);
+        if let Some(cap) = telemetry.as_mut() {
+            cap.arm(&mut built.sim);
+        }
         built.sim.run();
         let bytes = built.sim.total_link_bytes();
+        if let Some(cap) = telemetry.as_mut() {
+            cap.collect(&built.sim, "hybrid");
+        }
         summarize(
             format!("hybrid-G-COPSS {} groups", cfg.cores),
             &built.sim.into_world(),

@@ -10,7 +10,7 @@ use crate::scenario::{
 };
 use crate::{MetricsMode, SimParams};
 
-use super::{rp_sweep::summarize, RunSummary, Workload};
+use super::{rp_sweep::summarize, RunSummary, TelemetryCapture, Workload};
 
 /// Configuration of the microbenchmark (paper defaults: 1 minute, 12,440
 /// events; scale `duration` down for quick runs).
@@ -86,6 +86,16 @@ fn system_result(label: &str, mut world: crate::GameWorld, bytes: u64, points: u
 /// Runs all three systems on the testbed and returns their CDFs.
 #[must_use]
 pub fn run(cfg: &MicrobenchConfig) -> MicrobenchOutput {
+    run_with(cfg, None)
+}
+
+/// Runs all three systems, optionally harvesting one telemetry report per
+/// system run.
+#[must_use]
+pub fn run_with(
+    cfg: &MicrobenchConfig,
+    mut telemetry: Option<&mut TelemetryCapture>,
+) -> MicrobenchOutput {
     let w = Workload::microbenchmark(cfg.seed, cfg.duration);
     let net = NetworkSpec::Testbed;
 
@@ -98,8 +108,14 @@ pub fn run(cfg: &MicrobenchConfig) -> MicrobenchOutput {
             ..GcopssConfig::default()
         };
         let mut built = build_gcopss(c, &net, &w.map, &w.population, &w.trace, vec![]);
+        if let Some(cap) = telemetry.as_mut() {
+            cap.arm(&mut built.sim);
+        }
         built.sim.run();
         let bytes = built.sim.total_link_bytes();
+        if let Some(cap) = telemetry.as_mut() {
+            cap.collect(&built.sim, "gcopss");
+        }
         system_result("G-COPSS", built.sim.into_world(), bytes, cfg.cdf_points)
     };
 
@@ -112,8 +128,14 @@ pub fn run(cfg: &MicrobenchConfig) -> MicrobenchOutput {
             ..IpConfig::default()
         };
         let mut built = build_ip_server(c, &net, &w.map, &w.population, &w.trace);
+        if let Some(cap) = telemetry.as_mut() {
+            cap.arm(&mut built.sim);
+        }
         built.sim.run();
         let bytes = built.sim.total_link_bytes();
+        if let Some(cap) = telemetry.as_mut() {
+            cap.collect(&built.sim, "ip");
+        }
         system_result("IP server", built.sim.into_world(), bytes, cfg.cdf_points)
     };
 
@@ -131,9 +153,15 @@ pub fn run(cfg: &MicrobenchConfig) -> MicrobenchOutput {
         };
         let warmup = c.warmup;
         let mut built = build_ndn_baseline(c, &net, &w.map, &w.population, &w.trace);
+        if let Some(cap) = telemetry.as_mut() {
+            cap.arm(&mut built.sim);
+        }
         let horizon = SimTime::ZERO + warmup + cfg.duration + SimDuration::from_secs(120);
         built.sim.run_until(horizon);
         let bytes = built.sim.total_link_bytes();
+        if let Some(cap) = telemetry.as_mut() {
+            cap.collect(&built.sim, "ndn");
+        }
         system_result("NDN", built.sim.into_world(), bytes, cfg.cdf_points)
     };
 

@@ -27,7 +27,45 @@ use std::sync::Arc;
 
 use gcopss_game::trace::{CsTraceGenerator, CsTraceParams, TraceEvent};
 use gcopss_game::{GameMap, ObjectModel, ObjectModelParams, PlayerPopulation};
-use gcopss_sim::SimDuration;
+use gcopss_sim::{SimDuration, Simulator, TelemetryConfig, TelemetryReport};
+
+use crate::{GPacket, GameWorld};
+
+/// Collects one [`TelemetryReport`] per simulator run of a driver.
+///
+/// Drivers take `Option<&mut TelemetryCapture>`: `None` keeps telemetry off
+/// (zero cost), `Some` arms every simulator before it runs and harvests a
+/// report after. Reports are numbered in run order; the index becomes the
+/// Chrome-trace process id, so all runs of one experiment share a single
+/// trace file with one "process" lane per run.
+#[derive(Debug, Default)]
+pub struct TelemetryCapture {
+    cfg: TelemetryConfig,
+    /// Harvested reports, in run order.
+    pub reports: Vec<TelemetryReport>,
+}
+
+impl TelemetryCapture {
+    /// Creates a capture applying `cfg` to every run.
+    #[must_use]
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        Self {
+            cfg,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Enables telemetry on a simulator about to run.
+    pub fn arm(&self, sim: &mut Simulator<GPacket, GameWorld>) {
+        sim.enable_telemetry(self.cfg.clone());
+    }
+
+    /// Harvests the report of a finished run (call before `into_world`).
+    pub fn collect(&mut self, sim: &Simulator<GPacket, GameWorld>, label: &str) {
+        let pid = self.reports.len() as u64;
+        self.reports.push(sim.telemetry_report(label, pid));
+    }
+}
 
 /// Workload shared by the large-scale experiments (§V-B): the paper's map,
 /// a 414-player population and a synthetic Counter-Strike trace.

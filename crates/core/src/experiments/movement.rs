@@ -12,7 +12,7 @@ use crate::broker::{partition_cds_to_brokers, MovingPlayerClient, SnapshotBroker
 use crate::scenario::{build_gcopss_custom, ClientFactory, ExtraHost, GcopssConfig, NetworkSpec};
 use crate::{MetricsMode, SimParams};
 
-use super::{Workload, WorkloadParams};
+use super::{TelemetryCapture, Workload, WorkloadParams};
 
 /// Configuration of the movement experiment.
 #[derive(Debug, Clone)]
@@ -121,6 +121,16 @@ fn mean_ci(samples: &[SimDuration]) -> (SimDuration, SimDuration) {
 /// Runs one snapshot mode.
 #[must_use]
 pub fn run_mode(cfg: &MovementConfig, mode: SnapshotMode) -> MovementOutput {
+    run_mode_with(cfg, mode, None)
+}
+
+/// Runs one snapshot mode, optionally harvesting a telemetry report.
+#[must_use]
+pub fn run_mode_with(
+    cfg: &MovementConfig,
+    mode: SnapshotMode,
+    mut telemetry: Option<&mut TelemetryCapture>,
+) -> MovementOutput {
     let w = Workload::counter_strike(&cfg.workload);
     let net = NetworkSpec::default_backbone(cfg.net_seed);
     let trace_span = w.trace.last().map_or(0, |e| e.time_ns);
@@ -209,9 +219,19 @@ pub fn run_mode(cfg: &MovementConfig, mode: SnapshotMode) -> MovementOutput {
         extra_hosts,
         factory,
     );
+    if let Some(cap) = telemetry.as_mut() {
+        cap.arm(&mut built.sim);
+    }
     let horizon = SimTime::ZERO + warmup + SimDuration::from_nanos(trace_span) + cfg.drain;
     built.sim.run_until(horizon);
     let network_bytes = built.sim.total_link_bytes();
+    let label = match mode {
+        SnapshotMode::QueryResponse { window } => format!("qr-w{window}"),
+        SnapshotMode::CyclicMulticast => "cyclic".to_string(),
+    };
+    if let Some(cap) = telemetry.as_mut() {
+        cap.collect(&built.sim, &label);
+    }
     let world = built.sim.into_world();
 
     // Group records by movement type.
@@ -266,11 +286,23 @@ pub fn run_mode(cfg: &MovementConfig, mode: SnapshotMode) -> MovementOutput {
 /// Runs the paper's three modes: QR window 5, QR window 15, cyclic.
 #[must_use]
 pub fn run_all(cfg: &MovementConfig) -> Vec<MovementOutput> {
-    vec![
-        run_mode(cfg, SnapshotMode::QueryResponse { window: 5 }),
-        run_mode(cfg, SnapshotMode::QueryResponse { window: 15 }),
-        run_mode(cfg, SnapshotMode::CyclicMulticast),
+    run_all_with(cfg, None)
+}
+
+/// [`run_all`] with optional telemetry capture (one report per mode).
+#[must_use]
+pub fn run_all_with(
+    cfg: &MovementConfig,
+    mut telemetry: Option<&mut TelemetryCapture>,
+) -> Vec<MovementOutput> {
+    [
+        SnapshotMode::QueryResponse { window: 5 },
+        SnapshotMode::QueryResponse { window: 15 },
+        SnapshotMode::CyclicMulticast,
     ]
+    .into_iter()
+    .map(|mode| run_mode_with(cfg, mode, telemetry.as_deref_mut()))
+    .collect()
 }
 
 /// The extra CD namespaces the movement scenario anchors at RP 0.

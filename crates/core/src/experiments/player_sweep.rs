@@ -6,8 +6,8 @@ use gcopss_sim::SimDuration;
 use crate::scenario::NetworkSpec;
 use crate::MetricsMode;
 
-use super::rp_sweep::{run_gcopss_once, run_ip_once, summarize};
-use super::{RunSummary, Workload, WorkloadParams};
+use super::rp_sweep::{run_gcopss_once_with, run_ip_once_with, summarize};
+use super::{RunSummary, TelemetryCapture, Workload, WorkloadParams};
 
 /// Configuration of the player sweep.
 #[derive(Debug, Clone)]
@@ -62,6 +62,15 @@ pub struct PlayerSweepOutput {
 /// Runs the sweep.
 #[must_use]
 pub fn run(cfg: &PlayerSweepConfig) -> PlayerSweepOutput {
+    run_with(cfg, None)
+}
+
+/// Runs the sweep, optionally harvesting one telemetry report per run.
+#[must_use]
+pub fn run_with(
+    cfg: &PlayerSweepConfig,
+    mut telemetry: Option<&mut TelemetryCapture>,
+) -> PlayerSweepOutput {
     let net = NetworkSpec::default_backbone(cfg.net_seed);
     let mut gcopss = Vec::new();
     let mut ip = Vec::new();
@@ -77,12 +86,17 @@ pub fn run(cfg: &PlayerSweepConfig) -> PlayerSweepOutput {
             updates: cfg.updates_per_player * n,
             mean_interarrival: interarrival,
         });
-        let (world, bytes) = run_gcopss_once(&w, &net, cfg.cores, None, MetricsMode::StatsOnly);
+        let label = format!("gcopss-{n}p");
+        let t = telemetry.as_mut().map(|c| (&mut **c, label.as_str()));
+        let (world, bytes) =
+            run_gcopss_once_with(&w, &net, cfg.cores, None, MetricsMode::StatsOnly, t);
         gcopss.push(SweepPoint {
             players: n,
             summary: summarize(format!("G-COPSS {n}p"), &world, bytes),
         });
-        let (world, bytes) = run_ip_once(&w, &net, cfg.cores, MetricsMode::StatsOnly);
+        let label = format!("ip-{n}p");
+        let t = telemetry.as_mut().map(|c| (&mut **c, label.as_str()));
+        let (world, bytes) = run_ip_once_with(&w, &net, cfg.cores, MetricsMode::StatsOnly, t);
         ip.push(SweepPoint {
             players: n,
             summary: summarize(format!("IP {n}p"), &world, bytes),

@@ -7,7 +7,7 @@ use gcopss_sim::SimDuration;
 use crate::scenario::{build_gcopss, build_ip_server, GcopssConfig, IpConfig, NetworkSpec};
 use crate::{GameWorld, MetricsMode, SimParams, SplitRecord};
 
-use super::{RunSummary, Workload, WorkloadParams};
+use super::{RunSummary, TelemetryCapture, Workload, WorkloadParams};
 
 /// Configuration of the RP/server sweep.
 #[derive(Debug, Clone)]
@@ -108,6 +108,21 @@ pub fn run_gcopss_once(
     auto_threshold: Option<usize>,
     mode: MetricsMode,
 ) -> (GameWorld, u64) {
+    run_gcopss_once_with(w, net, rp_count, auto_threshold, mode, None)
+}
+
+/// [`run_gcopss_once`] with optional telemetry capture: when `telemetry` is
+/// `Some((capture, label))`, the run is fully instrumented and a report is
+/// harvested under `label`.
+#[must_use]
+pub fn run_gcopss_once_with(
+    w: &Workload,
+    net: &NetworkSpec,
+    rp_count: usize,
+    auto_threshold: Option<usize>,
+    mode: MetricsMode,
+    telemetry: Option<(&mut TelemetryCapture, &str)>,
+) -> (GameWorld, u64) {
     let mut params = SimParams::default();
     if let Some(t) = auto_threshold {
         params = params.with_auto_balancing(t);
@@ -119,8 +134,14 @@ pub fn run_gcopss_once(
         ..GcopssConfig::default()
     };
     let mut built = build_gcopss(cfg, net, &w.map, &w.population, &w.trace, vec![]);
+    if let Some((cap, _)) = &telemetry {
+        cap.arm(&mut built.sim);
+    }
     built.sim.run();
     let bytes = built.sim.total_link_bytes();
+    if let Some((cap, label)) = telemetry {
+        cap.collect(&built.sim, label);
+    }
     (built.sim.into_world(), bytes)
 }
 
@@ -132,20 +153,44 @@ pub fn run_ip_once(
     server_count: usize,
     mode: MetricsMode,
 ) -> (GameWorld, u64) {
+    run_ip_once_with(w, net, server_count, mode, None)
+}
+
+/// [`run_ip_once`] with optional telemetry capture.
+#[must_use]
+pub fn run_ip_once_with(
+    w: &Workload,
+    net: &NetworkSpec,
+    server_count: usize,
+    mode: MetricsMode,
+    telemetry: Option<(&mut TelemetryCapture, &str)>,
+) -> (GameWorld, u64) {
     let cfg = IpConfig {
         metrics_mode: mode,
         server_count,
         ..IpConfig::default()
     };
     let mut built = build_ip_server(cfg, net, &w.map, &w.population, &w.trace);
+    if let Some((cap, _)) = &telemetry {
+        cap.arm(&mut built.sim);
+    }
     built.sim.run();
     let bytes = built.sim.total_link_bytes();
+    if let Some((cap, label)) = telemetry {
+        cap.collect(&built.sim, label);
+    }
     (built.sim.into_world(), bytes)
 }
 
 /// Runs the full sweep.
 #[must_use]
 pub fn run(cfg: &RpSweepConfig) -> RpSweepOutput {
+    run_with(cfg, None)
+}
+
+/// Runs the full sweep, optionally harvesting one telemetry report per run.
+#[must_use]
+pub fn run_with(cfg: &RpSweepConfig, mut telemetry: Option<&mut TelemetryCapture>) -> RpSweepOutput {
     let w = Workload::counter_strike(&cfg.workload);
     let net = NetworkSpec::default_backbone(cfg.net_seed);
 
@@ -158,11 +203,13 @@ pub fn run(cfg: &RpSweepConfig) -> RpSweepOutput {
         } else {
             MetricsMode::StatsOnly
         };
-        let (world, bytes) = run_gcopss_once(&w, &net, n, None, mode);
+        let label = format!("gcopss-{n}rp");
+        let t = telemetry.as_mut().map(|c| (&mut **c, label.as_str()));
+        let (world, bytes) = run_gcopss_once_with(&w, &net, n, None, mode, t);
         gcopss_rows.push(summarize(format!("G-COPSS {n} RP"), &world, bytes));
         if want_detail {
             fig5.push(Fig5Series {
-                label: format!("gcopss-{n}rp"),
+                label,
                 points: downsample(&world.metrics.per_publication_rows(), cfg.fig5_points),
             });
         }
@@ -175,7 +222,8 @@ pub fn run(cfg: &RpSweepConfig) -> RpSweepOutput {
         } else {
             MetricsMode::StatsOnly
         };
-        let (world, bytes) = run_gcopss_once(&w, &net, 1, Some(cfg.auto_threshold), mode);
+        let t = telemetry.as_mut().map(|c| (&mut **c, "gcopss-auto"));
+        let (world, bytes) = run_gcopss_once_with(&w, &net, 1, Some(cfg.auto_threshold), mode, t);
         auto_splits = world.splits.clone();
         gcopss_rows.push(summarize(
             format!("G-COPSS auto ({} splits)", world.splits.len()),
@@ -192,7 +240,9 @@ pub fn run(cfg: &RpSweepConfig) -> RpSweepOutput {
 
     let mut server_rows = Vec::new();
     for &n in &cfg.server_counts {
-        let (world, bytes) = run_ip_once(&w, &net, n, MetricsMode::StatsOnly);
+        let label = format!("ip-{n}srv");
+        let t = telemetry.as_mut().map(|c| (&mut **c, label.as_str()));
+        let (world, bytes) = run_ip_once_with(&w, &net, n, MetricsMode::StatsOnly, t);
         server_rows.push(summarize(format!("IP server x{n}"), &world, bytes));
     }
 

@@ -2,6 +2,8 @@
 //! trace — updates per player (CDF) and players/objects per area.
 
 use gcopss_game::stats::{per_area_stats, updates_per_player_cdf, AreaStats};
+use gcopss_sim::json::Json;
+use gcopss_sim::{LogHistogram, TelemetryReport};
 
 use super::{Workload, WorkloadParams};
 
@@ -30,6 +32,55 @@ pub fn run(p: &WorkloadParams) -> TraceStatsOutput {
         total_updates: w.trace.len(),
         players: w.population.len(),
         objects: w.objects.object_count(),
+    }
+}
+
+/// Builds a telemetry report from the trace characterization — there is no
+/// simulator here, so the "run" is the workload itself: log-scale
+/// histograms of updates per player, update sizes, and per-area
+/// player/object/update counts.
+#[must_use]
+pub fn telemetry_report(p: &WorkloadParams, out: &TraceStatsOutput) -> TelemetryReport {
+    let w = Workload::counter_strike(p);
+    let mut per_player = LogHistogram::new();
+    for &(updates, _) in &out.updates_cdf {
+        per_player.record(updates);
+    }
+    let mut sizes = LogHistogram::new();
+    for e in w.trace.iter() {
+        sizes.record(u64::from(e.size));
+    }
+    let mut area_players = LogHistogram::new();
+    let mut area_objects = LogHistogram::new();
+    let mut area_updates = LogHistogram::new();
+    for a in &out.per_area {
+        area_players.record(a.players as u64);
+        area_objects.record(a.objects as u64);
+        area_updates.record(a.updates);
+    }
+    let hist = |name: &str, h: &LogHistogram| {
+        Json::obj([("metric", Json::str(name)), ("hist", h.to_json())])
+    };
+    TelemetryReport {
+        label: "trace-stats".to_string(),
+        summary: Json::obj([
+            ("label", Json::str("trace-stats")),
+            ("players", Json::UInt(out.players as u64)),
+            ("total_updates", Json::UInt(out.total_updates as u64)),
+            ("objects", Json::UInt(out.objects as u64)),
+            (
+                "histograms",
+                Json::arr([
+                    hist("updates-per-player", &per_player),
+                    hist("update-bytes", &sizes),
+                    hist("area-players", &area_players),
+                    hist("area-objects", &area_objects),
+                    hist("area-updates", &area_updates),
+                ]),
+            ),
+        ]),
+        trace_events: Vec::new(),
+        fingerprint: 0,
     }
 }
 

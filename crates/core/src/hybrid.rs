@@ -82,6 +82,7 @@ pub fn route_ip_at_router(ctx: &mut Ctx<'_, GPacket, GameWorld>, ip: IpPacket) {
             let g = GPacket::Ip(ip.clone());
             let size = g.wire_size();
             if ctx.send_toward(server, g, size).is_none() {
+                ctx.emit(gcopss_sim::TraceEvent::Drop, "ip-no-route", size);
                 ctx.world().bump("ip-no-route");
             }
             let _ = ip;
@@ -90,6 +91,7 @@ pub fn route_ip_at_router(ctx: &mut Ctx<'_, GPacket, GameWorld>, ip: IpPacket) {
             let g = GPacket::Ip(ip.clone());
             let size = g.wire_size();
             if ctx.send_toward(client, g, size).is_none() {
+                ctx.emit(gcopss_sim::TraceEvent::Drop, "ip-no-route", size);
                 ctx.world().bump("ip-no-route");
             }
         }
@@ -247,6 +249,11 @@ impl NodeBehavior<GPacket, GameWorld> for HybridEdgeRouter {
                 if dsts.contains(&me) {
                     // Filter: only actually-subscribed hosts receive it.
                     if self.st.matching_faces(&inner.cd, None, None).is_empty() {
+                        ctx.emit(
+                            gcopss_sim::TraceEvent::Drop,
+                            "hybrid-filtered-unwanted",
+                            inner.encoded_len() as u32,
+                        );
                         ctx.world().bump("hybrid-filtered-unwanted");
                     } else {
                         self.deliver_to_hosts(ctx, &inner, None);
@@ -255,7 +262,10 @@ impl NodeBehavior<GPacket, GameWorld> for HybridEdgeRouter {
                 forward_mcast(ctx, group, &dsts, inner);
             }
             GPacket::Ip(other) => route_ip_at_router(ctx, other),
-            _ => ctx.world().bump("hybrid-unexpected-packet"),
+            _ => {
+                ctx.emit(gcopss_sim::TraceEvent::Drop, "hybrid-unexpected-packet", 0);
+                ctx.world().bump("hybrid-unexpected-packet");
+            }
         }
     }
 }

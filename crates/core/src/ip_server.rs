@@ -95,6 +95,7 @@ impl NodeBehavior<GPacket, GameWorld> for IpServer {
         pkt: GPacket,
     ) {
         let GPacket::Ip(IpPacket::ToServer { update, .. }) = pkt else {
+            ctx.emit(gcopss_sim::TraceEvent::Drop, "server-unexpected-packet", 0);
             ctx.world().bump("server-unexpected-packet");
             return;
         };
@@ -112,6 +113,11 @@ impl NodeBehavior<GPacket, GameWorld> for IpServer {
             let size = g.wire_size();
             ctx.send_toward(client, g, size);
             recipients += 1;
+        }
+        if ctx.telemetry_enabled() {
+            ctx.counter("server-updates-in", 1);
+            ctx.counter("server-unicasts-out", recipients);
+            ctx.observe("server-fanout", recipients);
         }
         ctx.consume(self.params.server_per_recipient.saturating_mul(recipients));
     }
@@ -163,6 +169,7 @@ impl NodeBehavior<GPacket, GameWorld> for IpClient {
         };
         let (cd, size) = (e.cd.clone(), e.size);
         let Some(&server) = self.server_of.get(&cd) else {
+            ctx.emit(gcopss_sim::TraceEvent::Drop, "ip-client-no-server", e.size);
             ctx.world().bump("ip-client-no-server");
             return;
         };
@@ -251,7 +258,7 @@ mod tests {
         let servers = vec![NodeId(100), NodeId(101), NodeId(102)];
         let part = partition_cds_to_servers(&map, &servers);
         assert_eq!(part.len(), 31);
-        for (_, s) in &part {
+        for s in part.values() {
             assert!(servers.contains(s));
         }
         // All CDs of one region go to one server.

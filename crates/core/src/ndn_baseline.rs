@@ -172,6 +172,9 @@ impl NdnPlayerClient {
         let g = GPacket::Interest(Interest::new(name, nonce));
         let size = g.wire_size();
         ctx.send(self.edge, g, size);
+        if ctx.telemetry_enabled() {
+            ctx.counter("ndn-interests-expressed", 1);
+        }
         let now = ctx.now();
         self.consumer[producer_idx].outstanding.insert(seq, now);
     }
@@ -185,6 +188,10 @@ impl NdnPlayerClient {
         let g = GPacket::Data(data);
         let size = g.wire_size();
         ctx.send(self.edge, g, size);
+        if ctx.telemetry_enabled() {
+            ctx.counter("ndn-batches-answered", 1);
+            ctx.observe("ndn-batch-bytes", u64::from(size));
+        }
     }
 
     fn flush(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
@@ -301,6 +308,11 @@ impl NodeBehavior<GPacket, GameWorld> for NdnPlayerClient {
                     self.pending_seqs.insert(seq);
                 } else {
                     // Aged out of history.
+                    ctx.emit(
+                        gcopss_sim::TraceEvent::Drop,
+                        "ndn-batch-expired",
+                        i.encoded_len() as u32,
+                    );
                     ctx.world().bump("ndn-batch-expired");
                 }
             }

@@ -7,7 +7,7 @@ use std::collections::{BTreeMap, BTreeSet, HashSet};
 use gcopss_copss::{CopssEngine, CopssPacket, JoinRequest, MulticastPacket, PruneRequest, RpId, TrafficWindow};
 use gcopss_names::Name;
 use gcopss_ndn::{FaceId, NdnAction, NdnConfig, NdnEngine};
-use gcopss_sim::{Ctx, NodeBehavior, NodeId, SimDuration, SimTime, Topology};
+use gcopss_sim::{Ctx, NodeBehavior, NodeId, SimDuration, SimTime, Topology, TraceEvent};
 
 use crate::{GPacket, GameWorld, SimParams, SplitRecord};
 
@@ -101,7 +101,7 @@ pub struct SplitConfig {
 }
 
 /// Timer key used to flush deferred prunes after the split grace period.
-const PRUNE_TIMER: u64 = 0xdefe_55;
+const PRUNE_TIMER: u64 = 0x00de_fe55;
 
 /// The G-COPSS router behavior.
 ///
@@ -311,6 +311,10 @@ impl GCopssRouter {
     ) {
         self.traffic.record(m.cd.name().clone());
         self.served_since_split += 1;
+        if ctx.telemetry_enabled() {
+            ctx.counter("rp-served", 1);
+            ctx.observe("rp-queue-depth", ctx.queue_len() as u64);
+        }
         let tagged = m.on_tree(rp);
         self.multicast(ctx, &tagged, None);
         // §IV-B transition: a *fresh* publication (not one proxied over
@@ -472,6 +476,7 @@ impl GCopssRouter {
         self.served_since_split = 0;
 
         let now = ctx.now();
+        ctx.emit(TraceEvent::Mark, "rp-split", 0);
         ctx.world().bump("rp-splits");
         ctx.world().splits.push(SplitRecord {
             at: now,
@@ -508,6 +513,7 @@ impl GCopssRouter {
                                 ctx.send(node, g, size);
                             }
                         } else {
+                            ctx.emit(TraceEvent::Drop, "torp-no-route", inner.encoded_len() as u32);
                             ctx.world().bump("torp-no-route");
                         }
                     }
@@ -524,7 +530,10 @@ impl GCopssRouter {
                         self.multicast(ctx, &tagged, None);
                     }
                 }
-                None => ctx.world().bump("torp-unserved-cd"),
+                None => {
+                    ctx.emit(TraceEvent::Drop, "torp-unserved-cd", inner.encoded_len() as u32);
+                    ctx.world().bump("torp-unserved-cd");
+                }
             }
         } else {
             // Transit: forward the encapsulated Interest along the FIB.
@@ -536,7 +545,10 @@ impl GCopssRouter {
                         ctx.send(node, g, size);
                     }
                 }
-                None => ctx.world().bump("torp-no-route"),
+                None => {
+                    ctx.emit(TraceEvent::Drop, "torp-no-route", inner.encoded_len() as u32);
+                    ctx.world().bump("torp-no-route");
+                }
             }
         }
     }
@@ -622,6 +634,7 @@ impl GCopssRouter {
         }
         // Stage 3: announce network-wide.
         self.on_rp_update(ctx, None, cds, new_rp);
+        ctx.emit(TraceEvent::Mark, "rp-handoff", 0);
         ctx.world().bump("rp-handoffs");
     }
 
@@ -708,7 +721,14 @@ impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
                             self.serve_as_rp(ctx, rp, &m);
                         }
                         Some(rp) => self.on_to_rp(ctx, rp, m),
-                        None => ctx.world().bump("publication-unserved-cd"),
+                        None => {
+                            ctx.emit(
+                                TraceEvent::Drop,
+                                "publication-unserved-cd",
+                                m.encoded_len() as u32,
+                            );
+                            ctx.world().bump("publication-unserved-cd");
+                        }
                     }
                 } else {
                     self.multicast(ctx, &m, arrival);

@@ -307,6 +307,7 @@ pub fn build_gcopss_custom(
     }
 
     let mut sim = Simulator::with_routing(bn.topology, routing, world);
+    sim.set_packet_kinds(GPacket::kind);
 
     // Routers.
     for &r in &bn.routers {
@@ -457,6 +458,7 @@ pub fn build_ip_server(
         world = world.with_delivery_log();
     }
     let mut sim = Simulator::with_routing(bn.topology, routing, world);
+    sim.set_packet_kinds(GPacket::kind);
 
     // Plain IP routers (a G-COPSS router with no RPs forwards IP packets).
     for &r in &bn.routers {
@@ -561,6 +563,7 @@ pub fn build_hybrid(
         world = world.with_delivery_log();
     }
     let mut sim = Simulator::with_routing(bn.topology, routing, world);
+    sim.set_packet_kinds(GPacket::kind);
 
     for &r in &bn.routers {
         let faces = FaceMap::new(sim.topology(), r);
@@ -668,6 +671,7 @@ pub fn build_ndn_baseline(
         world = world.with_delivery_log();
     }
     let mut sim = Simulator::with_routing(bn.topology, routing, world);
+    sim.set_packet_kinds(GPacket::kind);
 
     // NDN routers with /player/<id> routes toward every player host.
     for &r in &bn.routers {

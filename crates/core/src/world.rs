@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, HashSet};
 use gcopss_game::{MoveType, PlayerId};
 use gcopss_names::Name;
 use gcopss_sim::metrics::{LatencySamples, OnlineStats};
-use gcopss_sim::{SimDuration, SimTime};
+use gcopss_sim::{LogHistogram, SimDuration, SimTime};
 
 /// How much per-delivery detail to keep. Large traces (1.7M publications ×
 /// tens of receivers) cannot afford full sample retention.
@@ -41,6 +41,10 @@ pub struct UpdateMetrics {
     sent: Vec<Option<(SimTime, PlayerId)>>,
     published: u64,
     stats: OnlineStats,
+    /// Log-scale latency histogram, kept in every mode: O(1) memory, so
+    /// even [`MetricsMode::StatsOnly`] runs over millions of deliveries get
+    /// approximate p50/p95/p99.
+    hist: LogHistogram,
     samples: LatencySamples,
     per_pub: BTreeMap<u64, PubAgg>,
     delivered: u64,
@@ -80,6 +84,7 @@ impl UpdateMetrics {
         let lat = at.saturating_duration_since(t0);
         self.delivered += 1;
         self.stats.record(lat);
+        self.hist.record_duration(lat);
         match self.mode {
             MetricsMode::Full => self.samples.record(lat),
             MetricsMode::PerPublication => {
@@ -120,6 +125,14 @@ impl UpdateMetrics {
     #[must_use]
     pub fn stats(&self) -> &OnlineStats {
         &self.stats
+    }
+
+    /// The log-scale latency histogram (kept in every retention mode).
+    /// Quantiles are bucket upper bounds, in nanoseconds — within 2× of the
+    /// exact value by construction.
+    #[must_use]
+    pub fn latency_hist(&self) -> &LogHistogram {
+        &self.hist
     }
 
     /// All delivery samples ([`MetricsMode::Full`] only; empty otherwise).
@@ -315,6 +328,9 @@ mod tests {
         assert_eq!(m.delivered(), 10);
         assert_eq!(m.stats().count(), 10);
         assert!(m.per_publication_rows().is_empty());
+        // The log-scale histogram is on even in StatsOnly mode.
+        assert_eq!(m.latency_hist().count(), 10);
+        assert!(m.latency_hist().quantile(0.5) >= 1_000_000);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! End-to-end telemetry properties: same-seed determinism of the packet
+//! journal, per-link byte reconciliation against the engine's aggregate
+//! load, and journal disabling.
+
+use gcopss_core::experiments::rp_sweep::{self, RpSweepConfig};
+use gcopss_core::experiments::{TelemetryCapture, WorkloadParams};
+use gcopss_sim::json::Json;
+use gcopss_sim::{TelemetryConfig, TelemetryReport};
+
+fn small_cfg(seed: u64) -> RpSweepConfig {
+    RpSweepConfig {
+        workload: WorkloadParams {
+            seed,
+            updates: 2_000,
+            players: 80,
+            ..WorkloadParams::default()
+        },
+        rp_counts: vec![3],
+        include_auto: false,
+        server_counts: vec![1],
+        fig5_detail: false,
+        ..RpSweepConfig::default()
+    }
+}
+
+fn capture(seed: u64, tcfg: TelemetryConfig) -> (TelemetryCapture, Vec<u64>) {
+    let mut cap = TelemetryCapture::new(tcfg);
+    let out = rp_sweep::run_with(&small_cfg(seed), Some(&mut cap));
+    let loads = out
+        .gcopss_rows
+        .iter()
+        .chain(&out.server_rows)
+        .map(|r| r.network_bytes)
+        .collect();
+    (cap, loads)
+}
+
+/// Serializes a report the way the experiment binaries do, so equality
+/// here means the emitted file would be byte-identical.
+fn render(r: &TelemetryReport) -> String {
+    let events: Vec<String> = r.trace_events.iter().map(ToString::to_string).collect();
+    format!("{}|{}|{:016x}|{}", r.label, r.summary, r.fingerprint, events.join(","))
+}
+
+fn get<'a>(j: &'a Json, key: &str) -> Option<&'a Json> {
+    match j {
+        Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn get_u64(j: &Json, key: &str) -> u64 {
+    match get(j, key) {
+        Some(Json::UInt(v)) => *v,
+        _ => panic!("missing u64 field {key}"),
+    }
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let (a, _) = capture(11, TelemetryConfig::default());
+    let (b, _) = capture(11, TelemetryConfig::default());
+    assert_eq!(a.reports.len(), 2);
+    assert_eq!(b.reports.len(), 2);
+    for (ra, rb) in a.reports.iter().zip(&b.reports) {
+        assert!(!ra.trace_events.is_empty(), "{}: journal must record", ra.label);
+        assert_eq!(ra.fingerprint, rb.fingerprint, "{}", ra.label);
+        assert_eq!(render(ra), render(rb), "{}", ra.label);
+    }
+    // A different seed must actually change the journal.
+    let (c, _) = capture(12, TelemetryConfig::default());
+    assert_ne!(a.reports[0].fingerprint, c.reports[0].fingerprint);
+}
+
+#[test]
+fn per_link_bytes_reconcile_with_aggregate_load() {
+    let (cap, loads) = capture(7, TelemetryConfig::default());
+    for (report, load) in cap.reports.iter().zip(loads) {
+        // The summary's own total.
+        assert_eq!(get_u64(&report.summary, "link_bytes_total"), load, "{}", report.label);
+        // And the per-link table sums to the same number.
+        let Some(Json::Array(links)) = get(&report.summary, "links") else {
+            panic!("{}: no link table", report.label);
+        };
+        assert!(!links.is_empty(), "{}", report.label);
+        let sum: u64 = links
+            .iter()
+            .map(|l| get_u64(l, "bytes_ab") + get_u64(l, "bytes_ba"))
+            .sum();
+        assert_eq!(sum, load, "{}: per-link sum != aggregate load", report.label);
+    }
+}
+
+#[test]
+fn journal_can_be_disabled_and_sampled() {
+    // capacity 0 disables the journal but keeps counters and link stats.
+    let (off, loads) = capture(7, TelemetryConfig {
+        journal_capacity: 0,
+        journal_sample: 1,
+    });
+    for (report, load) in off.reports.iter().zip(loads) {
+        assert!(report.trace_events.is_empty(), "{}", report.label);
+        assert_eq!(get_u64(&report.summary, "link_bytes_total"), load);
+    }
+    // Sampling keeps 1-in-n and stays deterministic.
+    let tcfg = TelemetryConfig {
+        journal_capacity: 1_024,
+        journal_sample: 8,
+    };
+    let (s1, _) = capture(7, tcfg.clone());
+    let (s2, _) = capture(7, tcfg);
+    let (full, _) = capture(7, TelemetryConfig::default());
+    assert_eq!(s1.reports[0].fingerprint, s2.reports[0].fingerprint);
+    assert!(
+        s1.reports[0].trace_events.len() < full.reports[0].trace_events.len(),
+        "sampling must shrink the journal"
+    );
+}

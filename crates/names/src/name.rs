@@ -417,7 +417,7 @@ mod tests {
 
     #[test]
     fn ordering_groups_descendants() {
-        let mut v = vec![
+        let mut v = [
             Name::parse_lit("/2"),
             Name::parse_lit("/1/2"),
             Name::parse_lit("/1"),

@@ -100,7 +100,7 @@ impl Pit {
         let mut faces = Vec::new();
         for prefix in data_name.prefixes() {
             if let Some(e) = self.entries.remove(&prefix) {
-                if e.expires_ns > now_ns || e.expires_ns == now_ns {
+                if e.expires_ns >= now_ns {
                     for f in e.faces {
                         if !faces.contains(&f) {
                             faces.push(f);

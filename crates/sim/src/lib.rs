@@ -18,6 +18,10 @@
 //!   queueing).
 //! * [`metrics`] — latency recorders, CDFs and link-load accounting used to
 //!   regenerate the paper's tables and figures.
+//! * [`telemetry`] — per-node/per-link counters, log-scale histograms and a
+//!   bounded deterministic packet-trace journal (exportable as Chrome
+//!   trace-event JSON for Perfetto), fed automatically by the engine when
+//!   enabled via [`Simulator::enable_telemetry`].
 //!
 //! The simulator is fully deterministic: no wall-clock time, no random
 //! iteration order, and ties in the event queue are broken by insertion
@@ -67,10 +71,14 @@ pub mod generators;
 pub mod json;
 pub mod metrics;
 mod routing;
+pub mod telemetry;
 mod time;
 mod topology;
 
 pub use engine::{Ctx, NodeBehavior, Simulator};
+pub use telemetry::{
+    LogHistogram, Telemetry, TelemetryConfig, TelemetryReport, TraceEvent, TraceRecord,
+};
 pub use routing::RoutingTable;
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkId, NodeId, NodeKind, Topology};

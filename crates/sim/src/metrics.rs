@@ -79,10 +79,28 @@ impl OnlineStats {
         self.max
     }
 
-    /// Sum of all samples.
+    /// Sum of all samples, saturating at [`SimDuration::MAX`] when the
+    /// true `u128` total exceeds `u64::MAX` nanoseconds (~584 years of
+    /// simulated latency). Use [`OnlineStats::checked_sum`] or
+    /// [`OnlineStats::sum_nanos`] when saturation must be detected.
     #[must_use]
     pub fn sum(&self) -> SimDuration {
         SimDuration::from_nanos(u64::try_from(self.sum_ns).unwrap_or(u64::MAX))
+    }
+
+    /// Sum of all samples, or `None` if it does not fit in a
+    /// [`SimDuration`] (more than `u64::MAX` nanoseconds).
+    #[must_use]
+    pub fn checked_sum(&self) -> Option<SimDuration> {
+        u64::try_from(self.sum_ns).ok().map(SimDuration::from_nanos)
+    }
+
+    /// The exact sum of all samples in nanoseconds — never overflows
+    /// (recording `u64::MAX` ns at every nanosecond tick for the age of
+    /// the universe stays within `u128`).
+    #[must_use]
+    pub fn sum_nanos(&self) -> u128 {
+        self.sum_ns
     }
 
     /// Renders as a JSON object with latencies in milliseconds
@@ -147,8 +165,14 @@ impl LatencySamples {
         SimDuration::from_nanos((sum / self.samples.len() as u128) as u64)
     }
 
-    /// The `q`-quantile (0.0 ≤ q ≤ 1.0) using nearest-rank, or `None` when
-    /// empty.
+    /// The `q`-quantile (0.0 ≤ q ≤ 1.0), or `None` when empty.
+    ///
+    /// Uses the ceil-rank convention — the `⌈q·n⌉`-th smallest sample
+    /// (clamped to rank 1 so `q = 0` returns the minimum) — the same
+    /// convention as [`LatencySamples::cdf`] and
+    /// [`LogHistogram::quantile`](crate::telemetry::LogHistogram::quantile),
+    /// so `quantile(f)` always equals the CDF point at fraction `f`
+    /// (see the `quantile_agrees_with_cdf` test).
     ///
     /// # Panics
     ///
@@ -159,7 +183,8 @@ impl LatencySamples {
             return None;
         }
         self.ensure_sorted();
-        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        let n = self.samples.len();
+        let idx = ((n as f64 * q).ceil() as usize).clamp(1, n) - 1;
         Some(self.samples[idx])
     }
 
@@ -174,7 +199,8 @@ impl LatencySamples {
     }
 
     /// `points` evenly spaced CDF points `(latency, cumulative fraction)`,
-    /// suitable for plotting Fig. 4-style curves.
+    /// suitable for plotting Fig. 4-style curves. Each point uses the same
+    /// ceil-rank convention as [`LatencySamples::quantile`].
     pub fn cdf(&mut self, points: usize) -> Vec<(SimDuration, f64)> {
         if self.samples.is_empty() || points == 0 {
             return Vec::new();
@@ -352,6 +378,46 @@ mod tests {
     }
 
     #[test]
+    fn online_stats_merge_with_empty_sides() {
+        let mut filled = OnlineStats::new();
+        filled.record(ms(2));
+        filled.record(ms(8));
+        // empty.merge(filled) adopts filled's state…
+        let mut empty = OnlineStats::new();
+        empty.merge(&filled);
+        assert_eq!(empty, filled);
+        // …and filled.merge(empty) changes nothing.
+        let before = filled.clone();
+        filled.merge(&OnlineStats::new());
+        assert_eq!(filled, before);
+        // empty ∪ empty stays empty (no phantom min/max).
+        let mut e = OnlineStats::new();
+        e.merge(&OnlineStats::new());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.min(), None);
+        assert_eq!(e.max(), None);
+    }
+
+    #[test]
+    fn online_stats_sum_boundary() {
+        let mut s = OnlineStats::new();
+        s.record(SimDuration::from_nanos(u64::MAX));
+        // Exactly representable: all three accessors agree.
+        assert_eq!(s.sum(), SimDuration::from_nanos(u64::MAX));
+        assert_eq!(s.checked_sum(), Some(SimDuration::from_nanos(u64::MAX)));
+        assert_eq!(s.sum_nanos(), u128::from(u64::MAX));
+        // One more nanosecond: sum() saturates, checked_sum() reports it,
+        // sum_nanos() stays exact.
+        s.record(SimDuration::from_nanos(1));
+        assert_eq!(s.sum(), SimDuration::MAX);
+        assert_eq!(s.checked_sum(), None);
+        assert_eq!(s.sum_nanos(), u128::from(u64::MAX) + 1);
+        // The mean is computed from the exact u128 sum, not the saturated
+        // value.
+        assert_eq!(s.mean(), SimDuration::from_nanos(u64::MAX / 2 + 1));
+    }
+
+    #[test]
     fn quantiles() {
         let mut l = LatencySamples::new();
         for i in 1..=100 {
@@ -367,6 +433,44 @@ mod tests {
     fn quantile_empty_is_none() {
         let mut l = LatencySamples::new();
         assert_eq!(l.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_agrees_with_cdf() {
+        // The satellite fix: quantile() and cdf() share one (ceil-rank)
+        // convention, so the q-quantile equals the CDF point at fraction q
+        // for every q the CDF emits — including awkward sample counts.
+        for n in [1usize, 2, 3, 7, 10, 99, 100] {
+            let mut l = LatencySamples::new();
+            for i in (1..=n).rev() {
+                l.record(ms(i as u64));
+            }
+            for points in [1usize, 2, 4, 10] {
+                let cdf = l.cdf(points);
+                for &(lat, frac) in &cdf {
+                    assert_eq!(
+                        l.quantile(frac),
+                        Some(lat),
+                        "n={n} points={points} frac={frac}"
+                    );
+                }
+            }
+            // Endpoints are exact.
+            assert_eq!(l.quantile(0.0), Some(ms(1)));
+            assert_eq!(l.quantile(1.0), Some(ms(n as u64)));
+        }
+    }
+
+    #[test]
+    fn cdf_empty_and_zero_points() {
+        let mut empty = LatencySamples::new();
+        assert!(empty.cdf(10).is_empty());
+        assert!(empty.cdf(0).is_empty());
+        assert_eq!(empty.cdf_json(10).to_string(), "[]");
+        let mut one = LatencySamples::new();
+        one.record(ms(3));
+        assert!(one.cdf(0).is_empty());
+        assert_eq!(one.cdf(1), vec![(ms(3), 1.0)]);
     }
 
     #[test]
@@ -415,6 +519,23 @@ mod tests {
         assert_eq!(t.samples().raw(), &[ms(4), ms(8)]);
         let rows = t.per_publication_rows();
         assert_eq!(rows, vec![(1, ms(4), ms(6), ms(8))]);
+    }
+
+    #[test]
+    fn latency_tracker_duplicate_delivery_counts_twice() {
+        // The tracker has no per-receiver identity: a duplicate deliver()
+        // for the same publication is accounted as an extra delivery, so
+        // duplicate suppression is the caller's job (receivers keep a dedup
+        // window, and GameWorld's optional delivery log drops exact
+        // (id, receiver) repeats before calling deliver).
+        let mut t = LatencyTracker::new();
+        t.publish(1, SimTime::from_millis(0));
+        t.deliver(1, SimTime::from_millis(4));
+        t.deliver(1, SimTime::from_millis(4)); // same receiver, again
+        assert_eq!(t.delivered_count(), 2);
+        assert_eq!(t.samples().raw(), &[ms(4), ms(4)]);
+        let rows = t.per_publication_rows();
+        assert_eq!(rows, vec![(1, ms(4), ms(4), ms(4))]);
     }
 
     #[test]

@@ -114,6 +114,8 @@ pub struct SimDuration(u64);
 impl SimDuration {
     /// The zero-length duration.
     pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
 
     /// Creates a duration from raw nanoseconds.
     #[must_use]

@@ -24,3 +24,6 @@ for exp in trace_stats fig4 table1 fig5 fig6 table2 table3 ablation; do
         | tee "results/exp_${exp}.txt"
 done
 echo "All experiment outputs written to results/"
+echo "Telemetry (per-run counters, histograms and Chrome trace journals)"
+echo "is in results/telemetry_*.json — open in https://ui.perfetto.dev;"
+echo "see EXPERIMENTS.md \"Telemetry outputs\"."
