@@ -122,10 +122,17 @@ impl CopssEngine {
         self.reconcile()
     }
 
-    /// Removes every subscription of a face (face teardown).
-    pub fn handle_face_down(&mut self, face: FaceId) -> (Vec<JoinRequest>, Vec<PruneRequest>) {
-        self.st.remove_face(face);
-        self.reconcile()
+    /// Removes every subscription of a face (face teardown, e.g. a link or
+    /// neighbor failure). Returns the CD names purged from the ST along
+    /// with the upstream joins/prunes that follow, so the router can count
+    /// the purge and repair the trees.
+    pub fn handle_face_down(
+        &mut self,
+        face: FaceId,
+    ) -> (Vec<Name>, Vec<JoinRequest>, Vec<PruneRequest>) {
+        let purged = self.st.remove_face(face);
+        let (joins, prunes) = self.reconcile();
+        (purged, joins, prunes)
     }
 
     /// Registers interest of the local node itself (a broker subscribing to
@@ -204,6 +211,37 @@ impl CopssEngine {
             .get(&rp)
             .map(|s| s.iter().cloned().collect())
             .unwrap_or_default()
+    }
+
+    /// Every `(rp, name)` join this engine believes it holds upstream, as
+    /// re-sendable [`JoinRequest`]s. Used after a fault repair: the upstream
+    /// may have purged this router's branch, so the joins are re-expressed
+    /// along the (possibly new) path — subscriptions are idempotent, a
+    /// refresh that was not needed is absorbed by the upstream ST.
+    #[must_use]
+    pub fn refresh_joins(&self) -> Vec<JoinRequest> {
+        let mut out: Vec<JoinRequest> = self
+            .joined
+            .iter()
+            .flat_map(|(rp, set)| {
+                set.iter().map(|name| JoinRequest {
+                    rp: *rp,
+                    name: name.clone(),
+                })
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Discards all soft state — the ST, local subscriptions and the
+    /// upstream-join record — as happens when the hosting router crashes
+    /// and restarts. The RP table survives (it is configuration, rebuilt
+    /// from floods, not per-subscriber state).
+    pub fn clear_soft_state(&mut self) {
+        self.st = SubscriptionTable::default();
+        self.local_subscriptions = CdSet::default();
+        self.joined.clear();
     }
 
     /// Recomputes the needed `(rp, name)` joins from the current ST and
@@ -437,7 +475,8 @@ mod tests {
         let mut e = engine_with_root_rp();
         e.handle_subscribe(FaceId(1), &[n("/1"), n("/2")], None);
         e.handle_subscribe(FaceId(2), &[n("/2")], None);
-        let (j, p) = e.handle_face_down(FaceId(1));
+        let (purged, j, p) = e.handle_face_down(FaceId(1));
+        assert_eq!(purged, vec![n("/1"), n("/2")]);
         assert!(j.is_empty());
         assert_eq!(
             p,

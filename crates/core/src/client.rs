@@ -3,13 +3,51 @@
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
+use gcopss_compat::{Rng, SeedableRng, SmallRng};
 use gcopss_copss::{CopssPacket, MulticastPacket};
 use gcopss_game::trace::TraceEvent;
 use gcopss_game::{AreaId, GameMap, PlayerId};
 use gcopss_names::Cd;
-use gcopss_sim::{Ctx, NodeBehavior, NodeId, SimDuration, SimTime};
+use gcopss_sim::{Ctx, FaultNotice, NodeBehavior, NodeId, SimDuration, SimTime};
 
-use crate::{payload_of, GPacket, GameWorld};
+use crate::{payload_of, GPacket, GameWorld, RecoveryConfig};
+
+/// Timer key of trace-driven publishing.
+const TIMER_PUBLISH: u64 = 0;
+/// Timer key of the silence watchdog (recovery mode only).
+const TIMER_WATCHDOG: u64 = 1;
+
+/// Client-side recovery state: a silence watchdog with capped exponential
+/// backoff and seeded per-client jitter. Shared by the G-COPSS player
+/// client and the IP baseline client.
+pub(crate) struct ClientRecovery {
+    pub(crate) cfg: RecoveryConfig,
+    pub(crate) rng: SmallRng,
+    pub(crate) last_activity: SimTime,
+    pub(crate) backoff: SimDuration,
+}
+
+impl ClientRecovery {
+    pub(crate) fn new(cfg: RecoveryConfig, player: PlayerId) -> Self {
+        let rng = SmallRng::seed_from_u64(cfg.seed ^ u64::from(player.0));
+        let backoff = cfg.backoff_base;
+        Self {
+            cfg,
+            rng,
+            last_activity: SimTime::ZERO,
+            backoff,
+        }
+    }
+
+    pub(crate) fn jitter(&mut self) -> SimDuration {
+        let max = self.cfg.jitter.as_nanos();
+        if max == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.rng.gen_range(0..=max))
+        }
+    }
+}
 
 /// A bounded duplicate-suppression window, used by receivers to drop the
 /// duplicate deliveries that can occur while both the old and the new RP
@@ -117,6 +155,7 @@ pub struct GamePlayerClient {
     map: Arc<GameMap>,
     cursor: TraceCursor,
     dedup: DedupWindow,
+    recovery: Option<ClientRecovery>,
 }
 
 impl GamePlayerClient {
@@ -136,7 +175,27 @@ impl GamePlayerClient {
             map,
             cursor,
             dedup: DedupWindow::new(1024),
+            recovery: None,
         }
+    }
+
+    /// Enables the silence watchdog: after `cfg.watchdog` without any
+    /// delivery the client assumes its subscription state was lost upstream
+    /// and re-Subscribes, backing off exponentially (capped) while silence
+    /// persists. The watchdog re-arms forever, so recovery-enabled
+    /// simulations must run with [`gcopss_sim::Simulator::run_until`].
+    #[must_use]
+    pub fn with_recovery(mut self, cfg: RecoveryConfig) -> Self {
+        self.recovery = Some(ClientRecovery::new(cfg, self.player));
+        self
+    }
+
+    fn resubscribe(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let cds = self.map.subscription_cds(self.area);
+        let g = GPacket::Copss(CopssPacket::Subscribe { cds, rp: None });
+        let size = g.wire_size();
+        ctx.send(self.edge, g, size);
+        ctx.world().bump("client-resubscribes");
     }
 
     fn schedule_next(&self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
@@ -169,10 +228,36 @@ impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
         let size = g.wire_size();
         ctx.send(self.edge, g, size);
         self.schedule_next(ctx);
+        let now = ctx.now();
+        if let Some(r) = &mut self.recovery {
+            r.last_activity = now;
+            let delay = r.cfg.watchdog + r.jitter();
+            ctx.schedule(delay, TIMER_WATCHDOG);
+        }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, _key: u64) {
-        self.publish(ctx);
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, key: u64) {
+        match key {
+            TIMER_PUBLISH => self.publish(ctx),
+            TIMER_WATCHDOG => {
+                let now = ctx.now();
+                let Some(r) = &mut self.recovery else { return };
+                let silent = now.saturating_duration_since(r.last_activity) >= r.cfg.watchdog;
+                let next = if silent {
+                    // Still deaf: re-express the subscription and back off.
+                    let delay = r.backoff + r.jitter();
+                    r.backoff = (r.backoff + r.backoff).min(r.cfg.backoff_cap);
+                    self.resubscribe(ctx);
+                    delay
+                } else {
+                    let r = self.recovery.as_mut().expect("recovery enabled");
+                    r.backoff = r.cfg.backoff_base;
+                    r.cfg.watchdog + r.jitter()
+                };
+                ctx.schedule(next, TIMER_WATCHDOG);
+            }
+            _ => {}
+        }
     }
 
     fn on_packet(
@@ -182,6 +267,11 @@ impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
         pkt: GPacket,
     ) {
         if let GPacket::Copss(CopssPacket::Multicast(m)) = pkt {
+            // Any arrival (even a duplicate) proves the tree is delivering.
+            let now = ctx.now();
+            if let Some(r) = &mut self.recovery {
+                r.last_activity = now;
+            }
             if self.dedup.insert(m.id) {
                 let now = ctx.now();
                 ctx.world().record_delivery(m.id, self.player, now);
@@ -198,6 +288,33 @@ impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
 
     fn service_time(&self, _pkt: &GPacket) -> SimDuration {
         SimDuration::ZERO
+    }
+
+    fn on_fault(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, notice: FaultNotice) {
+        if self.recovery.is_none() {
+            return;
+        }
+        match notice {
+            // The access link is back (or we restarted): the edge may have
+            // purged our branch while we were cut off — re-anchor now
+            // rather than waiting out the watchdog.
+            FaultNotice::LinkUp { .. } | FaultNotice::Restarted => {
+                let now = ctx.now();
+                let r = self.recovery.as_mut().expect("recovery enabled");
+                r.backoff = r.cfg.backoff_base;
+                r.last_activity = now;
+                self.resubscribe(ctx);
+                if matches!(notice, FaultNotice::Restarted) {
+                    // Crash killed all pending timers (stale epoch): re-arm
+                    // both the publisher and the watchdog.
+                    self.schedule_next(ctx);
+                    let r = self.recovery.as_mut().expect("recovery enabled");
+                    let delay = r.cfg.watchdog + r.jitter();
+                    ctx.schedule(delay, TIMER_WATCHDOG);
+                }
+            }
+            FaultNotice::LinkDown { .. } => {}
+        }
     }
 }
 

@@ -14,8 +14,10 @@
 //! | Table II (full trace: IP vs G-COPSS vs hybrid) | [`full_trace`] |
 //! | Table III (player movement, QR vs cyclic multicast) | [`movement`] |
 //! | Design-choice sweeps (groups, thresholds, windows) | [`ablation`] |
+//! | Failure sweep (delivery ratio + recovery under chaos) | [`failover`] |
 
 pub mod ablation;
+pub mod failover;
 pub mod full_trace;
 pub mod microbench;
 pub mod movement;

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use gcopss_copss::{CopssPacket, MulticastPacket, SubscriptionTable};
 use gcopss_names::Name;
 use gcopss_ndn::FaceId;
-use gcopss_sim::{Ctx, NodeBehavior, NodeId, SimDuration};
+use gcopss_sim::{Ctx, FaultNotice, NodeBehavior, NodeId, SimDuration};
 
 use crate::{GPacket, GameWorld, IpPacket, SimParams};
 use crate::router::FaceMap;
@@ -91,6 +91,14 @@ pub fn route_ip_at_router(ctx: &mut Ctx<'_, GPacket, GameWorld>, ip: IpPacket) {
             let g = GPacket::Ip(ip.clone());
             let size = g.wire_size();
             if ctx.send_toward(client, g, size).is_none() {
+                ctx.emit(gcopss_sim::TraceEvent::Drop, "ip-no-route", size);
+                ctx.world().bump("ip-no-route");
+            }
+        }
+        IpPacket::Hello { server, .. } => {
+            let g = GPacket::Ip(ip.clone());
+            let size = g.wire_size();
+            if ctx.send_toward(server, g, size).is_none() {
                 ctx.emit(gcopss_sim::TraceEvent::Drop, "ip-no-route", size);
                 ctx.world().bump("ip-no-route");
             }
@@ -180,6 +188,44 @@ impl HybridEdgeRouter {
 }
 
 impl NodeBehavior<GPacket, GameWorld> for HybridEdgeRouter {
+    fn on_fault(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, notice: FaultNotice) {
+        match notice {
+            FaultNotice::LinkDown { peer } => {
+                // A dead host adjacency: drop its subscriptions and release
+                // the IP groups they held.
+                let Some(face) = self.faces.face_of(peer) else {
+                    return;
+                };
+                let purged = self.st.remove_face(face);
+                ctx.world().bump_by("st-purged", purged.len() as u64);
+                let me = ctx.node();
+                for cd in &purged {
+                    for group in groups_for_subscription(cd, self.group_count) {
+                        if let Some(c) = self.joined.get_mut(&group) {
+                            *c = c.saturating_sub(1);
+                            if *c == 0 {
+                                ctx.world().mcast_groups.leave(group, me);
+                            }
+                        }
+                    }
+                }
+                self.joined.retain(|_, c| *c > 0);
+            }
+            FaultNotice::LinkUp { .. } => {}
+            FaultNotice::Restarted => {
+                // All edge soft state (ST and IGMP joins) is gone; hosts
+                // must re-Subscribe.
+                self.st = SubscriptionTable::default();
+                let me = ctx.node();
+                for &group in self.joined.keys() {
+                    ctx.world().mcast_groups.leave(group, me);
+                }
+                self.joined.clear();
+                ctx.world().bump("router-restarts");
+            }
+        }
+    }
+
     fn service_time(&self, pkt: &GPacket) -> SimDuration {
         match pkt {
             // Edge does COPSS work: mapping/filtering on multicasts.

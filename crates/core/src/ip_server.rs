@@ -2,15 +2,20 @@
 //! server, which determines the interested players and unicasts a copy to
 //! each.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use gcopss_game::{AreaId, GameMap, PlayerId};
 use gcopss_names::Name;
-use gcopss_sim::{Ctx, NodeBehavior, NodeId, SimDuration};
+use gcopss_sim::{Ctx, FaultNotice, NodeBehavior, NodeId, SimDuration};
 
-use crate::client::TraceCursor;
-use crate::{GPacket, GameWorld, IpPacket, IpUpdate, SimParams};
+use crate::client::{ClientRecovery, TraceCursor};
+use crate::{GPacket, GameWorld, IpPacket, IpUpdate, RecoveryConfig, SimParams};
+
+/// Timer key of trace-driven publishing (IP client).
+const TIMER_PUBLISH: u64 = 0;
+/// Timer key of the IP client's silence watchdog (recovery mode only).
+const TIMER_WATCHDOG: u64 = 1;
 
 /// Global game knowledge a server needs: which player sits where, and which
 /// players must receive an update to a given leaf CD.
@@ -70,13 +75,31 @@ impl Roster {
 pub struct IpServer {
     params: SimParams,
     roster: Arc<Roster>,
+    /// `Some` enables the connection model: the server only delivers to
+    /// players that have (re-)established a session with a `Hello`, and a
+    /// crash wipes the connection table (the TCP failure mode of a
+    /// centralized game server).
+    recovery: Option<RecoveryConfig>,
+    connected: BTreeSet<PlayerId>,
 }
 
 impl IpServer {
     /// Creates a server with shared `roster` knowledge.
     #[must_use]
     pub fn new(params: SimParams, roster: Arc<Roster>) -> Self {
-        Self { params, roster }
+        Self {
+            params,
+            roster,
+            recovery: None,
+            connected: BTreeSet::new(),
+        }
+    }
+
+    /// Enables the connection/reconnect model (see [`IpServer`]).
+    #[must_use]
+    pub fn with_recovery(mut self, cfg: RecoveryConfig) -> Self {
+        self.recovery = Some(cfg);
+        self
     }
 }
 
@@ -94,15 +117,34 @@ impl NodeBehavior<GPacket, GameWorld> for IpServer {
         _from: Option<NodeId>,
         pkt: GPacket,
     ) {
-        let GPacket::Ip(IpPacket::ToServer { update, .. }) = pkt else {
-            ctx.emit(gcopss_sim::TraceEvent::Drop, "server-unexpected-packet", 0);
-            ctx.world().bump("server-unexpected-packet");
-            return;
+        let update = match pkt {
+            GPacket::Ip(IpPacket::ToServer { update, .. }) => update,
+            GPacket::Ip(IpPacket::Hello { player, .. }) => {
+                self.connected.insert(player);
+                ctx.world().bump("server-hellos");
+                return;
+            }
+            _ => {
+                ctx.emit(gcopss_sim::TraceEvent::Drop, "server-unexpected-packet", 0);
+                ctx.world().bump("server-unexpected-packet");
+                return;
+            }
         };
         let publisher = ctx.world().metrics.publisher_of(update.id);
         let mut recipients = 0u64;
         for &p in self.roster.viewers_of(&update.cd) {
             if Some(p) == publisher {
+                continue;
+            }
+            // Connection model: a player whose session was lost in a server
+            // crash gets nothing until it re-hellos.
+            if self.recovery.is_some() && !self.connected.contains(&p) {
+                ctx.emit(
+                    gcopss_sim::TraceEvent::Drop,
+                    "server-disconnected-player",
+                    update.encoded_len() as u32,
+                );
+                ctx.world().bump("server-disconnected-player");
                 continue;
             }
             let client = self.roster.player_nodes[p.index()];
@@ -121,6 +163,14 @@ impl NodeBehavior<GPacket, GameWorld> for IpServer {
         }
         ctx.consume(self.params.server_per_recipient.saturating_mul(recipients));
     }
+
+    fn on_fault(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, notice: FaultNotice) {
+        if notice == FaultNotice::Restarted {
+            // The crash dropped every TCP session; clients must reconnect.
+            self.connected.clear();
+            ctx.world().bump("server-restarts");
+        }
+    }
 }
 
 /// The IP baseline's player host: publishes its trace slice to the server
@@ -131,6 +181,7 @@ pub struct IpClient {
     /// CD → server node (servers partition the leaf CDs).
     server_of: Arc<BTreeMap<Name, NodeId>>,
     cursor: TraceCursor,
+    recovery: Option<ClientRecovery>,
 }
 
 impl IpClient {
@@ -148,22 +199,73 @@ impl IpClient {
             edge,
             server_of,
             cursor,
+            recovery: None,
         }
+    }
+
+    /// Enables session (re-)establishment: the client `Hello`s every server
+    /// at start and again whenever deliveries go silent (capped exponential
+    /// backoff) or its access link recovers. Requires
+    /// [`gcopss_sim::Simulator::run_until`] — the watchdog re-arms forever.
+    #[must_use]
+    pub fn with_recovery(mut self, cfg: RecoveryConfig) -> Self {
+        self.recovery = Some(ClientRecovery::new(cfg, self.player));
+        self
     }
 
     fn schedule_next(&self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
         if let Some(at) = self.cursor.next_time() {
-            ctx.schedule(at.saturating_duration_since(ctx.now()), 0);
+            ctx.schedule(at.saturating_duration_since(ctx.now()), TIMER_PUBLISH);
         }
+    }
+
+    /// Sends a session-establishment `Hello` to every distinct server.
+    fn hello_servers(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let me = ctx.node();
+        let servers: BTreeSet<NodeId> = self.server_of.values().copied().collect();
+        for server in servers {
+            let g = GPacket::Ip(IpPacket::Hello {
+                server,
+                player: self.player,
+                client: me,
+            });
+            let size = g.wire_size();
+            ctx.send(self.edge, g, size);
+        }
+        ctx.world().bump("client-reconnects");
     }
 }
 
 impl NodeBehavior<GPacket, GameWorld> for IpClient {
     fn on_start(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
         self.schedule_next(ctx);
+        let now = ctx.now();
+        if self.recovery.is_some() {
+            self.hello_servers(ctx);
+            let r = self.recovery.as_mut().expect("recovery enabled");
+            r.last_activity = now;
+            let delay = r.cfg.watchdog + r.jitter();
+            ctx.schedule(delay, TIMER_WATCHDOG);
+        }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, _key: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, key: u64) {
+        if key == TIMER_WATCHDOG {
+            let now = ctx.now();
+            let Some(r) = &mut self.recovery else { return };
+            let silent = now.saturating_duration_since(r.last_activity) >= r.cfg.watchdog;
+            let next = if silent {
+                let delay = r.backoff + r.jitter();
+                r.backoff = (r.backoff + r.backoff).min(r.cfg.backoff_cap);
+                self.hello_servers(ctx);
+                delay
+            } else {
+                r.backoff = r.cfg.backoff_base;
+                r.cfg.watchdog + r.jitter()
+            };
+            ctx.schedule(next, TIMER_WATCHDOG);
+            return;
+        }
         let Some((id, e)) = self.cursor.pop() else {
             return;
         };
@@ -192,7 +294,33 @@ impl NodeBehavior<GPacket, GameWorld> for IpClient {
     ) {
         if let GPacket::Ip(IpPacket::ToClient { update, .. }) = pkt {
             let now = ctx.now();
+            if let Some(r) = &mut self.recovery {
+                r.last_activity = now;
+            }
             ctx.world().record_delivery(update.id, self.player, now);
+        }
+    }
+
+    fn on_fault(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, notice: FaultNotice) {
+        if self.recovery.is_none() {
+            return;
+        }
+        match notice {
+            FaultNotice::LinkUp { .. } | FaultNotice::Restarted => {
+                let now = ctx.now();
+                let r = self.recovery.as_mut().expect("recovery enabled");
+                r.backoff = r.cfg.backoff_base;
+                r.last_activity = now;
+                self.hello_servers(ctx);
+                if notice == FaultNotice::Restarted {
+                    // The crash killed our pending timers: re-arm both.
+                    self.schedule_next(ctx);
+                    let r = self.recovery.as_mut().expect("recovery enabled");
+                    let delay = r.cfg.watchdog + r.jitter();
+                    ctx.schedule(delay, TIMER_WATCHDOG);
+                }
+            }
+            FaultNotice::LinkDown { .. } => {}
         }
     }
 }

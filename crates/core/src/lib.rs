@@ -33,6 +33,6 @@ mod world;
 
 pub use client::{DedupWindow, GamePlayerClient, TraceCursor};
 pub use packet::{payload_of, GPacket, IpPacket, IpUpdate};
-pub use params::SimParams;
+pub use params::{RecoveryConfig, SimParams};
 pub use router::{FaceMap, GCopssRouter, RpSelection, SplitConfig};
 pub use world::{ConvergenceRecord, GameWorld, MetricsMode, SplitRecord, UpdateMetrics};

@@ -24,7 +24,7 @@ use gcopss_compat::bytes::Bytes;
 use gcopss_game::{GameMap, PlayerId};
 use gcopss_names::Name;
 use gcopss_ndn::{Data, Interest};
-use gcopss_sim::{Ctx, NodeBehavior, NodeId, SimDuration, SimTime};
+use gcopss_sim::{Ctx, FaultNotice, NodeBehavior, NodeId, SimDuration, SimTime};
 
 use crate::client::TraceCursor;
 use crate::{GPacket, GameWorld};
@@ -44,6 +44,12 @@ pub struct NdnClientConfig {
     pub accum_interval: SimDuration,
     /// Re-express outstanding Interests older than this.
     pub retry_after: SimDuration,
+    /// Keep the retry timer armed even after the trace ends and no retries
+    /// are due. Required under fault injection — an Interest lost to a link
+    /// failure after the last publish would otherwise never be re-expressed
+    /// — at the cost of the simulation no longer draining to quiescence
+    /// (use [`gcopss_sim::Simulator::run_until`]).
+    pub retry_forever: bool,
 }
 
 impl Default for NdnClientConfig {
@@ -52,6 +58,7 @@ impl Default for NdnClientConfig {
             window: 3,
             accum_interval: SimDuration::from_millis(100),
             retry_after: SimDuration::from_secs(4),
+            retry_forever: false,
         }
     }
 }
@@ -231,8 +238,9 @@ impl NdnPlayerClient {
         for (pi, seq) in to_retry {
             self.express(ctx, pi, seq);
         }
-        // Re-arm while the game is live.
-        if had_work || !self.trace_done {
+        // Re-arm while the game is live (or forever, under fault
+        // injection).
+        if had_work || !self.trace_done || self.cfg.retry_forever {
             ctx.schedule(self.cfg.retry_after, TIMER_RETRY);
         }
     }
@@ -352,6 +360,16 @@ impl NodeBehavior<GPacket, GameWorld> for NdnPlayerClient {
 
     fn service_time(&self, _pkt: &GPacket) -> SimDuration {
         SimDuration::ZERO
+    }
+
+    fn on_fault(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, notice: FaultNotice) {
+        if notice == FaultNotice::Restarted {
+            // A host crash killed the publish/flush/retry timers (their
+            // epoch went stale): re-arm them so the client resumes.
+            self.schedule_publish(ctx);
+            ctx.schedule(self.cfg.accum_interval, TIMER_FLUSH);
+            ctx.schedule(self.cfg.retry_after, TIMER_RETRY);
+        }
     }
 }
 

@@ -62,6 +62,18 @@ pub enum IpPacket {
         /// The update.
         update: IpUpdate,
     },
+    /// Client → server: a session (re-)establishment message. The baseline's
+    /// recovery mode uses it to model TCP reconnects — a crashed server
+    /// loses its connection table and only delivers to players that have
+    /// re-helloed.
+    Hello {
+        /// The destination server.
+        server: NodeId,
+        /// The player (re-)connecting.
+        player: gcopss_game::PlayerId,
+        /// The player's host node (where `ToClient` packets go).
+        client: NodeId,
+    },
     /// An IP-multicast packet of hybrid-G-COPSS: forwarded hop-by-hop along
     /// the union of shortest paths to `dsts`, duplicating only where paths
     /// diverge (standard multicast tree behavior).
@@ -83,6 +95,8 @@ impl IpPacket {
             Self::ToServer { update, .. } | Self::ToClient { update, .. } => {
                 update.encoded_len()
             }
+            // A bare TCP SYN-sized handshake: header + addresses, no payload.
+            Self::Hello { .. } => 28,
             // Group id + encapsulated multicast; the destination set is
             // multicast routing state, not wire bytes.
             Self::Mcast { inner, .. } => 8 + inner.encoded_len(),
@@ -153,6 +167,7 @@ impl GPacket {
             Self::Data(_) => "data",
             Self::Ip(IpPacket::ToServer { .. }) => "ip-to-server",
             Self::Ip(IpPacket::ToClient { .. }) => "ip-to-client",
+            Self::Ip(IpPacket::Hello { .. }) => "ip-hello",
             Self::Ip(IpPacket::Mcast { .. }) => "ip-mcast",
             Self::Control { .. } => "control",
         }

@@ -72,6 +72,47 @@ impl Default for SimParams {
     }
 }
 
+/// Tunables of the failure-recovery half of the protocol stack.
+///
+/// Recovery is strictly opt-in: every scenario config carries an
+/// `Option<RecoveryConfig>` defaulting to `None`, and with `None` the
+/// simulation is byte-identical to builds that predate fault injection.
+/// When enabled, clients arm silence watchdogs (so runs must use
+/// [`gcopss_sim::Simulator::run_until`] — the watchdogs re-arm forever),
+/// routers periodically sweep expired PIT entries, and the NDN baseline
+/// client retries stale Interests indefinitely.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Client-side silence threshold: if nothing was delivered for this
+    /// long, the client assumes its subscription state was lost upstream
+    /// and re-Subscribes.
+    pub watchdog: SimDuration,
+    /// Initial re-Subscribe backoff after a watchdog firing.
+    pub backoff_base: SimDuration,
+    /// Cap on the exponential re-Subscribe backoff.
+    pub backoff_cap: SimDuration,
+    /// Maximum seeded jitter added to each watchdog re-arm (decorrelates
+    /// the re-Subscribe storm after a repair).
+    pub jitter: SimDuration,
+    /// Period of the router-side expired-PIT sweep.
+    pub pit_sweep: SimDuration,
+    /// Seed for the per-client jitter PRNG (mixed with the player id).
+    pub seed: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            watchdog: SimDuration::from_millis(2_000),
+            backoff_base: SimDuration::from_millis(500),
+            backoff_cap: SimDuration::from_millis(8_000),
+            jitter: SimDuration::from_millis(100),
+            pit_sweep: SimDuration::from_millis(1_000),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
 impl SimParams {
     /// The testbed microbenchmark calibration (§V-A): the same machines,
     /// but the server runs less game logic (no 414-player location

@@ -7,9 +7,9 @@ use std::collections::{BTreeMap, BTreeSet, HashSet};
 use gcopss_copss::{CopssEngine, CopssPacket, JoinRequest, MulticastPacket, PruneRequest, RpId, TrafficWindow};
 use gcopss_names::Name;
 use gcopss_ndn::{FaceId, NdnAction, NdnConfig, NdnEngine};
-use gcopss_sim::{Ctx, NodeBehavior, NodeId, SimDuration, SimTime, Topology, TraceEvent};
+use gcopss_sim::{Ctx, FaultNotice, NodeBehavior, NodeId, SimDuration, SimTime, Topology, TraceEvent};
 
-use crate::{GPacket, GameWorld, SimParams, SplitRecord};
+use crate::{GPacket, GameWorld, RecoveryConfig, SimParams, SplitRecord};
 
 /// Maps between the simulator's neighbor [`NodeId`]s and the engines'
 /// local [`FaceId`]s. Faces are assigned in ascending neighbor order, so
@@ -103,6 +103,9 @@ pub struct SplitConfig {
 /// Timer key used to flush deferred prunes after the split grace period.
 const PRUNE_TIMER: u64 = 0x00de_fe55;
 
+/// Timer key of the periodic expired-PIT sweep (recovery mode only).
+const PIT_SWEEP_TIMER: u64 = 0x00de_fe56;
+
 /// The G-COPSS router behavior.
 ///
 /// One instance runs on every router node of a G-COPSS simulation. It hosts
@@ -143,6 +146,11 @@ pub struct GCopssRouter {
     /// freshly served publication for these CDs back to the old RP (which
     /// still multicasts its old tree) until the deadline.
     tunnel_back: Vec<(Name, RpId, SimTime)>,
+    /// Failure-recovery tunables; `None` (the default) disables the
+    /// periodic PIT sweep and changes nothing in a fault-free run.
+    recovery: Option<RecoveryConfig>,
+    /// Whether the PIT-sweep timer is currently armed.
+    sweep_armed: bool,
 }
 
 impl GCopssRouter {
@@ -183,7 +191,18 @@ impl GCopssRouter {
             deferred_prunes: Vec::new(),
             legacy: Vec::new(),
             tunnel_back: Vec::new(),
+            recovery: None,
+            sweep_armed: false,
         }
+    }
+
+    /// Enables the failure-recovery half of the router: periodic expired-PIT
+    /// sweeps and (always active when faults are installed) soft-state
+    /// repair on fault notices.
+    #[must_use]
+    pub fn with_recovery(mut self, cfg: RecoveryConfig) -> Self {
+        self.recovery = Some(cfg);
+        self
     }
 
     /// The COPSS engine (for inspection in tests).
@@ -632,10 +651,128 @@ impl GCopssRouter {
                 ctx.schedule(self.split.grace, PRUNE_TIMER);
             }
         }
-        // Stage 3: announce network-wide.
+        // Stage 3: announce network-wide (journaled so partitioned routers
+        // can resynchronize once repaired).
+        ctx.world()
+            .rp_moves
+            .extend(cds.iter().map(|c| (c.clone(), new_rp.0)));
         self.on_rp_update(ctx, None, cds, new_rp);
         ctx.emit(TraceEvent::Mark, "rp-handoff", 0);
         ctx.world().bump("rp-handoffs");
+    }
+
+    /// Rebuilds every `/rp/<id>` FIB entry from the world's RP registry and
+    /// the freshly recomputed routing table. Entries toward currently
+    /// unreachable RP hosts are removed, so their traffic is counted as
+    /// `torp-no-route` instead of being fed into a dead link.
+    fn repair_rp_routes(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let me = ctx.node();
+        let locs: Vec<(u32, u32)> = ctx
+            .world()
+            .rp_locations
+            .iter()
+            .map(|(&rp, &node)| (rp, node))
+            .collect();
+        for (rp, node) in locs {
+            let rp = RpId(rp);
+            if self.local_rps.contains(&rp) {
+                continue;
+            }
+            let target = NodeId(node);
+            let face = if target == me {
+                None
+            } else {
+                ctx.routing()
+                    .next_hop(me, target)
+                    .and_then(|hop| self.faces.face_of(hop))
+            };
+            let prefix = rp.ndn_prefix();
+            self.ndn.fib_mut().remove_prefix(&prefix);
+            if let Some(face) = face {
+                self.ndn.fib_mut().add(prefix, face);
+            }
+        }
+    }
+
+    /// Re-expresses every join this router believes it holds upstream (the
+    /// repaired path may differ from the one the joins were sent along, and
+    /// an upstream may have purged our branch), and retries joins that were
+    /// parked waiting for a route.
+    fn refresh_joins(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let mut joins = self.copss.refresh_joins();
+        for j in std::mem::take(&mut self.pending_joins) {
+            if !joins.contains(&j) {
+                joins.push(j);
+            }
+        }
+        self.send_joins(ctx, joins);
+    }
+
+    /// Detects RPs whose host became unreachable and hands their prefixes
+    /// to the lowest-numbered surviving RP through the ordinary RP-update
+    /// flood (§IV-B machinery reused for failover). Any router adjacent to
+    /// the fault may initiate; the world's RP registry is updated by the
+    /// first initiator, so later notices skip the already-failed-over RP,
+    /// and the flood dedup absorbs any duplicates in flight.
+    fn check_rp_failover(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let me = ctx.node();
+        let locs: Vec<(u32, u32)> = ctx
+            .world()
+            .rp_locations
+            .iter()
+            .map(|(&rp, &node)| (rp, node))
+            .collect();
+        let mut survivor = None;
+        let mut dead_rps = Vec::new();
+        for &(rp, node) in &locs {
+            let up = NodeId(node) == me || ctx.routing().next_hop(me, NodeId(node)).is_some();
+            if up {
+                survivor.get_or_insert(RpId(rp));
+            } else {
+                dead_rps.push(rp);
+            }
+        }
+        let Some(survivor) = survivor else { return };
+        for rp in dead_rps {
+            let moved = self.copss.rp_table().prefixes_of(RpId(rp));
+            if moved.is_empty() {
+                continue; // served nothing, or already moved by a flood
+            }
+            ctx.world().rp_locations.remove(&rp);
+            ctx.world().bump("rp-failovers");
+            ctx.counter("rp-failovers", 1);
+            ctx.emit(TraceEvent::Mark, "rp-failover", 0);
+            ctx.world()
+                .rp_moves
+                .extend(moved.iter().map(|c| (c.clone(), survivor.0)));
+            self.on_rp_update(ctx, None, moved, survivor);
+        }
+    }
+
+    /// Replays the world's RP move journal against our RP table. The
+    /// RP-update flood cannot reach a router that the very fault being
+    /// repaired had partitioned (or crashed), so on a repair notice the
+    /// router catches up on any moves it missed: last write per prefix
+    /// wins, and prefixes already mapped correctly are no-ops. Runs after
+    /// [`Self::repair_rp_routes`] so re-joins travel the repaired routes.
+    fn resync_rp_moves(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        if ctx.world().rp_moves.is_empty() {
+            return;
+        }
+        let mut latest: BTreeMap<Name, u32> = BTreeMap::new();
+        for (cd, rp) in ctx.world().rp_moves.clone() {
+            latest.insert(cd, rp);
+        }
+        for (cd, rp) in latest {
+            let rp = RpId(rp);
+            if self.copss.rp_table().rp_for(&cd) == Some(rp) {
+                continue;
+            }
+            let (joins, prunes) = self.copss.handle_rp_update(std::slice::from_ref(&cd), rp);
+            self.send_joins(ctx, joins);
+            // The old tree died with the fault; prune immediately.
+            self.send_prunes(ctx, prunes);
+        }
     }
 
     fn run_ndn_actions(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, actions: Vec<NdnAction>) {
@@ -671,6 +808,90 @@ impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
                 .filter(|p| !self.copss.joined_toward(p.rp).contains(&p.name))
                 .collect();
             self.send_prunes(ctx, still_stale);
+        } else if key == PIT_SWEEP_TIMER {
+            let Some(period) = self.recovery.as_ref().map(|c| c.pit_sweep) else {
+                return;
+            };
+            let swept = self.ndn.pit_mut().expire(ctx.now().as_nanos());
+            if swept > 0 {
+                ctx.world().bump_by("pit-expired", swept as u64);
+                if ctx.telemetry_enabled() {
+                    ctx.counter("pit-expired", swept as u64);
+                    ctx.emit(TraceEvent::Drop, "pit-expired", swept as u32);
+                }
+            }
+            // Re-arm only while entries remain, so fault-free runs still
+            // drain to quiescence.
+            if self.ndn.pit().is_empty() {
+                self.sweep_armed = false;
+            } else {
+                ctx.schedule(period, PIT_SWEEP_TIMER);
+            }
+        }
+    }
+
+    fn on_fault(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, notice: FaultNotice) {
+        match notice {
+            FaultNotice::LinkDown { peer } => {
+                let Some(face) = self.faces.face_of(peer) else {
+                    return;
+                };
+                // Purge the per-face soft state of the dead adjacency.
+                let (purged, _joins, prunes) = self.copss.handle_face_down(face);
+                ctx.world().bump_by("st-purged", purged.len() as u64);
+                let dropped = self.ndn.pit_mut().purge_face(face);
+                ctx.world().bump_by("pit-purged", dropped as u64);
+                if ctx.telemetry_enabled() {
+                    if !purged.is_empty() {
+                        ctx.counter("st-purged", purged.len() as u64);
+                    }
+                    if dropped > 0 {
+                        ctx.counter("pit-purged", dropped as u64);
+                    }
+                }
+                // Repair routes first, then re-anchor: joins and prunes
+                // must travel the surviving paths.
+                self.repair_rp_routes(ctx);
+                self.refresh_joins(ctx);
+                self.send_prunes(ctx, prunes);
+                self.check_rp_failover(ctx);
+            }
+            FaultNotice::LinkUp { .. } => {
+                // A repaired (possibly shorter) path: re-route, catch up on
+                // RP moves flooded while we were partitioned, and re-anchor
+                // the trees along the new routes.
+                self.repair_rp_routes(ctx);
+                self.resync_rp_moves(ctx);
+                self.refresh_joins(ctx);
+                self.check_rp_failover(ctx);
+            }
+            FaultNotice::Restarted => {
+                // Crash-restart loses all soft state; only configuration
+                // (RP table, static FIB routes) survives. RP roles that
+                // failed over to a survivor while we were down are gone.
+                let me = ctx.node();
+                let registered: Vec<u32> = ctx
+                    .world()
+                    .rp_locations
+                    .iter()
+                    .filter(|&(_, &node)| NodeId(node) == me)
+                    .map(|(&rp, _)| rp)
+                    .collect();
+                self.local_rps.retain(|r| registered.contains(&r.0));
+                self.copss.clear_soft_state();
+                self.ndn.pit_mut().clear();
+                self.seen_updates.clear();
+                self.pending_joins.clear();
+                self.deferred_prunes.clear();
+                self.legacy.clear();
+                self.tunnel_back.clear();
+                self.traffic = TrafficWindow::new(self.params.rp_window.max(1));
+                self.served_since_split = self.params.rp_split_cooldown_packets;
+                self.sweep_armed = false;
+                ctx.world().bump("router-restarts");
+                self.repair_rp_routes(ctx);
+                self.check_rp_failover(ctx);
+            }
         }
     }
 
@@ -790,6 +1011,16 @@ impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
                 let now = ctx.now().as_nanos();
                 let actions = self.ndn.process_interest(now, face, i);
                 self.run_ndn_actions(ctx, actions);
+                // Recovery mode: keep a periodic sweep armed while
+                // breadcrumbs exist, so orphaned entries (satellite of the
+                // fault model — Data lost on a dead link never consumes
+                // them) are reclaimed and counted.
+                if let Some(cfg) = &self.recovery {
+                    if !self.sweep_armed && !self.ndn.pit().is_empty() {
+                        self.sweep_armed = true;
+                        ctx.schedule(cfg.pit_sweep, PIT_SWEEP_TIMER);
+                    }
+                }
             }
             GPacket::Data(d) => {
                 let Some(face) = arrival else { return };

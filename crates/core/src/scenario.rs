@@ -17,7 +17,7 @@ use crate::hybrid::HybridEdgeRouter;
 use crate::ip_server::{partition_cds_to_servers, IpClient, IpServer, Roster};
 use crate::ndn_baseline::{player_prefix, NdnClientConfig, NdnPlayerClient};
 use crate::router::{FaceMap, GCopssRouter, SplitConfig};
-use crate::{GPacket, GameWorld, MetricsMode, SimParams};
+use crate::{GPacket, GameWorld, MetricsMode, RecoveryConfig, SimParams};
 
 /// Builds the behavior of one player host given its id, its edge router and
 /// its trace cursor (used by movement scenarios to substitute
@@ -57,6 +57,16 @@ impl NetworkSpec {
     #[must_use]
     pub fn rp_pool_preview(&self) -> Vec<NodeId> {
         self.build().rp_pool
+    }
+
+    /// The router-router links of the base network, in id order — the
+    /// candidate set for chaos link flaps. Hosts attach *after* the core is
+    /// built, so every base link is a core link and the ids are stable
+    /// across the G-COPSS/IP/NDN builds of the same spec.
+    #[must_use]
+    pub fn core_links_preview(&self) -> Vec<gcopss_sim::LinkId> {
+        let n = u32::try_from(self.build().topology.link_count()).expect("link count fits u32");
+        (0..n).map(gcopss_sim::LinkId).collect()
     }
 
     fn build(&self) -> BuiltNetwork {
@@ -163,6 +173,11 @@ pub struct GcopssConfig {
     pub extra_rps: Vec<(Vec<Name>, NodeId)>,
     /// Placement strategy for automatically created RPs.
     pub rp_selection: crate::RpSelection,
+    /// Failure-recovery tunables. `None` (the default) leaves the
+    /// simulation byte-identical to pre-fault-injection builds; `Some`
+    /// arms client watchdogs and router PIT sweeps, and requires running
+    /// with [`Simulator::run_until`].
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl Default for GcopssConfig {
@@ -177,6 +192,7 @@ impl Default for GcopssConfig {
             extra_rp_prefixes: Vec::new(),
             extra_rps: Vec::new(),
             rp_selection: crate::RpSelection::default(),
+            recovery: None,
         }
     }
 }
@@ -223,14 +239,14 @@ pub fn build_gcopss(
 ) -> GcopssSim {
     let pop = population;
     let map_arc = Arc::clone(map);
+    let recovery = cfg.recovery.clone();
     let factory: ClientFactory<'_> = Box::new(move |p, edge, cursor| {
-        Box::new(GamePlayerClient::new(
-            p,
-            edge,
-            pop.area_of(p),
-            Arc::clone(&map_arc),
-            cursor,
-        ))
+        let mut client =
+            GamePlayerClient::new(p, edge, pop.area_of(p), Arc::clone(&map_arc), cursor);
+        if let Some(rc) = &recovery {
+            client = client.with_recovery(rc.clone());
+        }
+        Box::new(client)
     });
     build_gcopss_custom(cfg, net, map, population, trace, extra_hosts, factory)
 }
@@ -344,17 +360,12 @@ pub fn build_gcopss_custom(
             strategy: cfg.rp_selection,
             grace: cfg.split_grace,
         };
-        sim.set_behavior(
-            r,
-            Box::new(GCopssRouter::new(
-                cfg.params.clone(),
-                faces,
-                copss,
-                fib_routes,
-                local_rps,
-                split,
-            )),
-        );
+        let mut router =
+            GCopssRouter::new(cfg.params.clone(), faces, copss, fib_routes, local_rps, split);
+        if let Some(rc) = &cfg.recovery {
+            router = router.with_recovery(rc.clone());
+        }
+        sim.set_behavior(r, Box::new(router));
     }
 
     // Players.
@@ -397,6 +408,9 @@ pub struct IpConfig {
     pub server_count: usize,
     /// Time before the first trace event.
     pub warmup: SimDuration,
+    /// Failure-recovery tunables: `Some` enables the session model
+    /// (client `Hello`s, server connection table, reconnect watchdogs).
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl Default for IpConfig {
@@ -407,6 +421,7 @@ impl Default for IpConfig {
             delivery_log: false,
             server_count: 3,
             warmup: SimDuration::from_secs(2),
+            recovery: None,
         }
     }
 }
@@ -463,23 +478,28 @@ pub fn build_ip_server(
     // Plain IP routers (a G-COPSS router with no RPs forwards IP packets).
     for &r in &bn.routers {
         let faces = FaceMap::new(sim.topology(), r);
-        sim.set_behavior(
-            r,
-            Box::new(GCopssRouter::new(
-                cfg.params.clone(),
-                faces,
-                CopssEngine::new(),
-                Vec::new(),
-                std::collections::BTreeSet::new(),
-                SplitConfig::default(),
-            )),
+        let mut router = GCopssRouter::new(
+            cfg.params.clone(),
+            faces,
+            CopssEngine::new(),
+            Vec::new(),
+            std::collections::BTreeSet::new(),
+            SplitConfig::default(),
         );
+        if let Some(rc) = &cfg.recovery {
+            router = router.with_recovery(rc.clone());
+        }
+        sim.set_behavior(r, Box::new(router));
     }
 
     let areas: Vec<_> = population.players().map(|p| population.area_of(p)).collect();
     let roster = Arc::new(Roster::new(map, player_nodes.clone(), areas));
     for &s in &server_nodes {
-        sim.set_behavior(s, Box::new(IpServer::new(cfg.params.clone(), Arc::clone(&roster))));
+        let mut server = IpServer::new(cfg.params.clone(), Arc::clone(&roster));
+        if let Some(rc) = &cfg.recovery {
+            server = server.with_recovery(rc.clone());
+        }
+        sim.set_behavior(s, Box::new(server));
     }
 
     let server_of = Arc::new(partition_cds_to_servers(map, &server_nodes));
@@ -491,10 +511,11 @@ pub fn build_ip_server(
             .next()
             .expect("player attached");
         let cursor = TraceCursor::for_player(Arc::clone(trace), p, cfg.warmup);
-        sim.set_behavior(
-            node,
-            Box::new(IpClient::new(p, edge, Arc::clone(&server_of), cursor)),
-        );
+        let mut client = IpClient::new(p, edge, Arc::clone(&server_of), cursor);
+        if let Some(rc) = &cfg.recovery {
+            client = client.with_recovery(rc.clone());
+        }
+        sim.set_behavior(node, Box::new(client));
     }
 
     IpSim {
@@ -623,6 +644,10 @@ pub struct NdnBaselineConfig {
     pub client: NdnClientConfig,
     /// Time before the first trace event.
     pub warmup: SimDuration,
+    /// Failure-recovery tunables: `Some` enables the router PIT sweep and
+    /// forces `client.retry_forever` so lost Interests are always
+    /// re-expressed eventually.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl Default for NdnBaselineConfig {
@@ -633,6 +658,7 @@ impl Default for NdnBaselineConfig {
             delivery_log: false,
             client: NdnClientConfig::default(),
             warmup: SimDuration::from_secs(2),
+            recovery: None,
         }
     }
 }
@@ -685,19 +711,24 @@ pub fn build_ndn_baseline(
                 }
             }
         }
-        sim.set_behavior(
-            r,
-            Box::new(GCopssRouter::new(
-                cfg.params.clone(),
-                faces,
-                CopssEngine::new(),
-                fib_routes,
-                std::collections::BTreeSet::new(),
-                SplitConfig::default(),
-            )),
+        let mut router = GCopssRouter::new(
+            cfg.params.clone(),
+            faces,
+            CopssEngine::new(),
+            fib_routes,
+            std::collections::BTreeSet::new(),
+            SplitConfig::default(),
         );
+        if let Some(rc) = &cfg.recovery {
+            router = router.with_recovery(rc.clone());
+        }
+        sim.set_behavior(r, Box::new(router));
     }
 
+    let mut client_cfg = cfg.client.clone();
+    if cfg.recovery.is_some() {
+        client_cfg.retry_forever = true;
+    }
     let areas: Vec<_> = population.players().map(|p| population.area_of(p)).collect();
     let rosters = NdnPlayerClient::rosters(map, &areas);
     for p in population.players() {
@@ -713,7 +744,7 @@ pub fn build_ndn_baseline(
             Box::new(NdnPlayerClient::new(
                 p,
                 edge,
-                cfg.client.clone(),
+                client_cfg.clone(),
                 cursor,
                 rosters[p.index()].clone(),
             )),

@@ -219,6 +219,13 @@ pub struct GameWorld {
     pub next_rp_id: u32,
     /// Where each RP lives (for reporting), RP id → node id.
     pub rp_locations: BTreeMap<u32, u32>,
+    /// Append-only journal of RP prefix moves `(prefix, new RP id)` in
+    /// announcement order, written by the flood originator of every split
+    /// handoff and failover. Stands in for a versioned RP-announcement
+    /// protocol: a router that was down or partitioned while a flood went
+    /// round replays the journal (last write per prefix wins) when its
+    /// connectivity is repaired.
+    pub rp_moves: Vec<(gcopss_names::Name, u32)>,
 }
 
 impl GameWorld {
@@ -254,6 +261,14 @@ impl GameWorld {
     /// Bumps a named counter.
     pub fn bump(&mut self, key: &'static str) {
         *self.counters.entry(key).or_insert(0) += 1;
+    }
+
+    /// Adds `n` to a named counter (no-op when `n == 0`, so callers can
+    /// pass a purge count without conditionals).
+    pub fn bump_by(&mut self, key: &'static str, n: u64) {
+        if n > 0 {
+            *self.counters.entry(key).or_insert(0) += n;
+        }
     }
 
     /// Reads a named counter.

@@ -1,0 +1,137 @@
+//! Chaos soak: random core-link flaps plus the crash (and restart) of an
+//! RP-hosting router on a Rocketfuel-like backbone must heal — an RP
+//! failover hands the dead RP's prefixes to a survivor, routers repair
+//! soft state from fault notices, and every publication sent after the
+//! last repair (plus a settle margin) reaches its full AoI fan-out. The
+//! whole chaotic run must also be same-seed reproducible.
+
+use std::collections::BTreeMap;
+
+use gcopss_core::experiments::{Workload, WorkloadParams};
+use gcopss_core::scenario::{build_gcopss, GcopssConfig, NetworkSpec};
+use gcopss_core::{MetricsMode, RecoveryConfig};
+use gcopss_game::PlayerId;
+use gcopss_names::Name;
+use gcopss_sim::generators::BackboneParams;
+use gcopss_sim::{FaultPlan, SimDuration, SimTime, TelemetryConfig};
+
+fn small_backbone() -> NetworkSpec {
+    NetworkSpec::Backbone {
+        seed: 5,
+        params: BackboneParams {
+            core_routers: 12,
+            ..BackboneParams::default()
+        },
+    }
+}
+
+struct SoakOutcome {
+    fingerprint: u64,
+    last_repair: SimTime,
+    rp_failovers: u64,
+    fault_drops: u64,
+    post_expected: u64,
+    post_delivered: u64,
+}
+
+fn run_soak(seed: u64) -> SoakOutcome {
+    let w = Workload::counter_strike(&WorkloadParams {
+        seed,
+        players: 48,
+        updates: 4_000,
+        ..WorkloadParams::default()
+    });
+    let net = small_backbone();
+    let links = net.core_links_preview();
+    let cfg = GcopssConfig {
+        metrics_mode: MetricsMode::StatsOnly,
+        delivery_log: true,
+        rp_count: 2,
+        recovery: Some(RecoveryConfig::default()),
+        ..GcopssConfig::default()
+    };
+    let warmup = cfg.warmup;
+    let mut built = build_gcopss(cfg, &net, &w.map, &w.population, &w.trace, vec![]);
+
+    // Crash the router hosting the highest RP; flap links around it.
+    let crash = *built
+        .rp_nodes
+        .values()
+        .next_back()
+        .expect("two RPs were placed");
+    let span = SimDuration::from_nanos(w.trace.last().expect("trace").time_ns);
+    let at = |num: u64, den: u64| {
+        SimTime::ZERO + warmup + SimDuration::from_nanos(span.as_nanos() * num / den)
+    };
+    let plan = FaultPlan::new(0xda05)
+        .random_link_flaps(&links, 4, at(2, 10), at(6, 10), SimDuration::from_millis(500))
+        .node_down(at(3, 10), crash)
+        .node_up(at(5, 10), crash);
+    built.sim.enable_telemetry(TelemetryConfig::default());
+    built.sim.install_faults(plan);
+    built
+        .sim
+        .run_until(SimTime::ZERO + warmup + span + SimDuration::from_secs(10));
+
+    let fingerprint = built.sim.telemetry_report("soak", 0).fingerprint;
+    let last_repair = built.sim.last_repair_time().expect("repairs were scheduled");
+    let (link_lost, node_lost) = built.sim.fault_drops();
+    let world = built.sim.into_world();
+
+    // Expected fan-out per leaf CD under the AoI model.
+    let mut viewers: BTreeMap<&Name, u64> = BTreeMap::new();
+    for cd in w.map.leaf_cds() {
+        let area = w.map.area_of_leaf_cd(cd).expect("leaf CD");
+        let count = w
+            .population
+            .players()
+            .filter(|p| w.map.can_see(w.population.area_of(*p), area))
+            .count() as u64;
+        viewers.insert(cd, count);
+    }
+    let log = world.delivery_log.as_ref().expect("delivery log enabled");
+    let mut per_id = vec![0u64; w.trace.len()];
+    for &(id, receiver) in log {
+        if world.metrics.publisher_of(id) == Some(PlayerId(receiver)) {
+            continue;
+        }
+        per_id[id as usize] += 1;
+    }
+    let settle = SimDuration::from_secs(2);
+    let (mut post_expected, mut post_delivered) = (0u64, 0u64);
+    for (i, e) in w.trace.iter().enumerate() {
+        let sent = SimTime::ZERO + warmup + SimDuration::from_nanos(e.time_ns);
+        if sent <= last_repair + settle {
+            continue;
+        }
+        let want = viewers.get(&e.cd).copied().unwrap_or(0).saturating_sub(1);
+        post_expected += want;
+        post_delivered += per_id[i].min(want);
+    }
+    SoakOutcome {
+        fingerprint,
+        last_repair,
+        rp_failovers: world.counters.get("rp-failovers").copied().unwrap_or(0),
+        fault_drops: link_lost + node_lost,
+        post_expected,
+        post_delivered,
+    }
+}
+
+#[test]
+fn soak_recovers_fully_and_is_reproducible() {
+    let a = run_soak(33);
+    assert!(a.fault_drops > 0, "chaos never dropped a packet");
+    assert!(a.rp_failovers >= 1, "RP crash did not trigger failover");
+    assert!(a.post_expected > 0, "post-repair window is vacuous");
+    assert_eq!(
+        a.post_delivered, a.post_expected,
+        "under-delivery after the last repair ({} of {})",
+        a.post_delivered, a.post_expected
+    );
+
+    let b = run_soak(33);
+    assert_eq!(a.fingerprint, b.fingerprint, "chaos is not reproducible");
+    assert_eq!(a.last_repair, b.last_repair);
+    assert_eq!(a.post_delivered, b.post_delivered);
+}

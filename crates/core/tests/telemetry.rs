@@ -1,11 +1,15 @@
 //! End-to-end telemetry properties: same-seed determinism of the packet
 //! journal, per-link byte reconciliation against the engine's aggregate
-//! load, and journal disabling.
+//! load, journal disabling, and determinism under fault injection (a
+//! vacuous chaos plan is byte-identical to no plan at all; equal seeds
+//! give equal chaos).
 
 use gcopss_core::experiments::rp_sweep::{self, RpSweepConfig};
-use gcopss_core::experiments::{TelemetryCapture, WorkloadParams};
+use gcopss_core::experiments::{TelemetryCapture, Workload, WorkloadParams};
+use gcopss_core::scenario::{build_gcopss, GcopssConfig, NetworkSpec};
+use gcopss_core::{MetricsMode, RecoveryConfig, SimParams};
 use gcopss_sim::json::Json;
-use gcopss_sim::{TelemetryConfig, TelemetryReport};
+use gcopss_sim::{FaultPlan, SimDuration, SimTime, TelemetryConfig, TelemetryReport};
 
 fn small_cfg(seed: u64) -> RpSweepConfig {
     RpSweepConfig {
@@ -115,4 +119,64 @@ fn journal_can_be_disabled_and_sampled() {
         s1.reports[0].trace_events.len() < full.reports[0].trace_events.len(),
         "sampling must shrink the journal"
     );
+}
+
+/// One instrumented microbenchmark run on the testbed, optionally with a
+/// chaos plan installed and recovery armed. A fixed horizon (instead of
+/// run-to-quiescence) keeps the run method identical across modes.
+fn chaos_report(plan: Option<FaultPlan>, recovery: Option<RecoveryConfig>) -> TelemetryReport {
+    let w = Workload::microbenchmark(3, SimDuration::from_secs(10));
+    let cfg = GcopssConfig {
+        params: SimParams::microbenchmark(),
+        metrics_mode: MetricsMode::StatsOnly,
+        rp_count: 1,
+        recovery,
+        ..GcopssConfig::default()
+    };
+    let mut built = build_gcopss(
+        cfg,
+        &NetworkSpec::Testbed,
+        &w.map,
+        &w.population,
+        &w.trace,
+        vec![],
+    );
+    built.sim.enable_telemetry(TelemetryConfig::default());
+    if let Some(p) = plan {
+        built.sim.install_faults(p);
+    }
+    built.sim.run_until(SimTime::ZERO + SimDuration::from_secs(60));
+    built.sim.telemetry_report("chaos", 0)
+}
+
+#[test]
+fn vacuous_chaos_plan_is_byte_identical_to_no_plan() {
+    let off = chaos_report(None, None);
+    let vacuous = chaos_report(Some(FaultPlan::new(99)), None);
+    assert!(!off.trace_events.is_empty());
+    assert_eq!(off.fingerprint, vacuous.fingerprint);
+    assert_eq!(render(&off), render(&vacuous));
+}
+
+#[test]
+fn same_seed_chaos_runs_are_byte_identical() {
+    let links = NetworkSpec::Testbed.core_links_preview();
+    let mk_plan = || {
+        FaultPlan::new(5).with_loss(0.02).random_link_flaps(
+            &links,
+            3,
+            SimTime::from_millis(2_000),
+            SimTime::from_millis(8_000),
+            SimDuration::from_millis(500),
+        )
+    };
+    let recovery = Some(RecoveryConfig::default());
+    let a = chaos_report(Some(mk_plan()), recovery.clone());
+    let b = chaos_report(Some(mk_plan()), recovery);
+    assert!(!a.trace_events.is_empty());
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert_eq!(render(&a), render(&b));
+    // The chaos must actually perturb the run.
+    let calm = chaos_report(None, None);
+    assert_ne!(a.fingerprint, calm.fingerprint);
 }

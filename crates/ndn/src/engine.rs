@@ -79,6 +79,12 @@ impl NdnEngine {
         &self.pit
     }
 
+    /// The PIT, for fault handling (purging dead faces, clearing on
+    /// restart, sweeping expired entries).
+    pub fn pit_mut(&mut self) -> &mut Pit {
+        &mut self.pit
+    }
+
     /// The Content Store (read-only).
     #[must_use]
     pub fn content_store(&self) -> &ContentStore {

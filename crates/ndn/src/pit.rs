@@ -129,6 +129,24 @@ impl Pit {
         before - self.entries.len()
     }
 
+    /// Removes a dead face from every entry (the face's link or neighbor
+    /// failed); entries left with no downstream face are dropped entirely.
+    /// Returns how many entries were dropped.
+    pub fn purge_face(&mut self, face: FaceId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| {
+            e.faces.retain(|&f| f != face);
+            !e.faces.is_empty()
+        });
+        before - self.entries.len()
+    }
+
+    /// Drops every entry — the router restarted and its breadcrumbs are
+    /// gone. Pending Interests must be re-expressed by downstreams.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Number of entries (including not-yet-collected expired ones).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -226,6 +244,20 @@ mod tests {
         assert_eq!(pit.expire(100), 1);
         assert_eq!(pit.len(), 1);
         assert!(!pit.is_empty());
+    }
+
+    #[test]
+    fn purge_face_removes_dead_downstreams() {
+        let mut pit = Pit::new();
+        pit.insert(0, FaceId(1), &Interest::new(n("/a"), 1));
+        pit.insert(0, FaceId(2), &Interest::new(n("/a"), 2)); // aggregated
+        pit.insert(0, FaceId(1), &Interest::new(n("/b"), 3)); // only face 1
+        // Face 1 dies: /b is dropped outright, /a keeps face 2.
+        assert_eq!(pit.purge_face(FaceId(1)), 1);
+        assert_eq!(pit.len(), 1);
+        assert_eq!(pit.consume(1, &n("/a")), vec![FaceId(2)]);
+        // Purging an unknown face is a no-op.
+        assert_eq!(pit.purge_face(FaceId(9)), 0);
     }
 
     #[test]

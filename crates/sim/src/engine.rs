@@ -3,9 +3,13 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use crate::fault::FaultState;
 use crate::json::Json;
 use crate::telemetry::{Telemetry, TelemetryConfig, TelemetryReport, TraceEvent, TraceRecord};
-use crate::{LinkId, NodeId, RoutingTable, SimDuration, SimTime, Topology};
+use crate::{
+    FaultEvent, FaultNotice, FaultPlan, LinkId, NodeId, RoutingTable, SimDuration, SimTime,
+    Topology,
+};
 
 /// The behavior of one node in the simulated network.
 ///
@@ -30,8 +34,20 @@ pub trait NodeBehavior<P, W> {
     fn on_packet(&mut self, ctx: &mut Ctx<'_, P, W>, from: Option<NodeId>, pkt: P);
 
     /// Called when a timer scheduled with [`Ctx::schedule`] fires.
+    ///
+    /// Timers scheduled before a node crash are discarded: a restarted node
+    /// only sees timers it armed after its [`FaultNotice::Restarted`].
     fn on_timer(&mut self, ctx: &mut Ctx<'_, P, W>, key: u64) {
         let _ = (ctx, key);
+    }
+
+    /// Called when fault injection touches this node: an adjacent link (or
+    /// neighbor) failed or recovered, or this node itself just restarted
+    /// after a crash. Only invoked on live nodes, after routing has been
+    /// recomputed over the surviving subgraph. The default does nothing —
+    /// behaviors without a recovery story are unaffected.
+    fn on_fault(&mut self, ctx: &mut Ctx<'_, P, W>, notice: FaultNotice) {
+        let _ = (ctx, notice);
     }
 
     /// Per-packet service time of this node's single-server queue.
@@ -203,16 +219,25 @@ enum Event<P> {
         pkt: P,
         size: u32,
     },
+    /// `epoch` invalidates service/timer events that straddle a node crash:
+    /// the node's epoch is bumped when it goes down, so stale events are
+    /// recognized and discarded. Always 0 when fault injection is off.
     EndService {
         node: NodeId,
+        epoch: u32,
     },
     Resume {
         node: NodeId,
+        epoch: u32,
     },
     Timer {
         node: NodeId,
         key: u64,
+        epoch: u32,
     },
+    /// A scheduled fault-injection event (only present when a non-vacuous
+    /// [`FaultPlan`] is installed).
+    Fault(FaultEvent),
 }
 
 struct NodeState<P> {
@@ -223,6 +248,8 @@ struct NodeState<P> {
     max_queue: usize,
     processed: u64,
     busy_time: SimDuration,
+    /// Incremented on every crash; see [`Event::EndService`].
+    epoch: u32,
 }
 
 impl<P> Default for NodeState<P> {
@@ -233,6 +260,7 @@ impl<P> Default for NodeState<P> {
             max_queue: 0,
             processed: 0,
             busy_time: SimDuration::ZERO,
+            epoch: 0,
         }
     }
 }
@@ -262,6 +290,9 @@ pub struct Simulator<P, W> {
     telemetry: Telemetry,
     /// Maps packets to a stable class name for telemetry records.
     packet_kinds: Option<fn(&P) -> &'static str>,
+    /// Live fault-injection state; `None` unless a non-vacuous plan was
+    /// installed, in which case every hot-path check below is one branch.
+    faults: Option<FaultState>,
 }
 
 impl<P, W> Simulator<P, W> {
@@ -295,9 +326,88 @@ impl<P, W> Simulator<P, W> {
             on_start_done: false,
             telemetry: Telemetry::disabled(n, l),
             packet_kinds: None,
+            faults: None,
             topology,
             routing,
         }
+    }
+
+    /// Installs a fault-injection plan: its scheduled events become ordinary
+    /// simulation events and its loss probability applies to every
+    /// transmission. A vacuous plan (empty schedule, zero loss) is ignored
+    /// entirely — it adds zero events and zero PRNG draws, so the run stays
+    /// byte-identical to one without fault injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan references an unknown link or node.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        if plan.is_vacuous() {
+            return;
+        }
+        let (schedule, loss, seed) = plan.into_parts();
+        for &(_, ev) in &schedule {
+            match ev {
+                FaultEvent::LinkDown(l) | FaultEvent::LinkUp(l) => {
+                    assert!(
+                        l.index() < self.topology.link_count(),
+                        "fault plan references unknown link {l}"
+                    );
+                }
+                FaultEvent::NodeDown(n) | FaultEvent::NodeUp(n) => {
+                    assert!(
+                        n.index() < self.topology.node_count(),
+                        "fault plan references unknown node {n}"
+                    );
+                }
+            }
+        }
+        self.faults = Some(FaultState::new(
+            self.topology.node_count(),
+            self.topology.link_count(),
+            loss,
+            seed,
+        ));
+        for (t, ev) in schedule {
+            self.push_event(t, Event::Fault(ev));
+        }
+    }
+
+    /// `true` once a non-vacuous fault plan has been installed.
+    #[must_use]
+    pub fn faults_active(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Packets dropped by fault injection so far, as
+    /// `(link_lost, node_lost)`. Both zero when faults are not active.
+    #[must_use]
+    pub fn fault_drops(&self) -> (u64, u64) {
+        self.faults
+            .as_ref()
+            .map_or((0, 0), |f| (f.link_lost, f.node_lost))
+    }
+
+    /// The time the last repair event (`LinkUp`/`NodeUp`) was applied.
+    #[must_use]
+    pub fn last_repair_time(&self) -> Option<SimTime> {
+        self.faults.as_ref().and_then(|f| f.last_repair)
+    }
+
+    /// Whether a node is currently up (always `true` without faults).
+    #[must_use]
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.faults
+            .as_ref()
+            .is_none_or(|f| f.node_up[node.index()])
+    }
+
+    /// Whether a link is currently up (always `true` without faults).
+    #[must_use]
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.faults
+            .as_ref()
+            .is_none_or(|f| f.link_up[link.index()])
     }
 
     /// Switches the telemetry registry + journal on. Until called, every
@@ -512,6 +622,11 @@ impl<P, W> Simulator<P, W> {
             Event::Arrival {
                 node, from, pkt, size,
             } => {
+                if self.faults.as_ref().is_some_and(|f| !f.node_up[node.index()]) {
+                    // The destination is down: the packet is blackholed.
+                    self.fault_drop(node, from, size, "node-lost");
+                    return;
+                }
                 if self.telemetry.is_enabled() {
                     let class = self.classify(&pkt);
                     self.telemetry.packet_in(node.0, size);
@@ -530,7 +645,10 @@ impl<P, W> Simulator<P, W> {
                 st.max_queue = st.max_queue.max(st.queue.len());
                 self.try_start_service(node);
             }
-            Event::EndService { node } => {
+            Event::EndService { node, epoch } => {
+                if epoch != self.nodes[node.index()].epoch {
+                    return; // the node crashed since this service started
+                }
                 let (from, pkt, size, _enq) = self.nodes[node.index()]
                     .queue
                     .pop_front()
@@ -557,16 +675,143 @@ impl<P, W> Simulator<P, W> {
                 } else {
                     self.nodes[node.index()].busy_time += extra;
                     let at = self.now + extra;
-                    self.push_event(at, Event::Resume { node });
+                    self.push_event(at, Event::Resume { node, epoch });
                 }
             }
-            Event::Resume { node } => {
+            Event::Resume { node, epoch } => {
+                if epoch != self.nodes[node.index()].epoch {
+                    return;
+                }
                 self.nodes[node.index()].busy = false;
                 self.try_start_service(node);
             }
-            Event::Timer { node, key } => {
+            Event::Timer { node, key, epoch } => {
+                if epoch != self.nodes[node.index()].epoch {
+                    return; // armed before a crash; the process that set it died
+                }
                 self.with_behavior_timer(node, key);
             }
+            Event::Fault(ev) => self.apply_fault(ev),
+        }
+    }
+
+    /// Applies one scheduled fault event: update link/node up-state, flush
+    /// any state that died with it, recompute routing over the surviving
+    /// subgraph, then notify affected live behaviors (which see the new
+    /// routing table and can immediately start recovery).
+    fn apply_fault(&mut self, ev: FaultEvent) {
+        let Some(f) = self.faults.as_mut() else {
+            return;
+        };
+        match ev {
+            FaultEvent::LinkDown(l) => {
+                if !f.link_up[l.index()] {
+                    return;
+                }
+                f.link_up[l.index()] = false;
+                self.recompute_routing();
+                let (a, b) = self.topology.link_endpoints(l);
+                self.notify_fault(a, FaultNotice::LinkDown { peer: b });
+                self.notify_fault(b, FaultNotice::LinkDown { peer: a });
+            }
+            FaultEvent::LinkUp(l) => {
+                if f.link_up[l.index()] {
+                    return;
+                }
+                f.link_up[l.index()] = true;
+                f.last_repair = Some(self.now);
+                self.recompute_routing();
+                let (a, b) = self.topology.link_endpoints(l);
+                self.notify_fault(a, FaultNotice::LinkUp { peer: b });
+                self.notify_fault(b, FaultNotice::LinkUp { peer: a });
+            }
+            FaultEvent::NodeDown(n) => {
+                if !f.node_up[n.index()] {
+                    return;
+                }
+                f.node_up[n.index()] = false;
+                let st = &mut self.nodes[n.index()];
+                st.epoch += 1;
+                st.busy = false;
+                let flushed: Vec<(Option<NodeId>, P, u32, SimTime)> =
+                    st.queue.drain(..).collect();
+                for (from, _pkt, size, _) in flushed {
+                    self.fault_drop(n, from, size, "node-lost");
+                }
+                self.recompute_routing();
+                let peers: Vec<NodeId> = self
+                    .topology
+                    .neighbors(n)
+                    .filter(|&(_, l)| self.link_is_up(l))
+                    .map(|(m, _)| m)
+                    .collect();
+                for m in peers {
+                    self.notify_fault(m, FaultNotice::LinkDown { peer: n });
+                }
+            }
+            FaultEvent::NodeUp(n) => {
+                if f.node_up[n.index()] {
+                    return;
+                }
+                f.node_up[n.index()] = true;
+                f.last_repair = Some(self.now);
+                self.recompute_routing();
+                self.notify_fault(n, FaultNotice::Restarted);
+                let peers: Vec<NodeId> = self
+                    .topology
+                    .neighbors(n)
+                    .filter(|&(_, l)| self.link_is_up(l))
+                    .map(|(m, _)| m)
+                    .collect();
+                for m in peers {
+                    self.notify_fault(m, FaultNotice::LinkUp { peer: n });
+                }
+            }
+        }
+    }
+
+    /// Recomputes the routing table over the surviving subgraph.
+    fn recompute_routing(&mut self) {
+        let Some(f) = &self.faults else {
+            return;
+        };
+        self.routing = RoutingTable::shortest_paths_filtered(
+            &self.topology,
+            |l| f.link_up[l.index()],
+            |n| f.node_up[n.index()],
+        );
+    }
+
+    /// Delivers a fault notice to a node's behavior if that node is alive.
+    fn notify_fault(&mut self, node: NodeId, notice: FaultNotice) {
+        if !self.node_is_up(node) {
+            return;
+        }
+        self.with_behavior(node, |b, ctx| b.on_fault(ctx, notice));
+    }
+
+    /// Records a packet dropped by fault injection at `node`.
+    fn fault_drop(&mut self, node: NodeId, from: Option<NodeId>, size: u32, reason: &'static str) {
+        if let Some(f) = self.faults.as_mut() {
+            match reason {
+                "link-lost" => f.link_lost += 1,
+                _ => f.node_lost += 1,
+            }
+        }
+        self.telemetry.counter(node.0, "drop", 1);
+        self.telemetry.counter(node.0, reason, 1);
+        if self.telemetry.is_enabled() {
+            // Like `Ctx::emit`, the journal's class field carries the drop
+            // reason.
+            self.telemetry.journal(TraceRecord {
+                ts: self.now,
+                node: node.0,
+                event: TraceEvent::Drop,
+                class: reason,
+                size,
+                peer: from.map_or(u32::MAX, |n| n.0),
+                dur_ns: 0,
+            });
         }
     }
 
@@ -597,7 +842,8 @@ impl<P, W> Simulator<P, W> {
         self.nodes[node.index()].busy = true;
         self.nodes[node.index()].busy_time += service;
         let at = self.now + service;
-        self.push_event(at, Event::EndService { node });
+        let epoch = self.nodes[node.index()].epoch;
+        self.push_event(at, Event::EndService { node, epoch });
     }
 
     /// Runs `f` with the node's behavior temporarily removed (so the
@@ -639,9 +885,10 @@ impl<P, W> Simulator<P, W> {
         for (to, pkt, size) in sends {
             self.transmit(node, to, pkt, size);
         }
+        let epoch = self.nodes[node.index()].epoch;
         for (delay, key) in timers {
             let at = self.now + delay;
-            self.push_event(at, Event::Timer { node, key });
+            self.push_event(at, Event::Timer { node, key, epoch });
         }
         extra_busy
     }
@@ -655,6 +902,16 @@ impl<P, W> Simulator<P, W> {
             .topology
             .link_between(from, to)
             .unwrap_or_else(|| panic!("{from} is not adjacent to {to}"));
+        if let Some(f) = self.faults.as_mut() {
+            if !f.link_up[link.index()] {
+                self.fault_drop(from, Some(to), size, "link-lost");
+                return;
+            }
+            if f.drop_on_link() {
+                self.fault_drop(from, Some(to), size, "link-lost");
+                return;
+            }
+        }
         let (a, _) = self.topology.link_endpoints(link);
         let dir = usize::from(from != a);
         let idx = link.index() * 2 + dir;
@@ -1050,6 +1307,228 @@ mod tests {
             .collect();
         assert_eq!(drops.len(), 1);
         assert_eq!(drops[0].class, "no-route");
+    }
+
+    #[test]
+    fn link_down_drops_and_link_up_restores() {
+        let (mut sim, a, _b) = two_node_sim(SimDuration::ZERO, None);
+        sim.install_faults(
+            FaultPlan::new(1)
+                .link_down(SimTime::from_millis(10), LinkId(0))
+                .link_up(SimTime::from_millis(30), LinkId(0)),
+        );
+        sim.inject(SimTime::from_millis(0), a, 1, 100); // delivered
+        sim.inject(SimTime::from_millis(20), a, 2, 100); // link down: lost
+        sim.inject(SimTime::from_millis(40), a, 3, 100); // repaired: delivered
+        sim.run();
+        let b_pkts: Vec<u32> = sim
+            .world()
+            .arrivals
+            .iter()
+            .filter(|(t, _)| *t > 0 && *t != 20_000_000 && *t != 40_000_000)
+            .map(|&(_, p)| p)
+            .collect();
+        assert_eq!(b_pkts, vec![1, 3]);
+        assert_eq!(sim.fault_drops(), (1, 0));
+        assert_eq!(sim.last_repair_time(), Some(SimTime::from_millis(30)));
+    }
+
+    #[test]
+    fn bernoulli_loss_is_seeded_and_deterministic() {
+        let run = |seed: u64| {
+            let (mut sim, a, _b) = two_node_sim(SimDuration::ZERO, None);
+            sim.install_faults(FaultPlan::new(seed).with_loss(0.5));
+            for i in 0..100u32 {
+                sim.inject(SimTime::from_millis(u64::from(i)), a, i, 100);
+            }
+            sim.run();
+            // Both relays record: a packet seen twice survived the a->b hop.
+            let mut seen = std::collections::HashMap::new();
+            for &(_, p) in &sim.world().arrivals {
+                *seen.entry(p).or_insert(0u32) += 1;
+            }
+            let mut delivered: Vec<u32> =
+                seen.iter().filter(|&(_, &c)| c == 2).map(|(&p, _)| p).collect();
+            delivered.sort_unstable();
+            (delivered, sim.fault_drops())
+        };
+        let (d1, drops1) = run(42);
+        let (d2, drops2) = run(42);
+        assert_eq!(d1, d2);
+        assert_eq!(drops1, drops2);
+        // p=0.5 over 100 packets: some lost, some delivered.
+        assert!(drops1.0 > 10, "{drops1:?}");
+        assert!(d1.len() > 10, "{d1:?}");
+        assert_eq!(d1.len() + drops1.0 as usize, 100);
+        // A different seed picks a different loss pattern.
+        let (d3, _) = run(43);
+        assert_ne!(d1, d3);
+    }
+
+    #[test]
+    fn node_crash_flushes_queue_and_restart_notifies() {
+        /// Forwards to `0` without recording; records fault notices.
+        struct Source(NodeId);
+        impl NodeBehavior<u32, World> for Source {
+            fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, _f: Option<NodeId>, p: u32) {
+                ctx.send(self.0, p, 100);
+            }
+            fn on_fault(&mut self, ctx: &mut Ctx<'_, u32, World>, notice: FaultNotice) {
+                let now = ctx.now().as_nanos();
+                let tag = match notice {
+                    FaultNotice::LinkDown { .. } => 9_001,
+                    FaultNotice::LinkUp { .. } => 9_002,
+                    FaultNotice::Restarted => 9_003,
+                };
+                ctx.world().arrivals.push((now, tag));
+            }
+        }
+        /// Slow sink that records completed packets and its own restart.
+        struct Sink;
+        impl NodeBehavior<u32, World> for Sink {
+            fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, _f: Option<NodeId>, p: u32) {
+                let now = ctx.now().as_nanos();
+                ctx.world().arrivals.push((now, p));
+            }
+            fn on_fault(&mut self, ctx: &mut Ctx<'_, u32, World>, notice: FaultNotice) {
+                if notice == FaultNotice::Restarted {
+                    let now = ctx.now().as_nanos();
+                    ctx.world().arrivals.push((now, 9_003));
+                }
+            }
+            fn service_time(&self, _pkt: &u32) -> SimDuration {
+                SimDuration::from_millis(10)
+            }
+        }
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        t.add_link(a, b, SimDuration::from_millis(1), None);
+        let mut sim = Simulator::new(t, World::default());
+        sim.set_behavior(a, Box::new(Source(b)));
+        sim.set_behavior(b, Box::new(Sink));
+        sim.install_faults(
+            FaultPlan::new(5)
+                .node_down(SimTime::from_millis(15), b)
+                .node_up(SimTime::from_millis(50), b),
+        );
+        // Three packets at b: first served at 11ms (arrive 1ms + 10ms
+        // service), the other two still queued/being served when b crashes
+        // at 15ms.
+        for i in 1..=3u32 {
+            sim.inject(SimTime::ZERO, a, i, 100);
+        }
+        // After restart, a fresh packet must flow again.
+        sim.inject(SimTime::from_millis(60), a, 7, 100);
+        sim.run();
+        let tags: Vec<u32> = sim.world().arrivals.iter().map(|&(_, p)| p).collect();
+        // a sees LinkDown (peer crash) and LinkUp (peer restart); b sees
+        // Restarted; packet 1 completed service, 2 and 3 died with b,
+        // packet 7 flows after recovery.
+        assert!(tags.contains(&9_001), "{tags:?}");
+        assert!(tags.contains(&9_002), "{tags:?}");
+        assert!(tags.contains(&9_003), "{tags:?}");
+        assert!(tags.contains(&1) && tags.contains(&7), "{tags:?}");
+        assert!(!tags.contains(&2) && !tags.contains(&3), "{tags:?}");
+        let (_, node_lost) = sim.fault_drops();
+        assert_eq!(node_lost, 2);
+        assert!(sim.node_is_up(b));
+    }
+
+    #[test]
+    fn timers_do_not_survive_a_crash() {
+        struct Arm;
+        impl NodeBehavior<u32, World> for Arm {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32, World>) {
+                ctx.schedule(SimDuration::from_millis(20), 1);
+            }
+            fn on_packet(&mut self, _c: &mut Ctx<'_, u32, World>, _f: Option<NodeId>, _p: u32) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, World>, key: u64) {
+                let now = ctx.now().as_nanos();
+                ctx.world().arrivals.push((now, key as u32));
+            }
+            fn on_fault(&mut self, ctx: &mut Ctx<'_, u32, World>, notice: FaultNotice) {
+                if notice == FaultNotice::Restarted {
+                    ctx.schedule(SimDuration::from_millis(5), 2);
+                }
+            }
+        }
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let mut sim = Simulator::new(t, World::default());
+        sim.set_behavior(a, Box::new(Arm));
+        sim.install_faults(
+            FaultPlan::new(0)
+                .node_down(SimTime::from_millis(10), a)
+                .node_up(SimTime::from_millis(15), a),
+        );
+        sim.run();
+        // The pre-crash timer (key 1, due at 20ms) is discarded; the timer
+        // armed on restart (key 2, due at 20ms too) fires.
+        assert_eq!(sim.world().arrivals, vec![(20_000_000, 2)]);
+    }
+
+    #[test]
+    fn fault_routing_recomputes_around_failures() {
+        // a - b - c triangle with a slow direct a-c link; kill a-b and the
+        // send_toward path a->c switches to the direct link.
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        let ab = t.add_link(a, b, SimDuration::from_millis(1), None);
+        t.add_link(b, c, SimDuration::from_millis(1), None);
+        t.add_link(a, c, SimDuration::from_millis(5), None);
+        struct Fwd(NodeId);
+        impl NodeBehavior<u32, World> for Fwd {
+            fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, _f: Option<NodeId>, p: u32) {
+                let now = ctx.now().as_nanos();
+                ctx.world().arrivals.push((now, p));
+                if ctx.node() != self.0 {
+                    ctx.send_toward(self.0, p, 10);
+                }
+            }
+        }
+        let mut sim = Simulator::new(t, World::default());
+        sim.set_behavior(a, Box::new(Fwd(c)));
+        sim.set_behavior(b, Box::new(Fwd(c)));
+        sim.set_behavior(c, Box::new(Fwd(c)));
+        sim.install_faults(FaultPlan::new(2).link_down(SimTime::from_millis(10), ab));
+        sim.inject(SimTime::ZERO, a, 1, 10); // via b: arrives at 2ms
+        sim.inject(SimTime::from_millis(20), a, 2, 10); // direct: 25ms
+        sim.run();
+        assert!(sim.world().arrivals.contains(&(2_000_000, 1)));
+        assert!(sim.world().arrivals.contains(&(25_000_000, 2)));
+        assert!(!sim.link_is_up(ab));
+        assert_eq!(sim.fault_drops(), (0, 0));
+    }
+
+    #[test]
+    fn vacuous_plan_changes_nothing() {
+        let run = |plan: Option<FaultPlan>| {
+            let (mut sim, a, _b) = two_node_sim(SimDuration::from_millis(10), None);
+            sim.enable_telemetry(TelemetryConfig::default());
+            if let Some(p) = plan {
+                sim.install_faults(p);
+            }
+            sim.inject(SimTime::ZERO, a, 1, 100);
+            sim.inject(SimTime::ZERO, a, 2, 100);
+            sim.run();
+            let r = sim.telemetry_report("t", 0);
+            (
+                r.fingerprint,
+                r.summary.to_string(),
+                sim.events_processed(),
+            )
+        };
+        let base = run(None);
+        let vacuous = run(Some(FaultPlan::new(99).with_loss(0.0)));
+        assert_eq!(base, vacuous);
+        assert!(!{
+            let (mut sim, _, _) = two_node_sim(SimDuration::ZERO, None);
+            sim.install_faults(FaultPlan::new(99));
+            sim.faults_active()
+        });
     }
 
     #[test]

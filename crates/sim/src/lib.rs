@@ -16,6 +16,10 @@
 //!   propagation delay plus serialization time when bandwidth is finite —
 //!   exactly the two latency sources the paper measures (processing and
 //!   queueing).
+//! * [`fault`] — deterministic fault injection: a seeded chaos schedule of
+//!   link/node failures and repairs plus per-hop Bernoulli loss, with
+//!   routing recomputed over the surviving subgraph after every change and
+//!   behaviors notified through [`NodeBehavior::on_fault`].
 //! * [`metrics`] — latency recorders, CDFs and link-load accounting used to
 //!   regenerate the paper's tables and figures.
 //! * [`telemetry`] — per-node/per-link counters, log-scale histograms and a
@@ -67,6 +71,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod fault;
 pub mod generators;
 pub mod json;
 pub mod metrics;
@@ -76,9 +81,10 @@ mod time;
 mod topology;
 
 pub use engine::{Ctx, NodeBehavior, Simulator};
+pub use fault::{FaultEvent, FaultNotice, FaultPlan};
 pub use telemetry::{
     LogHistogram, Telemetry, TelemetryConfig, TelemetryReport, TraceEvent, TraceRecord,
 };
 pub use routing::RoutingTable;
 pub use time::{SimDuration, SimTime};
-pub use topology::{LinkId, NodeId, NodeKind, Topology};
+pub use topology::{LinkId, NodeId, NodeKind, Topology, TopologyError};

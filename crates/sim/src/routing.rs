@@ -43,11 +43,29 @@ impl RoutingTable {
     /// predecessor node.
     #[must_use]
     pub fn shortest_paths(topology: &Topology) -> Self {
+        Self::shortest_paths_filtered(topology, |_| true, |_| true)
+    }
+
+    /// Computes shortest paths over the *surviving* subgraph: links for
+    /// which `link_up` returns `false` and nodes for which `node_up` returns
+    /// `false` are excluded. This is what the fault-injection layer calls
+    /// after every topology-change event; [`RoutingTable::shortest_paths`]
+    /// is the special case where everything is up.
+    #[must_use]
+    pub fn shortest_paths_filtered(
+        topology: &Topology,
+        link_up: impl Fn(crate::LinkId) -> bool,
+        node_up: impl Fn(NodeId) -> bool,
+    ) -> Self {
         let n = topology.node_count();
         let mut next = vec![vec![None; n]; n];
         let mut dist = vec![vec![SimDuration::from_nanos(u64::MAX); n]; n];
 
         for src in topology.node_ids() {
+            if !node_up(src) {
+                // A dead source routes nowhere; leave the row unreachable.
+                continue;
+            }
             // Dijkstra from src; record each node's *first hop* from src.
             let s = src.index();
             let mut first_hop: Vec<Option<NodeId>> = vec![None; n];
@@ -62,7 +80,7 @@ impl RoutingTable {
                 done[u.index()] = true;
                 first_hop[u.index()] = via;
                 for (v, link) in topology.neighbors(u) {
-                    if done[v.index()] {
+                    if done[v.index()] || !link_up(link) || !node_up(v) {
                         continue;
                     }
                     let nd = d + topology.link_delay(link);
@@ -190,6 +208,35 @@ mod tests {
         assert_eq!(rt.distance(a, b), None);
         assert!(rt.path(a, b).is_empty());
         assert_eq!(rt.hop_count(a, b), None);
+    }
+
+    #[test]
+    fn filtered_paths_route_around_failures() {
+        // a --1-- b --1-- c with a direct a--5--c fallback.
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        let ab = t.add_link(a, b, ms(1), None);
+        t.add_link(b, c, ms(1), None);
+        t.add_link(a, c, ms(5), None);
+
+        // Killing the a-b link pushes a->c onto the direct link.
+        let rt = RoutingTable::shortest_paths_filtered(&t, |l| l != ab, |_| true);
+        assert_eq!(rt.next_hop(a, c), Some(c));
+        assert_eq!(rt.distance(a, c), Some(ms(5)));
+        assert_eq!(rt.next_hop(a, b), Some(c)); // a -> c -> b
+
+        // Killing node b isolates it and reroutes a->c directly.
+        let rt = RoutingTable::shortest_paths_filtered(&t, |_| true, |n| n != b);
+        assert_eq!(rt.next_hop(a, c), Some(c));
+        assert_eq!(rt.next_hop(a, b), None);
+        assert_eq!(rt.distance(a, b), None);
+        assert_eq!(rt.next_hop(b, a), None); // dead node routes nowhere
+
+        // The unfiltered table is the everything-up special case.
+        let all = RoutingTable::shortest_paths(&t);
+        assert_eq!(all.next_hop(a, c), Some(b));
     }
 
     #[test]

@@ -65,6 +65,29 @@ struct NodeInfo {
     kind: NodeKind,
 }
 
+/// Why a link could not be added to a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// An endpoint does not name an existing node.
+    UnknownNode(NodeId),
+    /// Both endpoints are the same node.
+    SelfLink(NodeId),
+    /// The link table is full (`u32` ids exhausted).
+    TooManyLinks,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownNode(n) => write!(f, "unknown node {n}"),
+            Self::SelfLink(n) => write!(f, "self-links are not allowed (node {n})"),
+            Self::TooManyLinks => write!(f, "too many links"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
 /// A bidirectional link between two nodes.
 #[derive(Debug, Clone)]
 pub(crate) struct Link {
@@ -130,7 +153,8 @@ impl Topology {
     ///
     /// # Panics
     ///
-    /// Panics if either endpoint is unknown or if `a == b`.
+    /// Panics if either endpoint is unknown or if `a == b`; see
+    /// [`Topology::try_add_link`] for the non-panicking variant.
     pub fn add_link(
         &mut self,
         a: NodeId,
@@ -138,10 +162,37 @@ impl Topology {
         delay: SimDuration,
         bandwidth: Option<u64>,
     ) -> LinkId {
-        assert!(a.index() < self.nodes.len(), "unknown node {a}");
-        assert!(b.index() < self.nodes.len(), "unknown node {b}");
-        assert_ne!(a, b, "self-links are not allowed");
-        let id = LinkId(u32::try_from(self.links.len()).expect("too many links"));
+        match self.try_add_link(a, b, delay, bandwidth) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Adds a bidirectional link, reporting malformed input as an error
+    /// instead of panicking (useful when the topology comes from an external
+    /// description rather than generator code).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] if either endpoint is unknown, if `a == b`,
+    /// or if the link id space is exhausted.
+    pub fn try_add_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        delay: SimDuration,
+        bandwidth: Option<u64>,
+    ) -> Result<LinkId, TopologyError> {
+        if a.index() >= self.nodes.len() {
+            return Err(TopologyError::UnknownNode(a));
+        }
+        if b.index() >= self.nodes.len() {
+            return Err(TopologyError::UnknownNode(b));
+        }
+        if a == b {
+            return Err(TopologyError::SelfLink(a));
+        }
+        let id = LinkId(u32::try_from(self.links.len()).map_err(|_| TopologyError::TooManyLinks)?);
         self.links.push(Link {
             a,
             b,
@@ -150,7 +201,7 @@ impl Topology {
         });
         self.adj[a.index()].push((b, id));
         self.adj[b.index()].push((a, id));
-        id
+        Ok(id)
     }
 
     /// Number of nodes.
@@ -316,5 +367,31 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_node("a");
         t.add_link(a, a, SimDuration::ZERO, None);
+    }
+
+    #[test]
+    fn try_add_link_reports_malformed_input() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        assert_eq!(
+            t.try_add_link(a, a, SimDuration::ZERO, None),
+            Err(TopologyError::SelfLink(a))
+        );
+        assert_eq!(
+            t.try_add_link(a, NodeId(9), SimDuration::ZERO, None),
+            Err(TopologyError::UnknownNode(NodeId(9)))
+        );
+        assert_eq!(
+            t.try_add_link(NodeId(7), b, SimDuration::ZERO, None),
+            Err(TopologyError::UnknownNode(NodeId(7)))
+        );
+        assert!(t.try_add_link(a, b, SimDuration::ZERO, None).is_ok());
+        assert_eq!(t.link_count(), 1);
+        // Errors are printable diagnostics.
+        assert_eq!(
+            TopologyError::UnknownNode(NodeId(9)).to_string(),
+            "unknown node n9"
+        );
     }
 }
