@@ -20,7 +20,7 @@ use gcopss_core::MetricsMode;
 use gcopss_game::GameMap;
 use gcopss_names::{BloomFilter, Cd, Name, NameTree};
 use gcopss_ndn::{Data, FaceId, Interest, NdnConfig, NdnEngine};
-use gcopss_sim::TelemetryConfig;
+use gcopss_sim::{LineageConfig, TelemetryConfig};
 
 /// Target wall time for the measurement phase of a fast benchmark.
 const MEASURE_TARGET: Duration = Duration::from_millis(300);
@@ -267,6 +267,58 @@ fn bench_telemetry_overhead(r: &Runner) {
     }
 }
 
+/// Lineage-tracer cost on the same end-to-end run: `off` must stay within
+/// noise of the plain `end_to_end` numbers (the disabled path is one
+/// branch per packet event), `sampled` shows the 1-in-16 price and `full`
+/// the every-lineage price paid by the delivery audit.
+fn bench_lineage_overhead(r: &Runner) {
+    let variants: [(&str, Option<LineageConfig>); 3] = [
+        ("lineage/end_to_end_off", None),
+        (
+            "lineage/end_to_end_sampled_16",
+            Some(LineageConfig {
+                sample: 16,
+                ..LineageConfig::default()
+            }),
+        ),
+        ("lineage/end_to_end_full", Some(LineageConfig::default())),
+    ];
+    let w = Workload::counter_strike(&WorkloadParams {
+        updates: 2_000,
+        players: 100,
+        ..WorkloadParams::default()
+    });
+    let net = NetworkSpec::default_backbone(7);
+    for (id, lcfg) in variants {
+        if r.skip(id) {
+            continue;
+        }
+        r.bench_slow(id, 10, || {
+            let cfg = GcopssConfig {
+                metrics_mode: MetricsMode::StatsOnly,
+                rp_count: 3,
+                ..GcopssConfig::default()
+            };
+            let mut built = build_gcopss(
+                cfg,
+                &net,
+                &w.map,
+                &w.population,
+                &Arc::clone(&w.trace),
+                vec![],
+            );
+            if let Some(l) = &lcfg {
+                built.sim.enable_lineage(l.clone());
+            }
+            built.sim.run();
+            black_box((
+                built.sim.lineage().spans().len(),
+                built.sim.world().metrics.delivered(),
+            ))
+        });
+    }
+}
+
 fn main() {
     let r = Runner::new();
     bench_names(&r);
@@ -275,4 +327,5 @@ fn main() {
     bench_copss_engine(&r);
     bench_end_to_end(&r);
     bench_telemetry_overhead(&r);
+    bench_lineage_overhead(&r);
 }

@@ -7,10 +7,10 @@
 //! cargo run --release -p gcopss-bench --bin exp_failover [--full] [--scale f] [--seed n]
 //! ```
 
-use gcopss_bench::{header, write_telemetry, ExpOptions};
+use gcopss_bench::{header, write_telemetry, write_timeseries, ExpOptions};
 use gcopss_core::experiments::failover::{self, FailoverConfig};
 use gcopss_core::experiments::{TelemetryCapture, WorkloadParams};
-use gcopss_sim::TelemetryConfig;
+use gcopss_sim::{SimDuration, TelemetryConfig, TimeSeriesConfig};
 
 fn main() {
     let opts = ExpOptions::from_args();
@@ -20,6 +20,13 @@ fn main() {
     let mut cap = TelemetryCapture::new(TelemetryConfig {
         journal_capacity: 8_192,
         journal_sample: 16,
+    })
+    .with_timeseries(TimeSeriesConfig {
+        tick: SimDuration::from_millis(500),
+        counters: vec!["delivered", "drop", "rp-failovers", "st-purged"],
+        gauges: vec!["st-entries"],
+        per_node: vec!["rp-served"],
+        ..TimeSeriesConfig::default()
     });
     let cfg = FailoverConfig {
         workload: WorkloadParams {
@@ -68,4 +75,5 @@ fn main() {
     }
 
     write_telemetry("exp_failover", opts.seed, &cap.reports).expect("write telemetry");
+    write_timeseries("exp_failover", opts.seed, &cap.series).expect("write timeseries");
 }

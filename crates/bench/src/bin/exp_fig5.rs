@@ -6,17 +6,27 @@
 //! cargo run --release -p gcopss-bench --bin exp_fig5 [--full] [--scale f]
 //! ```
 
-use gcopss_bench::{header, write_telemetry, ExpOptions};
+use gcopss_bench::{header, write_telemetry, write_timeseries, ExpOptions};
 use gcopss_core::experiments::rp_sweep::{self, RpSweepConfig};
 use gcopss_core::experiments::{TelemetryCapture, WorkloadParams};
-use gcopss_sim::TelemetryConfig;
+use gcopss_sim::{SimDuration, TelemetryConfig, TimeSeriesConfig};
 
 fn main() {
     let opts = ExpOptions::from_args();
     let updates = opts.scaled(20_000, 100_000);
+    // The per-RP load breakdown over time is the congestion story of
+    // Fig. 5 told as a time series: watch rp-served concentrate, then
+    // rebalance after the automatic split.
     let mut cap = TelemetryCapture::new(TelemetryConfig {
         journal_capacity: 8_192,
         journal_sample: 16,
+    })
+    .with_timeseries(TimeSeriesConfig {
+        tick: SimDuration::from_millis(500),
+        counters: vec!["delivered", "drop", "rp-served"],
+        gauges: vec!["st-entries"],
+        per_node: vec!["rp-served"],
+        ..TimeSeriesConfig::default()
     });
     let out = rp_sweep::run_with(
         &RpSweepConfig {
@@ -81,4 +91,5 @@ fn main() {
     }
 
     write_telemetry("fig5", opts.seed, &cap.reports).expect("write telemetry");
+    write_timeseries("fig5", opts.seed, &cap.series).expect("write timeseries");
 }

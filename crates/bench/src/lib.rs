@@ -2,7 +2,7 @@
 
 use std::env;
 
-use gcopss_sim::json::Json;
+use gcopss_sim::json::{results_doc, write_results, Json};
 use gcopss_sim::TelemetryReport;
 
 /// Simple CLI options shared by every experiment binary.
@@ -89,16 +89,18 @@ pub fn telemetry_json(exp: &str, seed: u64, reports: &[TelemetryReport]) -> Json
         ]));
         trace_events.extend(r.trace_events.iter().cloned());
     }
-    Json::obj([
-        ("schema", Json::str("gcopss-telemetry-v1")),
-        ("exp", Json::str(exp)),
-        ("seed", Json::UInt(seed)),
-        (
-            "runs",
-            Json::arr(reports.iter().map(|r| r.summary.clone())),
-        ),
-        ("traceEvents", Json::Array(trace_events)),
-    ])
+    results_doc(
+        "gcopss-telemetry-v1",
+        exp,
+        seed,
+        [
+            (
+                "runs",
+                Json::arr(reports.iter().map(|r| r.summary.clone())),
+            ),
+            ("traceEvents", Json::Array(trace_events)),
+        ],
+    )
 }
 
 /// Writes `results/telemetry_<exp>.json` and prints one line per run with
@@ -113,15 +115,67 @@ pub fn write_telemetry(
     seed: u64,
     reports: &[TelemetryReport],
 ) -> std::io::Result<String> {
-    std::fs::create_dir_all("results")?;
     let path = format!("results/telemetry_{exp}.json");
     let doc = telemetry_json(exp, seed, reports);
-    std::fs::write(&path, doc.to_string())?;
+    write_results(&path, &doc)?;
     println!();
     for r in reports {
         println!("telemetry run {:<14} journal fingerprint {:016x}", r.label, r.fingerprint);
     }
     println!("telemetry written to {path}");
+    Ok(path)
+}
+
+/// Writes `results/timeseries_<exp>.json`: one entry per run label, each
+/// carrying the run's captured time-series frames
+/// (see [`gcopss_sim::TimeSeries::to_json`]). Returns the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (`results/` not creatable, disk full, …).
+pub fn write_timeseries(
+    exp: &str,
+    seed: u64,
+    series: &[(String, Json)],
+) -> std::io::Result<String> {
+    let path = format!("results/timeseries_{exp}.json");
+    let doc = results_doc(
+        "gcopss-timeseries-v1",
+        exp,
+        seed,
+        [(
+            "runs",
+            Json::arr(series.iter().map(|(label, s)| {
+                Json::obj([("label", Json::str(label.clone())), ("series", s.clone())])
+            })),
+        )],
+    );
+    write_results(&path, &doc)?;
+    println!("timeseries written to {path} ({} runs)", series.len());
+    Ok(path)
+}
+
+/// Writes `results/audit_<exp>.json`: the delivery auditor's per-class
+/// accounting plus the lineage fingerprint per run. Returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (`results/` not creatable, disk full, …).
+pub fn write_audit(exp: &str, seed: u64, runs: &[(String, Json)]) -> std::io::Result<String> {
+    let path = format!("results/audit_{exp}.json");
+    let doc = results_doc(
+        "gcopss-audit-v1",
+        exp,
+        seed,
+        [(
+            "runs",
+            Json::arr(runs.iter().map(|(label, a)| {
+                Json::obj([("label", Json::str(label.clone())), ("audit", a.clone())])
+            })),
+        )],
+    );
+    write_results(&path, &doc)?;
+    println!("audit written to {path} ({} runs)", runs.len());
     Ok(path)
 }
 

@@ -178,6 +178,17 @@ impl CopssPacket {
             Self::RpUpdate { .. } => "rp-update",
         }
     }
+
+    /// The lineage id of the publication this packet carries, if it
+    /// carries one. Control traffic (subscriptions, FIB and RP
+    /// maintenance) is untraced.
+    #[must_use]
+    pub fn lineage_id(&self) -> Option<u64> {
+        match self {
+            Self::Multicast(m) => Some(m.id),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

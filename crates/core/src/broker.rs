@@ -489,6 +489,9 @@ impl MovingPlayerClient {
                 }
             }
             ctx.world().bump("mover-fetch-superseded");
+            if ctx.telemetry_enabled() {
+                ctx.emit(gcopss_sim::TraceEvent::Mark, "mover-fetch-superseded", 0);
+            }
         }
 
         if mv.snapshot_cds.is_empty() {
@@ -766,6 +769,10 @@ impl NodeBehavior<GPacket, GameWorld> for MovingPlayerClient {
                 } else {
                     let now = ctx.now();
                     ctx.world().record_delivery(m.id, self.player, now);
+                    ctx.lineage_deliver(self.player.0);
+                    if ctx.telemetry_enabled() {
+                        ctx.counter("delivered", 1);
+                    }
                 }
             }
             GPacket::Data(d) => self.on_snapshot_data(ctx, &d),

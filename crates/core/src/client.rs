@@ -275,6 +275,10 @@ impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
             if self.dedup.insert(m.id) {
                 let now = ctx.now();
                 ctx.world().record_delivery(m.id, self.player, now);
+                ctx.lineage_deliver(self.player.0);
+                if ctx.telemetry_enabled() {
+                    ctx.counter("delivered", 1);
+                }
             } else {
                 ctx.emit(
                     gcopss_sim::TraceEvent::Drop,

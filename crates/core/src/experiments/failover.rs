@@ -200,7 +200,9 @@ fn run_chaos(
 
 /// The shared chaos schedule at one loss rate: flaps in the 20–60 % window
 /// of the span, the infrastructure crash at 30 % with restart at 50 %.
-fn chaos_plan(
+/// Shared with the delivery audit (`exp_audit`), which replays the same
+/// chaos under the lineage tracer.
+pub(crate) fn chaos_plan(
     cfg: &FailoverConfig,
     loss: f64,
     links: &[gcopss_sim::LinkId],

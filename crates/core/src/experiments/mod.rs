@@ -15,8 +15,10 @@
 //! | Table III (player movement, QR vs cyclic multicast) | [`movement`] |
 //! | Design-choice sweeps (groups, thresholds, windows) | [`ablation`] |
 //! | Failure sweep (delivery ratio + recovery under chaos) | [`failover`] |
+//! | Delivery audit (per-pair causal accounting under chaos) | [`audit`] |
 
 pub mod ablation;
+pub mod audit;
 pub mod failover;
 pub mod full_trace;
 pub mod microbench;
@@ -29,7 +31,8 @@ use std::sync::Arc;
 
 use gcopss_game::trace::{CsTraceGenerator, CsTraceParams, TraceEvent};
 use gcopss_game::{GameMap, ObjectModel, ObjectModelParams, PlayerPopulation};
-use gcopss_sim::{SimDuration, Simulator, TelemetryConfig, TelemetryReport};
+use gcopss_sim::json::Json;
+use gcopss_sim::{SimDuration, Simulator, TelemetryConfig, TelemetryReport, TimeSeriesConfig};
 
 use crate::{GPacket, GameWorld};
 
@@ -43,8 +46,12 @@ use crate::{GPacket, GameWorld};
 #[derive(Debug, Default)]
 pub struct TelemetryCapture {
     cfg: TelemetryConfig,
+    timeseries: Option<TimeSeriesConfig>,
     /// Harvested reports, in run order.
     pub reports: Vec<TelemetryReport>,
+    /// Harvested time-series documents, `(label, frames)` per run that had
+    /// the sampler armed.
+    pub series: Vec<(String, Json)>,
 }
 
 impl TelemetryCapture {
@@ -53,19 +60,35 @@ impl TelemetryCapture {
     pub fn new(cfg: TelemetryConfig) -> Self {
         Self {
             cfg,
+            timeseries: None,
             reports: Vec::new(),
+            series: Vec::new(),
         }
+    }
+
+    /// Additionally arms the periodic time-series sampler on every run;
+    /// the captured frames land in [`TelemetryCapture::series`].
+    #[must_use]
+    pub fn with_timeseries(mut self, cfg: TimeSeriesConfig) -> Self {
+        self.timeseries = Some(cfg);
+        self
     }
 
     /// Enables telemetry on a simulator about to run.
     pub fn arm(&self, sim: &mut Simulator<GPacket, GameWorld>) {
         sim.enable_telemetry(self.cfg.clone());
+        if let Some(ts) = &self.timeseries {
+            sim.enable_timeseries(ts.clone());
+        }
     }
 
     /// Harvests the report of a finished run (call before `into_world`).
     pub fn collect(&mut self, sim: &Simulator<GPacket, GameWorld>, label: &str) {
         let pid = self.reports.len() as u64;
         self.reports.push(sim.telemetry_report(label, pid));
+        if let Some(frames) = sim.timeseries_json() {
+            self.series.push((label.to_string(), frames));
+        }
     }
 }
 

@@ -298,6 +298,10 @@ impl NodeBehavior<GPacket, GameWorld> for IpClient {
                 r.last_activity = now;
             }
             ctx.world().record_delivery(update.id, self.player, now);
+            ctx.lineage_deliver(self.player.0);
+            if ctx.telemetry_enabled() {
+                ctx.counter("delivered", 1);
+            }
         }
     }
 

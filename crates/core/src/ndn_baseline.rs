@@ -346,8 +346,14 @@ impl NodeBehavior<GPacket, GameWorld> for NdnPlayerClient {
                     return; // duplicate batch
                 }
                 let now = ctx.now();
+                let mut delivered = 0u64;
                 for id in ids {
                     ctx.world().record_delivery(id, self.player, now);
+                    ctx.lineage_deliver(self.player.0);
+                    delivered += 1;
+                }
+                if delivered > 0 && ctx.telemetry_enabled() {
+                    ctx.counter("delivered", delivered);
                 }
                 // Slide the pipeline window.
                 let next = self.consumer[pi].next_to_request;

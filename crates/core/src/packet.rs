@@ -157,6 +157,28 @@ impl GPacket {
         u32::try_from(self.encoded_len()).unwrap_or(u32::MAX)
     }
 
+    /// The lineage id of the traced message this packet carries, if any.
+    ///
+    /// Publications keep their id across encapsulations (native multicast,
+    /// `ToRp`, IP unicast/multicast), so one published update is one
+    /// lineage no matter which system carries it. NDN Interests and Data
+    /// derive tagged name-hash ids. Control traffic is untraced.
+    #[must_use]
+    pub fn lineage_id(&self) -> Option<u64> {
+        match self {
+            Self::Copss(p) => p.lineage_id(),
+            Self::ToRp { inner, .. } | Self::Ip(IpPacket::Mcast { inner, .. }) => {
+                Some(inner.id)
+            }
+            Self::Interest(i) => Some(i.lineage_id()),
+            Self::Data(d) => Some(d.lineage_id()),
+            Self::Ip(IpPacket::ToServer { update, .. } | IpPacket::ToClient { update, .. }) => {
+                Some(update.id)
+            }
+            Self::Ip(IpPacket::Hello { .. }) | Self::Control { .. } => None,
+        }
+    }
+
     /// Short tag for counters and logs.
     #[must_use]
     pub fn kind(&self) -> &'static str {
@@ -222,6 +244,55 @@ mod tests {
             assert!(p.encoded_len() > 0, "{}", p.kind());
             assert_eq!(p.wire_size() as usize, p.encoded_len());
         }
+    }
+
+    #[test]
+    fn lineage_ids_follow_the_publication() {
+        let m = MulticastPacket::new(Cd::parse_lit("/1/2"), payload_of(10), 77);
+        assert_eq!(
+            GPacket::Copss(CopssPacket::Multicast(m.clone())).lineage_id(),
+            Some(77)
+        );
+        assert_eq!(
+            GPacket::ToRp { rp: RpId(0), inner: m.clone() }.lineage_id(),
+            Some(77)
+        );
+        assert_eq!(
+            GPacket::Ip(IpPacket::Mcast {
+                group: 1,
+                dsts: Arc::new(vec![NodeId(1)]),
+                inner: m,
+            })
+            .lineage_id(),
+            Some(77)
+        );
+        let u = IpUpdate { id: 9, cd: Name::parse_lit("/1"), size: 4 };
+        assert_eq!(
+            GPacket::Ip(IpPacket::ToServer { server: NodeId(0), update: u.clone() })
+                .lineage_id(),
+            Some(9)
+        );
+        assert_eq!(
+            GPacket::Ip(IpPacket::ToClient { client: NodeId(2), update: u }).lineage_id(),
+            Some(9)
+        );
+        // NDN names trace under tagged hash ids; control traffic is untraced.
+        assert!(GPacket::Interest(Interest::new(Name::parse_lit("/s"), 1))
+            .lineage_id()
+            .is_some());
+        assert_eq!(
+            GPacket::Copss(CopssPacket::Subscribe { cds: vec![], rp: None }).lineage_id(),
+            None
+        );
+        assert_eq!(
+            GPacket::Ip(IpPacket::Hello {
+                server: NodeId(0),
+                player: gcopss_game::PlayerId(1),
+                client: NodeId(3),
+            })
+            .lineage_id(),
+            None
+        );
     }
 
     #[test]

@@ -262,6 +262,9 @@ impl GCopssRouter {
                 }
                 None => {
                     ctx.world().bump("join-pending-no-route");
+                    if ctx.telemetry_enabled() {
+                        ctx.emit(TraceEvent::Mark, "join-pending-no-route", 0);
+                    }
                     self.pending_joins.push(j);
                 }
             }
@@ -333,6 +336,7 @@ impl GCopssRouter {
         if ctx.telemetry_enabled() {
             ctx.counter("rp-served", 1);
             ctx.observe("rp-queue-depth", ctx.queue_len() as u64);
+            ctx.gauge("st-entries", self.copss.st().len() as u64);
         }
         let tagged = m.on_tree(rp);
         self.multicast(ctx, &tagged, None);
@@ -844,9 +848,11 @@ impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
                 if ctx.telemetry_enabled() {
                     if !purged.is_empty() {
                         ctx.counter("st-purged", purged.len() as u64);
+                        ctx.emit(TraceEvent::Drop, "st-purged", purged.len() as u32);
                     }
                     if dropped > 0 {
                         ctx.counter("pit-purged", dropped as u64);
+                        ctx.emit(TraceEvent::Drop, "pit-purged", dropped as u32);
                     }
                 }
                 // Repair routes first, then re-anchor: joins and prunes

@@ -324,6 +324,7 @@ pub fn build_gcopss_custom(
 
     let mut sim = Simulator::with_routing(bn.topology, routing, world);
     sim.set_packet_kinds(GPacket::kind);
+    sim.set_lineage_ids(GPacket::lineage_id);
 
     // Routers.
     for &r in &bn.routers {
@@ -474,6 +475,7 @@ pub fn build_ip_server(
     }
     let mut sim = Simulator::with_routing(bn.topology, routing, world);
     sim.set_packet_kinds(GPacket::kind);
+    sim.set_lineage_ids(GPacket::lineage_id);
 
     // Plain IP routers (a G-COPSS router with no RPs forwards IP packets).
     for &r in &bn.routers {
@@ -585,6 +587,7 @@ pub fn build_hybrid(
     }
     let mut sim = Simulator::with_routing(bn.topology, routing, world);
     sim.set_packet_kinds(GPacket::kind);
+    sim.set_lineage_ids(GPacket::lineage_id);
 
     for &r in &bn.routers {
         let faces = FaceMap::new(sim.topology(), r);
@@ -698,6 +701,7 @@ pub fn build_ndn_baseline(
     }
     let mut sim = Simulator::with_routing(bn.topology, routing, world);
     sim.set_packet_kinds(GPacket::kind);
+    sim.set_lineage_ids(GPacket::lineage_id);
 
     // NDN routers with /player/<id> routes toward every player host.
     for &r in &bn.routers {

@@ -4,16 +4,25 @@
 //! soft state from fault notices, and every publication sent after the
 //! last repair (plus a settle margin) reaches its full AoI fan-out. The
 //! whole chaotic run must also be same-seed reproducible.
+//!
+//! The run doubles as the delivery-audit gate: the lineage tracer rides
+//! along and the auditor must account for 100 % of the owed
+//! `(publication, subscriber)` pairs with zero duplicates and zero
+//! unexplained losses, with byte-identical span/audit/time-series exports
+//! across same-seed runs.
 
 use std::collections::BTreeMap;
 
+use gcopss_core::experiments::audit::{damage_window, register_expectations};
 use gcopss_core::experiments::{Workload, WorkloadParams};
 use gcopss_core::scenario::{build_gcopss, GcopssConfig, NetworkSpec};
 use gcopss_core::{MetricsMode, RecoveryConfig};
 use gcopss_game::PlayerId;
 use gcopss_names::Name;
 use gcopss_sim::generators::BackboneParams;
-use gcopss_sim::{FaultPlan, SimDuration, SimTime, TelemetryConfig};
+use gcopss_sim::{
+    FaultPlan, LineageConfig, SimDuration, SimTime, TelemetryConfig, TimeSeriesConfig,
+};
 
 fn small_backbone() -> NetworkSpec {
     NetworkSpec::Backbone {
@@ -32,6 +41,11 @@ struct SoakOutcome {
     fault_drops: u64,
     post_expected: u64,
     post_delivered: u64,
+    audit: gcopss_sim::AuditReport,
+    audit_json: String,
+    spans_fingerprint: u64,
+    spans_json: String,
+    timeseries_json: String,
 }
 
 fn run_soak(seed: u64) -> SoakOutcome {
@@ -67,14 +81,39 @@ fn run_soak(seed: u64) -> SoakOutcome {
         .random_link_flaps(&links, 4, at(2, 10), at(6, 10), SimDuration::from_millis(500))
         .node_down(at(3, 10), crash)
         .node_up(at(5, 10), crash);
+    let first_fault = plan
+        .schedule()
+        .iter()
+        .map(|&(t, _)| t)
+        .min()
+        .expect("plan has events");
     built.sim.enable_telemetry(TelemetryConfig::default());
+    built.sim.enable_timeseries(TimeSeriesConfig {
+        tick: SimDuration::from_millis(500),
+        per_node: vec!["rp-served"],
+        ..TimeSeriesConfig::default()
+    });
+    built.sim.enable_lineage(LineageConfig::default());
+    register_expectations(&mut built.sim, &w, warmup);
     built.sim.install_faults(plan);
-    built
-        .sim
-        .run_until(SimTime::ZERO + warmup + span + SimDuration::from_secs(10));
+    let horizon = SimTime::ZERO + warmup + span + SimDuration::from_secs(10);
+    built.sim.run_until(horizon);
 
     let fingerprint = built.sim.telemetry_report("soak", 0).fingerprint;
     let last_repair = built.sim.last_repair_time().expect("repairs were scheduled");
+    let settle = SimDuration::from_secs(2);
+    let audit = built.sim.lineage().audit(
+        horizon,
+        damage_window(Some(first_fault), Some(last_repair), settle),
+    );
+    let audit_json = audit.to_json().to_string();
+    let spans_fingerprint = built.sim.lineage().fingerprint();
+    let spans_json = built.sim.lineage().spans_json().to_string();
+    let timeseries_json = built
+        .sim
+        .timeseries_json()
+        .expect("sampler was armed")
+        .to_string();
     let (link_lost, node_lost) = built.sim.fault_drops();
     let world = built.sim.into_world();
 
@@ -97,7 +136,6 @@ fn run_soak(seed: u64) -> SoakOutcome {
         }
         per_id[id as usize] += 1;
     }
-    let settle = SimDuration::from_secs(2);
     let (mut post_expected, mut post_delivered) = (0u64, 0u64);
     for (i, e) in w.trace.iter().enumerate() {
         let sent = SimTime::ZERO + warmup + SimDuration::from_nanos(e.time_ns);
@@ -115,6 +153,11 @@ fn run_soak(seed: u64) -> SoakOutcome {
         fault_drops: link_lost + node_lost,
         post_expected,
         post_delivered,
+        audit,
+        audit_json,
+        spans_fingerprint,
+        spans_json,
+        timeseries_json,
     }
 }
 
@@ -130,8 +173,36 @@ fn soak_recovers_fully_and_is_reproducible() {
         a.post_delivered, a.post_expected
     );
 
+    // The auditor must close the books on the same run: 100 % of owed
+    // pairs accounted for, zero duplicates, zero unexplained losses.
+    assert!(
+        a.audit.is_clean(),
+        "audit not clean:\n{}\nerrors: {:?}",
+        a.audit.table(),
+        a.audit.errors
+    );
+    assert!(a.audit.total_pairs > 0, "no pairs registered");
+    assert_eq!(a.audit.duplicates, 0);
+    assert_eq!(a.audit.unexplained, 0);
+    assert_eq!(
+        a.audit.delivered
+            + a.audit.duplicates
+            + a.audit.in_flight
+            + a.audit.unpublished
+            + a.audit.dropped_total()
+            + a.audit.unexplained,
+        a.audit.total_pairs,
+        "audit classes do not sum to the owed pairs"
+    );
+
     let b = run_soak(33);
     assert_eq!(a.fingerprint, b.fingerprint, "chaos is not reproducible");
     assert_eq!(a.last_repair, b.last_repair);
     assert_eq!(a.post_delivered, b.post_delivered);
+    // Observability exports are part of the determinism contract:
+    // same-seed runs must produce byte-identical documents.
+    assert_eq!(a.spans_fingerprint, b.spans_fingerprint, "span logs differ");
+    assert_eq!(a.spans_json, b.spans_json, "span exports differ");
+    assert_eq!(a.audit_json, b.audit_json, "audit exports differ");
+    assert_eq!(a.timeseries_json, b.timeseries_json, "time series differ");
 }

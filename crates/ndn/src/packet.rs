@@ -3,7 +3,7 @@
 use std::fmt;
 
 use gcopss_compat::bytes::Bytes;
-use gcopss_names::Name;
+use gcopss_names::{CdHashes, Name};
 
 /// A local face (interface) identifier of one NDN node.
 ///
@@ -64,6 +64,16 @@ impl Interest {
     pub fn encoded_len(&self) -> usize {
         self.name.encoded_len() + 8 + 4
     }
+
+    /// Deterministic lineage id of this Interest: the name hash mixed with
+    /// the nonce (so a retransmission with a fresh nonce starts a new
+    /// lineage), tagged in the top bits so it cannot collide with the
+    /// dense publication ids used by the COPSS/IP data path.
+    #[must_use]
+    pub fn lineage_id(&self) -> u64 {
+        let h = CdHashes::compute(&self.name).full() ^ self.nonce.rotate_left(17);
+        (h >> 2) | (0b10 << 62)
+    }
 }
 
 impl fmt::Display for Interest {
@@ -114,6 +124,15 @@ impl Data {
     pub fn encoded_len(&self) -> usize {
         self.name.encoded_len() + self.payload.len() + 4
     }
+
+    /// Deterministic lineage id of this Data: the content-name hash,
+    /// tagged in the top bits (distinct from the Interest tag, so a
+    /// Data and the Interest that pulled it trace as separate lineages
+    /// linked by their cause spans).
+    #[must_use]
+    pub fn lineage_id(&self) -> u64 {
+        (CdHashes::compute(&self.name).full() >> 2) | (0b11 << 62)
+    }
 }
 
 impl fmt::Display for Data {
@@ -149,6 +168,25 @@ mod tests {
         assert_eq!(d.encoded_len(), (1 + 3) + 10 + 4);
         let i = Interest::new(Name::parse_lit("/ab"), 1);
         assert_eq!(i.encoded_len(), (1 + 3) + 8 + 4);
+    }
+
+    #[test]
+    fn lineage_ids_are_tagged_and_distinct() {
+        let i = Interest::new(Name::parse_lit("/a/b"), 7);
+        let d = Data::new(Name::parse_lit("/a/b"), Bytes::new());
+        // Top two bits carry the packet-kind tag.
+        assert_eq!(i.lineage_id() >> 62, 0b10);
+        assert_eq!(d.lineage_id() >> 62, 0b11);
+        // Same name, different kinds — different lineages.
+        assert_ne!(i.lineage_id(), d.lineage_id());
+        // Deterministic.
+        assert_eq!(i.lineage_id(), Interest::new(Name::parse_lit("/a/b"), 7).lineage_id());
+        assert_eq!(d.lineage_id(), Data::new(Name::parse_lit("/a/b"), Bytes::new()).lineage_id());
+        // A retransmission with a fresh nonce starts a new lineage.
+        assert_ne!(
+            i.lineage_id(),
+            Interest::new(Name::parse_lit("/a/b"), 8).lineage_id()
+        );
     }
 
     #[test]

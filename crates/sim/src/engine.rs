@@ -5,7 +5,11 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use crate::fault::FaultState;
 use crate::json::Json;
-use crate::telemetry::{Telemetry, TelemetryConfig, TelemetryReport, TraceEvent, TraceRecord};
+use crate::lineage::{LineageConfig, LineageLog, NO_SPAN};
+use crate::telemetry::{
+    Telemetry, TelemetryConfig, TelemetryReport, TimeSeries, TimeSeriesConfig, TraceEvent,
+    TraceRecord,
+};
 use crate::{
     FaultEvent, FaultNotice, FaultPlan, LinkId, NodeId, RoutingTable, SimDuration, SimTime,
     Topology,
@@ -74,6 +78,11 @@ pub struct Ctx<'a, P, W> {
     routing: &'a RoutingTable,
     queue_len: usize,
     telemetry: &'a mut Telemetry,
+    lineage: &'a mut LineageLog,
+    /// Lineage span of the packet currently being serviced ([`NO_SPAN`]
+    /// in timer/start/fault callbacks): the causal parent of every effect
+    /// the behavior requests.
+    cur_span: u32,
     sends: Vec<(NodeId, P, u32)>,
     timers: Vec<(SimDuration, u64)>,
     extra_busy: SimDuration,
@@ -189,12 +198,36 @@ impl<P, W> Ctx<'_, P, W> {
         self.telemetry.observe(self.node.0, metric, value);
     }
 
+    /// Records a terminal delivery of the packet currently being serviced
+    /// to application entity `entity` (e.g. a player id) on its lineage.
+    /// No-op while lineage tracing is disabled or the packet is untraced.
+    #[inline]
+    pub fn lineage_deliver(&mut self, entity: u32) {
+        self.lineage
+            .deliver_from(self.cur_span, self.node.0, entity, self.now);
+    }
+
+    /// Whether lineage tracing is recording.
+    #[must_use]
+    #[inline]
+    pub fn lineage_enabled(&self) -> bool {
+        self.lineage.is_enabled()
+    }
+
     /// Appends a behavior-level event (typically [`TraceEvent::Drop`] or
     /// [`TraceEvent::Mark`]) to the packet-trace journal, and bumps the
     /// matching per-node counter (`"drop"` / `"mark"`). No-op while
     /// telemetry is disabled.
+    ///
+    /// Drops are additionally recorded on the lineage of the packet being
+    /// serviced (when traced), so the auditor can explain the loss — that
+    /// part works even with telemetry off.
     #[inline]
     pub fn emit(&mut self, event: TraceEvent, class: &'static str, size: u32) {
+        if event == TraceEvent::Drop {
+            self.lineage
+                .drop_from(self.cur_span, self.node.0, class, self.now);
+        }
         if !self.telemetry.is_enabled() {
             return;
         }
@@ -218,6 +251,10 @@ enum Event<P> {
         from: Option<NodeId>,
         pkt: P,
         size: u32,
+        /// Open lineage hop span for this copy, or [`NO_SPAN`] when the
+        /// packet is untraced (lineage off, unsampled, or injected —
+        /// injected packets open their origin span on arrival).
+        span: u32,
     },
     /// `epoch` invalidates service/timer events that straddle a node crash:
     /// the node's epoch is bumped when it goes down, so stale events are
@@ -241,9 +278,10 @@ enum Event<P> {
 }
 
 struct NodeState<P> {
-    /// `(from, packet, size, enqueued_at)` — the arrival stamp feeds the
-    /// telemetry queueing-delay histogram.
-    queue: VecDeque<(Option<NodeId>, P, u32, SimTime)>,
+    /// `(from, packet, size, enqueued_at, span)` — the arrival stamp feeds
+    /// the telemetry queueing-delay histogram, the span ties the queued
+    /// copy to its lineage.
+    queue: VecDeque<(Option<NodeId>, P, u32, SimTime, u32)>,
     busy: bool,
     max_queue: usize,
     processed: u64,
@@ -290,6 +328,16 @@ pub struct Simulator<P, W> {
     telemetry: Telemetry,
     /// Maps packets to a stable class name for telemetry records.
     packet_kinds: Option<fn(&P) -> &'static str>,
+    /// Per-message causal span log; disabled (one branch per hook) by
+    /// default.
+    lineage: LineageLog,
+    /// Maps packets to their lineage id (`None` for control traffic).
+    lineage_ids: Option<fn(&P) -> Option<u64>>,
+    /// Span of the packet currently being serviced; the causal parent of
+    /// transmissions requested by the running behavior.
+    cur_span: u32,
+    /// Periodic counter/gauge/queue-depth snapshots; `None` unless enabled.
+    timeseries: Option<TimeSeries>,
     /// Live fault-injection state; `None` unless a non-vacuous plan was
     /// installed, in which case every hot-path check below is one branch.
     faults: Option<FaultState>,
@@ -326,6 +374,10 @@ impl<P, W> Simulator<P, W> {
             on_start_done: false,
             telemetry: Telemetry::disabled(n, l),
             packet_kinds: None,
+            lineage: LineageLog::disabled(),
+            lineage_ids: None,
+            cur_span: NO_SPAN,
+            timeseries: None,
             faults: None,
             topology,
             routing,
@@ -423,6 +475,77 @@ impl<P, W> Simulator<P, W> {
         self.packet_kinds = Some(f);
     }
 
+    /// Switches per-message lineage tracing on. Requires a lineage-id
+    /// classifier ([`Simulator::set_lineage_ids`]) to have any effect;
+    /// until both are set every lineage hook reduces to a single branch.
+    pub fn enable_lineage(&mut self, cfg: LineageConfig) {
+        self.lineage.enable(cfg);
+    }
+
+    /// Registers the classifier mapping packets to their lineage id
+    /// (`None` for control traffic that should not be traced).
+    pub fn set_lineage_ids(&mut self, f: fn(&P) -> Option<u64>) {
+        self.lineage_ids = Some(f);
+    }
+
+    /// Read access to the lineage span log.
+    #[must_use]
+    pub fn lineage(&self) -> &LineageLog {
+        &self.lineage
+    }
+
+    /// Mutable access to the lineage span log (for registering delivery
+    /// expectations at publish time).
+    pub fn lineage_mut(&mut self) -> &mut LineageLog {
+        &mut self.lineage
+    }
+
+    /// Switches the periodic time-series sampler on: counters, gauges and
+    /// queue depths are snapshotted every `cfg.tick` of simulated time.
+    pub fn enable_timeseries(&mut self, cfg: TimeSeriesConfig) {
+        self.timeseries = Some(TimeSeries::new(cfg));
+    }
+
+    /// The captured time-series frames as JSON, if the sampler is enabled.
+    #[must_use]
+    pub fn timeseries_json(&self) -> Option<Json> {
+        self.timeseries.as_ref().map(TimeSeries::to_json)
+    }
+
+    #[inline]
+    fn lineage_id_of(&self, pkt: &P) -> Option<u64> {
+        self.lineage_ids.and_then(|f| f(pkt))
+    }
+
+    /// Captures every due time-series frame strictly before `upto`.
+    fn flush_timeseries(&mut self, upto: SimTime) {
+        let Some(mut ts) = self.timeseries.take() else {
+            return;
+        };
+        while let Some(next) = ts.next_frame_at() {
+            if next >= upto {
+                break;
+            }
+            ts.capture(next, &self.telemetry, self.nodes.iter().map(|n| n.queue.len()));
+        }
+        self.timeseries = Some(ts);
+    }
+
+    /// Captures the final frames up to and including `limit` (end of a
+    /// bounded run).
+    fn flush_timeseries_final(&mut self, limit: SimTime) {
+        let Some(mut ts) = self.timeseries.take() else {
+            return;
+        };
+        while let Some(next) = ts.next_frame_at() {
+            if next > limit {
+                break;
+            }
+            ts.capture(next, &self.telemetry, self.nodes.iter().map(|n| n.queue.len()));
+        }
+        self.timeseries = Some(ts);
+    }
+
     /// Read access to the telemetry registry.
     #[must_use]
     pub fn telemetry(&self) -> &Telemetry {
@@ -513,6 +636,7 @@ impl<P, W> Simulator<P, W> {
                 from: None,
                 pkt,
                 size: size_bytes,
+                span: NO_SPAN,
             },
         );
     }
@@ -573,6 +697,9 @@ impl<P, W> Simulator<P, W> {
             if t > limit || self.stopped {
                 break;
             }
+            if self.timeseries.is_some() {
+                self.flush_timeseries(t);
+            }
             let Reverse((t, _, slot)) = self.events.pop().expect("peeked");
             self.now = t;
             let ev = self.payloads[slot as usize]
@@ -581,6 +708,9 @@ impl<P, W> Simulator<P, W> {
             self.free_slots.push(slot as usize);
             self.events_processed += 1;
             self.dispatch(ev);
+        }
+        if limit < SimTime::MAX && !self.stopped {
+            self.flush_timeseries_final(limit);
         }
     }
 
@@ -593,6 +723,9 @@ impl<P, W> Simulator<P, W> {
             let Some(Reverse((t, _, slot))) = self.events.pop() else {
                 break;
             };
+            if self.timeseries.is_some() {
+                self.flush_timeseries(t);
+            }
             self.now = t;
             let ev = self.payloads[slot as usize]
                 .take()
@@ -620,10 +753,18 @@ impl<P, W> Simulator<P, W> {
     fn dispatch(&mut self, ev: Event<P>) {
         match ev {
             Event::Arrival {
-                node, from, pkt, size,
+                node, from, pkt, size, mut span,
             } => {
+                if span == NO_SPAN && self.lineage.is_enabled() {
+                    // An injected packet enters the network here: open its
+                    // root span (hops carry their span from `transmit`).
+                    if let Some(lid) = self.lineage_id_of(&pkt) {
+                        span = self.lineage.origin(lid, node.0, self.now);
+                    }
+                }
                 if self.faults.as_ref().is_some_and(|f| !f.node_up[node.index()]) {
                     // The destination is down: the packet is blackholed.
+                    self.lineage.mark_dropped(span, "node-lost", self.now);
                     self.fault_drop(node, from, size, "node-lost");
                     return;
                 }
@@ -641,7 +782,7 @@ impl<P, W> Simulator<P, W> {
                     });
                 }
                 let st = &mut self.nodes[node.index()];
-                st.queue.push_back((from, pkt, size, self.now));
+                st.queue.push_back((from, pkt, size, self.now, span));
                 st.max_queue = st.max_queue.max(st.queue.len());
                 self.try_start_service(node);
             }
@@ -649,7 +790,7 @@ impl<P, W> Simulator<P, W> {
                 if epoch != self.nodes[node.index()].epoch {
                     return; // the node crashed since this service started
                 }
-                let (from, pkt, size, _enq) = self.nodes[node.index()]
+                let (from, pkt, size, _enq, span) = self.nodes[node.index()]
                     .queue
                     .pop_front()
                     .expect("end of service with empty queue");
@@ -666,9 +807,12 @@ impl<P, W> Simulator<P, W> {
                         dur_ns: 0,
                     });
                 }
+                self.cur_span = span;
                 let extra = self.with_behavior(node, |b, ctx| {
                     b.on_packet(ctx, from, pkt);
                 });
+                self.cur_span = NO_SPAN;
+                self.lineage.close(span, self.now);
                 if extra.is_zero() {
                     self.nodes[node.index()].busy = false;
                     self.try_start_service(node);
@@ -733,9 +877,10 @@ impl<P, W> Simulator<P, W> {
                 let st = &mut self.nodes[n.index()];
                 st.epoch += 1;
                 st.busy = false;
-                let flushed: Vec<(Option<NodeId>, P, u32, SimTime)> =
+                let flushed: Vec<(Option<NodeId>, P, u32, SimTime, u32)> =
                     st.queue.drain(..).collect();
-                for (from, _pkt, size, _) in flushed {
+                for (from, _pkt, size, _, span) in flushed {
+                    self.lineage.mark_dropped(span, "node-lost", self.now);
                     self.fault_drop(n, from, size, "node-lost");
                 }
                 self.recompute_routing();
@@ -839,6 +984,7 @@ impl<P, W> Simulator<P, W> {
                 dur_ns: service.as_nanos(),
             });
         }
+        self.lineage.service_start(front.4, self.now);
         self.nodes[node.index()].busy = true;
         self.nodes[node.index()].busy_time += service;
         let at = self.now + service;
@@ -865,6 +1011,8 @@ impl<P, W> Simulator<P, W> {
             routing: &self.routing,
             queue_len: self.nodes[node.index()].queue.len(),
             telemetry: &mut self.telemetry,
+            lineage: &mut self.lineage,
+            cur_span: self.cur_span,
             sends: Vec::new(),
             timers: Vec::new(),
             extra_busy: SimDuration::ZERO,
@@ -902,12 +1050,33 @@ impl<P, W> Simulator<P, W> {
             .topology
             .link_between(from, to)
             .unwrap_or_else(|| panic!("{from} is not adjacent to {to}"));
+        let mut cause = self.cur_span;
+        let lid = if self.lineage.is_enabled() {
+            self.lineage_id_of(&pkt)
+        } else {
+            None
+        };
+        if let Some(l) = lid {
+            if cause == NO_SPAN {
+                // Locally originated outside packet service (a timer-driven
+                // publish, a recovery retransmit): give it a closed root.
+                let origin = self.lineage.origin(l, from.0, self.now);
+                self.lineage.close(origin, self.now);
+                cause = origin;
+            }
+        }
         if let Some(f) = self.faults.as_mut() {
             if !f.link_up[link.index()] {
+                if let Some(l) = lid {
+                    self.lineage.drop_at(l, cause, from.0, "link-lost", self.now);
+                }
                 self.fault_drop(from, Some(to), size, "link-lost");
                 return;
             }
             if f.drop_on_link() {
+                if let Some(l) = lid {
+                    self.lineage.drop_at(l, cause, from.0, "link-lost", self.now);
+                }
                 self.fault_drop(from, Some(to), size, "link-lost");
                 return;
             }
@@ -939,6 +1108,10 @@ impl<P, W> Simulator<P, W> {
                 start + tx + prop
             }
         };
+        let span = match lid {
+            Some(l) => self.lineage.hop(l, cause, to.0, arrival),
+            None => NO_SPAN,
+        };
         self.push_event(
             arrival,
             Event::Arrival {
@@ -946,6 +1119,7 @@ impl<P, W> Simulator<P, W> {
                 from: Some(from),
                 pkt,
                 size,
+                span,
             },
         );
     }
@@ -1529,6 +1703,179 @@ mod tests {
             sim.install_faults(FaultPlan::new(99));
             sim.faults_active()
         });
+    }
+
+    struct Deliverer {
+        entity: u32,
+    }
+    impl NodeBehavior<u32, World> for Deliverer {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, _f: Option<NodeId>, pkt: u32) {
+            let now = ctx.now().as_nanos();
+            ctx.world().arrivals.push((now, pkt));
+            ctx.lineage_deliver(self.entity);
+        }
+        fn service_time(&self, _pkt: &u32) -> SimDuration {
+            SimDuration::from_millis(2)
+        }
+    }
+
+    fn lineage_sim() -> (Simulator<u32, World>, NodeId, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        t.add_link(a, b, SimDuration::from_millis(1), None);
+        let mut sim = Simulator::new(t, World::default());
+        sim.set_behavior(a, Box::new(Relay { to: Some(b), service: SimDuration::ZERO }));
+        sim.set_behavior(b, Box::new(Deliverer { entity: 77 }));
+        sim.set_lineage_ids(|p| if *p < 1000 { Some(u64::from(*p)) } else { None });
+        sim.enable_lineage(crate::lineage::LineageConfig::default());
+        (sim, a, b)
+    }
+
+    #[test]
+    fn lineage_traces_origin_hop_and_delivery() {
+        use crate::lineage::SpanEvent;
+        let (mut sim, a, _b) = lineage_sim();
+        sim.inject(SimTime::ZERO, a, 5, 100);
+        sim.run();
+        let events: Vec<_> = sim.lineage().spans().iter().map(|s| s.event).collect();
+        assert_eq!(
+            events,
+            vec![SpanEvent::Origin, SpanEvent::Hop, SpanEvent::Deliver]
+        );
+        let hop = &sim.lineage().spans()[1];
+        assert_eq!(hop.lineage, 5);
+        assert_eq!(hop.cause, 0);
+        // Hop enqueued at 1ms (propagation), served immediately, done after
+        // the 2ms service.
+        assert_eq!(hop.t_enqueue, SimTime::from_millis(1));
+        assert_eq!(hop.t_service_start, SimTime::from_millis(1));
+        assert_eq!(hop.t_done, SimTime::from_millis(3));
+        let deliver = &sim.lineage().spans()[2];
+        assert_eq!(deliver.entity, 77);
+        assert_eq!(deliver.cause, 1);
+        // Untraced packets (classifier returns None) record nothing.
+        sim.inject(sim.now(), a, 2000, 100);
+        sim.run();
+        assert_eq!(sim.lineage().spans().len(), 3);
+    }
+
+    #[test]
+    fn lineage_audit_balances_clean_run() {
+        let (mut sim, a, _b) = lineage_sim();
+        sim.inject(SimTime::ZERO, a, 5, 100);
+        sim.lineage_mut().expect(5, SimTime::ZERO, 1, &[77]);
+        sim.run();
+        let report = sim.lineage().audit(SimTime::from_millis(100), None);
+        assert_eq!(report.total_pairs, 1);
+        assert_eq!(report.delivered, 1);
+        assert!(report.is_clean(), "{:?}", report.errors);
+    }
+
+    #[test]
+    fn lineage_explains_link_and_node_losses() {
+        let (mut sim, a, b) = lineage_sim();
+        sim.install_faults(
+            FaultPlan::new(3)
+                .link_down(SimTime::from_millis(10), LinkId(0))
+                .link_up(SimTime::from_millis(20), LinkId(0))
+                .node_down(SimTime::from_millis(30), b),
+        );
+        // pkt 1 dies on the downed link; pkt 2 is blackholed at the dead
+        // node (sent at 25ms, arrives 26ms... node dies at 30ms, so give it
+        // a queue-flush instead: b's 2ms service makes a 29.5ms arrival
+        // still queued at 30ms).
+        sim.inject(SimTime::from_millis(15), a, 1, 100);
+        sim.lineage_mut().expect(1, SimTime::from_millis(15), 0, &[77]);
+        sim.inject(SimTime::from_millis(29), a, 2, 100);
+        sim.lineage_mut().expect(2, SimTime::from_millis(29), 0, &[77]);
+        // pkt 3 arrives at the dead node: blackholed.
+        sim.inject(SimTime::from_millis(40), a, 3, 100);
+        sim.lineage_mut().expect(3, SimTime::from_millis(40), 0, &[77]);
+        sim.run();
+        let report = sim.lineage().audit(SimTime::from_millis(100), None);
+        assert_eq!(report.total_pairs, 3);
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.dropped.get("link-lost"), Some(&1), "{report:?}");
+        assert_eq!(report.dropped.get("node-lost"), Some(&2), "{report:?}");
+        assert!(report.is_clean(), "{:?}", report.errors);
+    }
+
+    #[test]
+    fn lineage_sampling_and_export_are_deterministic() {
+        let run = || {
+            let (mut sim, a, _b) = lineage_sim();
+            for i in 0..10u32 {
+                sim.inject(SimTime::from_millis(u64::from(i)), a, i, 100);
+            }
+            sim.run();
+            (
+                sim.lineage().fingerprint(),
+                sim.lineage().spans_json().to_string(),
+            )
+        };
+        let (f1, j1) = run();
+        let (f2, j2) = run();
+        assert_eq!(f1, f2);
+        assert_eq!(j1, j2);
+
+        // 1-in-2 sampling keeps whole lineages of even ids only.
+        let (mut sim, a, _b) = lineage_sim();
+        sim.enable_lineage(crate::lineage::LineageConfig { sample: 2, capacity: 1024 });
+        for i in 0..10u32 {
+            sim.inject(SimTime::from_millis(u64::from(i)), a, i, 100);
+        }
+        sim.run();
+        assert!(sim.lineage().spans().iter().all(|s| s.lineage % 2 == 0));
+        assert_eq!(sim.lineage().spans().len(), 15); // 5 lineages x 3 spans
+    }
+
+    #[test]
+    fn lineage_disabled_records_nothing() {
+        let (mut sim, a, _b) = two_node_sim(SimDuration::ZERO, None);
+        sim.set_lineage_ids(|p| Some(u64::from(*p)));
+        sim.inject(SimTime::ZERO, a, 1, 100);
+        sim.run();
+        assert!(!sim.lineage().is_enabled());
+        assert!(sim.lineage().spans().is_empty());
+    }
+
+    #[test]
+    fn timeseries_snapshots_counters_and_queues() {
+        let (mut sim, a, _b) = two_node_sim(SimDuration::from_millis(10), None);
+        sim.enable_telemetry(TelemetryConfig::default());
+        sim.enable_timeseries(TimeSeriesConfig {
+            tick: SimDuration::from_millis(5),
+            counters: vec!["drop"],
+            gauges: vec![],
+            per_node: vec![],
+            max_frames: 100,
+        });
+        sim.inject(SimTime::ZERO, a, 1, 100);
+        sim.inject(SimTime::ZERO, a, 2, 100);
+        sim.run_until(SimTime::from_millis(25));
+        let json = sim.timeseries_json().expect("enabled").to_string();
+        // Frames at 5,10,15,20,25 ms — captured even after the event queue
+        // drains (final flush at the horizon).
+        assert!(json.contains("\"tick_ns\":5000000"), "{json}");
+        assert_eq!(json.matches("\"t_ns\":").count(), 5, "{json}");
+        // At t=5ms, b is serving pkt 1 with pkt 2 queued behind it.
+        assert!(json.contains("\"queue_sum\":2"), "{json}");
+    }
+
+    #[test]
+    fn timeseries_same_seed_is_byte_identical() {
+        let run = || {
+            let (mut sim, a, _b) = two_node_sim(SimDuration::from_millis(3), None);
+            sim.enable_telemetry(TelemetryConfig::default());
+            sim.enable_timeseries(TimeSeriesConfig::default());
+            for i in 0..20u32 {
+                sim.inject(SimTime::from_millis(u64::from(i) * 100), a, i, 100);
+            }
+            sim.run_until(SimTime::from_secs_f64(3.0));
+            sim.timeseries_json().expect("enabled").to_string()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -142,6 +142,42 @@ impl fmt::Display for Json {
     }
 }
 
+/// Assembles a standard results document: `schema` tag, experiment name
+/// and seed first (so every `results/*.json` file is self-describing),
+/// then the experiment-specific `fields` in the order given.
+///
+/// Every exporter in the workspace funnels through this one builder — one
+/// writer, one escaping path.
+#[must_use]
+pub fn results_doc(
+    schema: &str,
+    exp: &str,
+    seed: u64,
+    fields: impl IntoIterator<Item = (&'static str, Json)>,
+) -> Json {
+    let mut pairs = vec![
+        ("schema".to_string(), Json::str(schema)),
+        ("exp".to_string(), Json::str(exp)),
+        ("seed".to_string(), Json::UInt(seed)),
+    ];
+    pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Json::Object(pairs)
+}
+
+/// Serializes `doc` to `path`, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (directory not creatable, disk full, …).
+pub fn write_results(path: &str, doc: &Json) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, doc.to_string())
+}
+
 impl From<bool> for Json {
     fn from(v: bool) -> Json {
         Json::Bool(v)
@@ -220,5 +256,19 @@ mod tests {
     fn object_preserves_key_order() {
         let j = Json::obj([("z", Json::from(1u64)), ("a", Json::from(2u64))]);
         assert_eq!(j.to_string(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn results_doc_leads_with_schema_exp_seed() {
+        let doc = results_doc(
+            "gcopss-test-v1",
+            "exp_x",
+            42,
+            [("rows", Json::arr([Json::from(1u64)]))],
+        );
+        assert_eq!(
+            doc.to_string(),
+            r#"{"schema":"gcopss-test-v1","exp":"exp_x","seed":42,"rows":[1]}"#
+        );
     }
 }

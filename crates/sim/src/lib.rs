@@ -22,10 +22,15 @@
 //!   behaviors notified through [`NodeBehavior::on_fault`].
 //! * [`metrics`] — latency recorders, CDFs and link-load accounting used to
 //!   regenerate the paper's tables and figures.
-//! * [`telemetry`] — per-node/per-link counters, log-scale histograms and a
+//! * [`telemetry`] — per-node/per-link counters, log-scale histograms, a
 //!   bounded deterministic packet-trace journal (exportable as Chrome
-//!   trace-event JSON for Perfetto), fed automatically by the engine when
-//!   enabled via [`Simulator::enable_telemetry`].
+//!   trace-event JSON for Perfetto), and a periodic time-series sampler,
+//!   fed automatically by the engine when enabled via
+//!   [`Simulator::enable_telemetry`] / [`Simulator::enable_timeseries`].
+//! * [`lineage`] — per-message causal span tracing (origin, hops, fan-out,
+//!   drops, terminal deliveries) plus a post-run delivery auditor that
+//!   classifies every `(message, subscriber)` pair; enabled via
+//!   [`Simulator::enable_lineage`].
 //!
 //! The simulator is fully deterministic: no wall-clock time, no random
 //! iteration order, and ties in the event queue are broken by insertion
@@ -74,6 +79,7 @@ mod engine;
 pub mod fault;
 pub mod generators;
 pub mod json;
+pub mod lineage;
 pub mod metrics;
 mod routing;
 pub mod telemetry;
@@ -82,8 +88,10 @@ mod topology;
 
 pub use engine::{Ctx, NodeBehavior, Simulator};
 pub use fault::{FaultEvent, FaultNotice, FaultPlan};
+pub use lineage::{AuditReport, LineageConfig, LineageLog, SpanEvent, SpanRecord, NO_SPAN};
 pub use telemetry::{
-    LogHistogram, Telemetry, TelemetryConfig, TelemetryReport, TraceEvent, TraceRecord,
+    LogHistogram, Telemetry, TelemetryConfig, TelemetryReport, TimeSeries, TimeSeriesConfig,
+    TraceEvent, TraceRecord,
 };
 pub use routing::RoutingTable;
 pub use time::{SimDuration, SimTime};

@@ -409,6 +409,25 @@ impl Telemetry {
             .sum()
     }
 
+    /// Per-node values of a custom counter, in node-id order (nodes that
+    /// never bumped it are omitted).
+    #[must_use]
+    pub fn counter_by_node(&self, metric: &'static str) -> Vec<(u32, u64)> {
+        self.counters
+            .range((metric, 0u32)..=(metric, u32::MAX))
+            .map(|(&(_, node), &v)| (node, v))
+            .collect()
+    }
+
+    /// Sum of a gauge's last-written values across all nodes.
+    #[must_use]
+    pub fn gauge_total(&self, metric: &'static str) -> u64 {
+        self.gauges
+            .range((metric, 0u32)..=(metric, u32::MAX))
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
     /// Appends a journal record, honoring sampling and the capacity bound.
     #[inline]
     pub fn journal(&mut self, rec: TraceRecord) {
@@ -668,6 +687,125 @@ pub struct TelemetryReport {
     pub trace_events: Vec<Json>,
     /// Output of [`Telemetry::journal_fingerprint`].
     pub fingerprint: u64,
+}
+
+/// Configuration of the periodic time-series sampler
+/// ([`Simulator::enable_timeseries`](crate::Simulator::enable_timeseries)).
+#[derive(Debug, Clone)]
+pub struct TimeSeriesConfig {
+    /// Snapshot period in simulated time (first frame at `tick`).
+    pub tick: SimDuration,
+    /// Counters exported as cross-node totals per frame.
+    pub counters: Vec<&'static str>,
+    /// Gauges exported as cross-node totals per frame.
+    pub gauges: Vec<&'static str>,
+    /// Counters exported with a per-node breakdown per frame (e.g.
+    /// `"rp-served"` for per-RP load over time).
+    pub per_node: Vec<&'static str>,
+    /// Maximum frames captured; sampling stops past this bound.
+    pub max_frames: usize,
+}
+
+impl Default for TimeSeriesConfig {
+    fn default() -> Self {
+        Self {
+            tick: SimDuration::from_secs(1),
+            counters: vec!["delivered", "drop"],
+            gauges: Vec::new(),
+            per_node: Vec::new(),
+            max_frames: 4096,
+        }
+    }
+}
+
+/// Periodic snapshots of counters, gauges and queue depths, captured by
+/// the engine at a fixed simulated-time tick. Frames are plain ordered
+/// JSON, so same-seed runs export byte-identical series.
+#[derive(Debug)]
+pub struct TimeSeries {
+    cfg: TimeSeriesConfig,
+    next: SimTime,
+    frames: Vec<Json>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series; the first frame is due at `cfg.tick`.
+    #[must_use]
+    pub fn new(cfg: TimeSeriesConfig) -> Self {
+        let next = SimTime::ZERO + cfg.tick;
+        Self { cfg, next, frames: Vec::new() }
+    }
+
+    /// When the next frame is due, or `None` once the frame bound is hit.
+    #[must_use]
+    pub fn next_frame_at(&self) -> Option<SimTime> {
+        (self.frames.len() < self.cfg.max_frames).then_some(self.next)
+    }
+
+    /// Captures one frame at `at` from the registry plus the engine's
+    /// per-node service-queue depths.
+    pub fn capture(
+        &mut self,
+        at: SimTime,
+        telemetry: &Telemetry,
+        queue_depths: impl Iterator<Item = usize>,
+    ) {
+        let (mut queue_sum, mut queue_max) = (0u64, 0u64);
+        for q in queue_depths {
+            queue_sum += q as u64;
+            queue_max = queue_max.max(q as u64);
+        }
+        let counters = self
+            .cfg
+            .counters
+            .iter()
+            .map(|&m| (m, Json::from(telemetry.counter_total(m))))
+            .collect::<Vec<_>>();
+        let gauges = self
+            .cfg
+            .gauges
+            .iter()
+            .map(|&m| (m, Json::from(telemetry.gauge_total(m))))
+            .collect::<Vec<_>>();
+        let per_node = self
+            .cfg
+            .per_node
+            .iter()
+            .map(|&m| {
+                let rows = telemetry
+                    .counter_by_node(m)
+                    .into_iter()
+                    .map(|(node, v)| Json::Array(vec![Json::from(node), Json::from(v)]))
+                    .collect();
+                (m, Json::Array(rows))
+            })
+            .collect::<Vec<_>>();
+        self.frames.push(Json::obj([
+            ("t_ns", Json::from(at.as_nanos())),
+            ("counters", Json::obj(counters)),
+            ("gauges", Json::obj(gauges)),
+            ("per_node", Json::obj(per_node)),
+            ("queue_sum", Json::from(queue_sum)),
+            ("queue_max", Json::from(queue_max)),
+        ]));
+        self.next = at + self.cfg.tick;
+    }
+
+    /// Number of frames captured so far.
+    #[must_use]
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The whole series as ordered JSON: tick, frame bound, frames.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("tick_ns", Json::from(self.cfg.tick.as_nanos())),
+            ("max_frames", Json::from(self.cfg.max_frames)),
+            ("frames", Json::Array(self.frames.clone())),
+        ])
+    }
 }
 
 #[cfg(test)]

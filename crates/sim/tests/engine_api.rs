@@ -117,6 +117,78 @@ fn online_stats_merging_matches_bulk() {
     assert_eq!(a.max(), all.max());
 }
 
+/// Every fault-injected drop leaves a journal record whose class names
+/// the reason, in lockstep with the per-reason counters — across all four
+/// drop sites: transmission onto a dead link, a Bernoulli loss draw,
+/// arrival at a dead node (blackhole), and the queue flush of a crashing
+/// node.
+#[test]
+fn fault_drops_have_journal_parity() {
+    use gcopss_sim::{FaultPlan, LinkId, TelemetryConfig, TraceEvent};
+
+    let mut t = Topology::new();
+    let a = t.add_node("a");
+    let b = t.add_node("b");
+    t.add_link(a, b, SimDuration::from_millis(1), None);
+    struct Fwd(NodeId);
+    impl NodeBehavior<u32, World> for Fwd {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, from: Option<NodeId>, pkt: u32) {
+            if from.is_none() && ctx.node() != self.0 {
+                ctx.send(self.0, pkt, 64);
+            } else {
+                let now = ctx.now().as_nanos();
+                ctx.world().push(now);
+            }
+        }
+        fn service_time(&self, _pkt: &u32) -> SimDuration {
+            SimDuration::from_millis(2)
+        }
+    }
+    let mut sim = Simulator::new(t, World::new());
+    sim.set_behavior(a, Box::new(Fwd(b)));
+    sim.set_behavior(b, Box::new(Fwd(b)));
+    sim.enable_telemetry(TelemetryConfig::default());
+    sim.install_faults(
+        FaultPlan::new(7)
+            .with_loss(0.3)
+            .link_down(SimTime::from_millis(10), LinkId(0))
+            .link_up(SimTime::from_millis(20), LinkId(0))
+            .node_down(SimTime::from_millis(30), b)
+            .node_up(SimTime::from_millis(35), b),
+    );
+    // Feed every drop site: the dead-link window (12 ms), the crash's
+    // queue flush (an arrival in service at b when it dies at 30 ms), the
+    // blackhole window (arrivals while b is down), and Bernoulli loss over
+    // a tail of ordinary traffic.
+    sim.inject(SimTime::from_millis(12), a, 1, 64);
+    sim.inject(SimTime::from_millis(26), a, 2, 64);
+    sim.inject(SimTime::from_micros(26_200), a, 3, 64);
+    sim.inject(SimTime::from_millis(31), a, 4, 64);
+    for i in 0..40u64 {
+        sim.inject(SimTime::from_millis(40 + i * 5), a, 100 + i as u32, 64);
+    }
+    sim.run();
+
+    let (link_lost, node_lost) = sim.fault_drops();
+    assert!(link_lost >= 2, "dead link + loss draws: {link_lost}");
+    assert!(node_lost >= 2, "flush + blackhole: {node_lost}");
+    let tele = sim.telemetry();
+    assert_eq!(tele.counter_total("link-lost"), link_lost);
+    assert_eq!(tele.counter_total("node-lost"), node_lost);
+    assert_eq!(tele.counter_total("drop"), link_lost + node_lost);
+    let mut by_class = std::collections::BTreeMap::new();
+    for r in tele
+        .journal_records()
+        .iter()
+        .filter(|r| r.event == TraceEvent::Drop)
+    {
+        *by_class.entry(r.class).or_insert(0u64) += 1;
+    }
+    assert_eq!(by_class.get("link-lost"), Some(&link_lost));
+    assert_eq!(by_class.get("node-lost"), Some(&node_lost));
+    assert_eq!(by_class.values().sum::<u64>(), link_lost + node_lost);
+}
+
 #[test]
 fn backbone_hosts_reach_each_other_through_sim() {
     // End-to-end over a generated backbone: a packet relayed hop by hop

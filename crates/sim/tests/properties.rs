@@ -2,6 +2,7 @@
 //! deterministic `gcopss_compat::prop` harness.
 
 use gcopss_compat::prop;
+use gcopss_sim::telemetry::LogHistogram;
 use gcopss_sim::{
     generators, Ctx, NodeBehavior, NodeId, RoutingTable, SimDuration, SimTime, Simulator,
 };
@@ -128,6 +129,94 @@ fn routing_distances_are_metric() {
                     assert!(dxy <= dxz + dzy, "triangle inequality violated");
                 }
             }
+        }
+    });
+}
+
+fn hist(values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// The histogram tolerates the full `u64` domain: recording `u64::MAX`
+/// (top bucket) and `0` (bucket zero) alongside arbitrary values keeps
+/// count/min/max exact and the extreme quantiles pinned to them.
+#[test]
+fn log_histogram_survives_extreme_values() {
+    let input = prop::vec(prop::range(0u64..u64::MAX), 0..=48);
+    prop::check(0x51305, CASES, &input, |values| {
+        let mut h = hist(values);
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), values.len() as u64 + 2);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // The JSON summary must render without panicking on the extremes.
+        assert!(h.to_json().to_string().contains("\"count\""));
+    });
+}
+
+/// An empty histogram answers every quantile with 0 and reports no
+/// min/max, regardless of `q`.
+#[test]
+fn log_histogram_empty_quantiles_are_zero() {
+    prop::check(0x51306, CASES, &prop::range(0u32..=1000), |q| {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(f64::from(*q) / 1000.0), 0);
+    });
+}
+
+/// Merging is associative and agrees with bulk recording: the merge
+/// order of per-shard histograms must not affect the aggregate.
+#[test]
+fn log_histogram_merge_is_associative() {
+    let vals = || prop::vec(prop::range(0u64..1 << 40), 0..=24);
+    let input = (vals(), vals(), vals());
+    prop::check(0x51307, CASES, &input, |(a, b, c)| {
+        let (ha, hb, hc) = (hist(a), hist(b), hist(c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha;
+        right.merge(&bc);
+        assert_eq!(left, right, "merge order changed the aggregate");
+        let all: Vec<u64> = a.iter().chain(b).chain(c).copied().collect();
+        assert_eq!(left, hist(&all), "merge disagrees with bulk recording");
+    });
+}
+
+/// Quantiles are monotone in `q` and always land inside the observed
+/// `[min, max]` range.
+#[test]
+fn log_histogram_quantiles_are_monotone() {
+    let input = (
+        prop::vec(prop::range(0u64..1 << 48), 1..=40),
+        prop::range(0u32..=1000),
+        prop::range(0u32..=1000),
+    );
+    prop::check(0x51308, CASES, &input, |(values, qa, qb)| {
+        let h = hist(values);
+        let (lo, hi) = (*qa.min(qb), *qa.max(qb));
+        let (ql, qh) = (f64::from(lo) / 1000.0, f64::from(hi) / 1000.0);
+        assert!(
+            h.quantile(ql) <= h.quantile(qh),
+            "quantile({ql}) > quantile({qh})"
+        );
+        for q in [ql, qh] {
+            let v = h.quantile(q);
+            assert!(v >= h.min().unwrap(), "quantile below observed min");
+            assert!(v <= h.max().unwrap(), "quantile above observed max");
         }
     });
 }
