@@ -8,11 +8,13 @@
 //! `cargo bench --offline`. Pass a substring argument to run a subset,
 //! e.g. `cargo bench --offline -- names/`.
 
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use gcopss_bench::{write_bench, BenchEntry};
 use gcopss_copss::{CopssEngine, MulticastPacket, RpId, SubscriptionTable, TrafficWindow};
 use gcopss_core::experiments::{Workload, WorkloadParams};
 use gcopss_core::scenario::{build_gcopss, GcopssConfig, NetworkSpec};
@@ -29,6 +31,7 @@ const WARMUP_TARGET: Duration = Duration::from_millis(100);
 
 struct Runner {
     filter: Option<String>,
+    entries: RefCell<Vec<BenchEntry>>,
 }
 
 impl Runner {
@@ -39,11 +42,33 @@ impl Runner {
             .skip(1)
             .find(|a| !a.starts_with("--"));
         println!("{:<44} {:>12} {:>14}", "benchmark", "iterations", "per-iter");
-        Runner { filter }
+        Runner {
+            filter,
+            entries: RefCell::new(Vec::new()),
+        }
     }
 
     fn skip(&self, id: &str) -> bool {
         self.filter.as_deref().is_some_and(|f| !id.contains(f))
+    }
+
+    fn record(&self, id: &str, median_ns: f64, iters: u64) {
+        self.entries
+            .borrow_mut()
+            .push(BenchEntry::new(id, median_ns, iters));
+    }
+
+    /// Writes the `BENCH_<label>.json` perf trajectory — only for unfiltered
+    /// runs, so the benchmark-set fingerprint stays comparable run to run.
+    fn write_trajectory(&self, label: &str) {
+        if self.filter.is_some() {
+            return;
+        }
+        // `cargo bench` runs with the package dir as cwd; hop to the
+        // workspace root so results/ matches the experiment binaries.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        std::env::set_current_dir(root).expect("chdir to workspace root");
+        write_bench(label, 0, &self.entries.borrow()).expect("write bench trajectory");
     }
 
     /// Warm up for ~WARMUP_TARGET, then time batches until MEASURE_TARGET
@@ -72,19 +97,25 @@ impl Runner {
                 break;
             }
         }
-        // Measurement.
+        // Measurement: per-batch means, reported as their median (robust
+        // against scheduler noise in a shared environment).
         let mut iters: u64 = 0;
         let mut elapsed = Duration::ZERO;
+        let mut batch_ns: Vec<f64> = Vec::new();
         while elapsed < MEASURE_TARGET {
             let t = Instant::now();
             for _ in 0..batch {
                 black_box(f());
             }
-            elapsed += t.elapsed();
+            let dt = t.elapsed();
+            batch_ns.push(dt.as_nanos() as f64 / batch as f64);
+            elapsed += dt;
             iters += batch;
         }
-        let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        batch_ns.sort_by(f64::total_cmp);
+        let per_iter = batch_ns[batch_ns.len() / 2];
         println!("{:<44} {:>12} {:>11.1} ns", id, iters, per_iter);
+        self.record(id, per_iter, iters);
     }
 
     /// Variant for slow, end-to-end benchmarks: fixed small iteration count,
@@ -94,12 +125,16 @@ impl Runner {
             return;
         }
         black_box(f()); // warmup
-        let t = Instant::now();
+        let mut iter_ns: Vec<f64> = Vec::with_capacity(iters as usize);
         for _ in 0..iters {
+            let t = Instant::now();
             black_box(f());
+            iter_ns.push(t.elapsed().as_nanos() as f64);
         }
-        let per_iter = t.elapsed().as_secs_f64() * 1e3 / iters as f64;
-        println!("{:<44} {:>12} {:>11.2} ms", id, iters, per_iter);
+        iter_ns.sort_by(f64::total_cmp);
+        let median_ns = iter_ns[iter_ns.len() / 2];
+        println!("{:<44} {:>12} {:>11.2} ms", id, iters, median_ns / 1e6);
+        self.record(id, median_ns, iters);
     }
 }
 
@@ -127,8 +162,11 @@ fn bench_bloom_and_st(r: &Runner) {
         }
     }
     let cd = Cd::parse_lit("/3/4");
-    r.bench("subscription_table/matching_faces_bloom", || {
+    r.bench("subscription_table/matching_faces_index", || {
         st.matching_faces(&cd, None, Some(RpId(0)))
+    });
+    r.bench("subscription_table/matching_faces_bloom", || {
+        st.matching_faces_bloom(&cd, None, Some(RpId(0)))
     });
     r.bench("subscription_table/matching_faces_exact", || {
         st.matching_faces_exact(&cd, None, Some(RpId(0)))
@@ -146,11 +184,22 @@ fn bench_bloom_and_st(r: &Runner) {
 
 fn bench_fib_pit(r: &Runner) {
     let mut tree: NameTree<u32> = NameTree::new();
+    let mut fib = gcopss_ndn::Fib::new();
     for i in 0..400u32 {
         tree.insert(Name::parse_lit("/player").child_index(i), i);
+        fib.add(Name::parse_lit("/player").child_index(i), FaceId(i));
     }
     let probe = Name::parse_lit("/player/250/17");
-    r.bench("ndn_engine/fib_lpm_400_routes", || tree.longest_prefix(&probe));
+    let chain = probe.hash_chain();
+    r.bench("ndn_engine/fib_lpm_400_routes", || {
+        fib.lookup(&probe).map(<[FaceId]>::len)
+    });
+    r.bench("ndn_engine/fib_lpm_hashed_400_routes", || {
+        fib.lookup_hashed(&probe, &chain).map(<[FaceId]>::len)
+    });
+    r.bench("ndn_engine/nametree_lpm_400_routes", || {
+        tree.longest_prefix(&probe)
+    });
 
     let mut e = NdnEngine::new(NdnConfig::default());
     e.fib_mut().add(Name::parse_lit("/a"), FaceId(9));
@@ -328,4 +377,5 @@ fn main() {
     bench_end_to_end(&r);
     bench_telemetry_overhead(&r);
     bench_lineage_overhead(&r);
+    r.write_trajectory("micro");
 }

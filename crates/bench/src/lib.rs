@@ -179,6 +179,69 @@ pub fn write_audit(exp: &str, seed: u64, runs: &[(String, Json)]) -> std::io::Re
     Ok(path)
 }
 
+/// One measured benchmark for the `BENCH_*.json` perf trajectory.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Stable benchmark id (`structure/operation[/size]`).
+    pub id: String,
+    /// Median per-iteration cost in nanoseconds.
+    pub median_ns: f64,
+    /// Iterations the median was computed over.
+    pub iters: u64,
+}
+
+impl BenchEntry {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(id: impl Into<String>, median_ns: f64, iters: u64) -> Self {
+        Self {
+            id: id.into(),
+            median_ns,
+            iters,
+        }
+    }
+}
+
+/// Writes `results/BENCH_<label>.json`: the machine-readable perf
+/// trajectory — per-benchmark median nanoseconds plus a fingerprint over
+/// the benchmark *identities* (FNV-1a of the newline-joined ids). The
+/// fingerprint pins the benchmark set, so two files are comparable iff
+/// their fingerprints match; timings are expected to vary run to run.
+/// Returns the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (`results/` not creatable, disk full, …).
+pub fn write_bench(label: &str, seed: u64, entries: &[BenchEntry]) -> std::io::Result<String> {
+    let path = format!("results/BENCH_{label}.json");
+    let ids: Vec<&str> = entries.iter().map(|e| e.id.as_str()).collect();
+    let fingerprint = gcopss_names::fnv1a(ids.join("\n").as_bytes());
+    let doc = results_doc(
+        "gcopss-bench-v1",
+        label,
+        seed,
+        [
+            (
+                "entries",
+                Json::arr(entries.iter().map(|e| {
+                    Json::obj([
+                        ("id", Json::str(e.id.clone())),
+                        ("median_ns", Json::Float(e.median_ns)),
+                        ("iters", Json::UInt(e.iters)),
+                    ])
+                })),
+            ),
+            ("fingerprint", Json::str(format!("{fingerprint:016x}"))),
+        ],
+    );
+    write_results(&path, &doc)?;
+    println!(
+        "bench trajectory written to {path} ({} entries, fingerprint {fingerprint:016x})",
+        entries.len()
+    );
+    Ok(path)
+}
+
 /// Formats bytes as the paper's GB unit.
 #[must_use]
 pub fn gb(bytes: u64) -> f64 {

@@ -2,37 +2,84 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use gcopss_names::{BloomParams, Cd, CdSet, CountingBloomFilter, Name};
+use gcopss_names::{BloomParams, Cd, CdSet, CountingBloomFilter, Name, NameTreeBitmap};
 use gcopss_ndn::FaceId;
 
 use crate::RpId;
 
 /// One face's subscription to one CD name.
+///
+/// The two anchor sets record *who asserted* the anchors — host-derived
+/// anchors are recomputed from the RP table on every `RpUpdate`
+/// ([`SubscriptionTable::retag_auto`]), while router-join anchors are owned
+/// by the joining router and must survive retagging untouched. Folding both
+/// into one set with an `auto` flag (as this table originally did) lets a
+/// host re-subscribe convert a router-join entry, after which the next
+/// retag silently wipes the router's anchors and multicasts skip the face.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct SubEntry {
-    /// `true` when the subscription came from a host (no RP tag on the
-    /// wire): its anchor RPs are derived from the RP table and must be
-    /// recomputed when CDs move between RPs.
-    auto: bool,
-    /// The RP trees this entry belongs to. A multicast travelling tree `T`
-    /// leaves through this face only if `T` is in this set — this is what
-    /// keeps each publication on its own core-based tree (§III-B) instead
-    /// of leaking onto the trees of other RPs (which, on a cyclic
-    /// topology, would loop).
-    rps: BTreeSet<RpId>,
+    /// Anchors derived from the RP table for a host subscription (no RP tag
+    /// on the wire). `Some` even when empty: a host subscription with no
+    /// reachable RP still exists for untagged (host-side) delivery.
+    host: Option<BTreeSet<RpId>>,
+    /// Anchors asserted by explicit router joins, one per joined RP tree.
+    router: Option<BTreeSet<RpId>>,
+}
+
+impl SubEntry {
+    fn empty() -> Self {
+        Self {
+            host: None,
+            router: None,
+        }
+    }
+
+    fn is_gone(&self) -> bool {
+        self.host.is_none() && self.router.is_none()
+    }
+
+    /// A multicast on tree `tree` may leave through this entry's face.
+    /// `tree = None` matches any entry (host-side and hybrid delivery).
+    fn matches_tree(&self, tree: Option<RpId>) -> bool {
+        match tree {
+            None => true,
+            Some(t) => {
+                self.host.as_ref().is_some_and(|s| s.contains(&t))
+                    || self.router.as_ref().is_some_and(|s| s.contains(&t))
+            }
+        }
+    }
+
+    /// The union of both provenances' anchors.
+    fn anchors(&self) -> impl Iterator<Item = &RpId> {
+        self.host
+            .iter()
+            .flatten()
+            .chain(self.router.iter().flatten())
+    }
 }
 
 /// The COPSS Subscription Table: for every face, the set of CDs subscribed
 /// through that face, each tagged with the RP trees it was joined toward.
 ///
-/// Following §III-C, each face's CD set is also represented as a counting
-/// Bloom filter so a multicast can be pre-matched with "simple bit
-/// comparison" against the per-level hashes it carries; the exact entries
-/// decide tree membership and make `Unsubscribe` exact.
-///
 /// The match rule is hierarchical: a multicast with CD `c` on tree `T` is
 /// forwarded to face `f` iff `f` subscribed to some *prefix* of `c` with
 /// `T` among its anchor RPs.
+///
+/// Internally the table keeps two synchronized views:
+///
+/// * a **shared match index** — one [`NameTreeBitmap`] over all faces'
+///   subscription names, each node holding the per-face anchor entries for
+///   that exact name. [`SubscriptionTable::matching_faces`] walks the
+///   packet's CD down this index using the precomputed per-level hashes it
+///   carries (§III-C), so the cost of a match is `O(depth)` regardless of
+///   how many faces or subscriptions the table holds;
+/// * **per-face tables** — each face's exact entry map plus the counting
+///   Bloom filter of §III-C. The exact maps make `Unsubscribe` and
+///   [`SubscriptionTable::matching_faces_exact`] (the brute-force oracle the
+///   differential tests compare against) independent of the index; the
+///   Bloom filters remain the wire-representable per-face CD summary
+///   ([`SubscriptionTable::bloom_prematch`]).
 ///
 /// # Example
 ///
@@ -50,6 +97,8 @@ struct SubEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SubscriptionTable {
+    /// Shared match index: subscription name → per-face anchor entries.
+    index: NameTreeBitmap<BTreeMap<FaceId, SubEntry>>,
     faces: BTreeMap<FaceId, FaceTable>,
     bloom_params: BloomParams,
 }
@@ -66,38 +115,71 @@ impl SubscriptionTable {
     #[must_use]
     pub fn new(bloom_params: BloomParams) -> Self {
         Self {
+            index: NameTreeBitmap::new(),
             faces: BTreeMap::new(),
             bloom_params,
         }
     }
 
+    /// Mirrors `face`'s entry for `name` into the shared index (or removes
+    /// it when the entry is gone).
+    fn sync_index(
+        index: &mut NameTreeBitmap<BTreeMap<FaceId, SubEntry>>,
+        name: &Name,
+        face: FaceId,
+        entry: Option<&SubEntry>,
+    ) {
+        match entry {
+            Some(e) => {
+                index
+                    .get_or_insert_with(name, BTreeMap::new)
+                    .insert(face, e.clone());
+            }
+            None => {
+                if let Some(m) = index.get_mut(name) {
+                    m.remove(&face);
+                    if m.is_empty() {
+                        index.remove(name);
+                    }
+                }
+            }
+        }
+    }
+
     /// Adds a subscription for `cd` through `face`, anchored at `rps`.
-    /// Returns `true` if the face was not already subscribed to exactly
-    /// `cd`; re-subscribing merges the anchor sets.
+    /// `auto = true` marks a host subscription whose anchors are derived
+    /// from the RP table (and recomputed by
+    /// [`SubscriptionTable::retag_auto`]); `auto = false` marks an explicit
+    /// router join whose anchors are owned by the joining router. The two
+    /// provenances accumulate independently on the same entry. Returns
+    /// `true` if the face was not already subscribed to exactly `cd`;
+    /// re-subscribing merges into the matching provenance's anchor set.
     pub fn subscribe(&mut self, face: FaceId, cd: Name, rps: BTreeSet<RpId>, auto: bool) -> bool {
         let params = self.bloom_params;
         let ft = self.faces.entry(face).or_insert_with(|| FaceTable {
             entries: BTreeMap::new(),
             bloom: CountingBloomFilter::new(params),
         });
-        match ft.entries.get_mut(&cd) {
-            Some(e) => {
-                e.rps.extend(rps);
-                e.auto |= auto;
-                false
-            }
-            None => {
-                ft.bloom.insert(cd.stable_hash());
-                ft.entries.insert(cd, SubEntry { auto, rps });
-                true
-            }
+        let mut created = false;
+        let e = ft.entries.entry(cd.clone()).or_insert_with(|| {
+            created = true;
+            SubEntry::empty()
+        });
+        if created {
+            ft.bloom.insert(cd.stable_hash());
         }
+        let side = if auto { &mut e.host } else { &mut e.router };
+        side.get_or_insert_with(BTreeSet::new).extend(rps);
+        Self::sync_index(&mut self.index, &cd, face, Some(e));
+        created
     }
 
     /// Removes the subscription for exactly `cd` from `face`. With
-    /// `rp = Some(r)`, only the anchor `r` is removed and the entry stays
-    /// while other anchors remain; with `None` the whole entry goes.
-    /// Returns `true` if the entry was fully removed.
+    /// `rp = Some(r)`, only the router-join anchor `r` is removed (a tagged
+    /// `Unsubscribe` is a router-tree leave; host-derived anchors are not
+    /// the leaving router's to retract) and the entry stays while any
+    /// provenance remains; with `None` the whole entry goes. Returns `true`
+    /// if the entry was fully removed.
     pub fn unsubscribe(&mut self, face: FaceId, cd: &Name, rp: Option<RpId>) -> bool {
         let Some(ft) = self.faces.get_mut(&face) else {
             return false;
@@ -105,19 +187,30 @@ impl SubscriptionTable {
         let Some(e) = ft.entries.get_mut(cd) else {
             return false;
         };
-        let gone = match rp {
+        match rp {
             Some(r) => {
-                e.rps.remove(&r);
-                e.rps.is_empty()
+                if let Some(router) = &mut e.router {
+                    router.remove(&r);
+                    if router.is_empty() {
+                        e.router = None;
+                    }
+                }
             }
-            None => true,
-        };
+            None => {
+                e.host = None;
+                e.router = None;
+            }
+        }
+        let gone = e.is_gone();
         if gone {
             ft.entries.remove(cd);
             ft.bloom.remove(cd.stable_hash());
+            Self::sync_index(&mut self.index, cd, face, None);
             if ft.entries.is_empty() {
                 self.faces.remove(&face);
             }
+        } else {
+            Self::sync_index(&mut self.index, cd, face, Some(e));
         }
         gone
     }
@@ -125,30 +218,40 @@ impl SubscriptionTable {
     /// Removes every subscription of `face` (e.g. the face went down),
     /// returning the removed CDs.
     pub fn remove_face(&mut self, face: FaceId) -> Vec<Name> {
-        self.faces
-            .remove(&face)
-            .map(|ft| ft.entries.into_keys().collect())
-            .unwrap_or_default()
+        let Some(ft) = self.faces.remove(&face) else {
+            return Vec::new();
+        };
+        let cds: Vec<Name> = ft.entries.into_keys().collect();
+        for cd in &cds {
+            Self::sync_index(&mut self.index, cd, face, None);
+        }
+        cds
     }
 
-    /// Recomputes the anchor sets of host-derived (`auto`) entries from the
-    /// current RP table — called after an `RpUpdate` moved CDs. (Hosts keep
-    /// receiving from draining trees regardless: delivery to host faces is
+    /// Recomputes the anchor sets of host-derived entries from the current
+    /// RP table — called after an `RpUpdate` moved CDs. Router-join anchors
+    /// are left untouched: they were asserted by explicit joins, not derived
+    /// from the RP table, and wiping them here is exactly the
+    /// anchor-clobbering bug this table used to have. (Hosts keep receiving
+    /// from draining trees regardless: delivery to host faces is
     /// name-matched without a tree check, since leaves cannot loop.)
     pub fn retag_auto(&mut self, anchors_of: impl Fn(&Name) -> BTreeSet<RpId>) {
-        for ft in self.faces.values_mut() {
+        for (face, ft) in &mut self.faces {
             for (name, e) in &mut ft.entries {
-                if e.auto {
-                    e.rps = anchors_of(name);
+                if e.host.is_some() {
+                    e.host = Some(anchors_of(name));
+                    Self::sync_index(&mut self.index, name, *face, Some(e));
                 }
             }
         }
     }
 
     /// The faces a multicast with CD `cd` travelling tree `tree` must be
-    /// forwarded to, excluding `arrival` — Bloom prefilter on the packet's
-    /// precomputed per-level hashes, then the exact tree-membership check.
-    /// `tree = None` matches any tree (host-side and hybrid tables).
+    /// forwarded to, excluding `arrival`. Walks the shared index down the
+    /// packet's precomputed per-level hashes — `O(depth)` bitmap descents,
+    /// independent of table size — and applies the exact tree-membership
+    /// check at each stored prefix. `tree = None` matches any tree
+    /// (host-side and hybrid tables).
     #[must_use]
     pub fn matching_faces(
         &self,
@@ -156,18 +259,25 @@ impl SubscriptionTable {
         arrival: Option<FaceId>,
         tree: Option<RpId>,
     ) -> Vec<FaceId> {
-        let hashes = cd.hashes().as_slice();
-        self.faces
-            .iter()
-            .filter(|(f, _)| Some(**f) != arrival)
-            .filter(|(_, ft)| ft.bloom.contains_any(hashes))
-            .filter(|(_, ft)| Self::face_matches(ft, cd.name(), tree))
-            .map(|(f, _)| *f)
-            .collect()
+        let mut out: Vec<FaceId> = Vec::new();
+        for (_, face_map) in self
+            .index
+            .prefix_values_hashed(cd.name(), cd.hashes().as_slice())
+        {
+            for (f, e) in face_map {
+                if Some(*f) != arrival && e.matches_tree(tree) {
+                    out.push(*f);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
-    /// Like [`SubscriptionTable::matching_faces`] but skipping the Bloom
-    /// prefilter (ground truth for tests).
+    /// Like [`SubscriptionTable::matching_faces`] but scanning every face's
+    /// exact entry map, without the shared index (ground truth for the
+    /// differential tests).
     #[must_use]
     pub fn matching_faces_exact(
         &self,
@@ -183,37 +293,98 @@ impl SubscriptionTable {
             .collect()
     }
 
+    /// The paper-literal per-face path: Bloom prefilter on the packet's
+    /// per-level hashes ("simple bit comparison", §III-C), then the exact
+    /// per-face check. Same result as [`SubscriptionTable::matching_faces`]
+    /// (the filter admits no false negatives and the exact check runs
+    /// after), but `O(faces)` per packet — kept as the baseline the
+    /// `exp_scale` sweep measures the index against.
+    #[must_use]
+    pub fn matching_faces_bloom(
+        &self,
+        cd: &Cd,
+        arrival: Option<FaceId>,
+        tree: Option<RpId>,
+    ) -> Vec<FaceId> {
+        let hashes = cd.hashes().as_slice();
+        self.faces
+            .iter()
+            .filter(|(f, _)| Some(**f) != arrival)
+            .filter(|(_, ft)| ft.bloom.contains_any(hashes))
+            .filter(|(_, ft)| Self::face_matches(ft, cd.name(), tree))
+            .map(|(f, _)| *f)
+            .collect()
+    }
+
+    /// The §III-C wire-level prematch: would `face`'s counting Bloom filter
+    /// admit a packet carrying these per-level CD hashes? May err toward
+    /// `true` (false positives), never toward `false` for a subscribed CD.
+    #[must_use]
+    pub fn bloom_prematch(&self, face: FaceId, hashes: &[u64]) -> bool {
+        self.faces
+            .get(&face)
+            .is_some_and(|ft| ft.bloom.contains_any(hashes))
+    }
+
     fn face_matches(ft: &FaceTable, cd: &Name, tree: Option<RpId>) -> bool {
-        cd.prefixes().any(|p| {
-            ft.entries
-                .get(&p)
-                .is_some_and(|e| tree.is_none() || tree.is_some_and(|t| e.rps.contains(&t)))
-        })
+        cd.prefixes()
+            .any(|p| ft.entries.get(&p).is_some_and(|e| e.matches_tree(tree)))
     }
 
     /// Returns `true` if any face other than `excluding` holds a
     /// subscription at or below `prefix`.
+    ///
+    /// Answered from the index's subtree counters where possible: with no
+    /// exclusion this is a single `O(depth)` descent. With an excluded face
+    /// it falls back to comparing against that face's own entries — still
+    /// bounded by the excluded face's subscriptions under `prefix`, not by
+    /// table size.
     #[must_use]
     pub fn any_subscriber_under(&self, prefix: &Name, excluding: Option<FaceId>) -> bool {
-        self.faces
-            .iter()
-            .filter(|(f, _)| Some(**f) != excluding)
-            .any(|(_, ft)| {
-                ft.entries
-                    .range(prefix.clone()..)
-                    .next()
-                    .is_some_and(|(n, _)| prefix.is_prefix_of(n))
-            })
+        let total = self.index.count_under(prefix);
+        if total == 0 {
+            return false;
+        }
+        let Some(excluded) = excluding else {
+            return true;
+        };
+        let Some(ft) = self.faces.get(&excluded) else {
+            return true;
+        };
+        // Under the derived Name ordering, descendants of `prefix` form a
+        // contiguous initial run of `range(prefix..)`: any non-descendant
+        // name ≥ prefix differs from it at some component index before
+        // prefix's end and therefore sorts after every descendant.
+        let mine = ft
+            .entries
+            .range(prefix.clone()..)
+            .take_while(|(n, _)| prefix.is_prefix_of(n));
+        let mut mine_count = 0usize;
+        for (name, _) in mine.clone() {
+            mine_count += 1;
+            // A name the excluded face shares with any other face counts.
+            if self
+                .index
+                .get(name)
+                .is_some_and(|m| m.keys().any(|f| *f != excluded))
+            {
+                return true;
+            }
+        }
+        // More subscribed names under the prefix than the excluded face
+        // holds ⇒ some other face subscribed a name of its own.
+        total > mine_count
     }
 
     /// Returns `true` if any face other than `excluding` holds a
-    /// subscription that covers `cd` (is a prefix of it).
+    /// subscription that covers `cd` (is a prefix of it) — one `O(depth)`
+    /// walk of the shared index.
     #[must_use]
     pub fn any_subscriber_covering(&self, cd: &Name, excluding: Option<FaceId>) -> bool {
-        self.faces
+        self.index
+            .prefix_values(cd)
             .iter()
-            .filter(|(f, _)| Some(**f) != excluding)
-            .any(|(_, ft)| cd.prefixes().any(|p| ft.entries.contains_key(&p)))
+            .any(|(_, m)| m.keys().any(|f| Some(*f) != excluding))
     }
 
     /// The exact CDs subscribed through `face`.
@@ -231,13 +402,14 @@ impl SubscriptionTable {
         self.faces.keys().copied().collect()
     }
 
-    /// Every `(name, anchor RPs)` subscription across all faces, merged.
+    /// Every `(name, anchor RPs)` subscription across all faces, merged
+    /// over both provenances.
     #[must_use]
     pub fn all_subscriptions_tagged(&self) -> BTreeMap<Name, BTreeSet<RpId>> {
         let mut out: BTreeMap<Name, BTreeSet<RpId>> = BTreeMap::new();
         for ft in self.faces.values() {
             for (name, e) in &ft.entries {
-                out.entry(name.clone()).or_default().extend(e.rps.iter());
+                out.entry(name.clone()).or_default().extend(e.anchors());
             }
         }
         out
@@ -339,9 +511,33 @@ mod tests {
             for j in 1..=5u32 {
                 let cd = Cd::parse_lit(&format!("/{i}/{j}"));
                 let exact = st.matching_faces_exact(&cd, None, Some(RpId(0)));
-                let bloom = st.matching_faces(&cd, None, Some(RpId(0)));
+                let bloom = st.matching_faces_bloom(&cd, None, Some(RpId(0)));
+                assert_eq!(bloom, exact, "bloom path diverged from exact");
                 for f in &exact {
-                    assert!(bloom.contains(f), "bloom missed subscribed face");
+                    assert!(
+                        st.bloom_prematch(*f, cd.hashes().as_slice()),
+                        "bloom prematch missed subscribed face"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_path_matches_exact_path() {
+        let mut st = SubscriptionTable::default();
+        st.subscribe(FaceId(1), n("/1"), rps(&[0]), true);
+        st.subscribe(FaceId(2), n("/1/2"), rps(&[1]), false);
+        st.subscribe(FaceId(3), n("/1/2/3"), rps(&[0, 1]), true);
+        for probe in ["/1", "/1/2", "/1/2/3", "/1/2/3/4", "/2", "/1/9"] {
+            let cd = Cd::parse_lit(probe);
+            for tree in [None, Some(RpId(0)), Some(RpId(1)), Some(RpId(9))] {
+                for arrival in [None, Some(FaceId(1)), Some(FaceId(2))] {
+                    assert_eq!(
+                        st.matching_faces(&cd, arrival, tree),
+                        st.matching_faces_exact(&cd, arrival, tree),
+                        "index diverged at cd={probe} tree={tree:?} arrival={arrival:?}"
+                    );
                 }
             }
         }
@@ -389,12 +585,60 @@ mod tests {
     }
 
     #[test]
+    fn host_resubscribe_must_not_clobber_router_anchors() {
+        // Regression (ISSUE 6): face 1 is a downstream router joined toward
+        // RP 0. A host behind the same face then subscribes to the same CD
+        // (anchors derived from the RP table: RP 5). With the old merged
+        // `auto |= auto` entry, the re-subscribe converted the whole entry
+        // to host provenance, and the retag after the next RpUpdate
+        // replaced {0, 5} with {5} — multicasts on tree 0 silently stopped
+        // leaving through face 1.
+        let mut st = SubscriptionTable::default();
+        st.subscribe(FaceId(1), n("/1"), rps(&[0]), false); // router join
+        st.subscribe(FaceId(1), n("/1"), rps(&[5]), true); // host re-subscribe
+        st.retag_auto(|_| rps(&[5])); // RpUpdate settles
+
+        let cd = Cd::parse_lit("/1/9");
+        assert_eq!(
+            st.matching_faces(&cd, None, Some(RpId(0))),
+            vec![FaceId(1)],
+            "router-join anchor lost after host re-subscribe + retag"
+        );
+        assert_eq!(st.matching_faces(&cd, None, Some(RpId(5))), vec![FaceId(1)]);
+
+        // And the reverse order: host first, router join second — the retag
+        // must also leave the router's anchor alone.
+        let mut st = SubscriptionTable::default();
+        st.subscribe(FaceId(2), n("/1"), rps(&[5]), true);
+        st.subscribe(FaceId(2), n("/1"), rps(&[0]), false);
+        st.retag_auto(|_| rps(&[5]));
+        assert_eq!(st.matching_faces(&cd, None, Some(RpId(0))), vec![FaceId(2)]);
+    }
+
+    #[test]
+    fn tagged_unsubscribe_is_a_router_leave() {
+        // A tagged Unsubscribe retracts a router join; host-derived anchors
+        // are not the leaving router's to retract.
+        let mut st = SubscriptionTable::default();
+        st.subscribe(FaceId(1), n("/1"), rps(&[0]), false);
+        st.subscribe(FaceId(1), n("/1"), rps(&[0, 5]), true);
+        assert!(!st.unsubscribe(FaceId(1), &n("/1"), Some(RpId(0))));
+        let cd = Cd::parse_lit("/1/9");
+        // The host-derived anchor 0 still matches; only the join is gone.
+        assert_eq!(st.matching_faces(&cd, None, Some(RpId(0))), vec![FaceId(1)]);
+        // Retag drops the host's 0; now nothing anchors tree 0.
+        st.retag_auto(|_| rps(&[5]));
+        assert!(st.matching_faces(&cd, None, Some(RpId(0))).is_empty());
+        assert_eq!(st.matching_faces(&cd, None, Some(RpId(5))), vec![FaceId(1)]);
+    }
+
+    #[test]
     fn counting_bloom_survives_unsubscribe_of_sibling() {
         let mut st = SubscriptionTable::default();
         st.subscribe(FaceId(1), n("/1/1"), rps(&[0]), true);
         st.subscribe(FaceId(1), n("/1/2"), rps(&[0]), true);
         st.unsubscribe(FaceId(1), &n("/1/2"), None);
-        let out = st.matching_faces(&Cd::parse_lit("/1/1"), None, Some(RpId(0)));
+        let out = st.matching_faces_bloom(&Cd::parse_lit("/1/1"), None, Some(RpId(0)));
         assert_eq!(out, vec![FaceId(1)]);
     }
 
@@ -421,6 +665,18 @@ mod tests {
     }
 
     #[test]
+    fn any_subscriber_under_sees_shared_names() {
+        // Faces 1 and 2 subscribe the *same* name: excluding face 1 must
+        // still report a subscriber (face 2 shares the name).
+        let mut st = SubscriptionTable::default();
+        st.subscribe(FaceId(1), n("/1/2"), rps(&[0]), true);
+        st.subscribe(FaceId(2), n("/1/2"), rps(&[0]), true);
+        assert!(st.any_subscriber_under(&n("/1"), Some(FaceId(1))));
+        assert!(st.any_subscriber_under(&n("/1"), Some(FaceId(2))));
+        assert!(!st.any_subscriber_under(&n("/2"), None));
+    }
+
+    #[test]
     fn remove_face_returns_cds() {
         let mut st = SubscriptionTable::default();
         st.subscribe(FaceId(1), n("/a"), rps(&[0]), true);
@@ -430,6 +686,7 @@ mod tests {
         assert_eq!(cds, vec![n("/a"), n("/b")]);
         assert!(st.is_empty());
         assert!(st.remove_face(FaceId(1)).is_empty());
+        assert!(st.matching_faces(&Cd::parse_lit("/a/x"), None, None).is_empty());
     }
 
     #[test]

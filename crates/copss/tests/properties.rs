@@ -62,6 +62,166 @@ fn bloom_superset_of_exact_under_churn() {
     });
 }
 
+/// Raw name over *string* components whose lexicographic order is tricky
+/// ("1" < "12" < "2" < "b"), so range-based scans that assume numeric or
+/// per-level ordering diverge if wrong. Length 0 generates the root name.
+fn tricky_name_strategy() -> impl Strategy<Value = Vec<String>> {
+    prop::vec(prop::string("ab12", 1..=2), 0..=4)
+}
+
+fn tricky_name(parts: &[String]) -> Name {
+    Name::from_components(
+        parts
+            .iter()
+            .map(|s| Component::new(s.as_str()).expect("valid component")),
+    )
+}
+
+/// One randomized Subscription Table op: (kind, face, name, rp).
+fn churn_ops() -> impl Strategy<Value = Vec<(u32, u32, Vec<String>, u32)>> {
+    prop::vec(
+        (
+            prop::range(0u32..8),
+            prop::range(0u32..5),
+            tricky_name_strategy(),
+            prop::range(0u32..3),
+        ),
+        1..=59,
+    )
+}
+
+/// Applies one encoded op to `st`.
+fn apply_op(st: &mut SubscriptionTable, op: &(u32, u32, Vec<String>, u32)) {
+    let (kind, face, parts, rp) = op;
+    let f = FaceId(*face);
+    let nm = tricky_name(parts);
+    let r = RpId(*rp);
+    match kind {
+        0 | 1 => {
+            st.subscribe(f, nm, [r].into(), true);
+        }
+        2 | 3 => {
+            st.subscribe(f, nm, [r].into(), false);
+        }
+        4 => {
+            st.unsubscribe(f, &nm, None);
+        }
+        5 => {
+            st.unsubscribe(f, &nm, Some(r));
+        }
+        6 => {
+            // RpUpdate settled: host anchors recomputed by a name-dependent
+            // (deterministic) RP table.
+            st.retag_auto(|n| [RpId(n.len() as u32 % 3)].into());
+        }
+        _ => {
+            st.remove_face(f);
+        }
+    }
+}
+
+/// Tentpole equivalence proof (ISSUE 6): after any sequence of
+/// subscribe/unsubscribe/retag/remove-face ops, the tree-bitmap index path
+/// is byte-identical to the brute-force per-face scan — for every name seen
+/// in the run, every tree, every arrival face — and so is the paper-literal
+/// Bloom-prefiltered path.
+#[test]
+fn index_match_identical_to_exact_under_churn() {
+    prop::check(
+        0xC0505,
+        CASES,
+        &(churn_ops(), tricky_name_strategy()),
+        |(ops, probe_parts)| {
+            let mut st = SubscriptionTable::default();
+            for op in ops {
+                apply_op(&mut st, op);
+            }
+            let mut probes: Vec<Name> = ops.iter().map(|(_, _, p, _)| tricky_name(p)).collect();
+            probes.push(tricky_name(probe_parts));
+            // Also probe below each subscribed name (hierarchical match).
+            let deeper: Vec<Name> = probes
+                .iter()
+                .map(|p| p.child(Component::new("x").unwrap()))
+                .collect();
+            probes.extend(deeper);
+            for probe in &probes {
+                let cd = Cd::new(probe.clone());
+                for tree in [None, Some(RpId(0)), Some(RpId(1)), Some(RpId(2))] {
+                    for arrival in [None, Some(FaceId(0)), Some(FaceId(3))] {
+                        let exact = st.matching_faces_exact(&cd, arrival, tree);
+                        assert_eq!(
+                            st.matching_faces(&cd, arrival, tree),
+                            exact,
+                            "index path diverged at cd={probe} tree={tree:?} arrival={arrival:?}"
+                        );
+                        assert_eq!(
+                            st.matching_faces_bloom(&cd, arrival, tree),
+                            exact,
+                            "bloom path diverged at cd={probe} tree={tree:?} arrival={arrival:?}"
+                        );
+                    }
+                }
+            }
+        },
+    );
+}
+
+/// Satellite (ISSUE 6): `any_subscriber_under` / `any_subscriber_covering`
+/// differenced against a brute-force scan of the per-face subscription
+/// lists, over arbitrary (lexicographically tricky) name orderings and with
+/// every exclusion choice.
+#[test]
+fn any_subscriber_queries_agree_with_brute_force() {
+    prop::check(
+        0xC0506,
+        CASES,
+        &(churn_ops(), tricky_name_strategy()),
+        |(ops, probe_parts)| {
+            let mut st = SubscriptionTable::default();
+            for op in ops {
+                apply_op(&mut st, op);
+            }
+            let mut probes: Vec<Name> = ops.iter().map(|(_, _, p, _)| tricky_name(p)).collect();
+            probes.push(tricky_name(probe_parts));
+            probes.push(Name::root());
+            let faces = st.faces();
+            let exclusions: Vec<Option<FaceId>> = std::iter::once(None)
+                .chain((0..5).map(|f| Some(FaceId(f))))
+                .collect();
+            for probe in &probes {
+                for &excluding in &exclusions {
+                    let brute_under = faces
+                        .iter()
+                        .filter(|f| Some(**f) != excluding)
+                        .any(|f| {
+                            st.face_subscriptions(*f)
+                                .iter()
+                                .any(|n| probe.is_prefix_of(n))
+                        });
+                    assert_eq!(
+                        st.any_subscriber_under(probe, excluding),
+                        brute_under,
+                        "any_subscriber_under diverged at prefix={probe} excluding={excluding:?}"
+                    );
+                    let brute_covering = faces
+                        .iter()
+                        .filter(|f| Some(**f) != excluding)
+                        .any(|f| {
+                            st.face_subscriptions(*f)
+                                .iter()
+                                .any(|n| n.is_prefix_of(probe))
+                        });
+                    assert_eq!(
+                        st.any_subscriber_covering(probe, excluding),
+                        brute_covering,
+                        "any_subscriber_covering diverged at cd={probe} excluding={excluding:?}"
+                    );
+                }
+            }
+        },
+    );
+}
+
 /// The RP table stays prefix-free under random valid assignment and
 /// splitting, and publication coverage is unique.
 #[test]

@@ -8,7 +8,7 @@
 //! Two variants are provided:
 //!
 //! * [`BloomFilter`] — the classic insert-only filter.
-//! * [`CountingBloomFilter`] — 8-bit counters so that `Unsubscribe` can
+//! * [`CountingBloomFilter`] — 16-bit counters so that `Unsubscribe` can
 //!   delete entries, which the COPSS subscription table needs.
 
 use std::fmt;
@@ -169,10 +169,18 @@ impl fmt::Debug for BloomFilter {
     }
 }
 
-/// A counting Bloom filter (8-bit saturating counters) supporting removal.
+/// A counting Bloom filter (16-bit saturating counters) supporting removal.
 ///
 /// Used by the COPSS subscription table so that `Unsubscribe` packets can
 /// delete a face's CDs without rebuilding the filter.
+///
+/// Counters are 16-bit: with 8-bit counters an undersized filter under
+/// heavy per-face load (≥1M inserts) saturates counters at 255, and since a
+/// saturated counter is sticky (never decremented, to preserve
+/// no-false-negative), the filter accumulates permanent false positives.
+/// 16-bit counters push the saturation point past any load a face can
+/// realistically present; [`CountingBloomFilter::saturated_counters`]
+/// exposes whether the backstop was ever hit.
 ///
 /// # Example
 ///
@@ -189,7 +197,7 @@ impl fmt::Debug for BloomFilter {
 #[derive(Clone, PartialEq, Eq)]
 pub struct CountingBloomFilter {
     params: BloomParams,
-    counters: Vec<u8>,
+    counters: Vec<u16>,
     items: usize,
 }
 
@@ -222,8 +230,9 @@ impl CountingBloomFilter {
         self.items == 0
     }
 
-    /// Inserts an element by its 64-bit hash. Counters saturate at 255 (a
-    /// saturated counter is never decremented, preserving no-false-negative).
+    /// Inserts an element by its 64-bit hash. Counters saturate at
+    /// [`u16::MAX`] (a saturated counter is never decremented, preserving
+    /// no-false-negative at the cost of a permanent false positive).
     pub fn insert(&mut self, element_hash: u64) {
         for i in 0..self.params.hashes {
             let b = bit_index(element_hash, i, self.params.bits);
@@ -240,7 +249,7 @@ impl CountingBloomFilter {
     pub fn remove(&mut self, element_hash: u64) {
         for i in 0..self.params.hashes {
             let b = bit_index(element_hash, i, self.params.bits);
-            if self.counters[b] != u8::MAX {
+            if self.counters[b] != u16::MAX {
                 self.counters[b] = self.counters[b].saturating_sub(1);
             }
         }
@@ -260,6 +269,20 @@ impl CountingBloomFilter {
     #[must_use]
     pub fn contains_any(&self, hashes: &[u64]) -> bool {
         hashes.iter().any(|&h| self.contains(h))
+    }
+
+    /// Number of counters stuck at the saturation ceiling. Non-zero means
+    /// the filter was driven far past its sizing and now carries permanent
+    /// false positives in those slots.
+    #[must_use]
+    pub fn saturated_counters(&self) -> usize {
+        self.counters.iter().filter(|&&c| c == u16::MAX).count()
+    }
+
+    /// The largest counter value — headroom indicator for saturation audits.
+    #[must_use]
+    pub fn max_counter(&self) -> u16 {
+        self.counters.iter().copied().max().unwrap_or(0)
     }
 
     /// Removes all elements.
@@ -396,6 +419,45 @@ mod tests {
         }
         for &h in &keep {
             assert!(f.contains(h), "false negative after churn");
+        }
+    }
+
+    #[test]
+    fn counting_filter_survives_million_insert_churn() {
+        // Saturation audit (ISSUE 6): a face sized for 256 CDs but driven
+        // with 1M inserts pushes average counter values near 2000 — far past
+        // the 255 ceiling of 8-bit counters, whose sticky saturation would
+        // leave permanent false positives after the face unsubscribes
+        // everything. 16-bit counters must absorb the load and drain back to
+        // an empty, false-positive-free filter.
+        let params = BloomParams::default(); // ~256 CDs, ~2.5k counters
+        let mut f = CountingBloomFilter::new(params);
+        const N: u64 = 1_000_000;
+        let hash = |i: u64| i.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(31);
+        for i in 0..N {
+            f.insert(hash(i));
+        }
+        assert_eq!(f.items(), N as usize);
+        let peak = f.max_counter();
+        assert!(
+            peak > u64::from(u8::MAX) as u16,
+            "audit premise: load must exceed what 8-bit counters can hold, peak = {peak}"
+        );
+        assert_eq!(
+            f.saturated_counters(),
+            0,
+            "16-bit counters must not saturate at 1M inserts per face"
+        );
+        for i in 0..N {
+            f.remove(hash(i));
+        }
+        assert!(f.is_empty());
+        assert_eq!(f.max_counter(), 0, "counters must drain exactly to zero");
+        for i in 0..1000 {
+            assert!(
+                !f.contains(hash(N + i)),
+                "drained filter must not report members"
+            );
         }
     }
 }

@@ -10,8 +10,11 @@
 //!   a precomputed per-level hash chain ([`CdHashes`]) so that routers can
 //!   match Bloom filters with plain integer comparisons (the first-hop hash
 //!   optimization of §III-C of the paper).
-//! * [`NameTree`] — a prefix trie keyed by names, used for FIBs (longest
-//!   prefix match), subscription bookkeeping and RP tables.
+//! * [`NameTree`] — a prefix trie keyed by names, used for subscription
+//!   bookkeeping, content stores and RP tables.
+//! * [`NameTreeBitmap`] — a stride-based tree-bitmap prefix map keyed on the
+//!   per-level hash chain, used on the million-entry lookup paths (FIB
+//!   longest-prefix match, Subscription Table matching).
 //! * [`BloomFilter`] / [`CountingBloomFilter`] — the per-face CD set
 //!   representation used by the COPSS Subscription Table.
 //!
@@ -50,6 +53,7 @@ mod component;
 mod error;
 mod name;
 mod tree;
+mod tree_bitmap;
 
 pub use bloom::{BloomFilter, BloomParams, CountingBloomFilter};
 pub use cd::{Cd, CdHashes, CdSet};
@@ -57,6 +61,7 @@ pub use component::Component;
 pub use error::ParseNameError;
 pub use name::{Name, Prefixes};
 pub use tree::NameTree;
+pub use tree_bitmap::NameTreeBitmap;
 
 /// Stable 64-bit FNV-1a hash used everywhere a deterministic, seed-free hash
 /// of name data is required (Bloom filters, CD hash chains, hybrid

@@ -4,7 +4,7 @@
 //! structural.
 
 use gcopss_compat::prop::{self, Strategy};
-use gcopss_names::{BloomFilter, BloomParams, Cd, CdSet, Component, Name, NameTree};
+use gcopss_names::{BloomFilter, BloomParams, Cd, CdSet, Component, Name, NameTree, NameTreeBitmap};
 
 const CASES: u32 = 128;
 
@@ -164,6 +164,65 @@ fn tree_descendants_agree_with_filter() {
             assert_eq!(got, naive);
         },
     );
+}
+
+/// The tree-bitmap is a drop-in replacement for `NameTree`: every operation
+/// agrees under arbitrary insert/remove churn, including the hashed lookup
+/// variants fed by the precomputed per-level chain.
+#[test]
+fn tree_bitmap_agrees_with_nametree_under_churn() {
+    let ops = prop::vec(
+        (prop::bools(), name_strategy(), prop::range(0u32..=u32::MAX)),
+        0..=31,
+    );
+    prop::check(0x6f0d, CASES, &(ops, name_strategy()), |(ops, probe_parts)| {
+        let mut reference: NameTree<u32> = NameTree::new();
+        let mut bitmap: NameTreeBitmap<u32> = NameTreeBitmap::new();
+        for (insert, parts, v) in ops {
+            let k = name(parts);
+            if *insert {
+                assert_eq!(reference.insert(k.clone(), *v), bitmap.insert(k, *v));
+            } else {
+                assert_eq!(reference.remove(&k), bitmap.remove(&k));
+            }
+        }
+        assert_eq!(reference.len(), bitmap.len());
+
+        let probe = name(probe_parts);
+        let chain = probe.hash_chain();
+        let lpm_ref = reference.longest_prefix(&probe).map(|(k, v)| (k, *v));
+        assert_eq!(bitmap.longest_prefix(&probe).map(|(k, v)| (k, *v)), lpm_ref);
+        assert_eq!(
+            bitmap
+                .longest_prefix_hashed(&probe, &chain)
+                .map(|(k, v)| (k, *v)),
+            lpm_ref
+        );
+        assert_eq!(reference.get(&probe), bitmap.get(&probe));
+        assert_eq!(reference.any_under(&probe), bitmap.any_under(&probe));
+        assert_eq!(
+            reference.all_prefixes(&probe),
+            bitmap.all_prefixes(&probe),
+            "stored ancestors of {probe} diverged"
+        );
+        assert_eq!(
+            bitmap.all_prefixes(&probe).len(),
+            bitmap.prefix_values_hashed(&probe, &chain).len()
+        );
+
+        let d_ref: Vec<(Name, u32)> = reference
+            .descendants(&probe)
+            .into_iter()
+            .map(|(k, v)| (k, *v))
+            .collect();
+        let d_bitmap: Vec<(Name, u32)> = bitmap
+            .descendants(&probe)
+            .into_iter()
+            .map(|(k, v)| (k, *v))
+            .collect();
+        assert_eq!(d_bitmap, d_ref, "descendant order of {probe} diverged");
+        assert_eq!(bitmap.count_under(&probe), d_ref.len());
+    });
 }
 
 #[test]

@@ -1,6 +1,6 @@
 //! The Forwarding Information Base.
 
-use gcopss_names::{Name, NameTree};
+use gcopss_names::{Name, NameTreeBitmap};
 
 use crate::FaceId;
 
@@ -10,6 +10,12 @@ use crate::FaceId;
 /// Lookup is longest-prefix match, as in NDN. G-COPSS manipulates the FIB
 /// directly with `FibAdd`/`FibRemove` packets (§III-C), e.g. when an RP
 /// announces the CDs it serves.
+///
+/// Entries live in a stride-based [`NameTreeBitmap`], so LPM cost is
+/// `O(depth)` bitmap descents regardless of table size — the property the
+/// `exp_scale` sweep verifies at 1M–10M prefixes. [`Fib::lookup_hashed`]
+/// additionally skips rehashing when the packet carries its per-level hash
+/// chain (§III-C first-hop optimization).
 ///
 /// # Example
 ///
@@ -24,7 +30,7 @@ use crate::FaceId;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Fib {
-    entries: NameTree<Vec<FaceId>>,
+    entries: NameTreeBitmap<Vec<FaceId>>,
 }
 
 impl Fib {
@@ -73,6 +79,21 @@ impl Fib {
     pub fn lookup(&self, name: &Name) -> Option<&[FaceId]> {
         self.entries
             .longest_prefix(name)
+            .map(|(_, faces)| faces.as_slice())
+    }
+
+    /// Like [`Fib::lookup`] but matching with the packet's precomputed
+    /// per-level hash chain (`chain[i]` = hash of the `i`-component prefix,
+    /// as produced by [`Name::hash_chain`]), avoiding any rehash on the
+    /// forwarding path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` is shorter than `name.len() + 1`.
+    #[must_use]
+    pub fn lookup_hashed(&self, name: &Name, chain: &[u64]) -> Option<&[FaceId]> {
+        self.entries
+            .longest_prefix_hashed(name, chain)
             .map(|(_, faces)| faces.as_slice())
     }
 
