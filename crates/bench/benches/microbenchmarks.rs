@@ -368,6 +368,50 @@ fn bench_lineage_overhead(r: &Runner) {
     }
 }
 
+/// Self-profiler cost on the same end-to-end run: `off` must stay within
+/// noise of the plain `end_to_end` numbers (the disabled path is a single
+/// thread-local branch per scope), `on` shows the price of full hot-loop
+/// attribution (two clock reads plus a tree update per phase).
+fn bench_prof_overhead(r: &Runner) {
+    let variants: [(&str, bool); 2] = [
+        ("prof/end_to_end_off", false),
+        ("prof/end_to_end_on", true),
+    ];
+    let w = Workload::counter_strike(&WorkloadParams {
+        updates: 2_000,
+        players: 100,
+        ..WorkloadParams::default()
+    });
+    let net = NetworkSpec::default_backbone(7);
+    for (id, enabled) in variants {
+        if r.skip(id) {
+            continue;
+        }
+        r.bench_slow(id, 10, || {
+            let cfg = GcopssConfig {
+                metrics_mode: MetricsMode::StatsOnly,
+                rp_count: 3,
+                ..GcopssConfig::default()
+            };
+            let mut built = build_gcopss(
+                cfg,
+                &net,
+                &w.map,
+                &w.population,
+                &Arc::clone(&w.trace),
+                vec![],
+            );
+            gcopss_sim::prof::reset();
+            if enabled {
+                gcopss_sim::prof::enable();
+            }
+            built.sim.run();
+            gcopss_sim::prof::disable();
+            black_box(built.sim.world().metrics.delivered())
+        });
+    }
+}
+
 fn main() {
     let r = Runner::new();
     bench_names(&r);
@@ -377,5 +421,6 @@ fn main() {
     bench_end_to_end(&r);
     bench_telemetry_overhead(&r);
     bench_lineage_overhead(&r);
+    bench_prof_overhead(&r);
     r.write_trajectory("micro");
 }

@@ -1,0 +1,119 @@
+//! Bench-trend regression gate.
+//!
+//! Archives the current `results/BENCH_*.json` trajectory files into
+//! `results/bench_history/` (as `BENCH_<label>.r<NNN>.json`, indexed — no
+//! wall-clock timestamps), compares each label's newest archived run
+//! against the previous one, writes `results/BENCH_TREND.json`, and exits
+//! non-zero when any benchmark's median regressed past the threshold.
+//!
+//! ```text
+//! bench_trend [--threshold <mult>] [--history <dir>] [--out <path>] [files...]
+//! ```
+//!
+//! With no files given, every `results/BENCH_*.json` (except the trend
+//! file itself) is taken. The default threshold is deliberately generous
+//! (see `gcopss_bench::trend::DEFAULT_THRESHOLD`): this gate catches
+//! order-of-magnitude accidents, not noise.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gcopss_bench::trend::{self, DEFAULT_THRESHOLD};
+
+fn default_bench_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir("results")
+        .into_iter()
+        .flatten()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| {
+                    n.starts_with("BENCH_") && n.ends_with(".json") && n != "BENCH_TREND.json"
+                })
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn main() -> ExitCode {
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut history = PathBuf::from("results/bench_history");
+    let mut out = "results/BENCH_TREND.json".to_string();
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    threshold = v;
+                    i += 1;
+                }
+            }
+            "--history" => {
+                if let Some(v) = args.get(i + 1) {
+                    history = PathBuf::from(v);
+                    i += 1;
+                }
+            }
+            "--out" => {
+                if let Some(v) = args.get(i + 1) {
+                    out = v.clone();
+                    i += 1;
+                }
+            }
+            f => files.push(PathBuf::from(f)),
+        }
+        i += 1;
+    }
+    if files.is_empty() {
+        files = default_bench_files();
+    }
+    if files.is_empty() {
+        eprintln!("bench_trend: no BENCH_*.json files found (run the bench suite first)");
+        return ExitCode::FAILURE;
+    }
+
+    let (comparisons, pending) = match trend::run_gate(&history, &files, &out, threshold) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_trend: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for (label, runs) in &pending {
+        println!("bench_trend: {label}: {runs} archived run(s), need 2 to compare");
+    }
+    let mut regressed = false;
+    for c in &comparisons {
+        println!(
+            "bench_trend: {} r{:03} -> r{:03}: {} benchmarks, {} added, {} removed",
+            c.label,
+            c.prev_run,
+            c.cur_run,
+            c.rows.len(),
+            c.added.len(),
+            c.removed.len()
+        );
+        for r in &c.rows {
+            if r.regressed {
+                regressed = true;
+                println!(
+                    "bench_trend: REGRESSION {}: {:.0} ns -> {:.0} ns ({:.1}x > {:.1}x threshold)",
+                    r.id, r.prev_ns, r.cur_ns, r.ratio, c.threshold
+                );
+            }
+        }
+    }
+    println!("bench_trend: trend written to {out}");
+    if regressed {
+        eprintln!("bench_trend: FAILED (median regression past threshold)");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_trend: ok");
+    ExitCode::SUCCESS
+}

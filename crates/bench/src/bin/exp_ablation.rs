@@ -13,6 +13,7 @@ use gcopss_sim::{SimDuration, TelemetryConfig};
 
 fn main() {
     let opts = ExpOptions::from_args();
+    gcopss_sim::prof::enable();
     let updates = opts.scaled(8_000, 50_000);
     // One capture across all four sweeps: every run lands in the same
     // merged telemetry document, one trace process per run label.
@@ -100,5 +101,8 @@ fn main() {
         println!("{:>8} {:>16.1}", w, mean.as_millis_f64());
     }
 
+    let prof = gcopss_sim::prof::take_report();
+    gcopss_bench::write_prof("ablation", opts.seed, &prof, Some(&mut cap.reports))
+        .expect("write prof");
     write_telemetry("ablation", opts.seed, &cap.reports).expect("write telemetry");
 }

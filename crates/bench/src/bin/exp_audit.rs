@@ -15,6 +15,7 @@ use gcopss_core::experiments::WorkloadParams;
 
 fn main() {
     let opts = ExpOptions::from_args();
+    gcopss_sim::prof::enable();
     let updates = opts.scaled(6_000, 50_000);
     let players = opts.scaled(100, 414);
     let cfg = AuditConfig {
@@ -60,6 +61,8 @@ fn main() {
         .filter_map(|r| r.timeseries.clone().map(|ts| (r.label.clone(), ts)))
         .collect();
     write_timeseries("exp_audit", opts.seed, &series).expect("write timeseries");
+    let prof = gcopss_sim::prof::take_report();
+    gcopss_bench::write_prof("exp_audit", opts.seed, &prof, None).expect("write prof");
 
     assert!(!dirty, "audit found unexplained losses or duplicates");
     println!("\nall runs clean: every owed pair accounted for");

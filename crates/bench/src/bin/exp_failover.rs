@@ -14,6 +14,7 @@ use gcopss_sim::{SimDuration, TelemetryConfig, TimeSeriesConfig};
 
 fn main() {
     let opts = ExpOptions::from_args();
+    gcopss_sim::prof::enable();
     let updates = opts.scaled(10_000, 50_000);
     let players = opts.scaled(120, 414);
     // Nine chaotic runs; sample the journal to bound the merged document.
@@ -74,6 +75,9 @@ fn main() {
         }
     }
 
+    let prof = gcopss_sim::prof::take_report();
+    gcopss_bench::write_prof("exp_failover", opts.seed, &prof, Some(&mut cap.reports))
+        .expect("write prof");
     write_telemetry("exp_failover", opts.seed, &cap.reports).expect("write telemetry");
     write_timeseries("exp_failover", opts.seed, &cap.series).expect("write timeseries");
 }

@@ -15,6 +15,7 @@ use gcopss_sim::{SimDuration, TelemetryConfig};
 
 fn main() {
     let opts = ExpOptions::from_args();
+    gcopss_sim::prof::enable();
     let secs = opts.scaled(10, 60) as u64;
     let mut cap = TelemetryCapture::new(TelemetryConfig::default());
     let out = microbench::run_with(
@@ -69,5 +70,8 @@ fn main() {
     println!("IP/G-COPSS mean ratio  = {:.2}x (paper ~3x)", i / g);
     println!("NDN/G-COPSS mean ratio = {:.0}x (paper ~1400x)", n / g);
 
+    let prof = gcopss_sim::prof::take_report();
+    gcopss_bench::write_prof("fig4", opts.seed, &prof, Some(&mut cap.reports))
+        .expect("write prof");
     write_telemetry("fig4", opts.seed, &cap.reports).expect("write telemetry");
 }

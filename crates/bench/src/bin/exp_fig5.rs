@@ -13,6 +13,7 @@ use gcopss_sim::{SimDuration, TelemetryConfig, TimeSeriesConfig};
 
 fn main() {
     let opts = ExpOptions::from_args();
+    gcopss_sim::prof::enable();
     let updates = opts.scaled(20_000, 100_000);
     // The per-RP load breakdown over time is the congestion story of
     // Fig. 5 told as a time series: watch rp-served concentrate, then
@@ -90,6 +91,9 @@ fn main() {
         );
     }
 
+    let prof = gcopss_sim::prof::take_report();
+    gcopss_bench::write_prof("fig5", opts.seed, &prof, Some(&mut cap.reports))
+        .expect("write prof");
     write_telemetry("fig5", opts.seed, &cap.reports).expect("write telemetry");
     write_timeseries("fig5", opts.seed, &cap.series).expect("write timeseries");
 }

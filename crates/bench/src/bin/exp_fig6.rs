@@ -12,6 +12,7 @@ use gcopss_sim::TelemetryConfig;
 
 fn main() {
     let opts = ExpOptions::from_args();
+    gcopss_sim::prof::enable();
     let updates_per_player = opts.scaled(40, 250);
     let player_counts = if opts.full {
         vec![50, 100, 150, 200, 250, 300, 350, 400]
@@ -70,5 +71,8 @@ fn main() {
     println!("G-COPSS latency growth = {:.1}x over the sweep", g_last / g_first.max(1e-9));
     println!("IP server latency growth = {:.1}x over the sweep", i_last / i_first.max(1e-9));
 
+    let prof = gcopss_sim::prof::take_report();
+    gcopss_bench::write_prof("fig6", opts.seed, &prof, Some(&mut cap.reports))
+        .expect("write prof");
     write_telemetry("fig6", opts.seed, &cap.reports).expect("write telemetry");
 }

@@ -18,6 +18,7 @@ use gcopss_sim::json::{results_doc, write_results, Json};
 
 fn main() {
     let opts = ExpOptions::from_args();
+    gcopss_sim::prof::enable();
     let mut sizes: Vec<usize> = [1_000usize, 10_000, 100_000, 1_000_000]
         .iter()
         .map(|&s| opts.scaled(s, s))
@@ -100,6 +101,8 @@ fn main() {
         ));
     }
     write_bench("exp_scale", opts.seed, &entries).expect("write bench trajectory");
+    let prof = gcopss_sim::prof::take_report();
+    gcopss_bench::write_prof("exp_scale", opts.seed, &prof, None).expect("write prof");
 }
 
 fn size_growth(points: &[scale::ScalePoint]) -> usize {

@@ -13,6 +13,7 @@ use gcopss_sim::TelemetryConfig;
 
 fn main() {
     let opts = ExpOptions::from_args();
+    gcopss_sim::prof::enable();
     let updates = opts.scaled(20_000, 100_000);
     // Nine full-trace runs: sample the journal so the merged telemetry
     // document stays a few MB (counters and histograms are unaffected).
@@ -103,5 +104,8 @@ fn main() {
         );
     }
 
+    let prof = gcopss_sim::prof::take_report();
+    gcopss_bench::write_prof("table1", opts.seed, &prof, Some(&mut cap.reports))
+        .expect("write prof");
     write_telemetry("table1", opts.seed, &cap.reports).expect("write telemetry");
 }

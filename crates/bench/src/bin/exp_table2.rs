@@ -15,6 +15,7 @@ use gcopss_sim::TelemetryConfig;
 
 fn main() {
     let opts = ExpOptions::from_args();
+    gcopss_sim::prof::enable();
     let updates = opts.scaled(60_000, 1_686_905);
     let mut cap = TelemetryCapture::new(TelemetryConfig {
         journal_capacity: 8_192,
@@ -65,5 +66,8 @@ fn main() {
         out.ip.network_gb() / out.gcopss.network_gb().max(1e-12)
     );
 
+    let prof = gcopss_sim::prof::take_report();
+    gcopss_bench::write_prof("table2", opts.seed, &prof, Some(&mut cap.reports))
+        .expect("write prof");
     write_telemetry("table2", opts.seed, &cap.reports).expect("write telemetry");
 }

@@ -17,6 +17,7 @@ use gcopss_sim::{SimDuration, TelemetryConfig};
 
 fn main() {
     let opts = ExpOptions::from_args();
+    gcopss_sim::prof::enable();
     let updates = opts.scaled(15_000, 200_000);
     // Keep the network-wide move *rate* near the paper's (~0.35–2 moves/s)
     // at every scale: fewer movers with shorter intervals on short traces.
@@ -101,5 +102,8 @@ fn main() {
         );
     }
 
+    let prof = gcopss_sim::prof::take_report();
+    gcopss_bench::write_prof("table3", opts.seed, &prof, Some(&mut cap.reports))
+        .expect("write prof");
     write_telemetry("table3", opts.seed, &cap.reports).expect("write telemetry");
 }

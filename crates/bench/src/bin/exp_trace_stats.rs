@@ -11,13 +11,19 @@ use gcopss_core::experiments::WorkloadParams;
 
 fn main() {
     let opts = ExpOptions::from_args();
+    gcopss_sim::prof::enable();
     let updates = opts.scaled(100_000, 1_686_905);
     let params = WorkloadParams {
         seed: opts.seed,
         updates,
         ..WorkloadParams::default()
     };
-    let out = trace_stats::run(&params);
+    let out = {
+        // No DES loop here: the characterization pass is the measured
+        // "hot loop" for this binary's profile.
+        let _p = gcopss_sim::prof::scope("trace_stats/run");
+        trace_stats::run(&params)
+    };
 
     header("Workload (paper: 414 players, 1,686,905 updates, 3,197 objects)");
     println!(
@@ -55,5 +61,9 @@ fn main() {
     // No simulator runs here — the telemetry report characterizes the
     // workload itself with log-scale histograms.
     let report = trace_stats::telemetry_report(&params, &out);
-    write_telemetry("trace_stats", opts.seed, &[report]).expect("write telemetry");
+    let mut reports = vec![report];
+    let prof = gcopss_sim::prof::take_report();
+    gcopss_bench::write_prof("trace_stats", opts.seed, &prof, Some(&mut reports))
+        .expect("write prof");
+    write_telemetry("trace_stats", opts.seed, &reports).expect("write telemetry");
 }

@@ -1,8 +1,11 @@
 //! Shared helpers for the experiment binaries and benchmarks.
 
+pub mod trend;
+
 use std::env;
 
 use gcopss_sim::json::{results_doc, write_results, Json};
+use gcopss_sim::prof::ProfReport;
 use gcopss_sim::TelemetryReport;
 
 /// Simple CLI options shared by every experiment binary.
@@ -239,6 +242,61 @@ pub fn write_bench(label: &str, seed: u64, entries: &[BenchEntry]) -> std::io::R
         "bench trajectory written to {path} ({} entries, fingerprint {fingerprint:016x})",
         entries.len()
     );
+    Ok(path)
+}
+
+/// Prints the hot-loop time-attribution table and writes
+/// `results/prof_<exp>.json` (schema `gcopss-prof-v1`) from the simulator
+/// self-profile of this experiment run. When `merge_into` is given, the
+/// profile is also appended as a pseudo-run labeled `"prof"` whose Chrome
+/// trace spans land in the experiment's merged Perfetto file (pass the
+/// capture's report vector *before* `write_telemetry`). Returns the path
+/// written.
+///
+/// The `count_fingerprint` in the file covers phase paths, call counts and
+/// deterministic counters only — never wall-clock times — so same-seed
+/// runs produce byte-identical `counts` sections.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (`results/` not creatable, disk full, …).
+pub fn write_prof(
+    exp: &str,
+    seed: u64,
+    report: &ProfReport,
+    merge_into: Option<&mut Vec<TelemetryReport>>,
+) -> std::io::Result<String> {
+    header("Hot-loop time attribution (simulator self-profile)");
+    print!("{}", report.table());
+    let path = format!("results/prof_{exp}.json");
+    let mut doc = results_doc("gcopss-prof-v1", exp, seed, []);
+    if let (Json::Object(pairs), Json::Object(fields)) = (&mut doc, report.to_json()) {
+        pairs.extend(fields);
+    }
+    write_results(&path, &doc)?;
+    println!(
+        "prof written to {path} ({} phases, count fingerprint {:016x})",
+        report.phases.len(),
+        report.count_fingerprint()
+    );
+    if let Some(reports) = merge_into {
+        let pid = reports.len() as u64;
+        reports.push(TelemetryReport {
+            label: "prof".to_string(),
+            summary: Json::obj([
+                ("label", Json::str("prof")),
+                ("kind", Json::str("self-profile")),
+                ("wall_ns", Json::from(report.wall_ns)),
+                ("coverage", Json::from(report.coverage())),
+                (
+                    "count_fingerprint",
+                    Json::str(format!("{:016x}", report.count_fingerprint())),
+                ),
+            ]),
+            trace_events: report.trace_events_json(pid),
+            fingerprint: report.count_fingerprint(),
+        });
+    }
     Ok(path)
 }
 

@@ -1,0 +1,490 @@
+//! Bench-trend tracking and regression gating.
+//!
+//! `write_bench` (PR 5) emits `results/BENCH_<label>.json`, but
+//! `run_experiments.sh` overwrote each file in place — the perf
+//! "trajectory" was one point long. This module turns it into a real
+//! trajectory:
+//!
+//! * [`archive`] copies a `BENCH_<label>.json` into a history directory as
+//!   `BENCH_<label>.r<NNN>.json`, where `NNN` is the next run index
+//!   (monotonic per label, derived by scanning the directory — **no
+//!   wall-clock timestamps**, so archives are reproducible and diffable;
+//!   the seed is already inside each document).
+//! * [`load_history`] reads the archived runs of one label back, sorted by
+//!   run index (via `gcopss_sim::json::Json::parse`, the workspace's only
+//!   JSON consumer).
+//! * [`compare`] checks the newest run against the previous one
+//!   per-benchmark: a regression is `current > previous * threshold` on
+//!   the median. Medians of medians plus a generous default multiplier
+//!   ([`DEFAULT_THRESHOLD`]) keep the gate non-flaky on shared hardware —
+//!   it exists to catch 10× accidents (an O(n) scan reintroduced on a hot
+//!   path), not 10% noise.
+//! * [`write_trend`] emits `results/BENCH_TREND.json`
+//!   (schema `gcopss-bench-trend-v1`) with every comparison row.
+//!
+//! The `bench_trend` binary wires these together and exits non-zero on
+//! any regression — the gate `check_hermetic.sh` runs, and the
+//! prerequisite for all future ROADMAP-item-1 (parallel simulation) work.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use gcopss_sim::json::{results_doc, write_results, Json};
+
+/// Default regression threshold: fail when a benchmark's median grows past
+/// this multiple of the previous run's. Generous by design (CI boxes are
+/// noisy; the sims share cores): real regressions this gate targets are
+/// order-of-magnitude, not percent-level.
+pub const DEFAULT_THRESHOLD: f64 = 4.0;
+
+/// One archived run of one bench label.
+#[derive(Debug, Clone)]
+pub struct HistoryRun {
+    /// Monotonic per-label run index (the `NNN` in `BENCH_<label>.r<NNN>.json`).
+    pub run: u32,
+    /// Seed recorded in the document.
+    pub seed: u64,
+    /// `id → median_ns`, sorted by id.
+    pub medians: BTreeMap<String, f64>,
+}
+
+/// One per-benchmark comparison row of a [`TrendReport`].
+#[derive(Debug, Clone)]
+pub struct TrendRow {
+    /// Benchmark id.
+    pub id: String,
+    /// Median in the previous run, ns.
+    pub prev_ns: f64,
+    /// Median in the current run, ns.
+    pub cur_ns: f64,
+    /// `cur / prev` (0 when prev is 0).
+    pub ratio: f64,
+    /// Whether this row trips the threshold.
+    pub regressed: bool,
+}
+
+/// The comparison of one label's two newest archived runs.
+#[derive(Debug, Clone)]
+pub struct TrendReport {
+    /// Bench label (`micro`, `exp_scale`, …).
+    pub label: String,
+    /// Run index compared against.
+    pub prev_run: u32,
+    /// Newest run index.
+    pub cur_run: u32,
+    /// Threshold the rows were judged with.
+    pub threshold: f64,
+    /// Per-benchmark rows, sorted by id.
+    pub rows: Vec<TrendRow>,
+    /// Ids present now but not before (new benchmarks; never a failure).
+    pub added: Vec<String>,
+    /// Ids present before but gone now (removed benchmarks; reported, not
+    /// failed — renames are legitimate).
+    pub removed: Vec<String>,
+}
+
+impl TrendReport {
+    /// Whether any row regressed.
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed)
+    }
+
+    /// JSON form of this comparison (one element of `BENCH_TREND.json`'s
+    /// `comparisons` array).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::str(self.label.clone())),
+            ("prev_run", Json::from(u64::from(self.prev_run))),
+            ("cur_run", Json::from(u64::from(self.cur_run))),
+            ("threshold", Json::from(self.threshold)),
+            ("regressed", Json::from(self.regressed())),
+            (
+                "rows",
+                Json::arr(self.rows.iter().map(|r| {
+                    Json::obj([
+                        ("id", Json::str(r.id.clone())),
+                        ("prev_ns", Json::from(r.prev_ns)),
+                        ("cur_ns", Json::from(r.cur_ns)),
+                        ("ratio", Json::from(r.ratio)),
+                        ("regressed", Json::from(r.regressed)),
+                    ])
+                })),
+            ),
+            ("added", Json::arr(self.added.iter().map(Json::str))),
+            ("removed", Json::arr(self.removed.iter().map(Json::str))),
+        ])
+    }
+}
+
+/// Extracts the label and parsed content of a `BENCH_<label>.json` file.
+fn parse_bench(path: &Path) -> Result<(String, Json), String> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "gcopss-bench-v1" {
+        return Err(format!(
+            "{}: schema {schema:?} is not gcopss-bench-v1",
+            path.display()
+        ));
+    }
+    let label = doc
+        .get("exp")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{}: missing exp/label", path.display()))?
+        .to_string();
+    Ok((label, doc))
+}
+
+fn history_file_index(name: &str, label: &str) -> Option<u32> {
+    // BENCH_<label>.r<NNN>.json
+    let rest = name
+        .strip_prefix("BENCH_")?
+        .strip_prefix(label)?
+        .strip_prefix(".r")?
+        .strip_suffix(".json")?;
+    rest.parse().ok()
+}
+
+/// Copies `bench_path` (a `results/BENCH_<label>.json`) into `history_dir`
+/// as `BENCH_<label>.r<NNN>.json` with the next free run index. Returns
+/// `(label, run_index, archived_path)`.
+///
+/// # Errors
+///
+/// Malformed input documents and filesystem failures.
+pub fn archive(history_dir: &Path, bench_path: &Path) -> Result<(String, u32, PathBuf), String> {
+    let (label, _doc) = parse_bench(bench_path)?;
+    fs::create_dir_all(history_dir)
+        .map_err(|e| format!("{}: {e}", history_dir.display()))?;
+    let next = fs::read_dir(history_dir)
+        .map_err(|e| format!("{}: {e}", history_dir.display()))?
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name();
+            history_file_index(name.to_str()?, &label)
+        })
+        .max()
+        .map_or(0, |m| m + 1);
+    let dest = history_dir.join(format!("BENCH_{label}.r{next:03}.json"));
+    fs::copy(bench_path, &dest).map_err(|e| format!("{}: {e}", dest.display()))?;
+    Ok((label, next, dest))
+}
+
+/// Loads every archived run of `label` from `history_dir`, sorted by run
+/// index (empty when the directory does not exist yet).
+///
+/// # Errors
+///
+/// Malformed archived documents and filesystem failures (a missing
+/// directory is an empty history, not an error).
+pub fn load_history(history_dir: &Path, label: &str) -> Result<Vec<HistoryRun>, String> {
+    let entries = match fs::read_dir(history_dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(Vec::new()),
+    };
+    let mut runs = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", history_dir.display()))?;
+        let name = entry.file_name();
+        let Some(run) = name.to_str().and_then(|n| history_file_index(n, label)) else {
+            continue;
+        };
+        let (_, doc) = parse_bench(&entry.path())?;
+        let seed = doc.get("seed").and_then(Json::as_u64).unwrap_or(0);
+        let mut medians = BTreeMap::new();
+        for e in doc
+            .get("entries")
+            .and_then(Json::as_array)
+            .unwrap_or_default()
+        {
+            let (Some(id), Some(m)) = (
+                e.get("id").and_then(Json::as_str),
+                e.get("median_ns").and_then(Json::as_f64),
+            ) else {
+                return Err(format!("{}: malformed entry", entry.path().display()));
+            };
+            medians.insert(id.to_string(), m);
+        }
+        runs.push(HistoryRun { run, seed, medians });
+    }
+    runs.sort_by_key(|r| r.run);
+    Ok(runs)
+}
+
+/// Compares the current run against the previous one benchmark-by-
+/// benchmark. Only ids present in both runs are judged; additions and
+/// removals are reported separately.
+#[must_use]
+pub fn compare(
+    label: &str,
+    prev: &HistoryRun,
+    cur: &HistoryRun,
+    threshold: f64,
+) -> TrendReport {
+    let mut rows = Vec::new();
+    let mut removed = Vec::new();
+    for (id, &prev_ns) in &prev.medians {
+        let Some(&cur_ns) = cur.medians.get(id) else {
+            removed.push(id.clone());
+            continue;
+        };
+        let ratio = if prev_ns > 0.0 { cur_ns / prev_ns } else { 0.0 };
+        rows.push(TrendRow {
+            id: id.clone(),
+            prev_ns,
+            cur_ns,
+            ratio,
+            regressed: ratio > threshold,
+        });
+    }
+    let added = cur
+        .medians
+        .keys()
+        .filter(|id| !prev.medians.contains_key(*id))
+        .cloned()
+        .collect();
+    TrendReport {
+        label: label.to_string(),
+        prev_run: prev.run,
+        cur_run: cur.run,
+        threshold,
+        rows,
+        added,
+        removed,
+    }
+}
+
+/// Writes `BENCH_TREND.json` from the per-label comparisons, plus labels
+/// with too little history to compare yet. Returns the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_trend(
+    path: &str,
+    seed: u64,
+    comparisons: &[TrendReport],
+    pending: &[(String, u32)],
+) -> std::io::Result<String> {
+    let doc = results_doc(
+        "gcopss-bench-trend-v1",
+        "bench_trend",
+        seed,
+        [
+            (
+                "comparisons",
+                Json::arr(comparisons.iter().map(TrendReport::to_json)),
+            ),
+            (
+                "pending",
+                Json::arr(pending.iter().map(|(label, runs)| {
+                    Json::obj([
+                        ("label", Json::str(label.clone())),
+                        ("runs", Json::from(u64::from(*runs))),
+                    ])
+                })),
+            ),
+            (
+                "regressed",
+                Json::from(comparisons.iter().any(TrendReport::regressed)),
+            ),
+        ],
+    );
+    write_results(path, &doc)?;
+    Ok(path.to_string())
+}
+
+/// A label still waiting for a second archived run: `(label, runs so far)`.
+pub type PendingRuns = (String, u32);
+
+/// The whole gate: archive each input `BENCH_*.json`, reload each touched
+/// label's history, compare the two newest runs where possible, and write
+/// the trend file. Returns the comparisons (check
+/// [`TrendReport::regressed`]) and the labels still waiting for a second
+/// run.
+///
+/// # Errors
+///
+/// Malformed documents and filesystem failures.
+pub fn run_gate(
+    history_dir: &Path,
+    bench_paths: &[PathBuf],
+    trend_path: &str,
+    threshold: f64,
+) -> Result<(Vec<TrendReport>, Vec<PendingRuns>), String> {
+    let mut labels = Vec::new();
+    let mut seed = 0;
+    for p in bench_paths {
+        let (label, run, dest) = archive(history_dir, p)?;
+        println!("bench_trend: archived {} -> {}", p.display(), dest.display());
+        if !labels.contains(&label) {
+            labels.push(label);
+        }
+        let _ = run;
+    }
+    let mut comparisons = Vec::new();
+    let mut pending = Vec::new();
+    for label in &labels {
+        let runs = load_history(history_dir, label)?;
+        if let [.., prev, cur] = runs.as_slice() {
+            seed = cur.seed;
+            comparisons.push(compare(label, prev, cur, threshold));
+        } else {
+            pending.push((label.clone(), runs.len() as u32));
+        }
+    }
+    write_trend(trend_path, seed, &comparisons, &pending)
+        .map_err(|e| format!("{trend_path}: {e}"))?;
+    Ok((comparisons, pending))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BenchEntry;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// A unique scratch directory per test (no wall clock, no PRNG).
+    fn scratch(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!(
+            "gcopss_trend_{tag}_{}_{n}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// Writes a BENCH_<label>.json under `dir` via the production writer.
+    fn bench_file(dir: &Path, label: &str, medians: &[(&str, f64)]) -> PathBuf {
+        let entries: Vec<BenchEntry> = medians
+            .iter()
+            .map(|&(id, m)| BenchEntry::new(id, m, 100))
+            .collect();
+        // write_bench writes relative to cwd: build the doc directly here
+        // instead, through the same serializer.
+        let ids: Vec<&str> = entries.iter().map(|e| e.id.as_str()).collect();
+        let fingerprint = gcopss_names::fnv1a(ids.join("\n").as_bytes());
+        let doc = results_doc(
+            "gcopss-bench-v1",
+            label,
+            42,
+            [
+                (
+                    "entries",
+                    Json::arr(entries.iter().map(|e| {
+                        Json::obj([
+                            ("id", Json::str(e.id.clone())),
+                            ("median_ns", Json::Float(e.median_ns)),
+                            ("iters", Json::UInt(e.iters)),
+                        ])
+                    })),
+                ),
+                ("fingerprint", Json::str(format!("{fingerprint:016x}"))),
+            ],
+        );
+        let path = dir.join(format!("BENCH_{label}.json"));
+        fs::write(&path, doc.to_string()).unwrap();
+        path
+    }
+
+    #[test]
+    fn archive_assigns_monotonic_indexes() {
+        let d = scratch("archive");
+        let hist = d.join("hist");
+        let b = bench_file(&d, "micro", &[("a/b", 100.0)]);
+        let (label, r0, p0) = archive(&hist, &b).unwrap();
+        let (_, r1, p1) = archive(&hist, &b).unwrap();
+        assert_eq!(label, "micro");
+        assert_eq!((r0, r1), (0, 1));
+        assert!(p0.file_name().unwrap() != p1.file_name().unwrap());
+        // Another label gets its own index space.
+        let b2 = bench_file(&d, "exp_scale", &[("st/match", 50.0)]);
+        let (_, r, _) = archive(&hist, &b2).unwrap();
+        assert_eq!(r, 0);
+        let runs = load_history(&hist, "micro").unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].medians["a/b"], 100.0);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn gate_passes_on_steady_medians_and_fails_on_10x() {
+        let d = scratch("gate");
+        let hist = d.join("hist");
+        let trend = d.join("BENCH_TREND.json");
+        let trend_s = trend.to_str().unwrap();
+
+        // Run 1: baseline. One archived run -> pending, no comparison.
+        let b = bench_file(&d, "micro", &[("st/match", 100.0), ("fib/lpm", 200.0)]);
+        let (cmp, pending) =
+            run_gate(&hist, std::slice::from_ref(&b), trend_s, DEFAULT_THRESHOLD).unwrap();
+        assert!(cmp.is_empty());
+        assert_eq!(pending, vec![("micro".to_string(), 1)]);
+
+        // Run 2: small noise -> clean comparison, non-empty trend file.
+        bench_file(&d, "micro", &[("st/match", 130.0), ("fib/lpm", 180.0)]);
+        let (cmp, pending) =
+            run_gate(&hist, std::slice::from_ref(&b), trend_s, DEFAULT_THRESHOLD).unwrap();
+        assert!(pending.is_empty());
+        assert_eq!(cmp.len(), 1);
+        assert!(!cmp[0].regressed());
+        assert_eq!(cmp[0].rows.len(), 2);
+        let doc = Json::parse(&fs::read_to_string(&trend).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("gcopss-bench-trend-v1")
+        );
+        assert_eq!(doc.get("regressed"), Some(&Json::Bool(false)));
+        assert!(!doc.get("comparisons").unwrap().as_array().unwrap().is_empty());
+
+        // Run 3: one benchmark regresses 10x -> the gate fails it.
+        bench_file(&d, "micro", &[("st/match", 1300.0), ("fib/lpm", 190.0)]);
+        let (cmp, _) = run_gate(&hist, &[b], trend_s, DEFAULT_THRESHOLD).unwrap();
+        assert!(cmp[0].regressed());
+        let bad: Vec<&str> = cmp[0]
+            .rows
+            .iter()
+            .filter(|r| r.regressed)
+            .map(|r| r.id.as_str())
+            .collect();
+        assert_eq!(bad, ["st/match"]);
+        let doc = Json::parse(&fs::read_to_string(&trend).unwrap()).unwrap();
+        assert_eq!(doc.get("regressed"), Some(&Json::Bool(true)));
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn compare_reports_added_and_removed_ids_without_failing() {
+        let prev = HistoryRun {
+            run: 0,
+            seed: 42,
+            medians: [("old".to_string(), 10.0), ("kept".to_string(), 10.0)].into(),
+        };
+        let cur = HistoryRun {
+            run: 1,
+            seed: 42,
+            medians: [("new".to_string(), 99.0), ("kept".to_string(), 12.0)].into(),
+        };
+        let r = compare("micro", &prev, &cur, DEFAULT_THRESHOLD);
+        assert!(!r.regressed());
+        assert_eq!(r.added, ["new"]);
+        assert_eq!(r.removed, ["old"]);
+        assert_eq!(r.rows.len(), 1);
+        assert!((r.rows[0].ratio - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let d = scratch("schema");
+        let p = d.join("BENCH_x.json");
+        fs::write(&p, r#"{"schema":"other","exp":"x","seed":1}"#).unwrap();
+        assert!(archive(&d.join("hist"), &p).unwrap_err().contains("schema"));
+        let _ = fs::remove_dir_all(&d);
+    }
+}

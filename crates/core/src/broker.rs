@@ -227,6 +227,7 @@ enum SnapshotRequest {
 
 impl NodeBehavior<GPacket, GameWorld> for SnapshotBroker {
     fn on_start(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let _p = gcopss_sim::prof::scope("broker/start");
         // Subscribe to the serving areas to keep snapshots current (§IV-A:
         // "it only subscribes to the leaf CDs representing its serving
         // area").
@@ -239,6 +240,7 @@ impl NodeBehavior<GPacket, GameWorld> for SnapshotBroker {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, key: u64) {
+        let _p = gcopss_sim::prof::scope("broker/timer");
         self.emit_cyclic(ctx, key as usize);
     }
 
@@ -248,6 +250,7 @@ impl NodeBehavior<GPacket, GameWorld> for SnapshotBroker {
         _from: Option<NodeId>,
         pkt: GPacket,
     ) {
+        let _p = gcopss_sim::prof::scope("broker/packet");
         match pkt {
             // Updates for the serving areas: apply to the object model.
             GPacket::Copss(CopssPacket::Multicast(m)) => {
@@ -303,10 +306,10 @@ impl NodeBehavior<GPacket, GameWorld> for SnapshotBroker {
                 } else {
                     ctx.emit(
                         gcopss_sim::TraceEvent::Drop,
-                        "broker-unknown-interest",
+                        crate::drops::BROKER_UNKNOWN_INTEREST,
                         i.encoded_len() as u32,
                     );
-                    ctx.world().bump("broker-unknown-interest");
+                    ctx.world().bump(crate::drops::BROKER_UNKNOWN_INTEREST);
                 }
             }
             _ => {}
@@ -727,6 +730,7 @@ impl MovingPlayerClient {
 
 impl NodeBehavior<GPacket, GameWorld> for MovingPlayerClient {
     fn on_start(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let _p = gcopss_sim::prof::scope("moving_client/start");
         if let Some(at) = self.online_at {
             // Offline: stay silent until the join instant.
             ctx.schedule(at.saturating_duration_since(ctx.now()), TIMER_ONLINE);
@@ -739,6 +743,7 @@ impl NodeBehavior<GPacket, GameWorld> for MovingPlayerClient {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, key: u64) {
+        let _p = gcopss_sim::prof::scope("moving_client/timer");
         match key {
             TIMER_PUBLISH => self.publish(ctx),
             TIMER_MOVE => self.begin_move(ctx),
@@ -753,15 +758,16 @@ impl NodeBehavior<GPacket, GameWorld> for MovingPlayerClient {
         _from: Option<NodeId>,
         pkt: GPacket,
     ) {
+        let _p = gcopss_sim::prof::scope("moving_client/packet");
         match pkt {
             GPacket::Copss(CopssPacket::Multicast(m)) => {
                 if !self.dedup.insert(m.id) {
                     ctx.emit(
                         gcopss_sim::TraceEvent::Drop,
-                        "client-duplicate-dropped",
+                        crate::drops::CLIENT_DUPLICATE_DROPPED,
                         m.encoded_len() as u32,
                     );
-                    ctx.world().bump("client-duplicate-dropped");
+                    ctx.world().bump(crate::drops::CLIENT_DUPLICATE_DROPPED);
                     return;
                 }
                 if m.cd.name().get(0).map(Component::as_str) == Some("snapcast") {

@@ -223,6 +223,7 @@ impl GamePlayerClient {
 
 impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
     fn on_start(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let _p = gcopss_sim::prof::scope("copss_client/start");
         let cds = self.map.subscription_cds(self.area);
         let g = GPacket::Copss(CopssPacket::Subscribe { cds, rp: None });
         let size = g.wire_size();
@@ -237,6 +238,7 @@ impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, key: u64) {
+        let _p = gcopss_sim::prof::scope("copss_client/timer");
         match key {
             TIMER_PUBLISH => self.publish(ctx),
             TIMER_WATCHDOG => {
@@ -266,6 +268,7 @@ impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
         _from: Option<NodeId>,
         pkt: GPacket,
     ) {
+        let _p = gcopss_sim::prof::scope("copss_client/packet");
         if let GPacket::Copss(CopssPacket::Multicast(m)) = pkt {
             // Any arrival (even a duplicate) proves the tree is delivering.
             let now = ctx.now();
@@ -282,10 +285,10 @@ impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
             } else {
                 ctx.emit(
                     gcopss_sim::TraceEvent::Drop,
-                    "client-duplicate-dropped",
+                    crate::drops::CLIENT_DUPLICATE_DROPPED,
                     m.encoded_len() as u32,
                 );
-                ctx.world().bump("client-duplicate-dropped");
+                ctx.world().bump(crate::drops::CLIENT_DUPLICATE_DROPPED);
             }
         }
     }
@@ -295,6 +298,7 @@ impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
     }
 
     fn on_fault(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, notice: FaultNotice) {
+        let _p = gcopss_sim::prof::scope("copss_client/fault");
         if self.recovery.is_none() {
             return;
         }

@@ -1,0 +1,97 @@
+//! Registry of every drop-reason tag the engines emit.
+//!
+//! Each intentional packet drop in the workspace is tagged with one of the
+//! constants below (behavior-level drops via `Ctx::emit`, engine-level
+//! fault drops with the two `gcopss_sim` tags). Centralizing the strings
+//! does two things:
+//!
+//! * emit sites can't typo a tag into a new, untracked bucket;
+//! * the drop-reason coverage test walks [`ALL`] and asserts every tag
+//!   shows up in at least one telemetry export from the experiment suite,
+//!   so a new drop site cannot ship silently untagged (add its constant
+//!   here and the gate forces an exercising experiment).
+//!
+//! Per-reason counts appear in every telemetry summary (`Ctx::emit` bumps
+//! a counter named by the tag alongside the aggregate `"drop"`), and the
+//! same strings tag lineage drop records, so the delivery auditor's
+//! explanations use this vocabulary too.
+
+/// A COPSS `ToRp` packet reached a router with no FIB route toward the RP.
+pub const TORP_NO_ROUTE: &str = "torp-no-route";
+/// A `ToRp` publication reached its RP but the RP does not serve the CD.
+pub const TORP_UNSERVED_CD: &str = "torp-unserved-cd";
+/// A host publication arrived at a first-hop router that maps its CD to no
+/// known RP.
+pub const PUBLICATION_UNSERVED_CD: &str = "publication-unserved-cd";
+/// PIT entries aged out by the periodic expiry sweep.
+pub const PIT_EXPIRED: &str = "pit-expired";
+/// Subscription-table entries purged when their face died.
+pub const ST_PURGED: &str = "st-purged";
+/// PIT entries purged when their face died.
+pub const PIT_PURGED: &str = "pit-purged";
+/// An NDN interest batch expired before its Data arrived.
+pub const NDN_BATCH_EXPIRED: &str = "ndn-batch-expired";
+/// A client discarded a multicast copy it had already applied
+/// (post-failover re-subscription overlap).
+pub const CLIENT_DUPLICATE_DROPPED: &str = "client-duplicate-dropped";
+/// An IP datagram reached a hop with no route to its destination.
+pub const IP_NO_ROUTE: &str = "ip-no-route";
+/// A hybrid endpoint filtered a delivery it has no subscription for.
+pub const HYBRID_FILTERED_UNWANTED: &str = "hybrid-filtered-unwanted";
+/// A hybrid endpoint received a packet kind it never expects.
+pub const HYBRID_UNEXPECTED_PACKET: &str = "hybrid-unexpected-packet";
+/// A snapshot broker received an interest for unknown content.
+pub const BROKER_UNKNOWN_INTEREST: &str = "broker-unknown-interest";
+/// The IP server received a packet kind it never expects.
+pub const SERVER_UNEXPECTED_PACKET: &str = "server-unexpected-packet";
+/// The IP server dropped an update destined to a disconnected player.
+pub const SERVER_DISCONNECTED_PLAYER: &str = "server-disconnected-player";
+/// An IP client had no connected server to send to.
+pub const IP_CLIENT_NO_SERVER: &str = "ip-client-no-server";
+/// Engine fault injection: the packet died on a down/lossy link
+/// (tagged by `gcopss_sim`'s transmit path, listed here for coverage).
+pub const LINK_LOST: &str = "link-lost";
+/// Engine fault injection: the packet was queued at (or destined to) a
+/// crashed node (tagged by `gcopss_sim`, listed here for coverage).
+pub const NODE_LOST: &str = "node-lost";
+
+/// Every registered drop reason. The coverage test iterates this; keep it
+/// in sync when adding a constant above.
+pub const ALL: &[&str] = &[
+    TORP_NO_ROUTE,
+    TORP_UNSERVED_CD,
+    PUBLICATION_UNSERVED_CD,
+    PIT_EXPIRED,
+    ST_PURGED,
+    PIT_PURGED,
+    NDN_BATCH_EXPIRED,
+    CLIENT_DUPLICATE_DROPPED,
+    IP_NO_ROUTE,
+    HYBRID_FILTERED_UNWANTED,
+    HYBRID_UNEXPECTED_PACKET,
+    BROKER_UNKNOWN_INTEREST,
+    SERVER_UNEXPECTED_PACKET,
+    SERVER_DISCONNECTED_PLAYER,
+    IP_CLIENT_NO_SERVER,
+    LINK_LOST,
+    NODE_LOST,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn tags_are_unique_nonempty_kebab() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &tag in ALL {
+            assert!(!tag.is_empty());
+            assert!(
+                tag.bytes().all(|b| b.is_ascii_lowercase() || b == b'-'),
+                "tag {tag:?} is not kebab-case"
+            );
+            assert!(seen.insert(tag), "duplicate tag {tag:?}");
+        }
+        assert_eq!(ALL.len(), 17);
+    }
+}

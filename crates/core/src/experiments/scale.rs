@@ -17,6 +17,7 @@ use gcopss_compat::{Rng, SeedableRng, SmallRng};
 use gcopss_copss::{RpId, SubscriptionTable};
 use gcopss_names::{Cd, Name, NameTree};
 use gcopss_ndn::{FaceId, Fib};
+use gcopss_sim::prof;
 
 /// Parameters of the sweep.
 #[derive(Debug, Clone)]
@@ -111,6 +112,7 @@ pub fn run(p: &ScaleParams) -> Vec<ScalePoint> {
 }
 
 fn run_point(p: &ScaleParams, n: usize) -> ScalePoint {
+    let _pt = prof::scope("scale/point");
     let branch = branching(n);
     let anchors: BTreeSet<RpId> = [RpId(0)].into();
     let face_of = |i: usize| FaceId((i as u64).wrapping_mul(0x9e37_79b9) as u32 % p.faces);
@@ -118,6 +120,7 @@ fn run_point(p: &ScaleParams, n: usize) -> ScalePoint {
     // Build the Subscription Table: n leaf subscriptions spread over the
     // faces, plus one shallow subscription per top-level region on face 0
     // so every probe also exercises the hierarchical (ancestor) match.
+    let build = prof::scope("scale/build");
     let t = Instant::now();
     let mut st = SubscriptionTable::default();
     for i in 0..n {
@@ -144,6 +147,7 @@ fn run_point(p: &ScaleParams, n: usize) -> ScalePoint {
     for i in 0..n {
         nametree.insert(universe_name(i, branch), face_of(i));
     }
+    drop(build);
 
     // Probes: one level below a subscribed leaf (publications land *in* a
     // subscribed area), with a miss sprinkled in every eighth probe.
@@ -167,26 +171,38 @@ fn run_point(p: &ScaleParams, n: usize) -> ScalePoint {
         .collect();
 
     let mut k = 0usize;
-    let st_match_ns = measure(p.rounds, 20_000, || {
-        k = (k + 1) % probes.len();
-        st.matching_faces(&probes[k], None, Some(RpId(0)))
-    });
-    let mut k = 0usize;
-    let st_bloom_ns = measure(p.rounds, 2_000, || {
-        k = (k + 1) % probes.len();
-        st.matching_faces_bloom(&probes[k], None, Some(RpId(0)))
-    });
-    let mut k = 0usize;
-    let fib_lpm_ns = measure(p.rounds, 20_000, || {
-        k = (k + 1) % chains.len();
-        let (name, chain) = &chains[k];
-        fib.lookup_hashed(name, chain).map(<[FaceId]>::len)
-    });
-    let mut k = 0usize;
-    let fib_nametree_ns = measure(p.rounds, 20_000, || {
-        k = (k + 1) % chains.len();
-        nametree.longest_prefix(&chains[k].0).map(|(_, f)| *f)
-    });
+    let st_match_ns = {
+        let _m = prof::scope("scale/st_match");
+        measure(p.rounds, 20_000, || {
+            k = (k + 1) % probes.len();
+            st.matching_faces(&probes[k], None, Some(RpId(0)))
+        })
+    };
+    let st_bloom_ns = {
+        let _m = prof::scope("scale/baselines");
+        let mut k = 0usize;
+        measure(p.rounds, 2_000, || {
+            k = (k + 1) % probes.len();
+            st.matching_faces_bloom(&probes[k], None, Some(RpId(0)))
+        })
+    };
+    let fib_lpm_ns = {
+        let _m = prof::scope("scale/fib_lpm");
+        let mut k = 0usize;
+        measure(p.rounds, 20_000, || {
+            k = (k + 1) % chains.len();
+            let (name, chain) = &chains[k];
+            fib.lookup_hashed(name, chain).map(<[FaceId]>::len)
+        })
+    };
+    let fib_nametree_ns = {
+        let _m = prof::scope("scale/baselines");
+        let mut k = 0usize;
+        measure(p.rounds, 20_000, || {
+            k = (k + 1) % chains.len();
+            nametree.longest_prefix(&chains[k].0).map(|(_, f)| *f)
+        })
+    };
 
     ScalePoint {
         entries: n,

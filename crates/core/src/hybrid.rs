@@ -82,8 +82,8 @@ pub fn route_ip_at_router(ctx: &mut Ctx<'_, GPacket, GameWorld>, ip: IpPacket) {
             let g = GPacket::Ip(ip.clone());
             let size = g.wire_size();
             if ctx.send_toward(server, g, size).is_none() {
-                ctx.emit(gcopss_sim::TraceEvent::Drop, "ip-no-route", size);
-                ctx.world().bump("ip-no-route");
+                ctx.emit(gcopss_sim::TraceEvent::Drop, crate::drops::IP_NO_ROUTE, size);
+                ctx.world().bump(crate::drops::IP_NO_ROUTE);
             }
             let _ = ip;
         }
@@ -91,16 +91,16 @@ pub fn route_ip_at_router(ctx: &mut Ctx<'_, GPacket, GameWorld>, ip: IpPacket) {
             let g = GPacket::Ip(ip.clone());
             let size = g.wire_size();
             if ctx.send_toward(client, g, size).is_none() {
-                ctx.emit(gcopss_sim::TraceEvent::Drop, "ip-no-route", size);
-                ctx.world().bump("ip-no-route");
+                ctx.emit(gcopss_sim::TraceEvent::Drop, crate::drops::IP_NO_ROUTE, size);
+                ctx.world().bump(crate::drops::IP_NO_ROUTE);
             }
         }
         IpPacket::Hello { server, .. } => {
             let g = GPacket::Ip(ip.clone());
             let size = g.wire_size();
             if ctx.send_toward(server, g, size).is_none() {
-                ctx.emit(gcopss_sim::TraceEvent::Drop, "ip-no-route", size);
-                ctx.world().bump("ip-no-route");
+                ctx.emit(gcopss_sim::TraceEvent::Drop, crate::drops::IP_NO_ROUTE, size);
+                ctx.world().bump(crate::drops::IP_NO_ROUTE);
             }
         }
         IpPacket::Mcast { group, dsts, inner } => {
@@ -189,6 +189,7 @@ impl HybridEdgeRouter {
 
 impl NodeBehavior<GPacket, GameWorld> for HybridEdgeRouter {
     fn on_fault(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, notice: FaultNotice) {
+        let _p = gcopss_sim::prof::scope("hybrid_edge/fault");
         match notice {
             FaultNotice::LinkDown { peer } => {
                 // A dead host adjacency: drop its subscriptions and release
@@ -197,7 +198,7 @@ impl NodeBehavior<GPacket, GameWorld> for HybridEdgeRouter {
                     return;
                 };
                 let purged = self.st.remove_face(face);
-                ctx.world().bump_by("st-purged", purged.len() as u64);
+                ctx.world().bump_by(crate::drops::ST_PURGED, purged.len() as u64);
                 let me = ctx.node();
                 for cd in &purged {
                     for group in groups_for_subscription(cd, self.group_count) {
@@ -243,6 +244,7 @@ impl NodeBehavior<GPacket, GameWorld> for HybridEdgeRouter {
         from: Option<NodeId>,
         pkt: GPacket,
     ) {
+        let _p = gcopss_sim::prof::scope("hybrid_edge/packet");
         let arrival = from.and_then(|n| self.faces.face_of(n));
         match pkt {
             GPacket::Copss(CopssPacket::Subscribe { cds, .. }) => {
@@ -297,10 +299,10 @@ impl NodeBehavior<GPacket, GameWorld> for HybridEdgeRouter {
                     if self.st.matching_faces(&inner.cd, None, None).is_empty() {
                         ctx.emit(
                             gcopss_sim::TraceEvent::Drop,
-                            "hybrid-filtered-unwanted",
+                            crate::drops::HYBRID_FILTERED_UNWANTED,
                             inner.encoded_len() as u32,
                         );
-                        ctx.world().bump("hybrid-filtered-unwanted");
+                        ctx.world().bump(crate::drops::HYBRID_FILTERED_UNWANTED);
                     } else {
                         self.deliver_to_hosts(ctx, &inner, None);
                     }
@@ -309,8 +311,8 @@ impl NodeBehavior<GPacket, GameWorld> for HybridEdgeRouter {
             }
             GPacket::Ip(other) => route_ip_at_router(ctx, other),
             _ => {
-                ctx.emit(gcopss_sim::TraceEvent::Drop, "hybrid-unexpected-packet", 0);
-                ctx.world().bump("hybrid-unexpected-packet");
+                ctx.emit(gcopss_sim::TraceEvent::Drop, crate::drops::HYBRID_UNEXPECTED_PACKET, 0);
+                ctx.world().bump(crate::drops::HYBRID_UNEXPECTED_PACKET);
             }
         }
     }

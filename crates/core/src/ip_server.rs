@@ -117,6 +117,7 @@ impl NodeBehavior<GPacket, GameWorld> for IpServer {
         _from: Option<NodeId>,
         pkt: GPacket,
     ) {
+        let _p = gcopss_sim::prof::scope("ip_server/packet");
         let update = match pkt {
             GPacket::Ip(IpPacket::ToServer { update, .. }) => update,
             GPacket::Ip(IpPacket::Hello { player, .. }) => {
@@ -125,8 +126,8 @@ impl NodeBehavior<GPacket, GameWorld> for IpServer {
                 return;
             }
             _ => {
-                ctx.emit(gcopss_sim::TraceEvent::Drop, "server-unexpected-packet", 0);
-                ctx.world().bump("server-unexpected-packet");
+                ctx.emit(gcopss_sim::TraceEvent::Drop, crate::drops::SERVER_UNEXPECTED_PACKET, 0);
+                ctx.world().bump(crate::drops::SERVER_UNEXPECTED_PACKET);
                 return;
             }
         };
@@ -141,10 +142,10 @@ impl NodeBehavior<GPacket, GameWorld> for IpServer {
             if self.recovery.is_some() && !self.connected.contains(&p) {
                 ctx.emit(
                     gcopss_sim::TraceEvent::Drop,
-                    "server-disconnected-player",
+                    crate::drops::SERVER_DISCONNECTED_PLAYER,
                     update.encoded_len() as u32,
                 );
-                ctx.world().bump("server-disconnected-player");
+                ctx.world().bump(crate::drops::SERVER_DISCONNECTED_PLAYER);
                 continue;
             }
             let client = self.roster.player_nodes[p.index()];
@@ -165,6 +166,7 @@ impl NodeBehavior<GPacket, GameWorld> for IpServer {
     }
 
     fn on_fault(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, notice: FaultNotice) {
+        let _p = gcopss_sim::prof::scope("ip_server/fault");
         if notice == FaultNotice::Restarted {
             // The crash dropped every TCP session; clients must reconnect.
             self.connected.clear();
@@ -238,6 +240,7 @@ impl IpClient {
 
 impl NodeBehavior<GPacket, GameWorld> for IpClient {
     fn on_start(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let _p = gcopss_sim::prof::scope("ip_client/start");
         self.schedule_next(ctx);
         let now = ctx.now();
         if self.recovery.is_some() {
@@ -250,6 +253,7 @@ impl NodeBehavior<GPacket, GameWorld> for IpClient {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, key: u64) {
+        let _p = gcopss_sim::prof::scope("ip_client/timer");
         if key == TIMER_WATCHDOG {
             let now = ctx.now();
             let Some(r) = &mut self.recovery else { return };
@@ -271,8 +275,8 @@ impl NodeBehavior<GPacket, GameWorld> for IpClient {
         };
         let (cd, size) = (e.cd.clone(), e.size);
         let Some(&server) = self.server_of.get(&cd) else {
-            ctx.emit(gcopss_sim::TraceEvent::Drop, "ip-client-no-server", e.size);
-            ctx.world().bump("ip-client-no-server");
+            ctx.emit(gcopss_sim::TraceEvent::Drop, crate::drops::IP_CLIENT_NO_SERVER, e.size);
+            ctx.world().bump(crate::drops::IP_CLIENT_NO_SERVER);
             return;
         };
         let now = ctx.now();
@@ -292,6 +296,7 @@ impl NodeBehavior<GPacket, GameWorld> for IpClient {
         _from: Option<NodeId>,
         pkt: GPacket,
     ) {
+        let _p = gcopss_sim::prof::scope("ip_client/packet");
         if let GPacket::Ip(IpPacket::ToClient { update, .. }) = pkt {
             let now = ctx.now();
             if let Some(r) = &mut self.recovery {
@@ -306,6 +311,7 @@ impl NodeBehavior<GPacket, GameWorld> for IpClient {
     }
 
     fn on_fault(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, notice: FaultNotice) {
+        let _p = gcopss_sim::prof::scope("ip_client/fault");
         if self.recovery.is_none() {
             return;
         }

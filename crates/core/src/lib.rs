@@ -21,6 +21,7 @@
 
 pub mod broker;
 mod client;
+pub mod drops;
 pub mod experiments;
 pub mod hybrid;
 pub mod ip_server;

@@ -271,6 +271,7 @@ impl NdnPlayerClient {
 
 impl NodeBehavior<GPacket, GameWorld> for NdnPlayerClient {
     fn on_start(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let _p = gcopss_sim::prof::scope("ndn_client/start");
         // Prime the pipelines toward every producer.
         for pi in 0..self.producers.len() {
             for seq in 0..u64::from(self.cfg.window) {
@@ -284,6 +285,7 @@ impl NodeBehavior<GPacket, GameWorld> for NdnPlayerClient {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, key: u64) {
+        let _p = gcopss_sim::prof::scope("ndn_client/timer");
         match key {
             TIMER_PUBLISH => self.publish(ctx),
             TIMER_FLUSH => self.flush(ctx),
@@ -298,6 +300,7 @@ impl NodeBehavior<GPacket, GameWorld> for NdnPlayerClient {
         _from: Option<NodeId>,
         pkt: GPacket,
     ) {
+        let _p = gcopss_sim::prof::scope("ndn_client/packet");
         match pkt {
             // Producer role: a consumer asks for one of our batches.
             GPacket::Interest(i) => {
@@ -318,10 +321,10 @@ impl NodeBehavior<GPacket, GameWorld> for NdnPlayerClient {
                     // Aged out of history.
                     ctx.emit(
                         gcopss_sim::TraceEvent::Drop,
-                        "ndn-batch-expired",
+                        crate::drops::NDN_BATCH_EXPIRED,
                         i.encoded_len() as u32,
                     );
-                    ctx.world().bump("ndn-batch-expired");
+                    ctx.world().bump(crate::drops::NDN_BATCH_EXPIRED);
                 }
             }
             // Consumer role: a producer's batch arrived.
@@ -369,6 +372,7 @@ impl NodeBehavior<GPacket, GameWorld> for NdnPlayerClient {
     }
 
     fn on_fault(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, notice: FaultNotice) {
+        let _p = gcopss_sim::prof::scope("ndn_client/fault");
         if notice == FaultNotice::Restarted {
             // A host crash killed the publish/flush/retry timers (their
             // epoch went stale): re-arm them so the client resumes.

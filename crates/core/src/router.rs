@@ -7,6 +7,7 @@ use std::collections::{BTreeMap, BTreeSet, HashSet};
 use gcopss_copss::{CopssEngine, CopssPacket, JoinRequest, MulticastPacket, PruneRequest, RpId, TrafficWindow};
 use gcopss_names::Name;
 use gcopss_ndn::{FaceId, NdnAction, NdnConfig, NdnEngine};
+use gcopss_sim::prof;
 use gcopss_sim::{Ctx, FaultNotice, NodeBehavior, NodeId, SimDuration, SimTime, Topology, TraceEvent};
 
 use crate::{GPacket, GameWorld, RecoveryConfig, SimParams, SplitRecord};
@@ -238,6 +239,7 @@ impl GCopssRouter {
 
     /// The next-hop face toward an RP, via the NDN FIB entry `/rp/<id>`.
     fn face_toward_rp(&self, rp: RpId) -> Option<FaceId> {
+        let _lpm = prof::scope("ndn/fib_lpm");
         self.ndn
             .fib()
             .lookup(&rp.ndn_prefix())
@@ -304,6 +306,7 @@ impl GCopssRouter {
         m: &MulticastPacket,
         arrival: Option<FaceId>,
     ) {
+        let st = prof::scope("copss/st_match");
         let mut faces = self.copss.multicast_faces(&m.cd, arrival, m.tree);
         if m.tree.is_some() {
             for face in self.copss.multicast_faces(&m.cd, arrival, None) {
@@ -318,6 +321,7 @@ impl GCopssRouter {
                 }
             }
         }
+        drop(st);
         for face in faces {
             self.send_copss(ctx, face, CopssPacket::Multicast(m.clone()));
         }
@@ -331,6 +335,7 @@ impl GCopssRouter {
         rp: RpId,
         m: &MulticastPacket,
     ) {
+        let _rp = prof::scope("copss/rp_serve");
         self.traffic.record(m.cd.name().clone());
         self.served_since_split += 1;
         if ctx.telemetry_enabled() {
@@ -536,8 +541,8 @@ impl GCopssRouter {
                                 ctx.send(node, g, size);
                             }
                         } else {
-                            ctx.emit(TraceEvent::Drop, "torp-no-route", inner.encoded_len() as u32);
-                            ctx.world().bump("torp-no-route");
+                            ctx.emit(TraceEvent::Drop, crate::drops::TORP_NO_ROUTE, inner.encoded_len() as u32);
+                            ctx.world().bump(crate::drops::TORP_NO_ROUTE);
                         }
                     }
                     // Keep the old tree warm during the grace period (both
@@ -554,8 +559,8 @@ impl GCopssRouter {
                     }
                 }
                 None => {
-                    ctx.emit(TraceEvent::Drop, "torp-unserved-cd", inner.encoded_len() as u32);
-                    ctx.world().bump("torp-unserved-cd");
+                    ctx.emit(TraceEvent::Drop, crate::drops::TORP_UNSERVED_CD, inner.encoded_len() as u32);
+                    ctx.world().bump(crate::drops::TORP_UNSERVED_CD);
                 }
             }
         } else {
@@ -569,8 +574,8 @@ impl GCopssRouter {
                     }
                 }
                 None => {
-                    ctx.emit(TraceEvent::Drop, "torp-no-route", inner.encoded_len() as u32);
-                    ctx.world().bump("torp-no-route");
+                    ctx.emit(TraceEvent::Drop, crate::drops::TORP_NO_ROUTE, inner.encoded_len() as u32);
+                    ctx.world().bump(crate::drops::TORP_NO_ROUTE);
                 }
             }
         }
@@ -803,6 +808,7 @@ impl GCopssRouter {
 
 impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, key: u64) {
+        let _p = prof::scope("copss/timer");
         if key == PRUNE_TIMER {
             let prunes = std::mem::take(&mut self.deferred_prunes);
             // Only prune joins that are still stale (a re-subscription may
@@ -818,10 +824,10 @@ impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
             };
             let swept = self.ndn.pit_mut().expire(ctx.now().as_nanos());
             if swept > 0 {
-                ctx.world().bump_by("pit-expired", swept as u64);
+                ctx.world().bump_by(crate::drops::PIT_EXPIRED, swept as u64);
                 if ctx.telemetry_enabled() {
-                    ctx.counter("pit-expired", swept as u64);
-                    ctx.emit(TraceEvent::Drop, "pit-expired", swept as u32);
+                    ctx.counter(crate::drops::PIT_EXPIRED, swept as u64);
+                    ctx.emit(TraceEvent::Drop, crate::drops::PIT_EXPIRED, swept as u32);
                 }
             }
             // Re-arm only while entries remain, so fault-free runs still
@@ -835,6 +841,7 @@ impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
     }
 
     fn on_fault(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, notice: FaultNotice) {
+        let _p = prof::scope("copss/fault_recovery");
         match notice {
             FaultNotice::LinkDown { peer } => {
                 let Some(face) = self.faces.face_of(peer) else {
@@ -842,17 +849,17 @@ impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
                 };
                 // Purge the per-face soft state of the dead adjacency.
                 let (purged, _joins, prunes) = self.copss.handle_face_down(face);
-                ctx.world().bump_by("st-purged", purged.len() as u64);
+                ctx.world().bump_by(crate::drops::ST_PURGED, purged.len() as u64);
                 let dropped = self.ndn.pit_mut().purge_face(face);
-                ctx.world().bump_by("pit-purged", dropped as u64);
+                ctx.world().bump_by(crate::drops::PIT_PURGED, dropped as u64);
                 if ctx.telemetry_enabled() {
                     if !purged.is_empty() {
-                        ctx.counter("st-purged", purged.len() as u64);
-                        ctx.emit(TraceEvent::Drop, "st-purged", purged.len() as u32);
+                        ctx.counter(crate::drops::ST_PURGED, purged.len() as u64);
+                        ctx.emit(TraceEvent::Drop, crate::drops::ST_PURGED, purged.len() as u32);
                     }
                     if dropped > 0 {
-                        ctx.counter("pit-purged", dropped as u64);
-                        ctx.emit(TraceEvent::Drop, "pit-purged", dropped as u32);
+                        ctx.counter(crate::drops::PIT_PURGED, dropped as u64);
+                        ctx.emit(TraceEvent::Drop, crate::drops::PIT_PURGED, dropped as u32);
                     }
                 }
                 // Repair routes first, then re-anchor: joins and prunes
@@ -926,17 +933,20 @@ impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
         let arrival = self.face_of(from);
         match pkt {
             GPacket::Copss(CopssPacket::Subscribe { cds, rp }) => {
+                let _p = prof::scope("copss/subscribe");
                 let Some(face) = arrival else { return };
                 let joins = self.copss.handle_subscribe(face, &cds, rp);
                 self.send_joins(ctx, joins);
             }
             GPacket::Copss(CopssPacket::Unsubscribe { cds, rp }) => {
+                let _p = prof::scope("copss/unsubscribe");
                 let Some(face) = arrival else { return };
                 let (joins, prunes) = self.copss.handle_unsubscribe(face, &cds, rp);
                 self.send_joins(ctx, joins);
                 self.send_prunes(ctx, prunes);
             }
             GPacket::Copss(CopssPacket::Multicast(m)) => {
+                let _p = prof::scope("copss/multicast");
                 // First hop for a host publication: encapsulate toward the
                 // RP. Otherwise: native ST forwarding.
                 let from_host = from.is_some_and(|n| {
@@ -951,10 +961,10 @@ impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
                         None => {
                             ctx.emit(
                                 TraceEvent::Drop,
-                                "publication-unserved-cd",
+                                crate::drops::PUBLICATION_UNSERVED_CD,
                                 m.encoded_len() as u32,
                             );
-                            ctx.world().bump("publication-unserved-cd");
+                            ctx.world().bump(crate::drops::PUBLICATION_UNSERVED_CD);
                         }
                     }
                 } else {
@@ -962,6 +972,7 @@ impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
                 }
             }
             GPacket::Copss(CopssPacket::FibAdd { prefixes }) => {
+                let _p = prof::scope("copss/fib_update");
                 if let Some(face) = arrival {
                     for p in prefixes {
                         self.ndn.fib_mut().add(p, face);
@@ -969,6 +980,7 @@ impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
                 }
             }
             GPacket::Copss(CopssPacket::FibRemove { prefixes }) => {
+                let _p = prof::scope("copss/fib_update");
                 if let Some(face) = arrival {
                     for p in prefixes {
                         self.ndn.fib_mut().remove(&p, face);
@@ -976,13 +988,16 @@ impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
                 }
             }
             GPacket::Copss(CopssPacket::RpUpdate { cds, new_rp }) => {
+                let _p = prof::scope("copss/rp_update");
                 self.on_rp_update(ctx, from, cds, new_rp);
             }
             GPacket::Copss(CopssPacket::RpHandoff { cds, new_rp, old_rp }) => {
+                let _p = prof::scope("copss/rp_handoff");
                 // Bare handoff (not wrapped): treat as addressed to us.
                 self.on_rp_handoff(ctx, cds, new_rp, old_rp);
             }
             GPacket::Control { dst, inner } => {
+                let _p = prof::scope("copss/control");
                 if dst == ctx.node() {
                     match inner {
                         CopssPacket::RpHandoff { cds, new_rp, old_rp } => {
@@ -1011,8 +1026,12 @@ impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
                     ctx.send_toward(dst, g, size);
                 }
             }
-            GPacket::ToRp { rp, inner } => self.on_to_rp(ctx, rp, inner),
+            GPacket::ToRp { rp, inner } => {
+                let _p = prof::scope("copss/to_rp");
+                self.on_to_rp(ctx, rp, inner);
+            }
             GPacket::Interest(i) => {
+                let _p = prof::scope("ndn/interest");
                 let Some(face) = arrival else { return };
                 let now = ctx.now().as_nanos();
                 let actions = self.ndn.process_interest(now, face, i);
@@ -1029,12 +1048,14 @@ impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
                 }
             }
             GPacket::Data(d) => {
+                let _p = prof::scope("ndn/data");
                 let Some(face) = arrival else { return };
                 let now = ctx.now().as_nanos();
                 let actions = self.ndn.process_data(now, face, d);
                 self.run_ndn_actions(ctx, actions);
             }
             GPacket::Ip(ip) => {
+                let _p = prof::scope("ip/route");
                 crate::hybrid::route_ip_at_router(ctx, ip);
             }
         }

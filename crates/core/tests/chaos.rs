@@ -36,6 +36,8 @@ fn small_backbone() -> NetworkSpec {
 
 struct SoakOutcome {
     fingerprint: u64,
+    prof_counts_json: String,
+    prof_count_fingerprint: u64,
     last_repair: SimTime,
     rp_failovers: u64,
     fault_drops: u64,
@@ -49,6 +51,11 @@ struct SoakOutcome {
 }
 
 fn run_soak(seed: u64) -> SoakOutcome {
+    // The self-profiler rides along: phase *counts* are part of the
+    // determinism contract (wall times are not, and are excluded from the
+    // fingerprint and the counts export).
+    gcopss_sim::prof::reset();
+    gcopss_sim::prof::enable();
     let w = Workload::counter_strike(&WorkloadParams {
         seed,
         players: 48,
@@ -100,6 +107,16 @@ fn run_soak(seed: u64) -> SoakOutcome {
     built.sim.run_until(horizon);
 
     let fingerprint = built.sim.telemetry_report("soak", 0).fingerprint;
+    let prof = gcopss_sim::prof::take_report();
+    gcopss_sim::prof::disable();
+    let prof_counts_json = prof.counts_json().to_string();
+    let prof_count_fingerprint = prof.count_fingerprint();
+    assert!(
+        prof.coverage() >= 0.9,
+        "phase self-times cover only {:.1}% of the measured wall",
+        prof.coverage() * 100.0
+    );
+    assert!(prof.counter("engine/events") > 0, "no events counted");
     let last_repair = built.sim.last_repair_time().expect("repairs were scheduled");
     let settle = SimDuration::from_secs(2);
     let audit = built.sim.lineage().audit(
@@ -148,6 +165,8 @@ fn run_soak(seed: u64) -> SoakOutcome {
     }
     SoakOutcome {
         fingerprint,
+        prof_counts_json,
+        prof_count_fingerprint,
         last_repair,
         rp_failovers: world.counters.get("rp-failovers").copied().unwrap_or(0),
         fault_drops: link_lost + node_lost,
@@ -205,4 +224,11 @@ fn soak_recovers_fully_and_is_reproducible() {
     assert_eq!(a.spans_json, b.spans_json, "span exports differ");
     assert_eq!(a.audit_json, b.audit_json, "audit exports differ");
     assert_eq!(a.timeseries_json, b.timeseries_json, "time series differ");
+    // Self-profile phase counts are deterministic too — byte-identical
+    // counts sections and equal counts-only fingerprints, chaos included.
+    assert_eq!(
+        a.prof_count_fingerprint, b.prof_count_fingerprint,
+        "prof count fingerprints differ"
+    );
+    assert_eq!(a.prof_counts_json, b.prof_counts_json, "prof counts differ");
 }

@@ -6,6 +6,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use crate::fault::FaultState;
 use crate::json::Json;
 use crate::lineage::{LineageConfig, LineageLog, NO_SPAN};
+use crate::prof;
 use crate::telemetry::{
     Telemetry, TelemetryConfig, TelemetryReport, TimeSeries, TimeSeriesConfig, TraceEvent,
     TraceRecord,
@@ -232,6 +233,13 @@ impl<P, W> Ctx<'_, P, W> {
             return;
         }
         self.telemetry.counter(self.node.0, event.as_str(), 1);
+        if event == TraceEvent::Drop {
+            // Mirror the engine's fault drops: a per-reason counter next to
+            // the aggregate, so every drop tag is visible in the counters
+            // export (not just in journal samples) — the drop-reason
+            // coverage gate reads these.
+            self.telemetry.counter(self.node.0, class, 1);
+        }
         self.telemetry.journal(TraceRecord {
             ts: self.now,
             node: self.node.0,
@@ -692,38 +700,54 @@ impl<P, W> Simulator<P, W> {
     /// Like [`Simulator::run`] but stops once the clock would pass `limit`
     /// (events at exactly `limit` are processed).
     pub fn run_until(&mut self, limit: SimTime) {
+        let _run = prof::scope("engine/run");
+        let events_before = self.events_processed;
         self.start_all();
         while let Some(&Reverse((t, _, _))) = self.events.peek() {
             if t > limit || self.stopped {
                 break;
             }
             if self.timeseries.is_some() {
+                let _ts = prof::scope("engine/timeseries");
                 self.flush_timeseries(t);
             }
-            let Reverse((t, _, slot)) = self.events.pop().expect("peeked");
-            self.now = t;
-            let ev = self.payloads[slot as usize]
-                .take()
-                .expect("event payload present");
-            self.free_slots.push(slot as usize);
+            let ev = {
+                let _pop = prof::scope("engine/pop");
+                let Reverse((t, _, slot)) = self.events.pop().expect("peeked");
+                self.now = t;
+                let ev = self.payloads[slot as usize]
+                    .take()
+                    .expect("event payload present");
+                self.free_slots.push(slot as usize);
+                ev
+            };
             self.events_processed += 1;
             self.dispatch(ev);
         }
         if limit < SimTime::MAX && !self.stopped {
+            let _ts = prof::scope("engine/timeseries");
             self.flush_timeseries_final(limit);
         }
+        self.prof_throughput(events_before);
     }
 
     /// Processes at most `n` further events (after running `on_start` hooks
     /// if not yet run). Returns the number actually processed.
     pub fn step(&mut self, n: u64) -> u64 {
+        let _run = prof::scope("engine/run");
+        let events_before = self.events_processed;
         self.start_all();
         let mut done = 0;
         while done < n && !self.stopped {
-            let Some(Reverse((t, _, slot))) = self.events.pop() else {
+            let popped = {
+                let _pop = prof::scope("engine/pop");
+                self.events.pop()
+            };
+            let Some(Reverse((t, _, slot))) = popped else {
                 break;
             };
             if self.timeseries.is_some() {
+                let _ts = prof::scope("engine/timeseries");
                 self.flush_timeseries(t);
             }
             self.now = t;
@@ -735,7 +759,20 @@ impl<P, W> Simulator<P, W> {
             self.dispatch(ev);
             done += 1;
         }
+        self.prof_throughput(events_before);
         done
+    }
+
+    /// Records the run's deterministic throughput inputs: events executed
+    /// and the peak per-node queue depth. Call-count-only, so same-seed
+    /// runs fingerprint identically. No-op while profiling is disabled.
+    fn prof_throughput(&self, events_before: u64) {
+        if !prof::is_enabled() {
+            return;
+        }
+        prof::count("engine/events", self.events_processed - events_before);
+        let high = self.nodes.iter().map(|n| n.max_queue as u64).max().unwrap_or(0);
+        prof::gauge_max("engine/queue_high_watermark", high);
     }
 
     fn start_all(&mut self) {
@@ -744,6 +781,7 @@ impl<P, W> Simulator<P, W> {
             return;
         }
         self.on_start_done = true;
+        let _start = prof::scope("engine/start");
         for i in 0..self.behaviors.len() {
             let node = NodeId(i as u32);
             self.with_behavior(node, |b, ctx| b.on_start(ctx));
@@ -755,20 +793,24 @@ impl<P, W> Simulator<P, W> {
             Event::Arrival {
                 node, from, pkt, size, mut span,
             } => {
+                let _arr = prof::scope("engine/arrival");
                 if span == NO_SPAN && self.lineage.is_enabled() {
                     // An injected packet enters the network here: open its
                     // root span (hops carry their span from `transmit`).
+                    let _lin = prof::scope("engine/lineage");
                     if let Some(lid) = self.lineage_id_of(&pkt) {
                         span = self.lineage.origin(lid, node.0, self.now);
                     }
                 }
                 if self.faults.as_ref().is_some_and(|f| !f.node_up[node.index()]) {
                     // The destination is down: the packet is blackholed.
+                    let _flt = prof::scope("engine/fault");
                     self.lineage.mark_dropped(span, "node-lost", self.now);
                     self.fault_drop(node, from, size, "node-lost");
                     return;
                 }
                 if self.telemetry.is_enabled() {
+                    let _tel = prof::scope("engine/telemetry");
                     let class = self.classify(&pkt);
                     self.telemetry.packet_in(node.0, size);
                     self.telemetry.journal(TraceRecord {
@@ -787,6 +829,7 @@ impl<P, W> Simulator<P, W> {
                 self.try_start_service(node);
             }
             Event::EndService { node, epoch } => {
+                let _svc = prof::scope("engine/service");
                 if epoch != self.nodes[node.index()].epoch {
                     return; // the node crashed since this service started
                 }
@@ -796,6 +839,7 @@ impl<P, W> Simulator<P, W> {
                     .expect("end of service with empty queue");
                 self.nodes[node.index()].processed += 1;
                 if self.telemetry.is_enabled() {
+                    let _tel = prof::scope("engine/telemetry");
                     let class = self.classify(&pkt);
                     self.telemetry.journal(TraceRecord {
                         ts: self.now,
@@ -812,7 +856,10 @@ impl<P, W> Simulator<P, W> {
                     b.on_packet(ctx, from, pkt);
                 });
                 self.cur_span = NO_SPAN;
-                self.lineage.close(span, self.now);
+                if self.lineage.is_enabled() {
+                    let _lin = prof::scope("engine/lineage");
+                    self.lineage.close(span, self.now);
+                }
                 if extra.is_zero() {
                     self.nodes[node.index()].busy = false;
                     self.try_start_service(node);
@@ -823,6 +870,7 @@ impl<P, W> Simulator<P, W> {
                 }
             }
             Event::Resume { node, epoch } => {
+                let _res = prof::scope("engine/resume");
                 if epoch != self.nodes[node.index()].epoch {
                     return;
                 }
@@ -830,12 +878,16 @@ impl<P, W> Simulator<P, W> {
                 self.try_start_service(node);
             }
             Event::Timer { node, key, epoch } => {
+                let _tmr = prof::scope("engine/timer");
                 if epoch != self.nodes[node.index()].epoch {
                     return; // armed before a crash; the process that set it died
                 }
                 self.with_behavior_timer(node, key);
             }
-            Event::Fault(ev) => self.apply_fault(ev),
+            Event::Fault(ev) => {
+                let _flt = prof::scope("engine/fault");
+                self.apply_fault(ev);
+            }
         }
     }
 
@@ -970,6 +1022,7 @@ impl<P, W> Simulator<P, W> {
             .as_ref()
             .map_or(SimDuration::ZERO, |b| b.service_time(&front.1));
         if self.telemetry.is_enabled() {
+            let _tel = prof::scope("engine/telemetry");
             let class = self.classify(&front.1);
             let size = front.2;
             let wait = self.now.saturating_duration_since(front.3);
@@ -1046,6 +1099,7 @@ impl<P, W> Simulator<P, W> {
     }
 
     fn transmit(&mut self, from: NodeId, to: NodeId, pkt: P, size: u32) {
+        let _tx = prof::scope("engine/transmit");
         let link = self
             .topology
             .link_between(from, to)
@@ -1086,6 +1140,7 @@ impl<P, W> Simulator<P, W> {
         let idx = link.index() * 2 + dir;
         self.link_bytes[idx] += u64::from(size);
         if self.telemetry.is_enabled() {
+            let _tel = prof::scope("engine/telemetry");
             let class = self.classify(&pkt);
             self.telemetry.packet_out(from.0, idx, size);
             self.telemetry.journal(TraceRecord {
@@ -1109,7 +1164,10 @@ impl<P, W> Simulator<P, W> {
             }
         };
         let span = match lid {
-            Some(l) => self.lineage.hop(l, cause, to.0, arrival),
+            Some(l) => {
+                let _lin = prof::scope("engine/lineage");
+                self.lineage.hop(l, cause, to.0, arrival)
+            }
             None => NO_SPAN,
         };
         self.push_event(
@@ -1125,6 +1183,7 @@ impl<P, W> Simulator<P, W> {
     }
 
     fn push_event(&mut self, at: SimTime, ev: Event<P>) {
+        let _ins = prof::scope("engine/insert");
         debug_assert!(at >= self.now, "event scheduled in the past");
         let slot = match self.free_slots.pop() {
             Some(s) => {

@@ -1,10 +1,12 @@
-//! A minimal hand-rolled JSON writer.
+//! A minimal hand-rolled JSON writer (and reader).
 //!
 //! The workspace builds hermetically with no external crates (see
 //! `DESIGN.md`), so there is no serde. Experiment results that need a
 //! machine-readable form use this module instead: a small value tree with
-//! a spec-compliant serializer. There is deliberately no parser — the
-//! repo only ever *emits* JSON (results files for plotting scripts).
+//! a spec-compliant serializer. A matching recursive-descent parser
+//! ([`Json::parse`]) exists for the one consumer in the workspace —
+//! `bench_trend` reading archived `BENCH_*.json` files back — and accepts
+//! exactly the documents this writer produces plus ordinary whitespace.
 //!
 //! # Example
 //!
@@ -66,6 +68,83 @@ impl Json {
     #[must_use]
     pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
         Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Parses a JSON document (the whole input must be one value plus
+    /// optional surrounding whitespace).
+    ///
+    /// Numbers without `.`/`e` parse as [`Json::UInt`]/[`Json::Int`]; the
+    /// rest as [`Json::Float`]. Escapes are limited to what
+    /// [`Json::write_to`] emits (`\" \\ \/ \n \r \t \b \f \uXXXX`,
+    /// including surrogate pairs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first syntax error.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (`None` for non-objects or missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array (`None` otherwise).
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload (`None` otherwise).
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64` — from [`Json::UInt`], a non-negative
+    /// [`Json::Int`], or a whole non-negative [`Json::Float`].
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            Json::Int(i) => u64::try_from(*i).ok(),
+            Json::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (`None` for non-numbers).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(u) => Some(*u as f64),
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
     }
 
     /// Serializes into `out`.
@@ -132,6 +211,216 @@ fn write_escaped(s: &str, out: &mut String) {
         }
     }
     out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a following \uXXXX low half.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                // Multi-byte UTF-8 continuation bytes pass through verbatim
+                // (the input is a &str, so the sequence is valid).
+                _ => {
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    self.pos = end;
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let Some(hex) = self.bytes.get(self.pos..end) else {
+            return Err(self.err("truncated \\u escape"));
+        };
+        let s = std::str::from_utf8(hex).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        let neg = self.bytes.get(self.pos) == Some(&b'-');
+        if neg {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' if self.pos > start => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if float {
+            s.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.err("invalid number"))
+        } else if neg {
+            s.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            s.parse::<u64>()
+                .map(Json::UInt)
+                .map_err(|_| self.err("invalid number"))
+        }
+    }
 }
 
 impl fmt::Display for Json {
@@ -256,6 +545,57 @@ mod tests {
     fn object_preserves_key_order() {
         let j = Json::obj([("z", Json::from(1u64)), ("a", Json::from(2u64))]);
         assert_eq!(j.to_string(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let j = Json::obj([
+            ("schema", Json::str("gcopss-bench-v1")),
+            ("neg", Json::Int(-42)),
+            ("big", Json::UInt(u64::MAX)),
+            ("f", Json::Float(8.51)),
+            ("esc", Json::str("a\"b\\c\nd\t\u{1}é")),
+            ("nul", Json::Null),
+            ("flag", Json::Bool(false)),
+            (
+                "entries",
+                Json::arr([
+                    Json::obj([("id", Json::str("x/y")), ("median_ns", Json::from(157u64))]),
+                    Json::arr([]),
+                ]),
+            ),
+        ]);
+        let text = j.to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, j);
+        assert_eq!(back.to_string(), text);
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_rejects_garbage() {
+        let j = Json::parse(" {\n \"a\" : [ 1 , 2.5 ] ,\t\"b\": \"\\u00e9\\ud83d\\ude00\" }\n").unwrap();
+        assert_eq!(j.get("a").unwrap().as_array().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(j.get("a").unwrap().as_array().unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(j.get("b").unwrap().as_str(), Some("é😀"));
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse(r#""\q""#).is_err());
+        assert!(Json::parse(r#""\ud800""#).is_err(), "lone high surrogate");
+    }
+
+    #[test]
+    fn accessors() {
+        let j = Json::parse(r#"{"u":3,"i":-3,"f":3.0,"s":"x"}"#).unwrap();
+        assert_eq!(j.get("u").unwrap().as_u64(), Some(3));
+        assert_eq!(j.get("i").unwrap().as_u64(), None);
+        assert_eq!(j.get("i").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(j.get("f").unwrap().as_u64(), Some(3));
+        assert_eq!(j.get("s").unwrap().as_u64(), None);
+        assert!(j.get("missing").is_none());
+        assert!(Json::Null.get("k").is_none());
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //!   drops, terminal deliveries) plus a post-run delivery auditor that
 //!   classifies every `(message, subscriber)` pair; enabled via
 //!   [`Simulator::enable_lineage`].
+//! * [`prof`] — self-profiling of the simulator itself: a hierarchical
+//!   phase profiler over a monotonic clock, instrumenting the event loop
+//!   and every engine's dispatch path; reports a hot-loop time-attribution
+//!   table and a counts-only determinism fingerprint.
 //!
 //! The simulator is fully deterministic: no wall-clock time, no random
 //! iteration order, and ties in the event queue are broken by insertion
@@ -81,6 +85,7 @@ pub mod generators;
 pub mod json;
 pub mod lineage;
 pub mod metrics;
+pub mod prof;
 mod routing;
 pub mod telemetry;
 mod time;

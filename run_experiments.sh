@@ -23,7 +23,17 @@ for exp in trace_stats fig4 table1 fig5 fig6 table2 table3 ablation failover sca
     cargo run --release --offline -p gcopss-bench --bin "exp_${exp}" -- ${ARGS} \
         | tee "results/exp_${exp}.txt"
 done
+echo ">>> bench_trend"
+cargo run --release --offline -p gcopss-bench --bin bench_trend || {
+    echo "error: bench_trend reports a median regression past threshold;" >&2
+    echo "see results/BENCH_TREND.json (EXPERIMENTS.md \"Bench trend\")." >&2
+    exit 1
+}
+
 echo "All experiment outputs written to results/"
 echo "Telemetry (per-run counters, histograms and Chrome trace journals)"
 echo "is in results/telemetry_*.json — open in https://ui.perfetto.dev;"
 echo "see EXPERIMENTS.md \"Telemetry outputs\"."
+echo "Self-profiles (hot-loop time attribution) are in results/prof_*.json;"
+echo "bench history + trend gate output in results/bench_history/ and"
+echo "results/BENCH_TREND.json — see EXPERIMENTS.md \"Profile outputs\"."
