@@ -11,13 +11,12 @@
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::hint::black_box;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gcopss_bench::{write_bench, BenchEntry};
 use gcopss_copss::{CopssEngine, MulticastPacket, RpId, SubscriptionTable, TrafficWindow};
 use gcopss_core::experiments::{Workload, WorkloadParams};
-use gcopss_core::scenario::{build_gcopss, GcopssConfig, NetworkSpec};
+use gcopss_core::scenario::{GcopssConfig, NetworkSpec, ScenarioSpec};
 use gcopss_core::MetricsMode;
 use gcopss_game::GameMap;
 use gcopss_names::{BloomFilter, Cd, Name, NameTree};
@@ -254,14 +253,10 @@ fn bench_end_to_end(r: &Runner) {
                 rp_count: 3,
                 ..GcopssConfig::default()
             };
-            let mut built = build_gcopss(
-                cfg,
-                &net,
-                &w.map,
-                &w.population,
-                &Arc::clone(&w.trace),
-                vec![],
-            );
+            let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+                .gcopss(cfg)
+                .build()
+                .into_gcopss();
             built.sim.run();
             black_box(built.sim.world().metrics.delivered())
         });
@@ -299,14 +294,10 @@ fn bench_telemetry_overhead(r: &Runner) {
                 rp_count: 3,
                 ..GcopssConfig::default()
             };
-            let mut built = build_gcopss(
-                cfg,
-                &net,
-                &w.map,
-                &w.population,
-                &Arc::clone(&w.trace),
-                vec![],
-            );
+            let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+                .gcopss(cfg)
+                .build()
+                .into_gcopss();
             if let Some(t) = &tcfg {
                 built.sim.enable_telemetry(t.clone());
             }
@@ -348,14 +339,10 @@ fn bench_lineage_overhead(r: &Runner) {
                 rp_count: 3,
                 ..GcopssConfig::default()
             };
-            let mut built = build_gcopss(
-                cfg,
-                &net,
-                &w.map,
-                &w.population,
-                &Arc::clone(&w.trace),
-                vec![],
-            );
+            let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+                .gcopss(cfg)
+                .build()
+                .into_gcopss();
             if let Some(l) = &lcfg {
                 built.sim.enable_lineage(l.clone());
             }
@@ -393,14 +380,10 @@ fn bench_prof_overhead(r: &Runner) {
                 rp_count: 3,
                 ..GcopssConfig::default()
             };
-            let mut built = build_gcopss(
-                cfg,
-                &net,
-                &w.map,
-                &w.population,
-                &Arc::clone(&w.trace),
-                vec![],
-            );
+            let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+                .gcopss(cfg)
+                .build()
+                .into_gcopss();
             gcopss_sim::prof::reset();
             if enabled {
                 gcopss_sim::prof::enable();

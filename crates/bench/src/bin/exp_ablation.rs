@@ -5,22 +5,18 @@
 //! cargo run --release -p gcopss-bench --bin exp_ablation [--scale f]
 //! ```
 
-use gcopss_bench::{header, write_telemetry, ExpOptions};
+use gcopss_bench::{header, ExpHarness};
 use gcopss_core::experiments::ablation;
 use gcopss_core::experiments::movement::MovementConfig;
-use gcopss_core::experiments::{TelemetryCapture, WorkloadParams};
-use gcopss_sim::{SimDuration, TelemetryConfig};
+use gcopss_core::experiments::WorkloadParams;
+use gcopss_sim::SimDuration;
 
 fn main() {
-    let opts = ExpOptions::from_args();
-    gcopss_sim::prof::enable();
-    let updates = opts.scaled(8_000, 50_000);
     // One capture across all four sweeps: every run lands in the same
     // merged telemetry document, one trace process per run label.
-    let mut cap = TelemetryCapture::new(TelemetryConfig {
-        journal_capacity: 8_192,
-        journal_sample: 16,
-    });
+    let mut h = ExpHarness::new("ablation").with_sampled_capture();
+    let updates = h.opts.scaled(8_000, 50_000);
+    let seed = h.opts.seed;
 
     header("Ablation 1 — hybrid-G-COPSS: IP multicast group count (§III-D)");
     println!(
@@ -28,11 +24,11 @@ fn main() {
         "groups", "latency (ms)", "load (GB)"
     );
     let wl = WorkloadParams {
-        seed: opts.seed,
+        seed,
         updates,
         ..WorkloadParams::default()
     };
-    for (g, s) in ablation::hybrid_group_sweep_with(&wl, 7, &[1, 2, 4, 6, 12, 31], Some(&mut cap)) {
+    for (g, s) in ablation::hybrid_group_sweep_with(&wl, 7, &[1, 2, 4, 6, 12, 31], h.cap()) {
         println!(
             "{:>8} {:>14.2} {:>12.4}",
             g,
@@ -46,7 +42,7 @@ fn main() {
         "{:>10} {:>8} {:>14} {:>12}",
         "threshold", "splits", "latency (ms)", "load (GB)"
     );
-    for (t, splits, s) in ablation::split_threshold_sweep_with(&wl, 7, &[20, 50, 100, 250], Some(&mut cap)) {
+    for (t, splits, s) in ablation::split_threshold_sweep_with(&wl, 7, &[20, 50, 100, 250], h.cap()) {
         println!(
             "{:>10} {:>8} {:>14.2} {:>12.4}",
             t,
@@ -61,9 +57,9 @@ fn main() {
         "{:>8} {:>14} {:>12}",
         "t (ms)", "latency (ms)", "load (GB)"
     );
-    let dur = SimDuration::from_secs(opts.scaled(6, 30) as u64);
+    let dur = SimDuration::from_secs(h.opts.scaled(6, 30) as u64);
     for (t, s) in ablation::ndn_accumulation_sweep_with(
-        opts.seed,
+        seed,
         dur,
         &[
             SimDuration::from_millis(20),
@@ -72,7 +68,7 @@ fn main() {
             SimDuration::from_millis(250),
             SimDuration::from_millis(500),
         ],
-        Some(&mut cap),
+        h.cap(),
     ) {
         println!(
             "{:>8.0} {:>14.1} {:>12.5}",
@@ -86,7 +82,7 @@ fn main() {
     println!("{:>8} {:>16}", "window", "convergence (ms)");
     let mcfg = MovementConfig {
         workload: WorkloadParams {
-            seed: opts.seed,
+            seed,
             updates,
             players: 150,
             ..WorkloadParams::default()
@@ -97,12 +93,9 @@ fn main() {
         drain: SimDuration::from_secs(120),
         ..MovementConfig::default()
     };
-    for (w, mean) in ablation::qr_window_sweep_with(&mcfg, &[1, 5, 10, 15, 20, 30], Some(&mut cap)) {
+    for (w, mean) in ablation::qr_window_sweep_with(&mcfg, &[1, 5, 10, 15, 20, 30], h.cap()) {
         println!("{:>8} {:>16.1}", w, mean.as_millis_f64());
     }
 
-    let prof = gcopss_sim::prof::take_report();
-    gcopss_bench::write_prof("ablation", opts.seed, &prof, Some(&mut cap.reports))
-        .expect("write prof");
-    write_telemetry("ablation", opts.seed, &cap.reports).expect("write telemetry");
+    h.finish();
 }

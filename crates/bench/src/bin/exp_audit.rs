@@ -8,20 +8,19 @@
 //! cargo run --release -p gcopss-bench --bin exp_audit [--full] [--scale f] [--seed n]
 //! ```
 
-use gcopss_bench::{header, write_audit, write_timeseries, ExpOptions};
+use gcopss_bench::{header, ExpHarness};
 use gcopss_core::experiments::audit::{self, AuditConfig};
 use gcopss_core::experiments::failover::FailoverConfig;
 use gcopss_core::experiments::WorkloadParams;
 
 fn main() {
-    let opts = ExpOptions::from_args();
-    gcopss_sim::prof::enable();
-    let updates = opts.scaled(6_000, 50_000);
-    let players = opts.scaled(100, 414);
+    let mut h = ExpHarness::new("exp_audit");
+    let updates = h.opts.scaled(6_000, 50_000);
+    let players = h.opts.scaled(100, 414);
     let cfg = AuditConfig {
         failover: FailoverConfig {
             workload: WorkloadParams {
-                seed: opts.seed,
+                seed: h.opts.seed,
                 updates,
                 players,
                 ..WorkloadParams::default()
@@ -49,20 +48,13 @@ fn main() {
         dirty |= !r.report.is_clean();
     }
 
-    let audits: Vec<(String, gcopss_sim::json::Json)> = out
-        .runs
-        .iter()
-        .map(|r| (r.label.clone(), r.report.to_json()))
-        .collect();
-    write_audit("exp_audit", opts.seed, &audits).expect("write audit");
-    let series: Vec<(String, gcopss_sim::json::Json)> = out
-        .runs
-        .iter()
-        .filter_map(|r| r.timeseries.clone().map(|ts| (r.label.clone(), ts)))
-        .collect();
-    write_timeseries("exp_audit", opts.seed, &series).expect("write timeseries");
-    let prof = gcopss_sim::prof::take_report();
-    gcopss_bench::write_prof("exp_audit", opts.seed, &prof, None).expect("write prof");
+    for r in &out.runs {
+        h.add_audit(r.label.clone(), r.report.to_json());
+        if let Some(ts) = r.timeseries.clone() {
+            h.add_series(r.label.clone(), ts);
+        }
+    }
+    h.finish();
 
     assert!(!dirty, "audit found unexplained losses or duplicates");
     println!("\nall runs clean: every owed pair accounted for");

@@ -7,38 +7,34 @@
 //! cargo run --release -p gcopss-bench --bin exp_failover [--full] [--scale f] [--seed n]
 //! ```
 
-use gcopss_bench::{header, write_telemetry, write_timeseries, ExpOptions};
+use gcopss_bench::{header, ExpHarness};
 use gcopss_core::experiments::failover::{self, FailoverConfig};
-use gcopss_core::experiments::{TelemetryCapture, WorkloadParams};
-use gcopss_sim::{SimDuration, TelemetryConfig, TimeSeriesConfig};
+use gcopss_core::experiments::WorkloadParams;
+use gcopss_sim::{SimDuration, TimeSeriesConfig};
 
 fn main() {
-    let opts = ExpOptions::from_args();
-    gcopss_sim::prof::enable();
-    let updates = opts.scaled(10_000, 50_000);
-    let players = opts.scaled(120, 414);
     // Nine chaotic runs; sample the journal to bound the merged document.
-    let mut cap = TelemetryCapture::new(TelemetryConfig {
-        journal_capacity: 8_192,
-        journal_sample: 16,
-    })
-    .with_timeseries(TimeSeriesConfig {
-        tick: SimDuration::from_millis(500),
-        counters: vec!["delivered", "drop", "rp-failovers", "st-purged"],
-        gauges: vec!["st-entries"],
-        per_node: vec!["rp-served"],
-        ..TimeSeriesConfig::default()
-    });
+    let mut h = ExpHarness::new("exp_failover")
+        .with_sampled_capture()
+        .with_timeseries(TimeSeriesConfig {
+            tick: SimDuration::from_millis(500),
+            counters: vec!["delivered", "drop", "rp-failovers", "st-purged"],
+            gauges: vec!["st-entries"],
+            per_node: vec!["rp-served"],
+            ..TimeSeriesConfig::default()
+        });
+    let updates = h.opts.scaled(10_000, 50_000);
+    let players = h.opts.scaled(120, 414);
     let cfg = FailoverConfig {
         workload: WorkloadParams {
-            seed: opts.seed,
+            seed: h.opts.seed,
             updates,
             players,
             ..WorkloadParams::default()
         },
         ..FailoverConfig::default()
     };
-    let out = failover::run_with(&cfg, Some(&mut cap));
+    let out = failover::run_with(&cfg, h.cap());
 
     header(&format!(
         "Failure sweep — {updates} updates, {players} players, {} link flaps + RP crash/restart, loss {:?}",
@@ -75,9 +71,5 @@ fn main() {
         }
     }
 
-    let prof = gcopss_sim::prof::take_report();
-    gcopss_bench::write_prof("exp_failover", opts.seed, &prof, Some(&mut cap.reports))
-        .expect("write prof");
-    write_telemetry("exp_failover", opts.seed, &cap.reports).expect("write telemetry");
-    write_timeseries("exp_failover", opts.seed, &cap.series).expect("write timeseries");
+    h.finish();
 }

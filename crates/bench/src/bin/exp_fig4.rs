@@ -8,23 +8,21 @@
 //! Paper reference points: G-COPSS mean 8.51 ms (all < 55 ms); IP server
 //! mean 25.52 ms with a tail beyond 55 ms; NDN mean > 12 s.
 
-use gcopss_bench::{gb, header, write_telemetry, ExpOptions};
+use gcopss_bench::{gb, header, ExpHarness};
 use gcopss_core::experiments::microbench::{self, MicrobenchConfig};
-use gcopss_core::experiments::TelemetryCapture;
 use gcopss_sim::{SimDuration, TelemetryConfig};
 
 fn main() {
-    let opts = ExpOptions::from_args();
-    gcopss_sim::prof::enable();
-    let secs = opts.scaled(10, 60) as u64;
-    let mut cap = TelemetryCapture::new(TelemetryConfig::default());
+    let mut h = ExpHarness::new("fig4").with_capture(TelemetryConfig::default());
+    let secs = h.opts.scaled(10, 60) as u64;
+    let seed = h.opts.seed;
     let out = microbench::run_with(
         &MicrobenchConfig {
-            seed: opts.seed,
+            seed,
             duration: SimDuration::from_secs(secs),
             ..MicrobenchConfig::default()
         },
-        Some(&mut cap),
+        h.cap(),
     );
 
     header(&format!(
@@ -70,8 +68,5 @@ fn main() {
     println!("IP/G-COPSS mean ratio  = {:.2}x (paper ~3x)", i / g);
     println!("NDN/G-COPSS mean ratio = {:.0}x (paper ~1400x)", n / g);
 
-    let prof = gcopss_sim::prof::take_report();
-    gcopss_bench::write_prof("fig4", opts.seed, &prof, Some(&mut cap.reports))
-        .expect("write prof");
-    write_telemetry("fig4", opts.seed, &cap.reports).expect("write telemetry");
+    h.finish();
 }

@@ -6,33 +6,30 @@
 //! cargo run --release -p gcopss-bench --bin exp_fig5 [--full] [--scale f]
 //! ```
 
-use gcopss_bench::{header, write_telemetry, write_timeseries, ExpOptions};
+use gcopss_bench::{header, ExpHarness};
 use gcopss_core::experiments::rp_sweep::{self, RpSweepConfig};
-use gcopss_core::experiments::{TelemetryCapture, WorkloadParams};
-use gcopss_sim::{SimDuration, TelemetryConfig, TimeSeriesConfig};
+use gcopss_core::experiments::WorkloadParams;
+use gcopss_sim::{SimDuration, TimeSeriesConfig};
 
 fn main() {
-    let opts = ExpOptions::from_args();
-    gcopss_sim::prof::enable();
-    let updates = opts.scaled(20_000, 100_000);
     // The per-RP load breakdown over time is the congestion story of
     // Fig. 5 told as a time series: watch rp-served concentrate, then
     // rebalance after the automatic split.
-    let mut cap = TelemetryCapture::new(TelemetryConfig {
-        journal_capacity: 8_192,
-        journal_sample: 16,
-    })
-    .with_timeseries(TimeSeriesConfig {
-        tick: SimDuration::from_millis(500),
-        counters: vec!["delivered", "drop", "rp-served"],
-        gauges: vec!["st-entries"],
-        per_node: vec!["rp-served"],
-        ..TimeSeriesConfig::default()
-    });
+    let mut h = ExpHarness::new("fig5")
+        .with_sampled_capture()
+        .with_timeseries(TimeSeriesConfig {
+            tick: SimDuration::from_millis(500),
+            counters: vec!["delivered", "drop", "rp-served"],
+            gauges: vec!["st-entries"],
+            per_node: vec!["rp-served"],
+            ..TimeSeriesConfig::default()
+        });
+    let updates = h.opts.scaled(20_000, 100_000);
+    let seed = h.opts.seed;
     let out = rp_sweep::run_with(
         &RpSweepConfig {
             workload: WorkloadParams {
-                seed: opts.seed,
+                seed,
                 updates,
                 ..WorkloadParams::default()
             },
@@ -43,7 +40,7 @@ fn main() {
             fig5_points: 60,
             ..RpSweepConfig::default()
         },
-        Some(&mut cap),
+        h.cap(),
     );
 
     for series in &out.fig5 {
@@ -91,9 +88,5 @@ fn main() {
         );
     }
 
-    let prof = gcopss_sim::prof::take_report();
-    gcopss_bench::write_prof("fig5", opts.seed, &prof, Some(&mut cap.reports))
-        .expect("write prof");
-    write_telemetry("fig5", opts.seed, &cap.reports).expect("write telemetry");
-    write_timeseries("fig5", opts.seed, &cap.series).expect("write timeseries");
+    h.finish();
 }

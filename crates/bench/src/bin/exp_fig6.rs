@@ -5,34 +5,28 @@
 //! cargo run --release -p gcopss-bench --bin exp_fig6 [--full] [--scale f]
 //! ```
 
-use gcopss_bench::{header, write_telemetry, ExpOptions};
+use gcopss_bench::{header, ExpHarness};
 use gcopss_core::experiments::player_sweep::{self, PlayerSweepConfig};
-use gcopss_core::experiments::TelemetryCapture;
-use gcopss_sim::TelemetryConfig;
 
 fn main() {
-    let opts = ExpOptions::from_args();
-    gcopss_sim::prof::enable();
-    let updates_per_player = opts.scaled(40, 250);
-    let player_counts = if opts.full {
+    // Many runs in this sweep: sample the journal 1-in-16 and cap it low so
+    // the merged trace file stays small.
+    let mut h = ExpHarness::new("fig6").with_sampled_capture();
+    let updates_per_player = h.opts.scaled(40, 250);
+    let player_counts = if h.opts.full {
         vec![50, 100, 150, 200, 250, 300, 350, 400]
     } else {
         vec![50, 100, 200, 300, 400]
     };
-    // Many runs in this sweep: sample the journal 1-in-16 and cap it low so
-    // the merged trace file stays small.
-    let mut cap = TelemetryCapture::new(TelemetryConfig {
-        journal_capacity: 8_192,
-        journal_sample: 16,
-    });
+    let seed = h.opts.seed;
     let out = player_sweep::run_with(
         &PlayerSweepConfig {
-            seed: opts.seed,
+            seed,
             player_counts,
             updates_per_player,
             ..PlayerSweepConfig::default()
         },
-        Some(&mut cap),
+        h.cap(),
     );
 
     header("Fig. 6a — response latency vs #players (3 RPs / 3 servers)");
@@ -71,8 +65,5 @@ fn main() {
     println!("G-COPSS latency growth = {:.1}x over the sweep", g_last / g_first.max(1e-9));
     println!("IP server latency growth = {:.1}x over the sweep", i_last / i_first.max(1e-9));
 
-    let prof = gcopss_sim::prof::take_report();
-    gcopss_bench::write_prof("fig6", opts.seed, &prof, Some(&mut cap.reports))
-        .expect("write prof");
-    write_telemetry("fig6", opts.seed, &cap.reports).expect("write telemetry");
+    h.finish();
 }

@@ -11,24 +11,22 @@
 //! `check_hermetic.sh` gates on). `--full` adds the 10M point — budget
 //! several GB of RAM for it.
 
-use gcopss_bench::{header, write_bench, BenchEntry};
-use gcopss_bench::ExpOptions;
+use gcopss_bench::{header, BenchEntry, ExpHarness};
 use gcopss_core::experiments::scale::{self, ScaleParams};
 use gcopss_sim::json::{results_doc, write_results, Json};
 
 fn main() {
-    let opts = ExpOptions::from_args();
-    gcopss_sim::prof::enable();
+    let mut h = ExpHarness::new("exp_scale");
     let mut sizes: Vec<usize> = [1_000usize, 10_000, 100_000, 1_000_000]
         .iter()
-        .map(|&s| opts.scaled(s, s))
+        .map(|&s| h.opts.scaled(s, s))
         .collect();
-    if opts.full {
+    if h.opts.full {
         sizes.push(10_000_000);
     }
     sizes.dedup();
     let params = ScaleParams {
-        seed: opts.seed,
+        seed: h.opts.seed,
         sizes,
         ..ScaleParams::default()
     };
@@ -69,7 +67,7 @@ fn main() {
     let doc = results_doc(
         "gcopss-scale-v1",
         "scale",
-        opts.seed,
+        h.opts.seed,
         [(
             "points",
             Json::arr(points.iter().map(|pt| {
@@ -88,21 +86,18 @@ fn main() {
     write_results("results/exp_scale.json", &doc).expect("write scale results");
     println!("\nscale sweep written to results/exp_scale.json");
 
-    let mut entries = Vec::new();
     for pt in &points {
         let n = pt.entries;
-        entries.push(BenchEntry::new(format!("st_match/n{n}"), pt.st_match_ns, 20_000));
-        entries.push(BenchEntry::new(format!("st_bloom/n{n}"), pt.st_bloom_ns, 2_000));
-        entries.push(BenchEntry::new(format!("fib_lpm/n{n}"), pt.fib_lpm_ns, 20_000));
-        entries.push(BenchEntry::new(
+        h.add_bench(BenchEntry::new(format!("st_match/n{n}"), pt.st_match_ns, 20_000));
+        h.add_bench(BenchEntry::new(format!("st_bloom/n{n}"), pt.st_bloom_ns, 2_000));
+        h.add_bench(BenchEntry::new(format!("fib_lpm/n{n}"), pt.fib_lpm_ns, 20_000));
+        h.add_bench(BenchEntry::new(
             format!("fib_nametree/n{n}"),
             pt.fib_nametree_ns,
             20_000,
         ));
     }
-    write_bench("exp_scale", opts.seed, &entries).expect("write bench trajectory");
-    let prof = gcopss_sim::prof::take_report();
-    gcopss_bench::write_prof("exp_scale", opts.seed, &prof, None).expect("write prof");
+    h.finish();
 }
 
 fn size_growth(points: &[scale::ScalePoint]) -> usize {

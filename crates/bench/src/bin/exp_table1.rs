@@ -6,32 +6,27 @@
 //! cargo run --release -p gcopss-bench --bin exp_table1 [--full] [--scale f]
 //! ```
 
-use gcopss_bench::{gb, header, per_link_byte_sum, write_telemetry, ExpOptions};
+use gcopss_bench::{gb, header, per_link_byte_sum, ExpHarness};
 use gcopss_core::experiments::rp_sweep::{self, RpSweepConfig};
-use gcopss_core::experiments::{TelemetryCapture, WorkloadParams};
-use gcopss_sim::TelemetryConfig;
+use gcopss_core::experiments::WorkloadParams;
 
 fn main() {
-    let opts = ExpOptions::from_args();
-    gcopss_sim::prof::enable();
-    let updates = opts.scaled(20_000, 100_000);
     // Nine full-trace runs: sample the journal so the merged telemetry
     // document stays a few MB (counters and histograms are unaffected).
-    let mut cap = TelemetryCapture::new(TelemetryConfig {
-        journal_capacity: 8_192,
-        journal_sample: 16,
-    });
+    let mut h = ExpHarness::new("table1").with_sampled_capture();
+    let updates = h.opts.scaled(20_000, 100_000);
+    let seed = h.opts.seed;
     let out = rp_sweep::run_with(
         &RpSweepConfig {
             workload: WorkloadParams {
-                seed: opts.seed,
+                seed,
                 updates,
                 ..WorkloadParams::default()
             },
             fig5_detail: false,
             ..RpSweepConfig::default()
         },
-        Some(&mut cap),
+        h.cap(),
     );
 
     header(&format!(
@@ -89,6 +84,7 @@ fn main() {
     // fills the table above.
     header("Telemetry reconciliation (per-link byte sum vs aggregate load)");
     let rows = out.gcopss_rows.iter().chain(&out.server_rows);
+    let cap = h.cap().expect("table1 runs captured");
     for (report, row) in cap.reports.iter().zip(rows) {
         let link_sum = per_link_byte_sum(report).expect("run summary has a link table");
         assert_eq!(
@@ -104,8 +100,5 @@ fn main() {
         );
     }
 
-    let prof = gcopss_sim::prof::take_report();
-    gcopss_bench::write_prof("table1", opts.seed, &prof, Some(&mut cap.reports))
-        .expect("write prof");
-    write_telemetry("table1", opts.seed, &cap.reports).expect("write telemetry");
+    h.finish();
 }

@@ -8,29 +8,24 @@
 //! Paper shape: hybrid has the best latency; load ordering is
 //! G-COPSS < hybrid < IP server (IP roughly 2x G-COPSS).
 
-use gcopss_bench::{header, write_telemetry, ExpOptions};
+use gcopss_bench::{header, ExpHarness};
 use gcopss_core::experiments::full_trace::{self, FullTraceConfig};
-use gcopss_core::experiments::{TelemetryCapture, WorkloadParams};
-use gcopss_sim::TelemetryConfig;
+use gcopss_core::experiments::WorkloadParams;
 
 fn main() {
-    let opts = ExpOptions::from_args();
-    gcopss_sim::prof::enable();
-    let updates = opts.scaled(60_000, 1_686_905);
-    let mut cap = TelemetryCapture::new(TelemetryConfig {
-        journal_capacity: 8_192,
-        journal_sample: 16,
-    });
+    let mut h = ExpHarness::new("table2").with_sampled_capture();
+    let updates = h.opts.scaled(60_000, 1_686_905);
+    let seed = h.opts.seed;
     let out = full_trace::run_with(
         &FullTraceConfig {
             workload: WorkloadParams {
-                seed: opts.seed,
+                seed,
                 updates,
                 ..WorkloadParams::default()
             },
             ..FullTraceConfig::default()
         },
-        Some(&mut cap),
+        h.cap(),
     );
 
     header(&format!(
@@ -66,8 +61,5 @@ fn main() {
         out.ip.network_gb() / out.gcopss.network_gb().max(1e-12)
     );
 
-    let prof = gcopss_sim::prof::take_report();
-    gcopss_bench::write_prof("table2", opts.seed, &prof, Some(&mut cap.reports))
-        .expect("write prof");
-    write_telemetry("table2", opts.seed, &cap.reports).expect("write telemetry");
+    h.finish();
 }

@@ -10,18 +10,17 @@
 //! downloaded; QR window 15 beats window 5; cyclic multicast has the best
 //! average; QR carries roughly 2x the snapshot traffic of cyclic.
 
-use gcopss_bench::{gb, header, write_telemetry, ExpOptions};
+use gcopss_bench::{gb, header, ExpHarness};
 use gcopss_core::experiments::movement::{self, MovementConfig};
-use gcopss_core::experiments::{TelemetryCapture, WorkloadParams};
-use gcopss_sim::{SimDuration, TelemetryConfig};
+use gcopss_core::experiments::WorkloadParams;
+use gcopss_sim::SimDuration;
 
 fn main() {
-    let opts = ExpOptions::from_args();
-    gcopss_sim::prof::enable();
-    let updates = opts.scaled(15_000, 200_000);
+    let mut h = ExpHarness::new("table3").with_sampled_capture();
+    let updates = h.opts.scaled(15_000, 200_000);
     // Keep the network-wide move *rate* near the paper's (~0.35–2 moves/s)
     // at every scale: fewer movers with shorter intervals on short traces.
-    let (lo, hi, movers) = if opts.full {
+    let (lo, hi, movers) = if h.opts.full {
         (
             SimDuration::from_secs(60),
             SimDuration::from_secs(420),
@@ -32,7 +31,7 @@ fn main() {
     };
     let cfg = MovementConfig {
         workload: WorkloadParams {
-            seed: opts.seed,
+            seed: h.opts.seed,
             updates,
             ..WorkloadParams::default()
         },
@@ -41,11 +40,7 @@ fn main() {
         drain: SimDuration::from_secs(120),
         ..MovementConfig::default()
     };
-    let mut cap = TelemetryCapture::new(TelemetryConfig {
-        journal_capacity: 8_192,
-        journal_sample: 16,
-    });
-    let outputs = movement::run_all_with(&cfg, Some(&mut cap));
+    let outputs = movement::run_all_with(&cfg, h.cap());
 
     for out in &outputs {
         header(&format!(
@@ -102,8 +97,5 @@ fn main() {
         );
     }
 
-    let prof = gcopss_sim::prof::take_report();
-    gcopss_bench::write_prof("table3", opts.seed, &prof, Some(&mut cap.reports))
-        .expect("write prof");
-    write_telemetry("table3", opts.seed, &cap.reports).expect("write telemetry");
+    h.finish();
 }

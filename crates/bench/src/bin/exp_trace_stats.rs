@@ -5,16 +5,15 @@
 //! cargo run --release -p gcopss-bench --bin exp_trace_stats [--full] [--scale f]
 //! ```
 
-use gcopss_bench::{header, write_telemetry, ExpOptions};
+use gcopss_bench::{header, ExpHarness};
 use gcopss_core::experiments::trace_stats;
 use gcopss_core::experiments::WorkloadParams;
 
 fn main() {
-    let opts = ExpOptions::from_args();
-    gcopss_sim::prof::enable();
-    let updates = opts.scaled(100_000, 1_686_905);
+    let mut h = ExpHarness::new("trace_stats");
+    let updates = h.opts.scaled(100_000, 1_686_905);
     let params = WorkloadParams {
-        seed: opts.seed,
+        seed: h.opts.seed,
         updates,
         ..WorkloadParams::default()
     };
@@ -60,10 +59,6 @@ fn main() {
 
     // No simulator runs here — the telemetry report characterizes the
     // workload itself with log-scale histograms.
-    let report = trace_stats::telemetry_report(&params, &out);
-    let mut reports = vec![report];
-    let prof = gcopss_sim::prof::take_report();
-    gcopss_bench::write_prof("trace_stats", opts.seed, &prof, Some(&mut reports))
-        .expect("write prof");
-    write_telemetry("trace_stats", opts.seed, &reports).expect("write telemetry");
+    h.push_report(trace_stats::telemetry_report(&params, &out));
+    h.finish();
 }

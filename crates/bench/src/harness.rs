@@ -1,0 +1,163 @@
+//! The experiment-binary harness: one builder wrapping the boilerplate
+//! every `exp_*` binary shares — CLI parsing, enabling the simulator
+//! self-profiler, telemetry capture, and the end-of-run export fan
+//! (`prof_*.json` merged into `telemetry_*.json`, plus optional
+//! `timeseries_*`, `audit_*` and `BENCH_*` documents).
+//!
+//! The canonical shape of a binary becomes:
+//!
+//! ```no_run
+//! use gcopss_bench::ExpHarness;
+//! let mut h = ExpHarness::new("fig4").with_sampled_capture();
+//! let seed = h.opts.seed;
+//! // ... run experiments, passing `h.cap()` to the `run_with` driver ...
+//! h.finish();
+//! ```
+//!
+//! [`ExpHarness::finish`] preserves the invariants the binaries relied on:
+//! the profile is written (and merged as a pseudo-run) *before* the
+//! telemetry document, so the prof trace lands in the merged Perfetto
+//! file, and audit/bench documents are written before the profile table
+//! prints.
+
+use gcopss_core::experiments::TelemetryCapture;
+use gcopss_sim::json::Json;
+use gcopss_sim::{TelemetryConfig, TelemetryReport, TimeSeriesConfig};
+
+use crate::{
+    write_audit, write_bench, write_prof, write_telemetry, write_timeseries, BenchEntry,
+    ExpOptions,
+};
+
+/// Shared lifecycle of one experiment binary. Construct with
+/// [`ExpHarness::new`], run the experiment body, then call
+/// [`ExpHarness::finish`] exactly once.
+pub struct ExpHarness {
+    /// Experiment label: the suffix of every `results/` file written.
+    pub exp: String,
+    /// Parsed CLI options (`--full`, `--scale`, `--seed`).
+    pub opts: ExpOptions,
+    capture: Option<TelemetryCapture>,
+    audits: Vec<(String, Json)>,
+    series: Vec<(String, Json)>,
+    bench_entries: Vec<BenchEntry>,
+}
+
+impl ExpHarness {
+    /// Parses the process arguments and enables the simulator
+    /// self-profiler (every binary profiles its own hot loop).
+    #[must_use]
+    pub fn new(exp: &str) -> Self {
+        let opts = ExpOptions::from_args();
+        gcopss_sim::prof::enable();
+        Self {
+            exp: exp.to_string(),
+            opts,
+            capture: None,
+            audits: Vec::new(),
+            series: Vec::new(),
+            bench_entries: Vec::new(),
+        }
+    }
+
+    /// Arms a telemetry capture with an explicit configuration.
+    #[must_use]
+    pub fn with_capture(mut self, cfg: TelemetryConfig) -> Self {
+        self.capture = Some(TelemetryCapture::new(cfg));
+        self
+    }
+
+    /// Arms the multi-run capture shape: journal capped at 8,192 entries,
+    /// sampled 1-in-16, so sweeps with many runs keep the merged trace
+    /// document small (counters and histograms are unaffected).
+    #[must_use]
+    pub fn with_sampled_capture(self) -> Self {
+        self.with_capture(TelemetryConfig {
+            journal_capacity: 8_192,
+            journal_sample: 16,
+        })
+    }
+
+    /// Additionally arms the periodic time-series sampler on every
+    /// captured run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no capture was configured yet.
+    #[must_use]
+    pub fn with_timeseries(mut self, ts: TimeSeriesConfig) -> Self {
+        let cap = self
+            .capture
+            .take()
+            .expect("configure a capture before the time-series sampler");
+        self.capture = Some(cap.with_timeseries(ts));
+        self
+    }
+
+    /// The capture to hand to a driver's `run_with(…)` telemetry argument
+    /// (`None` when the harness runs captureless).
+    pub fn cap(&mut self) -> Option<&mut TelemetryCapture> {
+        self.capture.as_mut()
+    }
+
+    /// Appends a hand-built report (for characterization passes that never
+    /// run a simulator, e.g. `trace_stats`). Creates an otherwise-unused
+    /// capture if none was configured.
+    pub fn push_report(&mut self, report: TelemetryReport) {
+        self.capture
+            .get_or_insert_with(|| TelemetryCapture::new(TelemetryConfig::default()))
+            .reports
+            .push(report);
+    }
+
+    /// Queues one run's audit document for `results/audit_<exp>.json`.
+    pub fn add_audit(&mut self, label: impl Into<String>, audit: Json) {
+        self.audits.push((label.into(), audit));
+    }
+
+    /// Queues one run's time-series document for
+    /// `results/timeseries_<exp>.json` (merged after any capture-harvested
+    /// series).
+    pub fn add_series(&mut self, label: impl Into<String>, series: Json) {
+        self.series.push((label.into(), series));
+    }
+
+    /// Queues one benchmark entry for `results/BENCH_<exp>.json`.
+    pub fn add_bench(&mut self, entry: BenchEntry) {
+        self.bench_entries.push(entry);
+    }
+
+    /// Writes every queued export and the self-profile. Call once, at the
+    /// end of `main`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `results/` file cannot be written.
+    pub fn finish(mut self) {
+        let prof = gcopss_sim::prof::take_report();
+        let seed = self.opts.seed;
+        if !self.audits.is_empty() {
+            write_audit(&self.exp, seed, &self.audits).expect("write audit");
+        }
+        if !self.bench_entries.is_empty() {
+            write_bench(&self.exp, seed, &self.bench_entries).expect("write bench trajectory");
+        }
+        match self.capture.as_mut() {
+            Some(cap) => {
+                write_prof(&self.exp, seed, &prof, Some(&mut cap.reports)).expect("write prof");
+                write_telemetry(&self.exp, seed, &cap.reports).expect("write telemetry");
+                let mut series = std::mem::take(&mut cap.series);
+                series.append(&mut self.series);
+                if !series.is_empty() {
+                    write_timeseries(&self.exp, seed, &series).expect("write timeseries");
+                }
+            }
+            None => {
+                write_prof(&self.exp, seed, &prof, None).expect("write prof");
+                if !self.series.is_empty() {
+                    write_timeseries(&self.exp, seed, &self.series).expect("write timeseries");
+                }
+            }
+        }
+    }
+}

@@ -1,6 +1,9 @@
 //! Shared helpers for the experiment binaries and benchmarks.
 
+pub mod harness;
 pub mod trend;
+
+pub use harness::ExpHarness;
 
 use std::env;
 

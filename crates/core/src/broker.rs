@@ -30,7 +30,8 @@ use std::sync::Arc;
 use gcopss_compat::bytes::Bytes;
 use gcopss_copss::{CopssPacket, MulticastPacket};
 use gcopss_game::trace::TraceEvent;
-use gcopss_game::{AreaId, GameMap, MoveEvent, ObjectModel, PlayerId};
+use gcopss_game::{AreaId, GameMap, MoveEvent, ObjectId, ObjectModel, PlayerId};
+use gcopss_names::chunk::{ChunkId, ChunkStore, Chunker, Manifest};
 use gcopss_names::{Cd, Component, Name};
 use gcopss_ndn::{Data, Interest};
 use gcopss_sim::{Ctx, NodeBehavior, NodeId, SimDuration, SimTime};
@@ -54,6 +55,92 @@ pub fn snapcast_ns() -> Name {
 #[must_use]
 pub fn snapcastctl_ns() -> Name {
     Name::parse_lit("/snapcastctl")
+}
+
+/// The `/snapmani` per-CD snapshot-manifest namespace root (content-addressed
+/// delta distribution).
+#[must_use]
+pub fn snapmani_ns() -> Name {
+    Name::parse_lit("/snapmani")
+}
+
+/// The `/chunk` content-addressed chunk namespace root. Chunk names embed
+/// the hash of their bytes (`/chunk/<16-hex>`), so router Content Stores
+/// caching by name automatically dedup identical content across CDs.
+#[must_use]
+pub fn chunk_ns() -> Name {
+    Name::parse_lit("/chunk")
+}
+
+/// The NDN name of one chunk: `/chunk/<16-hex-digit id>`.
+#[must_use]
+pub fn chunk_name(id: ChunkId) -> Name {
+    chunk_ns().child(Component::new(id.to_hex()).expect("hex is a valid component"))
+}
+
+/// Parses a [`chunk_name`] back into its id.
+#[must_use]
+pub fn parse_chunk_name(name: &Name) -> Option<ChunkId> {
+    let comps = name.components();
+    if comps.len() != 2 || comps[0].as_str() != "chunk" {
+        return None;
+    }
+    ChunkId::from_hex(comps[1].as_str())
+}
+
+/// Bytes an update is allowed to rewrite inside an object's snapshot. Game
+/// updates mutate a few fields (position, health), not the whole object, so
+/// the synthetic content must keep most bytes stable across versions or
+/// chunk-level delta sync would have nothing to dedup.
+const OBJECT_DIRTY_WINDOW: usize = 64;
+
+/// Deterministic synthetic content of one object's snapshot, `len` bytes
+/// long: a stable FNV-1a base stream keyed by the object id alone, with a
+/// small [`OBJECT_DIRTY_WINDOW`]-byte region (at a version-keyed offset)
+/// rewritten per version. Unchanged objects reproduce identical bytes on
+/// every call, a growing object extends its tail without disturbing earlier
+/// bytes, and an update perturbs only a field-sized window — so
+/// content-defined chunks away from the touched fields keep their ids.
+#[must_use]
+pub fn object_content(obj: ObjectId, version: u64, len: usize) -> Vec<u8> {
+    let seed = gcopss_names::fnv1a(&u64::from(obj.0).to_le_bytes());
+    let mut out = Vec::with_capacity(len);
+    let mut h = seed;
+    for i in 0..len {
+        h = gcopss_names::fnv1a(&(h ^ i as u64).to_le_bytes());
+        out.push((h >> 24) as u8);
+    }
+    if version > 0 && len > 0 {
+        let w = OBJECT_DIRTY_WINDOW.min(len);
+        let span = (len - w + 1) as u64;
+        let vkey = gcopss_names::fnv1a_extend(seed, &version.to_le_bytes());
+        let start = (vkey % span) as usize;
+        let mut h = gcopss_names::fnv1a_extend(vkey, b"dirty");
+        for b in &mut out[start..start + w] {
+            h = gcopss_names::fnv1a(&h.to_le_bytes());
+            *b = (h >> 24) as u8;
+        }
+    }
+    out
+}
+
+/// The full snapshot blob of one leaf CD (concatenated object contents,
+/// pristine objects omitted) and its *epoch* — the sum of the CD's object
+/// versions, strictly monotonic under updates, so equal epochs imply equal
+/// blobs.
+#[must_use]
+pub fn cd_snapshot_content(objects: &ObjectModel, cd: &Name) -> (u64, Vec<u8>) {
+    let mut epoch = 0u64;
+    let mut blob = Vec::new();
+    for &o in objects.objects_in(cd) {
+        let st = objects.state(o);
+        epoch += st.version;
+        let len = st.snapshot_bytes() as usize;
+        if len > 0 {
+            blob.extend_from_slice(&object_content(o, st.version, len));
+        }
+    }
+    (epoch, blob)
 }
 
 /// How a moving player retrieves snapshots.
@@ -84,6 +171,47 @@ pub struct SnapshotBroker {
     /// Monotonic id source for snapshot multicasts (distinct from update
     /// publication ids).
     next_snap_id: u64,
+    /// Content-addressed chunk cache for the manifest/chunk serve path.
+    chunks: BrokerChunkCache,
+}
+
+/// The broker's lazily rebuilt chunk view of its serving CDs. Manifests are
+/// regenerated when a CD's epoch (object-version sum) moves; the chunk store
+/// only grows, so chunks of superseded manifests stay servable while
+/// stragglers finish fetching them.
+struct BrokerChunkCache {
+    chunker: Chunker,
+    /// serving index → (epoch, manifest) of the last build.
+    manifests: BTreeMap<usize, (u64, Manifest)>,
+    store: ChunkStore,
+}
+
+impl BrokerChunkCache {
+    fn new() -> Self {
+        Self {
+            chunker: Chunker::default(),
+            manifests: BTreeMap::new(),
+            store: ChunkStore::new(),
+        }
+    }
+
+    /// Returns the current manifest of serving CD `idx`, rebuilding (and
+    /// absorbing the new chunks) if updates moved the CD's epoch.
+    fn manifest_of(&mut self, objects: &ObjectModel, cd: &Name, idx: usize) -> &Manifest {
+        let (epoch, blob) = cd_snapshot_content(objects, cd);
+        let stale = self
+            .manifests
+            .get(&idx)
+            .is_none_or(|(cached, _)| *cached != epoch);
+        if stale {
+            let manifest = self.chunker.manifest(epoch, &blob);
+            for c in self.chunker.chunks(&blob) {
+                self.store.insert(c);
+            }
+            self.manifests.insert(idx, (epoch, manifest));
+        }
+        &self.manifests.get(&idx).expect("just built").1
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -111,6 +239,7 @@ impl SnapshotBroker {
             dedup: DedupWindow::new(1024),
             cyclic: BTreeMap::new(),
             next_snap_id: 1 << 60,
+            chunks: BrokerChunkCache::new(),
         }
     }
 
@@ -121,6 +250,17 @@ impl SnapshotBroker {
             .iter()
             .flat_map(|cd| [snapshot_ns().join(cd), snapcastctl_ns().join(cd)])
             .collect()
+    }
+
+    /// The additional FIB prefixes of the chunked-delta path: per-CD
+    /// manifest names plus the shared `/chunk` namespace. `/chunk` routes
+    /// to *every* broker (chunk names carry no CD), so an Interest fans out
+    /// and brokers not holding the chunk answer with a tagged drop.
+    #[must_use]
+    pub fn chunk_fib_prefixes(serving: &[Name]) -> Vec<Name> {
+        let mut out: Vec<Name> = serving.iter().map(|cd| snapmani_ns().join(cd)).collect();
+        out.push(chunk_ns());
+        out
     }
 
     fn serving_index(&self, cd: &Name) -> Option<usize> {
@@ -146,6 +286,16 @@ impl SnapshotBroker {
         None
     }
 
+    /// Parses `/snapmani/<cd>`, returning the serving index.
+    fn parse_manifest_name(&self, name: &Name) -> Option<usize> {
+        let comps = name.components();
+        if comps.first()?.as_str() != "snapmani" {
+            return None;
+        }
+        let cd = Name::from_components(comps[1..].iter().cloned());
+        self.serving_index(&cd)
+    }
+
     fn parse_ctl_name(&self, name: &Name) -> Option<(usize, bool)> {
         let comps = name.components();
         if comps.first()?.as_str() != "snapcastctl" {
@@ -165,6 +315,18 @@ impl SnapshotBroker {
         // freshness short so concurrent movers may share router caches but
         // stale state does not linger.
         let data = Data::with_freshness(name, payload, 50_000_000);
+        let g = GPacket::Data(data);
+        let size = g.wire_size();
+        ctx.send(self.edge, g, size);
+    }
+
+    fn send_chunk(&self, ctx: &mut Ctx<'_, GPacket, GameWorld>, name: Name, payload: Bytes) {
+        // Chunks are immutable — the name commits to the bytes — so they
+        // can outlive mutable snapshot data in router caches by orders of
+        // magnitude, letting every rejoiner of a storm share one copy per
+        // chunk for the storm's whole duration (prewarm plus rejoin phases
+        // span minutes of simulated time).
+        let data = Data::with_freshness(name, payload, 600_000_000_000);
         let g = GPacket::Data(data);
         let size = g.wire_size();
         ctx.send(self.edge, g, size);
@@ -303,6 +465,35 @@ impl NodeBehavior<GPacket, GameWorld> for SnapshotBroker {
                     }
                     // Acknowledge so the PIT breadcrumbs are consumed.
                     self.send_data(ctx, i.name, payload_of(1));
+                } else if let Some(idx) = self.parse_manifest_name(&i.name) {
+                    ctx.consume(self.params.broker_per_object);
+                    let cd = self.serving[idx].clone();
+                    let wire = self.chunks.manifest_of(&self.objects, &cd, idx).encode();
+                    self.send_data(ctx, i.name, Bytes::from(wire));
+                    if ctx.telemetry_enabled() {
+                        ctx.counter("broker-manifest-served", 1);
+                    }
+                    ctx.world().bump("broker-manifest-served");
+                } else if let Some(id) = parse_chunk_name(&i.name) {
+                    let held = self.chunks.store.get(id).map(|b| Bytes::from(b.to_vec()));
+                    if let Some(payload) = held {
+                        ctx.consume(self.params.broker_per_object);
+                        self.send_chunk(ctx, i.name, payload);
+                        if ctx.telemetry_enabled() {
+                            ctx.counter("broker-chunk-served", 1);
+                        }
+                        ctx.world().bump("broker-chunk-served");
+                    } else {
+                        // /chunk routes to every broker and chunk names
+                        // carry no CD: the fan-out is expected to miss at
+                        // every broker but the holder.
+                        ctx.emit(
+                            gcopss_sim::TraceEvent::Drop,
+                            crate::drops::BROKER_CHUNK_MISS,
+                            i.encoded_len() as u32,
+                        );
+                        ctx.world().bump(crate::drops::BROKER_CHUNK_MISS);
+                    }
                 } else {
                     ctx.emit(
                         gcopss_sim::TraceEvent::Drop,
@@ -875,5 +1066,83 @@ mod tests {
         let p = SnapshotBroker::fib_prefixes(&serving);
         assert!(p.contains(&Name::parse_lit("/snapshot/1/2")));
         assert!(p.contains(&Name::parse_lit("/snapcastctl/1/2")));
+        let cp = SnapshotBroker::chunk_fib_prefixes(&serving);
+        assert!(cp.contains(&Name::parse_lit("/snapmani/1/2")));
+        assert!(cp.contains(&chunk_ns()));
+    }
+
+    #[test]
+    fn chunk_names_roundtrip() {
+        let id = ChunkId::of(b"some chunk");
+        let name = chunk_name(id);
+        assert_eq!(parse_chunk_name(&name), Some(id));
+        assert_eq!(parse_chunk_name(&Name::parse_lit("/chunk/nothex")), None);
+        assert_eq!(parse_chunk_name(&Name::parse_lit("/snapshot/1/2/meta")), None);
+    }
+
+    #[test]
+    fn snapshot_content_is_deterministic_and_update_local() {
+        let map = GameMap::paper_map();
+        let mut objects = ObjectModel::generate(1, &map, &ObjectModelParams::default());
+        let cd = map.leaf_cds()[0].clone();
+        let (e0, b0) = cd_snapshot_content(&objects, &cd);
+        assert_eq!(e0, 0, "pristine CD has epoch 0");
+        assert!(b0.is_empty(), "pristine objects ship nothing");
+
+        // Update every object once to materialize the blob.
+        let objs: Vec<ObjectId> = objects.objects_in(&cd).to_vec();
+        for &o in &objs {
+            objects.apply_update(o, 500);
+        }
+        let (e1, b1) = cd_snapshot_content(&objects, &cd);
+        let (e1b, b1b) = cd_snapshot_content(&objects, &cd);
+        assert_eq!((e1, b1.clone()), (e1b, b1b), "content is a pure function");
+        assert_eq!(e1, objs.len() as u64);
+
+        // One more update to one object changes only that object's region.
+        objects.apply_update(objs[0], 100);
+        let (e2, b2) = cd_snapshot_content(&objects, &cd);
+        assert!(e2 > e1);
+        assert_ne!(b1, b2);
+        // The chunker should reuse most chunks of the old blob.
+        let chunker = Chunker::default();
+        let mut store = ChunkStore::new();
+        for c in chunker.chunks(&b1) {
+            store.insert(c);
+        }
+        let manifest = chunker.manifest(e2, &b2);
+        let missing = store.missing(&manifest);
+        assert!(
+            missing.len() < manifest.chunks.len(),
+            "a one-object update must not dirty every chunk"
+        );
+    }
+
+    #[test]
+    fn broker_serves_manifest_and_chunks() {
+        // Drive the cache directly (no simulator): build, mutate, rebuild.
+        let map = GameMap::paper_map();
+        let mut objects = ObjectModel::generate(1, &map, &ObjectModelParams::default());
+        let cd = map.leaf_cds()[0].clone();
+        for &o in &objects.objects_in(&cd).to_vec() {
+            objects.apply_update(o, 800);
+        }
+        let mut cache = BrokerChunkCache::new();
+        let m1 = cache.manifest_of(&objects, &cd, 0).clone();
+        assert!(!m1.chunks.is_empty());
+        // Every referenced chunk is servable.
+        for c in &m1.chunks {
+            assert!(cache.store.contains(c.id));
+        }
+        // Same epoch: no rebuild, identical manifest.
+        assert_eq!(cache.manifest_of(&objects, &cd, 0), &m1);
+        // Epoch moves: manifest changes, old chunks stay servable.
+        let first = objects.objects_in(&cd)[0];
+        objects.apply_update(first, 100);
+        let m2 = cache.manifest_of(&objects, &cd, 0).clone();
+        assert_ne!(m1, m2);
+        for c in m1.chunks.iter().chain(&m2.chunks) {
+            assert!(cache.store.contains(c.id));
+        }
     }
 }

@@ -1,21 +1,28 @@
 //! The G-COPSS game client (player host) behavior.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::sync::Arc;
 
 use gcopss_compat::{Rng, SeedableRng, SmallRng};
 use gcopss_copss::{CopssPacket, MulticastPacket};
 use gcopss_game::trace::TraceEvent;
 use gcopss_game::{AreaId, GameMap, PlayerId};
-use gcopss_names::Cd;
+use gcopss_names::chunk::{ChunkId, ChunkStore, Manifest};
+use gcopss_names::{Cd, Component, Name};
+use gcopss_ndn::{Data, Interest};
 use gcopss_sim::{Ctx, FaultNotice, NodeBehavior, NodeId, SimDuration, SimTime};
 
-use crate::{payload_of, GPacket, GameWorld, RecoveryConfig};
+use crate::broker::{chunk_name, parse_chunk_name, snapmani_ns, snapshot_ns};
+use crate::{payload_of, CatchUpMode, CatchUpRecord, GPacket, GameWorld, RecoveryConfig};
 
 /// Timer key of trace-driven publishing.
 const TIMER_PUBLISH: u64 = 0;
 /// Timer key of the silence watchdog (recovery mode only).
 const TIMER_WATCHDOG: u64 = 1;
+/// Timer key of the catch-up stall/retry sweep.
+const TIMER_CATCHUP_RETRY: u64 = 2;
+/// Timer key of the scheduled initial (prewarm) catch-up.
+const TIMER_CATCHUP_START: u64 = 3;
 
 /// Client-side recovery state: a silence watchdog with capped exponential
 /// backoff and seeded per-client jitter. Shared by the G-COPSS player
@@ -145,6 +152,91 @@ impl TraceCursor {
     }
 }
 
+/// Client-side catch-up tunables (snapshot refresh on join/recovery).
+#[derive(Debug, Clone)]
+pub struct CatchUpConfig {
+    /// Retrieval strategy.
+    pub mode: CatchUpMode,
+    /// Maximum outstanding fetch Interests.
+    pub window: u32,
+    /// When set, runs an initial (prewarm) catch-up at this sim time, so
+    /// the chunk store is warm before any fault hits.
+    pub initial_at: Option<SimTime>,
+    /// Stall threshold: with no catch-up progress for this long, every
+    /// outstanding Interest is re-expressed (the owed items are unchanged —
+    /// a retry is not a new debt).
+    pub retry: SimDuration,
+}
+
+impl Default for CatchUpConfig {
+    fn default() -> Self {
+        Self {
+            mode: CatchUpMode::ChunkedDelta,
+            window: 15,
+            initial_at: None,
+            retry: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// A stable item key for non-chunk catch-up fetches (manifests, snapshot
+/// meta/objects), hashed from the Interest name.
+fn name_key(name: &Name) -> u64 {
+    let mut h = gcopss_names::fnv1a(b"catchup");
+    for c in name.components() {
+        h = gcopss_names::fnv1a_extend(h, c.as_str().as_bytes());
+    }
+    h
+}
+
+/// Cap on the catch-up resend backoff exponent: the longest wait between
+/// re-expressions is `retry << BACKOFF_CAP`.
+const CATCHUP_BACKOFF_CAP: u32 = 3;
+
+/// Builds one catch-up Interest. The lifetime is deliberately *shorter*
+/// than the stall-retry interval: PIT aggregation refreshes entry
+/// lifetimes, so a re-expression that lands in a still-live entry whose
+/// upstream Data was lost is swallowed without being forwarded — the name
+/// stays wedged for as long as retries keep arriving faster than the
+/// entries expire. Expiring the previous round first guarantees every
+/// retry is actually re-forwarded toward the producer.
+fn catchup_interest(name: Name, nonce: u64, retry: SimDuration) -> Interest {
+    Interest::with_lifetime(name, nonce, retry.as_nanos() * 3 / 4)
+}
+
+/// One in-flight catch-up.
+struct CatchUpFetch {
+    recovery: bool,
+    started: SimTime,
+    last_progress: SimTime,
+    bytes: u64,
+    chunks_fetched: u64,
+    chunks_held: u64,
+    cds: usize,
+    /// Item key → Interest name, for everything sent but unanswered.
+    outstanding: BTreeMap<u64, Name>,
+    /// Fetches not yet issued (window pacing).
+    queue: VecDeque<(u64, Name)>,
+    /// Chunk ids already queued/sent this catch-up (cross-CD dedup).
+    requested_chunks: BTreeSet<u64>,
+    /// Consecutive stall resends without progress (backoff exponent).
+    backoff: u32,
+    /// Earliest time the next stall resend may fire.
+    next_resend: SimTime,
+}
+
+/// Persistent catch-up state of one client: config, the chunk store that
+/// survives across catch-ups (and across node restarts — it models on-disk
+/// content), and the active fetch.
+struct CatchUpRunner {
+    cfg: CatchUpConfig,
+    store: ChunkStore,
+    /// Manifests fetched by the active catch-up (reassembly check at end).
+    manifests: Vec<Manifest>,
+    active: Option<CatchUpFetch>,
+    next_nonce: u64,
+}
+
 /// The G-COPSS player client: subscribes according to its map position at
 /// start-up, publishes its trace slice, and records delivery latencies of
 /// everything it receives.
@@ -156,6 +248,22 @@ pub struct GamePlayerClient {
     cursor: TraceCursor,
     dedup: DedupWindow,
     recovery: Option<ClientRecovery>,
+    catch_up: Option<CatchUpRunner>,
+    /// Whether any multicast delivery arrived yet. Watchdog silence before
+    /// the first delivery means the trace has not started, not that state
+    /// was lost — it must not trigger a (cold, maximally expensive)
+    /// recovery catch-up.
+    seen_delivery: bool,
+    /// Whether the client is currently inside a deaf episode: the watchdog
+    /// found sustained silence after traffic had been flowing.
+    was_deaf: bool,
+    /// A deaf episode ended (deliveries resumed) and the missed state has
+    /// not been re-fetched yet. The resync runs at the rejoin moment — or,
+    /// if a fetch is already in flight, chains right after it — never
+    /// *during* deafness: while cut off the client would only hammer a
+    /// congested or broken path, and permanent silence (end of game) must
+    /// not turn into a refetch loop.
+    pending_resync: bool,
 }
 
 impl GamePlayerClient {
@@ -176,7 +284,28 @@ impl GamePlayerClient {
             cursor,
             dedup: DedupWindow::new(1024),
             recovery: None,
+            catch_up: None,
+            seen_delivery: false,
+            was_deaf: false,
+            pending_resync: false,
         }
+    }
+
+    /// Enables snapshot catch-up: the client refreshes its world view from
+    /// the brokers at `cfg.initial_at` (prewarm) and on every recovery
+    /// trigger (first silent watchdog firing, link-up, restart). In
+    /// [`CatchUpMode::ChunkedDelta`] the client keeps a persistent
+    /// [`ChunkStore`] and fetches only chunks it does not hold.
+    #[must_use]
+    pub fn with_catch_up(mut self, cfg: CatchUpConfig) -> Self {
+        self.catch_up = Some(CatchUpRunner {
+            cfg,
+            store: ChunkStore::new(),
+            manifests: Vec::new(),
+            active: None,
+            next_nonce: u64::from(self.player.0) << 32,
+        });
+        self
     }
 
     /// Enables the silence watchdog: after `cfg.watchdog` without any
@@ -219,6 +348,258 @@ impl GamePlayerClient {
         ctx.send(self.edge, g, wire);
         self.schedule_next(ctx);
     }
+
+    /// Starts a catch-up over every visible leaf CD, unless one is already
+    /// in flight (recovery triggers can storm; one fetch at a time).
+    /// Returns whether a fetch actually started.
+    fn maybe_start_catchup(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, recovery: bool) -> bool {
+        let player = self.player.0;
+        let edge = self.edge;
+        let cds = self.map.visible_leaf_cds(self.area);
+        let Some(cu) = &mut self.catch_up else {
+            return false;
+        };
+        if cu.active.is_some() {
+            return false;
+        }
+        let now = ctx.now();
+        let mut fetch = CatchUpFetch {
+            recovery,
+            started: now,
+            last_progress: now,
+            bytes: 0,
+            chunks_fetched: 0,
+            chunks_held: 0,
+            cds: cds.len(),
+            outstanding: BTreeMap::new(),
+            queue: VecDeque::new(),
+            requested_chunks: BTreeSet::new(),
+            backoff: 0,
+            next_resend: now,
+        };
+        cu.manifests.clear();
+        for cd in &cds {
+            let name = match cu.cfg.mode {
+                CatchUpMode::ChunkedDelta => snapmani_ns().join(cd),
+                CatchUpMode::FullSnapshot => snapshot_ns()
+                    .join(cd)
+                    .child(Component::new("meta").expect("valid")),
+            };
+            let key = name_key(&name);
+            ctx.world().catchup_ledger.owe(key, player);
+            fetch.outstanding.insert(key, name.clone());
+            cu.next_nonce += 1;
+            let g = GPacket::Interest(catchup_interest(name, cu.next_nonce, cu.cfg.retry));
+            let size = g.wire_size();
+            ctx.send(edge, g, size);
+        }
+        cu.active = Some(fetch);
+        ctx.world().bump(if recovery {
+            "client-catchups-recovery"
+        } else {
+            "client-catchups-initial"
+        });
+        ctx.schedule(cu.cfg.retry, TIMER_CATCHUP_RETRY);
+        true
+    }
+
+    /// Issues queued fetches up to the window.
+    fn refill_catchup(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let player = self.player.0;
+        let edge = self.edge;
+        let Some(cu) = &mut self.catch_up else {
+            return;
+        };
+        let Some(fetch) = &mut cu.active else {
+            return;
+        };
+        while (fetch.outstanding.len() as u32) < cu.cfg.window {
+            let Some((key, name)) = fetch.queue.pop_front() else {
+                break;
+            };
+            ctx.world().catchup_ledger.owe(key, player);
+            fetch.outstanding.insert(key, name.clone());
+            cu.next_nonce += 1;
+            let g = GPacket::Interest(catchup_interest(name, cu.next_nonce, cu.cfg.retry));
+            let size = g.wire_size();
+            ctx.send(edge, g, size);
+        }
+    }
+
+    /// Consumes one catch-up Data (manifest, chunk, or snapshot meta/obj).
+    fn on_catchup_data(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, d: &Data) {
+        // Any Data arrival proves the access path works.
+        let now = ctx.now();
+        if let Some(r) = &mut self.recovery {
+            r.last_activity = now;
+        }
+        let late = |ctx: &mut Ctx<'_, GPacket, GameWorld>, d: &Data| {
+            ctx.emit(
+                gcopss_sim::TraceEvent::Drop,
+                crate::drops::CLIENT_LATE_CATCHUP,
+                d.encoded_len() as u32,
+            );
+            ctx.world().bump(crate::drops::CLIENT_LATE_CATCHUP);
+        };
+        // Content-addressed integrity: a chunk whose bytes do not hash to
+        // its name is rejected before any state is touched.
+        let chunk_id = parse_chunk_name(&d.name);
+        if let Some(id) = chunk_id {
+            if ChunkId::of(&d.payload) != id {
+                ctx.emit(
+                    gcopss_sim::TraceEvent::Drop,
+                    crate::drops::CLIENT_CHUNK_CORRUPT,
+                    d.encoded_len() as u32,
+                );
+                ctx.world().bump(crate::drops::CLIENT_CHUNK_CORRUPT);
+                return;
+            }
+        }
+        let player = self.player.0;
+        let Some(cu) = &mut self.catch_up else {
+            late(ctx, d);
+            return;
+        };
+        let Some(fetch) = &mut cu.active else {
+            late(ctx, d);
+            return;
+        };
+        let key = chunk_id.map_or_else(|| name_key(&d.name), |id| id.0);
+        if fetch.outstanding.remove(&key).is_none() {
+            // A retransmit raced its original, or the data is stale.
+            late(ctx, d);
+            return;
+        }
+        fetch.bytes += d.payload.len() as u64;
+        fetch.last_progress = now;
+        fetch.backoff = 0;
+        fetch.next_resend = now;
+        ctx.world().catchup_ledger.deliver(key, player);
+
+        let comps = d.name.components();
+        match comps.first().map(Component::as_str) {
+            Some("chunk") => {
+                cu.store.insert(&d.payload);
+                fetch.chunks_fetched += 1;
+            }
+            Some("snapmani") => {
+                if let Ok(m) = Manifest::decode(&d.payload) {
+                    let distinct: BTreeSet<u64> = m.chunks.iter().map(|c| c.id.0).collect();
+                    let missing = cu.store.missing(&m);
+                    fetch.chunks_held += (distinct.len() - missing.len()) as u64;
+                    for r in missing {
+                        if fetch.requested_chunks.insert(r.id.0) {
+                            fetch.queue.push_back((r.id.0, chunk_name(r.id)));
+                        }
+                    }
+                    cu.manifests.push(m);
+                }
+            }
+            Some("snapshot") if comps.last().map(Component::as_str) == Some("meta") => {
+                let cd = Name::from_components(comps[1..comps.len() - 1].iter().cloned());
+                let total = d
+                    .payload
+                    .get(..4)
+                    .map_or(0, |b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+                for k in 0..total {
+                    let name = snapshot_ns()
+                        .join(&cd)
+                        .child(Component::new("obj").expect("valid"))
+                        .child_index(k);
+                    fetch.queue.push_back((name_key(&name), name));
+                }
+            }
+            // Snapshot object payloads need no further handling: the byte
+            // and ledger accounting above is the point.
+            _ => {}
+        }
+        self.refill_catchup(ctx);
+        self.finish_catchup_if_done(ctx);
+    }
+
+    fn finish_catchup_if_done(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let player = self.player;
+        let Some(cu) = &mut self.catch_up else {
+            return;
+        };
+        let done = cu
+            .active
+            .as_ref()
+            .is_some_and(|f| f.outstanding.is_empty() && f.queue.is_empty());
+        if !done {
+            return;
+        }
+        let f = cu.active.take().expect("active checked");
+        // Integrity gate: every fetched manifest must reassemble exactly
+        // from the (now complete) store.
+        for m in cu.manifests.drain(..) {
+            let key = if cu.store.reassemble(&m).is_ok() {
+                "catchup-reassembly-ok"
+            } else {
+                "catchup-reassembly-failed"
+            };
+            ctx.world().bump(key);
+        }
+        let now = ctx.now();
+        let mode = cu.cfg.mode;
+        ctx.world().catchups.push(CatchUpRecord {
+            player,
+            mode,
+            recovery: f.recovery,
+            latency: now.saturating_duration_since(f.started),
+            bytes: f.bytes,
+            chunks_fetched: f.chunks_fetched,
+            chunks_held: f.chunks_held,
+            cds: f.cds,
+        });
+        // A rejoin happened while this fetch was in flight: run the owed
+        // resync now that the pipeline is free.
+        if self.pending_resync && self.maybe_start_catchup(ctx, true) {
+            self.pending_resync = false;
+        }
+    }
+
+    /// Stall sweep: re-expresses every outstanding fetch when no progress
+    /// was made for a full retry interval (lost Interests/Data).
+    ///
+    /// Resends back off exponentially (capped) and the sweep itself is
+    /// jittered per player: a mass-rejoin storm stalls every client at
+    /// once, and lockstep retry waves from hundreds of clients are exactly
+    /// the load that keeps the network collapsed.
+    fn catchup_retry_tick(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let edge = self.edge;
+        let player = self.player.0;
+        let Some(cu) = &mut self.catch_up else {
+            return;
+        };
+        let Some(fetch) = &mut cu.active else {
+            return; // done — let the timer lapse
+        };
+        let now = ctx.now();
+        let stalled = now.saturating_duration_since(fetch.last_progress) >= cu.cfg.retry;
+        if stalled && now >= fetch.next_resend {
+            let resend: Vec<Name> = fetch.outstanding.values().cloned().collect();
+            for name in resend {
+                cu.next_nonce += 1;
+                let g = GPacket::Interest(catchup_interest(name, cu.next_nonce, cu.cfg.retry));
+                let size = g.wire_size();
+                ctx.send(edge, g, size);
+            }
+            fetch.backoff = (fetch.backoff + 1).min(CATCHUP_BACKOFF_CAP);
+            fetch.next_resend = now + cu.cfg.retry * (1u64 << fetch.backoff);
+            ctx.world().bump("client-catchup-retries");
+        }
+        // Deterministic per-player jitter, rolled forward by the nonce so
+        // successive sweeps of one client decorrelate too.
+        let jitter_ns = gcopss_names::fnv1a_extend(
+            gcopss_names::fnv1a(&u64::from(player).to_le_bytes()),
+            &cu.next_nonce.to_le_bytes(),
+        ) % (cu.cfg.retry.as_nanos() / 4).max(1);
+        ctx.schedule(
+            cu.cfg.retry + SimDuration::from_nanos(jitter_ns),
+            TIMER_CATCHUP_RETRY,
+        );
+    }
 }
 
 impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
@@ -235,6 +616,11 @@ impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
             let delay = r.cfg.watchdog + r.jitter();
             ctx.schedule(delay, TIMER_WATCHDOG);
         }
+        if let Some(cu) = &self.catch_up {
+            if let Some(at) = cu.cfg.initial_at {
+                ctx.schedule(at.saturating_duration_since(now), TIMER_CATCHUP_START);
+            }
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, key: u64) {
@@ -250,6 +636,13 @@ impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
                     let delay = r.backoff + r.jitter();
                     r.backoff = (r.backoff + r.backoff).min(r.cfg.backoff_cap);
                     self.resubscribe(ctx);
+                    // Silence after traffic was flowing means state is
+                    // being missed; the resync itself waits for the rejoin
+                    // moment (deliveries resuming). Silence before the
+                    // first delivery is just a not-yet-started trace.
+                    if self.seen_delivery {
+                        self.was_deaf = true;
+                    }
                     delay
                 } else {
                     let r = self.recovery.as_mut().expect("recovery enabled");
@@ -257,6 +650,10 @@ impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
                     r.cfg.watchdog + r.jitter()
                 };
                 ctx.schedule(next, TIMER_WATCHDOG);
+            }
+            TIMER_CATCHUP_RETRY => self.catchup_retry_tick(ctx),
+            TIMER_CATCHUP_START => {
+                self.maybe_start_catchup(ctx, false);
             }
             _ => {}
         }
@@ -269,27 +666,42 @@ impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
         pkt: GPacket,
     ) {
         let _p = gcopss_sim::prof::scope("copss_client/packet");
-        if let GPacket::Copss(CopssPacket::Multicast(m)) = pkt {
-            // Any arrival (even a duplicate) proves the tree is delivering.
-            let now = ctx.now();
-            if let Some(r) = &mut self.recovery {
-                r.last_activity = now;
-            }
-            if self.dedup.insert(m.id) {
+        match pkt {
+            GPacket::Copss(CopssPacket::Multicast(m)) => {
+                // Any arrival (even a duplicate) proves the tree is
+                // delivering.
                 let now = ctx.now();
-                ctx.world().record_delivery(m.id, self.player, now);
-                ctx.lineage_deliver(self.player.0);
-                if ctx.telemetry_enabled() {
-                    ctx.counter("delivered", 1);
+                self.seen_delivery = true;
+                if self.was_deaf {
+                    // Rejoin moment: the tree delivers again after a deaf
+                    // episode — whatever was missed must be re-fetched.
+                    self.was_deaf = false;
+                    self.pending_resync = true;
                 }
-            } else {
-                ctx.emit(
-                    gcopss_sim::TraceEvent::Drop,
-                    crate::drops::CLIENT_DUPLICATE_DROPPED,
-                    m.encoded_len() as u32,
-                );
-                ctx.world().bump(crate::drops::CLIENT_DUPLICATE_DROPPED);
+                if self.pending_resync && self.maybe_start_catchup(ctx, true) {
+                    self.pending_resync = false;
+                }
+                if let Some(r) = &mut self.recovery {
+                    r.last_activity = now;
+                }
+                if self.dedup.insert(m.id) {
+                    let now = ctx.now();
+                    ctx.world().record_delivery(m.id, self.player, now);
+                    ctx.lineage_deliver(self.player.0);
+                    if ctx.telemetry_enabled() {
+                        ctx.counter("delivered", 1);
+                    }
+                } else {
+                    ctx.emit(
+                        gcopss_sim::TraceEvent::Drop,
+                        crate::drops::CLIENT_DUPLICATE_DROPPED,
+                        m.encoded_len() as u32,
+                    );
+                    ctx.world().bump(crate::drops::CLIENT_DUPLICATE_DROPPED);
+                }
             }
+            GPacket::Data(d) => self.on_catchup_data(ctx, &d),
+            _ => {}
         }
     }
 
@@ -319,6 +731,24 @@ impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
                     let r = self.recovery.as_mut().expect("recovery enabled");
                     let delay = r.cfg.watchdog + r.jitter();
                     ctx.schedule(delay, TIMER_WATCHDOG);
+                    // The crash killed the retry timer too. An in-flight
+                    // fetch (and the chunk store — it models on-disk
+                    // content) survives in behavior state; re-arm the
+                    // sweep so its outstanding items are re-expressed and
+                    // the catch-up ledger still balances.
+                    if let Some(cu) = &mut self.catch_up {
+                        if cu.active.is_some() {
+                            ctx.schedule(cu.cfg.retry, TIMER_CATCHUP_RETRY);
+                        }
+                    }
+                }
+                // Re-anchored: the world may have moved while we were cut
+                // off — refresh the snapshot view (deferred until the
+                // current fetch finishes if one is in flight). This resync
+                // covers any deaf episode the watchdog flagged meanwhile.
+                self.was_deaf = false;
+                if !self.maybe_start_catchup(ctx, true) {
+                    self.pending_resync = true;
                 }
             }
             FaultNotice::LinkDown { .. } => {}

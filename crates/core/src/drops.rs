@@ -48,6 +48,17 @@ pub const SERVER_UNEXPECTED_PACKET: &str = "server-unexpected-packet";
 pub const SERVER_DISCONNECTED_PLAYER: &str = "server-disconnected-player";
 /// An IP client had no connected server to send to.
 pub const IP_CLIENT_NO_SERVER: &str = "ip-client-no-server";
+/// A snapshot broker received a `/chunk` Interest for a chunk it does not
+/// hold. Expected in fan-out: `/chunk` routes to every broker and the name
+/// carries no CD, so all brokers but the holder miss.
+pub const BROKER_CHUNK_MISS: &str = "broker-chunk-miss";
+/// A client received catch-up Data (manifest, chunk or snapshot object) it
+/// has no active catch-up waiting for — e.g. a retransmitted fetch raced
+/// its original, or the fetch was superseded.
+pub const CLIENT_LATE_CATCHUP: &str = "client-late-catchup";
+/// A client rejected a `/chunk` Data whose payload does not hash to the id
+/// in its name (content-addressed integrity check).
+pub const CLIENT_CHUNK_CORRUPT: &str = "client-chunk-corrupt";
 /// Engine fault injection: the packet died on a down/lossy link
 /// (tagged by `gcopss_sim`'s transmit path, listed here for coverage).
 pub const LINK_LOST: &str = "link-lost";
@@ -73,6 +84,9 @@ pub const ALL: &[&str] = &[
     SERVER_UNEXPECTED_PACKET,
     SERVER_DISCONNECTED_PLAYER,
     IP_CLIENT_NO_SERVER,
+    BROKER_CHUNK_MISS,
+    CLIENT_LATE_CATCHUP,
+    CLIENT_CHUNK_CORRUPT,
     LINK_LOST,
     NODE_LOST,
 ];
@@ -92,6 +106,6 @@ mod tests {
             );
             assert!(seen.insert(tag), "duplicate tag {tag:?}");
         }
-        assert_eq!(ALL.len(), 17);
+        assert_eq!(ALL.len(), 20);
     }
 }

@@ -12,7 +12,7 @@ use gcopss_sim::{SimDuration, SimTime};
 
 use crate::broker::SnapshotMode;
 use crate::ndn_baseline::NdnClientConfig;
-use crate::scenario::{build_hybrid, build_ndn_baseline, HybridConfig, NdnBaselineConfig, NetworkSpec};
+use crate::scenario::{HybridConfig, NdnBaselineConfig, NetworkSpec, ScenarioSpec};
 use crate::{MetricsMode, SimParams};
 
 use super::movement::{run_mode_with, MovementConfig};
@@ -48,7 +48,10 @@ pub fn hybrid_group_sweep_with(
                 group_count: g,
                 ..HybridConfig::default()
             };
-            let mut built = build_hybrid(cfg, &net, &w.map, &w.population, &w.trace);
+            let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+                .hybrid(cfg)
+                .build()
+                .into_hybrid();
             if let Some(cap) = telemetry.as_mut() {
                 cap.arm(&mut built.sim);
             }
@@ -137,7 +140,10 @@ pub fn ndn_accumulation_sweep_with(
                 ..NdnBaselineConfig::default()
             };
             let warmup = cfg.warmup;
-            let mut built = build_ndn_baseline(cfg, &net, &w.map, &w.population, &w.trace);
+            let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+                .ndn_baseline(cfg)
+                .build()
+                .into_ndn_baseline();
             if let Some(cap) = telemetry.as_mut() {
                 cap.arm(&mut built.sim);
             }

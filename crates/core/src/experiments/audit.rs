@@ -27,7 +27,7 @@ use gcopss_sim::{
     TimeSeriesConfig,
 };
 
-use crate::scenario::{build_gcopss, GcopssConfig, NetworkSpec};
+use crate::scenario::{GcopssConfig, NetworkSpec, ScenarioSpec};
 use crate::{GPacket, GameWorld, MetricsMode};
 
 use super::failover::{chaos_plan, FailoverConfig};
@@ -166,7 +166,10 @@ pub fn run(cfg: &AuditConfig) -> AuditOutput {
             recovery: Some(f.recovery.clone()),
             ..GcopssConfig::default()
         };
-        let mut built = build_gcopss(sys, &net, &w.map, &w.population, &w.trace, vec![]);
+        let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+            .gcopss(sys)
+            .build()
+            .into_gcopss();
         built.sim.enable_lineage(cfg.lineage.clone());
         register_expectations(&mut built.sim, &w, f.warmup);
         if let Some(ts) = &cfg.timeseries {

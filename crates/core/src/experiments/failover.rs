@@ -23,8 +23,7 @@ use gcopss_game::PlayerId;
 use gcopss_sim::{FaultPlan, NodeId, SimDuration, SimTime, Simulator};
 
 use crate::scenario::{
-    build_gcopss, build_ip_server, build_ndn_baseline, GcopssConfig, IpConfig, NdnBaselineConfig,
-    NetworkSpec,
+    GcopssConfig, IpConfig, NdnBaselineConfig, NetworkSpec, ScenarioSpec,
 };
 use crate::{GPacket, GameWorld, MetricsMode, RecoveryConfig};
 
@@ -364,7 +363,10 @@ pub fn run_with(
             recovery: Some(cfg.recovery.clone()),
             ..GcopssConfig::default()
         };
-        let built = build_gcopss(sys, &net, &w.map, &w.population, &w.trace, vec![]);
+        let built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+            .gcopss(sys)
+            .build()
+            .into_gcopss();
         let t = telemetry.as_mut().map(|c| (&mut **c, label.as_str()));
         let run = run_chaos(built.sim, &plan, horizon, t);
         rows.push(make_row(label, loss, &run, &w, cfg));
@@ -381,7 +383,10 @@ pub fn run_with(
             recovery: Some(cfg.recovery.clone()),
             ..IpConfig::default()
         };
-        let built = build_ip_server(sys, &net, &w.map, &w.population, &w.trace);
+        let built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+            .ip_server(sys)
+            .build()
+            .into_ip_server();
         let t = telemetry.as_mut().map(|c| (&mut **c, label.as_str()));
         let run = run_chaos(built.sim, &plan, horizon, t);
         rows.push(make_row(label, loss, &run, &w, cfg));
@@ -397,7 +402,10 @@ pub fn run_with(
             recovery: Some(cfg.recovery.clone()),
             ..NdnBaselineConfig::default()
         };
-        let built = build_ndn_baseline(sys, &net, &w.map, &w.population, &w.trace);
+        let built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+            .ndn_baseline(sys)
+            .build()
+            .into_ndn_baseline();
         let t = telemetry.as_mut().map(|c| (&mut **c, label.as_str()));
         let run = run_chaos(built.sim, &plan, horizon, t);
         rows.push(make_row(label, loss, &run, &w, cfg));

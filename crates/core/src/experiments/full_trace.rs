@@ -1,7 +1,7 @@
 //! Table II: the whole event trace on IP (6 servers), G-COPSS (6 RPs) and
 //! hybrid-G-COPSS (6 IP multicast groups), when there is no congestion.
 
-use crate::scenario::{build_hybrid, HybridConfig, NetworkSpec};
+use crate::scenario::{HybridConfig, NetworkSpec, ScenarioSpec};
 use crate::MetricsMode;
 
 use super::rp_sweep::{run_gcopss_once_with, run_ip_once_with, summarize};
@@ -73,7 +73,10 @@ pub fn run_with(
             group_count: cfg.cores as u32,
             ..HybridConfig::default()
         };
-        let mut built = build_hybrid(c, &net, &w.map, &w.population, &w.trace);
+        let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+            .hybrid(c)
+            .build()
+            .into_hybrid();
         if let Some(cap) = telemetry.as_mut() {
             cap.arm(&mut built.sim);
         }

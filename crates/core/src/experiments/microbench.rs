@@ -5,8 +5,7 @@ use gcopss_sim::{SimDuration, SimTime};
 
 use crate::ndn_baseline::NdnClientConfig;
 use crate::scenario::{
-    build_gcopss, build_ip_server, build_ndn_baseline, GcopssConfig, IpConfig, NdnBaselineConfig,
-    NetworkSpec,
+    GcopssConfig, IpConfig, NdnBaselineConfig, NetworkSpec, ScenarioSpec,
 };
 use crate::{MetricsMode, SimParams};
 
@@ -107,7 +106,10 @@ pub fn run_with(
             rp_count: 1,
             ..GcopssConfig::default()
         };
-        let mut built = build_gcopss(c, &net, &w.map, &w.population, &w.trace, vec![]);
+        let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+            .gcopss(c)
+            .build()
+            .into_gcopss();
         if let Some(cap) = telemetry.as_mut() {
             cap.arm(&mut built.sim);
         }
@@ -127,7 +129,10 @@ pub fn run_with(
             server_count: 1,
             ..IpConfig::default()
         };
-        let mut built = build_ip_server(c, &net, &w.map, &w.population, &w.trace);
+        let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+            .ip_server(c)
+            .build()
+            .into_ip_server();
         if let Some(cap) = telemetry.as_mut() {
             cap.arm(&mut built.sim);
         }
@@ -152,7 +157,10 @@ pub fn run_with(
             ..NdnBaselineConfig::default()
         };
         let warmup = c.warmup;
-        let mut built = build_ndn_baseline(c, &net, &w.map, &w.population, &w.trace);
+        let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+            .ndn_baseline(c)
+            .build()
+            .into_ndn_baseline();
         if let Some(cap) = telemetry.as_mut() {
             cap.arm(&mut built.sim);
         }

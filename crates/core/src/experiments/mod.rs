@@ -16,6 +16,7 @@
 //! | Design-choice sweeps (groups, thresholds, windows) | [`ablation`] |
 //! | Failure sweep (delivery ratio + recovery under chaos) | [`failover`] |
 //! | Delivery audit (per-pair causal accounting under chaos) | [`audit`] |
+//! | Rejoin storm (chunked-delta vs full-snapshot catch-up) | [`rejoin`] |
 //! | ST/FIB lookup scaling, 1k → 1M(+) entries | [`scale`] |
 
 pub mod ablation;
@@ -25,6 +26,7 @@ pub mod full_trace;
 pub mod microbench;
 pub mod movement;
 pub mod player_sweep;
+pub mod rejoin;
 pub mod rp_sweep;
 pub mod scale;
 pub mod trace_stats;

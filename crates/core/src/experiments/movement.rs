@@ -9,7 +9,7 @@ use gcopss_names::Name;
 use gcopss_sim::{SimDuration, SimTime};
 
 use crate::broker::{partition_cds_to_brokers, MovingPlayerClient, SnapshotBroker, SnapshotMode};
-use crate::scenario::{build_gcopss_custom, ClientFactory, ExtraHost, GcopssConfig, NetworkSpec};
+use crate::scenario::{ClientFactory, ExtraHost, GcopssConfig, NetworkSpec, ScenarioSpec};
 use crate::{MetricsMode, SimParams};
 
 use super::{TelemetryCapture, Workload, WorkloadParams};
@@ -210,15 +210,12 @@ pub fn run_mode_with(
             mode,
         ))
     });
-    let mut built = build_gcopss_custom(
-        gcfg,
-        &net,
-        &w.map,
-        &w.population,
-        &w.trace,
-        extra_hosts,
-        factory,
-    );
+    let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+        .gcopss(gcfg)
+        .extra_hosts(extra_hosts)
+        .client_factory(factory)
+        .build()
+        .into_gcopss();
     if let Some(cap) = telemetry.as_mut() {
         cap.arm(&mut built.sim);
     }

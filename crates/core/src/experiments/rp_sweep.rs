@@ -4,7 +4,7 @@
 
 use gcopss_sim::SimDuration;
 
-use crate::scenario::{build_gcopss, build_ip_server, GcopssConfig, IpConfig, NetworkSpec};
+use crate::scenario::{GcopssConfig, IpConfig, NetworkSpec, ScenarioSpec};
 use crate::{GameWorld, MetricsMode, SimParams, SplitRecord};
 
 use super::{RunSummary, TelemetryCapture, Workload, WorkloadParams};
@@ -133,7 +133,10 @@ pub fn run_gcopss_once_with(
         rp_count,
         ..GcopssConfig::default()
     };
-    let mut built = build_gcopss(cfg, net, &w.map, &w.population, &w.trace, vec![]);
+    let mut built = ScenarioSpec::new(net, &w.map, &w.population, &w.trace)
+        .gcopss(cfg)
+        .build()
+        .into_gcopss();
     if let Some((cap, _)) = &telemetry {
         cap.arm(&mut built.sim);
     }
@@ -170,7 +173,10 @@ pub fn run_ip_once_with(
         server_count,
         ..IpConfig::default()
     };
-    let mut built = build_ip_server(cfg, net, &w.map, &w.population, &w.trace);
+    let mut built = ScenarioSpec::new(net, &w.map, &w.population, &w.trace)
+        .ip_server(cfg)
+        .build()
+        .into_ip_server();
     if let Some((cap, _)) = &telemetry {
         cap.arm(&mut built.sim);
     }

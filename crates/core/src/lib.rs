@@ -32,8 +32,11 @@ mod router;
 pub mod scenario;
 mod world;
 
-pub use client::{DedupWindow, GamePlayerClient, TraceCursor};
+pub use client::{CatchUpConfig, DedupWindow, GamePlayerClient, TraceCursor};
 pub use packet::{payload_of, GPacket, IpPacket, IpUpdate};
 pub use params::{RecoveryConfig, SimParams};
 pub use router::{FaceMap, GCopssRouter, RpSelection, SplitConfig};
-pub use world::{ConvergenceRecord, GameWorld, MetricsMode, SplitRecord, UpdateMetrics};
+pub use world::{
+    CatchUpAudit, CatchUpLedger, CatchUpMode, CatchUpRecord, ConvergenceRecord, GameWorld,
+    MetricsMode, SplitRecord, UpdateMetrics,
+};

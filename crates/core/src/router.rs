@@ -1051,7 +1051,11 @@ impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
                 let _p = prof::scope("ndn/data");
                 let Some(face) = arrival else { return };
                 let now = ctx.now().as_nanos();
+                let before = self.ndn.unsolicited_data();
                 let actions = self.ndn.process_data(now, face, d);
+                if self.ndn.unsolicited_data() > before {
+                    ctx.world().bump("ndn-unsolicited-data");
+                }
                 self.run_ndn_actions(ctx, actions);
             }
             GPacket::Ip(ip) => {
@@ -1072,8 +1076,8 @@ mod tests {
         let a = t.add_node("a");
         let b = t.add_node("b");
         let c = t.add_node("c");
-        t.add_link(b, a, SimDuration::from_millis(1), None);
-        t.add_link(b, c, SimDuration::from_millis(1), None);
+        t.try_add_link(b, a, SimDuration::from_millis(1), None).unwrap();
+        t.try_add_link(b, c, SimDuration::from_millis(1), None).unwrap();
         let fm = FaceMap::new(&t, b);
         assert_eq!(fm.len(), 2);
         assert_eq!(fm.face_of(a), Some(FaceId(0)));

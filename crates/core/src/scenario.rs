@@ -10,9 +10,9 @@ use gcopss_game::{GameMap, PlayerPopulation};
 use gcopss_names::Name;
 use gcopss_ndn::FaceId;
 use gcopss_sim::generators::{attach_hosts, benchmark_testbed, rocketfuel_like, BackboneParams};
-use gcopss_sim::{NodeBehavior, NodeId, RoutingTable, SimDuration, Simulator, Topology};
+use gcopss_sim::{FaultPlan, NodeBehavior, NodeId, RoutingTable, SimDuration, Simulator, Topology};
 
-use crate::client::{GamePlayerClient, TraceCursor};
+use crate::client::{CatchUpConfig, GamePlayerClient, TraceCursor};
 use crate::hybrid::HybridEdgeRouter;
 use crate::ip_server::{partition_cds_to_servers, IpClient, IpServer, Roster};
 use crate::ndn_baseline::{player_prefix, NdnClientConfig, NdnPlayerClient};
@@ -57,6 +57,20 @@ impl NetworkSpec {
     #[must_use]
     pub fn rp_pool_preview(&self) -> Vec<NodeId> {
         self.build().rp_pool
+    }
+
+    /// The access links the build will create for `players` hosts, in
+    /// player order. Players attach right after the core is built — one
+    /// access link each, before any [`ExtraHost`] links — so the ids simply
+    /// continue the core sequence. This is the deterministic handle a chaos
+    /// plan needs to cut a cohort of clients off (e.g. a mass-reconnect
+    /// storm).
+    #[must_use]
+    pub fn player_access_links(&self, players: usize) -> Vec<gcopss_sim::LinkId> {
+        let base = self.build().topology.link_count();
+        (0..players)
+            .map(|i| gcopss_sim::LinkId((base + i) as u32))
+            .collect()
     }
 
     /// The router-router links of the base network, in id order — the
@@ -225,9 +239,298 @@ pub struct GcopssSim {
     pub warmup: SimDuration,
 }
 
+/// Which evaluated system a [`ScenarioSpec`] assembles, with its
+/// protocol-specific configuration.
+#[derive(Debug, Clone)]
+pub enum Protocol {
+    /// G-COPSS proper: routers with NDN+COPSS engines and dynamic RPs.
+    Gcopss(GcopssConfig),
+    /// The IP client/server baseline.
+    IpServer(IpConfig),
+    /// Hybrid-G-COPSS: COPSS edge + IP multicast core (§III-D).
+    Hybrid(HybridConfig),
+    /// The VoCCN-style NDN query/response baseline.
+    NdnBaseline(NdnBaselineConfig),
+}
+
+/// Declarative description of one complete simulation, replacing the old
+/// multi-positional `build_*` functions: every scenario is "a [`Protocol`]
+/// on a [`NetworkSpec`] with a game world", plus optional extras (brokers,
+/// a custom client factory, snapshot catch-up, a chaos schedule).
+///
+/// # Example
+///
+/// ```
+/// # use std::sync::Arc;
+/// # use gcopss_core::scenario::{GcopssConfig, NetworkSpec, ScenarioSpec};
+/// # use gcopss_game::{GameMap, PlayerPopulation};
+/// let map = Arc::new(GameMap::paper_map());
+/// let pop = PlayerPopulation::uniform_per_area(&map, 1);
+/// let trace = Arc::new(Vec::new());
+/// let built = ScenarioSpec::new(&NetworkSpec::Testbed, &map, &pop, &trace)
+///     .gcopss(GcopssConfig::default())
+///     .build()
+///     .into_gcopss();
+/// assert_eq!(built.player_nodes.len(), pop.len());
+/// ```
+pub struct ScenarioSpec<'a> {
+    protocol: Protocol,
+    net: NetworkSpec,
+    map: Arc<GameMap>,
+    population: &'a PlayerPopulation,
+    trace: Arc<Vec<TraceEvent>>,
+    extra_hosts: Vec<ExtraHost>,
+    client_factory: Option<ClientFactory<'a>>,
+    catch_up: Option<CatchUpConfig>,
+    fault_plan: Option<FaultPlan>,
+}
+
+impl<'a> ScenarioSpec<'a> {
+    /// Starts a spec for the given network and game world. The protocol
+    /// defaults to G-COPSS with default configuration.
+    #[must_use]
+    pub fn new(
+        net: &NetworkSpec,
+        map: &Arc<GameMap>,
+        population: &'a PlayerPopulation,
+        trace: &Arc<Vec<TraceEvent>>,
+    ) -> Self {
+        Self {
+            protocol: Protocol::Gcopss(GcopssConfig::default()),
+            net: net.clone(),
+            map: Arc::clone(map),
+            population,
+            trace: Arc::clone(trace),
+            extra_hosts: Vec::new(),
+            client_factory: None,
+            catch_up: None,
+            fault_plan: None,
+        }
+    }
+
+    /// Selects the protocol under evaluation.
+    #[must_use]
+    pub fn protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Shorthand for [`Protocol::Gcopss`].
+    #[must_use]
+    pub fn gcopss(self, cfg: GcopssConfig) -> Self {
+        self.protocol(Protocol::Gcopss(cfg))
+    }
+
+    /// Shorthand for [`Protocol::IpServer`].
+    #[must_use]
+    pub fn ip_server(self, cfg: IpConfig) -> Self {
+        self.protocol(Protocol::IpServer(cfg))
+    }
+
+    /// Shorthand for [`Protocol::Hybrid`].
+    #[must_use]
+    pub fn hybrid(self, cfg: HybridConfig) -> Self {
+        self.protocol(Protocol::Hybrid(cfg))
+    }
+
+    /// Shorthand for [`Protocol::NdnBaseline`].
+    #[must_use]
+    pub fn ndn_baseline(self, cfg: NdnBaselineConfig) -> Self {
+        self.protocol(Protocol::NdnBaseline(cfg))
+    }
+
+    /// Attaches one extra host (broker, monitor, …). G-COPSS only; other
+    /// protocols ignore extra hosts.
+    #[must_use]
+    pub fn extra_host(mut self, host: ExtraHost) -> Self {
+        self.extra_hosts.push(host);
+        self
+    }
+
+    /// Attaches several extra hosts, in order. G-COPSS only.
+    #[must_use]
+    pub fn extra_hosts(mut self, hosts: Vec<ExtraHost>) -> Self {
+        self.extra_hosts.extend(hosts);
+        self
+    }
+
+    /// Replaces the default per-player behavior factory (movement scenarios
+    /// install [`crate::broker::MovingPlayerClient`]s). G-COPSS only.
+    #[must_use]
+    pub fn client_factory(mut self, factory: ClientFactory<'a>) -> Self {
+        self.client_factory = Some(factory);
+        self
+    }
+
+    /// Enables snapshot catch-up on the default G-COPSS clients (ignored
+    /// when a custom [`Self::client_factory`] is installed — wire
+    /// [`GamePlayerClient::with_catch_up`] there instead).
+    #[must_use]
+    pub fn catch_up(mut self, cfg: CatchUpConfig) -> Self {
+        self.catch_up = Some(cfg);
+        self
+    }
+
+    /// Installs a chaos schedule on the built simulator.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Assembles the simulation. Construction order (and therefore every
+    /// same-seed run) is identical to the legacy `build_*` functions.
+    #[must_use]
+    pub fn build(self) -> BuiltScenario {
+        let mut built = match self.protocol {
+            Protocol::Gcopss(cfg) => {
+                let factory = match self.client_factory {
+                    Some(f) => f,
+                    None => default_gcopss_factory(&cfg, &self.map, self.population, self.catch_up),
+                };
+                BuiltScenario::Gcopss(assemble_gcopss(
+                    cfg,
+                    &self.net,
+                    &self.map,
+                    self.population,
+                    &self.trace,
+                    self.extra_hosts,
+                    factory,
+                ))
+            }
+            Protocol::IpServer(cfg) => BuiltScenario::IpServer(assemble_ip_server(
+                cfg,
+                &self.net,
+                &self.map,
+                self.population,
+                &self.trace,
+            )),
+            Protocol::Hybrid(cfg) => BuiltScenario::Hybrid(assemble_hybrid(
+                cfg,
+                &self.net,
+                &self.map,
+                self.population,
+                &self.trace,
+            )),
+            Protocol::NdnBaseline(cfg) => BuiltScenario::NdnBaseline(assemble_ndn_baseline(
+                cfg,
+                &self.net,
+                &self.map,
+                self.population,
+                &self.trace,
+            )),
+        };
+        if let Some(plan) = self.fault_plan {
+            built.sim_mut().install_faults(plan);
+        }
+        built
+    }
+}
+
+/// The result of [`ScenarioSpec::build`]: one fully-assembled simulation,
+/// tagged by protocol.
+pub enum BuiltScenario {
+    /// A G-COPSS simulation.
+    Gcopss(GcopssSim),
+    /// An IP client/server simulation.
+    IpServer(IpSim),
+    /// A hybrid-G-COPSS simulation.
+    Hybrid(HybridSim),
+    /// An NDN-baseline simulation.
+    NdnBaseline(NdnSim),
+}
+
+impl BuiltScenario {
+    /// The simulator, whichever protocol was built.
+    pub fn sim_mut(&mut self) -> &mut Simulator<GPacket, GameWorld> {
+        match self {
+            Self::Gcopss(s) => &mut s.sim,
+            Self::IpServer(s) => &mut s.sim,
+            Self::Hybrid(s) => &mut s.sim,
+            Self::NdnBaseline(s) => &mut s.sim,
+        }
+    }
+
+    /// Unwraps a G-COPSS build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec selected a different protocol.
+    #[must_use]
+    pub fn into_gcopss(self) -> GcopssSim {
+        match self {
+            Self::Gcopss(s) => s,
+            _ => panic!("scenario was not built with Protocol::Gcopss"),
+        }
+    }
+
+    /// Unwraps an IP-server build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec selected a different protocol.
+    #[must_use]
+    pub fn into_ip_server(self) -> IpSim {
+        match self {
+            Self::IpServer(s) => s,
+            _ => panic!("scenario was not built with Protocol::IpServer"),
+        }
+    }
+
+    /// Unwraps a hybrid build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec selected a different protocol.
+    #[must_use]
+    pub fn into_hybrid(self) -> HybridSim {
+        match self {
+            Self::Hybrid(s) => s,
+            _ => panic!("scenario was not built with Protocol::Hybrid"),
+        }
+    }
+
+    /// Unwraps an NDN-baseline build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec selected a different protocol.
+    #[must_use]
+    pub fn into_ndn_baseline(self) -> NdnSim {
+        match self {
+            Self::NdnBaseline(s) => s,
+            _ => panic!("scenario was not built with Protocol::NdnBaseline"),
+        }
+    }
+}
+
+/// The stock G-COPSS player behavior: a [`GamePlayerClient`] with the
+/// config's recovery settings and the spec's catch-up settings.
+fn default_gcopss_factory<'a>(
+    cfg: &GcopssConfig,
+    map: &Arc<GameMap>,
+    population: &'a PlayerPopulation,
+    catch_up: Option<CatchUpConfig>,
+) -> ClientFactory<'a> {
+    let map_arc = Arc::clone(map);
+    let recovery = cfg.recovery.clone();
+    Box::new(move |p, edge, cursor| {
+        let mut client =
+            GamePlayerClient::new(p, edge, population.area_of(p), Arc::clone(&map_arc), cursor);
+        if let Some(rc) = &recovery {
+            client = client.with_recovery(rc.clone());
+        }
+        if let Some(cu) = &catch_up {
+            client = client.with_catch_up(cu.clone());
+        }
+        Box::new(client)
+    })
+}
+
 /// Builds a complete G-COPSS simulation: routers with NDN+COPSS engines,
 /// seeded `/rp/<id>` FIB routes, per-player clients driving the shared
 /// trace, and any extra hosts.
+#[deprecated(note = "use `ScenarioSpec::new(..).gcopss(cfg).build()`")]
 #[must_use]
 pub fn build_gcopss(
     cfg: GcopssConfig,
@@ -237,24 +540,26 @@ pub fn build_gcopss(
     trace: &Arc<Vec<TraceEvent>>,
     extra_hosts: Vec<ExtraHost>,
 ) -> GcopssSim {
-    let pop = population;
-    let map_arc = Arc::clone(map);
-    let recovery = cfg.recovery.clone();
-    let factory: ClientFactory<'_> = Box::new(move |p, edge, cursor| {
-        let mut client =
-            GamePlayerClient::new(p, edge, pop.area_of(p), Arc::clone(&map_arc), cursor);
-        if let Some(rc) = &recovery {
-            client = client.with_recovery(rc.clone());
-        }
-        Box::new(client)
-    });
-    build_gcopss_custom(cfg, net, map, population, trace, extra_hosts, factory)
+    let factory = default_gcopss_factory(&cfg, map, population, None);
+    assemble_gcopss(cfg, net, map, population, trace, extra_hosts, factory)
 }
 
-/// Like [`build_gcopss`] but with a caller-supplied player behavior factory
-/// (movement scenarios install [`crate::broker::MovingPlayerClient`]s).
+/// Like [`build_gcopss`] but with a caller-supplied player behavior factory.
+#[deprecated(note = "use `ScenarioSpec::new(..).gcopss(cfg).client_factory(f).build()`")]
 #[must_use]
 pub fn build_gcopss_custom(
+    cfg: GcopssConfig,
+    net: &NetworkSpec,
+    map: &Arc<GameMap>,
+    population: &PlayerPopulation,
+    trace: &Arc<Vec<TraceEvent>>,
+    extra_hosts: Vec<ExtraHost>,
+    client_factory: ClientFactory<'_>,
+) -> GcopssSim {
+    assemble_gcopss(cfg, net, map, population, trace, extra_hosts, client_factory)
+}
+
+fn assemble_gcopss(
     cfg: GcopssConfig,
     net: &NetworkSpec,
     map: &Arc<GameMap>,
@@ -279,7 +584,8 @@ pub fn build_gcopss_custom(
             .topology
             .add_node_kind(format!("extra{}", extra_nodes.len()), gcopss_sim::NodeKind::Host);
         bn.topology
-            .add_link(node, h.attach_to, SimDuration::from_millis(1), None);
+            .try_add_link(node, h.attach_to, SimDuration::from_millis(1), None)
+            .expect("extra host attaches to a known router");
         extra_nodes.push(node);
         extra_makes.push((node, h.attach_to, h.routes, h.make));
     }
@@ -440,8 +746,19 @@ pub struct IpSim {
 /// Builds the IP client/server baseline: plain IP forwarding at routers,
 /// `server_count` servers partitioning the leaf CDs, and unicast fan-out to
 /// every interested player.
+#[deprecated(note = "use `ScenarioSpec::new(..).ip_server(cfg).build()`")]
 #[must_use]
 pub fn build_ip_server(
+    cfg: IpConfig,
+    net: &NetworkSpec,
+    map: &Arc<GameMap>,
+    population: &PlayerPopulation,
+    trace: &Arc<Vec<TraceEvent>>,
+) -> IpSim {
+    assemble_ip_server(cfg, net, map, population, trace)
+}
+
+fn assemble_ip_server(
     cfg: IpConfig,
     net: &NetworkSpec,
     map: &Arc<GameMap>,
@@ -464,7 +781,8 @@ pub fn build_ip_server(
             .topology
             .add_node_kind(format!("server{i}"), gcopss_sim::NodeKind::Host);
         bn.topology
-            .add_link(node, at, SimDuration::from_millis(1), None);
+            .try_add_link(node, at, SimDuration::from_millis(1), None)
+            .expect("server attaches to a known router");
         server_nodes.push(node);
     }
     let routing = RoutingTable::shortest_paths(&bn.topology);
@@ -564,8 +882,19 @@ pub struct HybridSim {
 
 /// Builds hybrid-G-COPSS: COPSS-aware edge routers mapping CDs onto
 /// `group_count` IP multicast groups, plain IP core.
+#[deprecated(note = "use `ScenarioSpec::new(..).hybrid(cfg).build()`")]
 #[must_use]
 pub fn build_hybrid(
+    cfg: HybridConfig,
+    net: &NetworkSpec,
+    map: &Arc<GameMap>,
+    population: &PlayerPopulation,
+    trace: &Arc<Vec<TraceEvent>>,
+) -> HybridSim {
+    assemble_hybrid(cfg, net, map, population, trace)
+}
+
+fn assemble_hybrid(
     cfg: HybridConfig,
     net: &NetworkSpec,
     map: &Arc<GameMap>,
@@ -678,8 +1007,19 @@ pub struct NdnSim {
 /// Builds the VoCCN-style NDN baseline: plain NDN routers with
 /// `/player/<id>` routes toward every player, and clients that pipeline
 /// Interests to every producer in their AoI (roster from ACT).
+#[deprecated(note = "use `ScenarioSpec::new(..).ndn_baseline(cfg).build()`")]
 #[must_use]
 pub fn build_ndn_baseline(
+    cfg: NdnBaselineConfig,
+    net: &NetworkSpec,
+    map: &Arc<GameMap>,
+    population: &PlayerPopulation,
+    trace: &Arc<Vec<TraceEvent>>,
+) -> NdnSim {
+    assemble_ndn_baseline(cfg, net, map, population, trace)
+}
+
+fn assemble_ndn_baseline(
     cfg: NdnBaselineConfig,
     net: &NetworkSpec,
     map: &Arc<GameMap>,
@@ -804,6 +1144,44 @@ mod tests {
     fn rp_partition_rejects_too_many() {
         let map = GameMap::paper_map();
         let _ = rp_prefix_partition(&map, 7);
+    }
+
+    #[test]
+    fn spec_builds_every_protocol() {
+        let map = Arc::new(GameMap::paper_map());
+        let pop = PlayerPopulation::uniform_per_area(&map, 1);
+        let trace: Arc<Vec<TraceEvent>> = Arc::new(Vec::new());
+        let net = NetworkSpec::Testbed;
+
+        let g = ScenarioSpec::new(&net, &map, &pop, &trace).build().into_gcopss();
+        assert_eq!(g.player_nodes.len(), pop.len());
+        let ip = ScenarioSpec::new(&net, &map, &pop, &trace)
+            .ip_server(IpConfig::default())
+            .build()
+            .into_ip_server();
+        assert_eq!(ip.server_nodes.len(), IpConfig::default().server_count);
+        let hy = ScenarioSpec::new(&net, &map, &pop, &trace)
+            .hybrid(HybridConfig::default())
+            .build()
+            .into_hybrid();
+        assert_eq!(hy.player_nodes.len(), pop.len());
+        let ndn = ScenarioSpec::new(&net, &map, &pop, &trace)
+            .ndn_baseline(NdnBaselineConfig::default())
+            .build()
+            .into_ndn_baseline();
+        assert_eq!(ndn.player_nodes.len(), pop.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "not built with Protocol::Gcopss")]
+    fn built_scenario_unwrap_checks_protocol() {
+        let map = Arc::new(GameMap::paper_map());
+        let pop = PlayerPopulation::uniform_per_area(&map, 1);
+        let trace: Arc<Vec<TraceEvent>> = Arc::new(Vec::new());
+        let _ = ScenarioSpec::new(&NetworkSpec::Testbed, &map, &pop, &trace)
+            .ip_server(IpConfig::default())
+            .build()
+            .into_gcopss();
     }
 
     #[test]

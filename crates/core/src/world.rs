@@ -196,6 +196,128 @@ pub struct ConvergenceRecord {
     pub online_join: bool,
 }
 
+/// How a catching-up client refreshes its world view after (re)joining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CatchUpMode {
+    /// Naive baseline: re-fetch every object snapshot via `/snapshot` QR.
+    FullSnapshot,
+    /// Content-addressed delta: fetch manifests, diff against the chunk
+    /// store, fetch only missing `/chunk`s.
+    ChunkedDelta,
+}
+
+/// One completed client catch-up (initial prewarm or post-fault recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatchUpRecord {
+    /// The catching-up player.
+    pub player: PlayerId,
+    /// Retrieval strategy used.
+    pub mode: CatchUpMode,
+    /// `false` for the initial (prewarm) catch-up at game start, `true`
+    /// for a watchdog/fault-triggered recovery catch-up.
+    pub recovery: bool,
+    /// Time from trigger to the last byte.
+    pub latency: SimDuration,
+    /// Total catch-up payload bytes received (manifests + chunks/objects).
+    pub bytes: u64,
+    /// Chunks fetched over the network (`ChunkedDelta` only).
+    pub chunks_fetched: u64,
+    /// Manifest chunks already held locally — the dedup win
+    /// (`ChunkedDelta` only).
+    pub chunks_held: u64,
+    /// Leaf CDs covered.
+    pub cds: usize,
+}
+
+/// Exactly-once accounting of the catch-up path: every owed item — a
+/// (manifest | chunk | snapshot-object, subscriber) pair — is registered
+/// when its Interest is issued and marked off when its Data is consumed.
+///
+/// This is an *application-level* ledger (the network-level lineage auditor
+/// cannot follow catch-up content: a Content-Store hit serves Data with no
+/// causal link to the broker's original send). An item re-requested in a
+/// later catch-up simply raises its owed count; the books are clean when
+/// every entry has `delivered == owed` and nothing was over-delivered.
+#[derive(Debug, Default)]
+pub struct CatchUpLedger {
+    /// (item key, player) → (owed, delivered). Item keys are chunk ids or
+    /// FNV hashes of the fetched name.
+    entries: BTreeMap<(u64, u32), (u64, u64)>,
+    over_delivered: u64,
+}
+
+/// Summary of a [`CatchUpLedger`] at audit time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatchUpAudit {
+    /// Total items owed (Interests issued).
+    pub owed: u64,
+    /// Total items delivered and consumed.
+    pub delivered: u64,
+    /// Items still owed at audit time.
+    pub outstanding: u64,
+    /// Deliveries beyond an item's owed count (accounting violations).
+    pub over_delivered: u64,
+    /// Distinct (item, player) pairs tracked.
+    pub entries: u64,
+}
+
+impl CatchUpAudit {
+    /// `true` when every owed item was delivered exactly once per owe.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.outstanding == 0 && self.over_delivered == 0
+    }
+}
+
+impl CatchUpLedger {
+    /// Registers one owed delivery of `item` to `player`.
+    pub fn owe(&mut self, item: u64, player: u32) {
+        self.entries.entry((item, player)).or_insert((0, 0)).0 += 1;
+    }
+
+    /// Marks one delivery of `item` to `player` consumed. Deliveries beyond
+    /// the owed count are flagged, never double-credited.
+    pub fn deliver(&mut self, item: u64, player: u32) {
+        let e = self.entries.entry((item, player)).or_insert((0, 0));
+        if e.1 < e.0 {
+            e.1 += 1;
+        } else {
+            self.over_delivered += 1;
+        }
+    }
+
+    /// Audits the books.
+    #[must_use]
+    pub fn audit(&self) -> CatchUpAudit {
+        let (mut owed, mut delivered) = (0u64, 0u64);
+        for &(o, d) in self.entries.values() {
+            owed += o;
+            delivered += d;
+        }
+        CatchUpAudit {
+            owed,
+            delivered,
+            outstanding: owed - delivered,
+            over_delivered: self.over_delivered,
+            entries: self.entries.len() as u64,
+        }
+    }
+
+    /// Deterministic FNV-1a fingerprint over the full entry table, for
+    /// same-seed reproducibility checks.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(self.entries.len() * 28);
+        for (&(item, player), &(o, d)) in &self.entries {
+            bytes.extend_from_slice(&item.to_le_bytes());
+            bytes.extend_from_slice(&player.to_le_bytes());
+            bytes.extend_from_slice(&o.to_le_bytes());
+            bytes.extend_from_slice(&d.to_le_bytes());
+        }
+        gcopss_names::fnv1a(&bytes)
+    }
+}
+
 /// The shared world state of every simulation: metrics sinks and global
 /// experiment bookkeeping.
 #[derive(Debug, Default)]
@@ -211,6 +333,10 @@ pub struct GameWorld {
     pub splits: Vec<SplitRecord>,
     /// Snapshot convergence records (movement experiments).
     pub convergence: Vec<ConvergenceRecord>,
+    /// Completed client catch-ups (rejoin experiments).
+    pub catchups: Vec<CatchUpRecord>,
+    /// Exactly-once catch-up delivery accounting.
+    pub catchup_ledger: CatchUpLedger,
     /// Free-form counters (packet kinds, drops, cache hits, …).
     pub counters: BTreeMap<&'static str, u64>,
     /// IP multicast group membership (hybrid-G-COPSS; stands in for IGMP).
@@ -356,6 +482,31 @@ mod tests {
         w.record_delivery(0, PlayerId(1), SimTime::from_millis(2));
         assert_eq!(w.duplicate_deliveries, 1);
         assert_eq!(w.metrics.delivered(), 1, "duplicate not double counted");
+    }
+
+    #[test]
+    fn catchup_ledger_accounting() {
+        let mut l = CatchUpLedger::default();
+        l.owe(10, 1);
+        l.owe(11, 1);
+        let mid = l.audit();
+        assert_eq!(mid.owed, 2);
+        assert_eq!(mid.outstanding, 2);
+        assert!(!mid.clean());
+        l.deliver(10, 1);
+        l.deliver(11, 1);
+        assert!(l.audit().clean());
+        // Re-owing the same item later is fine; the delivery squares it.
+        l.owe(10, 1);
+        assert!(!l.audit().clean());
+        l.deliver(10, 1);
+        assert!(l.audit().clean());
+        // A delivery past the owed count is flagged, not credited.
+        l.deliver(10, 1);
+        let a = l.audit();
+        assert_eq!(a.over_delivered, 1);
+        assert!(!a.clean());
+        assert_ne!(l.fingerprint(), CatchUpLedger::default().fingerprint());
     }
 
     #[test]

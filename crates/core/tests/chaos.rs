@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 
 use gcopss_core::experiments::audit::{damage_window, register_expectations};
 use gcopss_core::experiments::{Workload, WorkloadParams};
-use gcopss_core::scenario::{build_gcopss, GcopssConfig, NetworkSpec};
+use gcopss_core::scenario::{GcopssConfig, NetworkSpec, ScenarioSpec};
 use gcopss_core::{MetricsMode, RecoveryConfig};
 use gcopss_game::PlayerId;
 use gcopss_names::Name;
@@ -72,7 +72,10 @@ fn run_soak(seed: u64) -> SoakOutcome {
         ..GcopssConfig::default()
     };
     let warmup = cfg.warmup;
-    let mut built = build_gcopss(cfg, &net, &w.map, &w.population, &w.trace, vec![]);
+    let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+        .gcopss(cfg)
+        .build()
+        .into_gcopss();
 
     // Crash the router hosting the highest RP; flap links around it.
     let crash = *built

@@ -9,8 +9,7 @@ use gcopss_core::broker::{
     SnapshotMode,
 };
 use gcopss_core::scenario::{
-    build_gcopss, build_gcopss_custom, expected_deliveries, ClientFactory, ExtraHost,
-    GcopssConfig, NetworkSpec,
+    expected_deliveries, ClientFactory, ExtraHost, GcopssConfig, NetworkSpec, ScenarioSpec,
 };
 use gcopss_core::{MetricsMode, SimParams};
 use gcopss_game::{MovementModel, MovementParams};
@@ -41,7 +40,10 @@ fn delivery_exact_across_rp_layouts_and_seeds() {
                 ..GcopssConfig::default()
             };
             let net = NetworkSpec::default_backbone(seed * 31 + rp_count as u64);
-            let mut b = build_gcopss(cfg, &net, &w.map, &w.population, &w.trace, vec![]);
+            let mut b = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+                .gcopss(cfg)
+                .build()
+                .into_gcopss();
             b.sim.run();
             let world = b.sim.world();
             assert_eq!(
@@ -71,7 +73,10 @@ fn split_mid_traffic_is_loss_free() {
         ..GcopssConfig::default()
     };
     let net = NetworkSpec::default_backbone(29);
-    let mut b = build_gcopss(cfg, &net, &w.map, &w.population, &w.trace, vec![]);
+    let mut b = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+        .gcopss(cfg)
+        .build()
+        .into_gcopss();
     b.sim.run();
     let world = b.sim.world();
     assert!(!world.splits.is_empty(), "split must fire under congestion");
@@ -156,15 +161,12 @@ fn movement_churn_keeps_control_plane_consistent() {
             SnapshotMode::QueryResponse { window: 15 },
         ))
     });
-    let mut b = build_gcopss_custom(
-        cfg,
-        &net,
-        &w.map,
-        &w.population,
-        &w.trace,
-        extra_hosts,
-        factory,
-    );
+    let mut b = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+        .gcopss(cfg)
+        .extra_hosts(extra_hosts)
+        .client_factory(factory)
+        .build()
+        .into_gcopss();
     let horizon =
         SimTime::ZERO + warmup + SimDuration::from_nanos(trace_span) + SimDuration::from_secs(60);
     b.sim.run_until(horizon);
@@ -242,15 +244,12 @@ fn movement_churn_cyclic_mode() {
             SnapshotMode::CyclicMulticast,
         ))
     });
-    let mut b = build_gcopss_custom(
-        cfg,
-        &net,
-        &w.map,
-        &w.population,
-        &w.trace,
-        extra_hosts,
-        factory,
-    );
+    let mut b = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+        .gcopss(cfg)
+        .extra_hosts(extra_hosts)
+        .client_factory(factory)
+        .build()
+        .into_gcopss();
     let horizon =
         SimTime::ZERO + warmup + SimDuration::from_nanos(trace_span) + SimDuration::from_secs(90);
     b.sim.run_until(horizon);
@@ -327,15 +326,12 @@ fn offline_player_comes_online() {
             Box::new(client)
         }
     });
-    let mut b = build_gcopss_custom(
-        cfg,
-        &net,
-        &w.map,
-        &w.population,
-        &w.trace,
-        extra_hosts,
-        factory,
-    );
+    let mut b = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+        .gcopss(cfg)
+        .extra_hosts(extra_hosts)
+        .client_factory(factory)
+        .build()
+        .into_gcopss();
     let horizon =
         SimTime::ZERO + warmup + SimDuration::from_nanos(trace_span) + SimDuration::from_secs(60);
     b.sim.run_until(horizon);

@@ -19,8 +19,7 @@ use gcopss_core::experiments::{Workload, WorkloadParams};
 use gcopss_core::ip_server::IpClient;
 use gcopss_core::ndn_baseline::player_prefix;
 use gcopss_core::scenario::{
-    build_gcopss, build_hybrid, build_ip_server, build_ndn_baseline, ExtraHost, GcopssConfig,
-    HybridConfig, IpConfig, NdnBaselineConfig, NetworkSpec,
+    ExtraHost, GcopssConfig, HybridConfig, IpConfig, NdnBaselineConfig, NetworkSpec, ScenarioSpec,
 };
 use gcopss_core::{
     drops, payload_of, GPacket, GameWorld, IpPacket, IpUpdate, MetricsMode, RecoveryConfig,
@@ -28,7 +27,7 @@ use gcopss_core::{
 };
 use gcopss_game::{ObjectModel, ObjectModelParams, PlayerId};
 use gcopss_names::{Cd, Name};
-use gcopss_ndn::Interest;
+use gcopss_ndn::{Data, Interest};
 use gcopss_sim::generators::BackboneParams;
 use gcopss_sim::{FaultPlan, SimDuration, SimTime, Simulator, TelemetryConfig};
 
@@ -90,7 +89,11 @@ fn gcopss_chaos(seen: &mut BTreeSet<&'static str>) {
             ))
         }),
     };
-    let mut built = build_gcopss(cfg, &net, &w.map, &w.population, &w.trace, vec![broker]);
+    let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+        .gcopss(cfg)
+        .extra_host(broker)
+        .build()
+        .into_gcopss();
 
     let crash = *built.rp_nodes.values().next_back().expect("two RPs");
     let rp0_node = built.rp_nodes[&RpId(0)];
@@ -143,6 +146,27 @@ fn gcopss_chaos(seen: &mut BTreeSet<&'static str>) {
     let p = GPacket::Interest(Interest::new(Name::parse_lit("/bogus/1"), 9_001));
     let size = p.wire_size();
     built.sim.inject(t, built.extra_nodes[0], p, size);
+    // A chunk interest for an id no broker holds: the expected miss on the
+    // /chunk fan-out (chunk names carry no CD, so non-holders always miss).
+    let p = GPacket::Interest(Interest::new(
+        Name::parse_lit("/chunk/0000000000000000"),
+        9_002,
+    ));
+    let size = p.wire_size();
+    built.sim.inject(t, built.extra_nodes[0], p, size);
+    // Chunk data whose bytes do not hash to its name: the client's
+    // content-addressed integrity check must reject it.
+    let p = GPacket::Data(Data::new(
+        Name::parse_lit("/chunk/0000000000000000"),
+        payload_of(8),
+    ));
+    let size = p.wire_size();
+    built.sim.inject(t, player, p, size);
+    // Catch-up data arriving at a client with no fetch in flight (a
+    // retransmit racing its original, or a stale delivery).
+    let p = GPacket::Data(Data::new(Name::parse_lit("/snapmani/1/1"), payload_of(4)));
+    let size = p.wire_size();
+    built.sim.inject(t, player, p, size);
 
     let horizon = SimTime::ZERO + warmup + span + SimDuration::from_secs(8);
     built.sim.run_until(horizon);
@@ -170,7 +194,10 @@ fn ndn_faults(seen: &mut BTreeSet<&'static str>) {
     // within the trace span, so an early seq is genuinely aged out.
     cfg.client.accum_interval = SimDuration::from_millis(10);
     let warmup = cfg.warmup;
-    let mut built = build_ndn_baseline(cfg, &net, &w.map, &w.population, &w.trace);
+    let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+        .ndn_baseline(cfg)
+        .build()
+        .into_ndn_baseline();
 
     let span = SimDuration::from_nanos(w.trace.last().expect("trace").time_ns);
     let at = |num: u64, den: u64| {
@@ -217,7 +244,10 @@ fn ip_server_crash(seen: &mut BTreeSet<&'static str>) {
         ..IpConfig::default()
     };
     let warmup = cfg.warmup;
-    let mut built = build_ip_server(cfg, &net, &w.map, &w.population, &w.trace);
+    let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+        .ip_server(cfg)
+        .build()
+        .into_ip_server();
     let server = built.server_nodes[0];
 
     let span = SimDuration::from_nanos(w.trace.last().expect("trace").time_ns);
@@ -272,7 +302,10 @@ fn hybrid_filtering(seen: &mut BTreeSet<&'static str>) {
         ..HybridConfig::default()
     };
     let warmup = cfg.warmup;
-    let mut built = build_hybrid(cfg, &net, &w.map, &w.population, &w.trace);
+    let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+        .hybrid(cfg)
+        .build()
+        .into_hybrid();
 
     let span = SimDuration::from_nanos(w.trace.last().expect("trace").time_ns);
     let at = |num: u64, den: u64| {

@@ -5,8 +5,7 @@
 use std::sync::Arc;
 
 use gcopss_core::scenario::{
-    build_gcopss, build_hybrid, build_ip_server, expected_deliveries, GcopssConfig, HybridConfig,
-    IpConfig, NetworkSpec,
+    expected_deliveries, GcopssConfig, HybridConfig, IpConfig, NetworkSpec, ScenarioSpec,
 };
 use gcopss_core::{MetricsMode, SimParams};
 use gcopss_game::trace::{microbenchmark_trace, MicrobenchParams};
@@ -49,7 +48,10 @@ fn gcopss_delivers_exactly_the_aoi_testbed_one_rp() {
         rp_count: 1,
         ..GcopssConfig::default()
     };
-    let mut built = build_gcopss(cfg, &NetworkSpec::Testbed, &s.map, &s.pop, &s.trace, vec![]);
+    let mut built = ScenarioSpec::new(&NetworkSpec::Testbed, &s.map, &s.pop, &s.trace)
+        .gcopss(cfg)
+        .build()
+        .into_gcopss();
     built.sim.run();
     let w = built.sim.world();
     assert_eq!(w.metrics.published(), s.trace.len() as u64);
@@ -75,7 +77,10 @@ fn gcopss_delivers_on_backbone_with_three_rps() {
         ..GcopssConfig::default()
     };
     let net = NetworkSpec::default_backbone(7);
-    let mut built = build_gcopss(cfg, &net, &s.map, &s.pop, &s.trace, vec![]);
+    let mut built = ScenarioSpec::new(&net, &s.map, &s.pop, &s.trace)
+        .gcopss(cfg)
+        .build()
+        .into_gcopss();
     built.sim.run();
     let w = built.sim.world();
     assert_eq!(w.metrics.delivered(), s.expected);
@@ -94,7 +99,10 @@ fn gcopss_six_rps_also_exact() {
         ..GcopssConfig::default()
     };
     let net = NetworkSpec::default_backbone(3);
-    let mut built = build_gcopss(cfg, &net, &s.map, &s.pop, &s.trace, vec![]);
+    let mut built = ScenarioSpec::new(&net, &s.map, &s.pop, &s.trace)
+        .gcopss(cfg)
+        .build()
+        .into_gcopss();
     built.sim.run();
     assert_eq!(built.sim.world().metrics.delivered(), s.expected);
 }
@@ -109,7 +117,10 @@ fn ip_server_delivers_exactly_the_aoi() {
         server_count: 1,
         ..IpConfig::default()
     };
-    let mut built = build_ip_server(cfg, &NetworkSpec::Testbed, &s.map, &s.pop, &s.trace);
+    let mut built = ScenarioSpec::new(&NetworkSpec::Testbed, &s.map, &s.pop, &s.trace)
+        .ip_server(cfg)
+        .build()
+        .into_ip_server();
     built.sim.run();
     let w = built.sim.world();
     assert_eq!(w.metrics.published(), s.trace.len() as u64);
@@ -127,7 +138,10 @@ fn ip_server_multiple_servers_partition_correctly() {
         ..IpConfig::default()
     };
     let net = NetworkSpec::default_backbone(11);
-    let mut built = build_ip_server(cfg, &net, &s.map, &s.pop, &s.trace);
+    let mut built = ScenarioSpec::new(&net, &s.map, &s.pop, &s.trace)
+        .ip_server(cfg)
+        .build()
+        .into_ip_server();
     assert_eq!(built.server_nodes.len(), 3);
     built.sim.run();
     assert_eq!(built.sim.world().metrics.delivered(), s.expected);
@@ -143,7 +157,10 @@ fn hybrid_delivers_exactly_the_aoi() {
         ..HybridConfig::default()
     };
     let net = NetworkSpec::default_backbone(13);
-    let mut built = build_hybrid(cfg, &net, &s.map, &s.pop, &s.trace);
+    let mut built = ScenarioSpec::new(&net, &s.map, &s.pop, &s.trace)
+        .hybrid(cfg)
+        .build()
+        .into_hybrid();
     built.sim.run();
     let w = built.sim.world();
     assert_eq!(
@@ -165,7 +182,10 @@ fn hybrid_filtering_discards_unwanted_group_traffic() {
         ..HybridConfig::default()
     };
     let net = NetworkSpec::default_backbone(17);
-    let mut built = build_hybrid(cfg, &net, &s.map, &s.pop, &s.trace);
+    let mut built = ScenarioSpec::new(&net, &s.map, &s.pop, &s.trace)
+        .hybrid(cfg)
+        .build()
+        .into_hybrid();
     built.sim.run();
     let w = built.sim.world();
     assert_eq!(w.metrics.delivered(), s.expected);
@@ -186,7 +206,10 @@ fn fewer_groups_means_more_network_load() {
             group_count: groups,
             ..HybridConfig::default()
         };
-        let mut built = build_hybrid(cfg, &net, &s.map, &s.pop, &s.trace);
+        let mut built = ScenarioSpec::new(&net, &s.map, &s.pop, &s.trace)
+        .hybrid(cfg)
+        .build()
+        .into_hybrid();
         built.sim.run();
         built.sim.total_link_bytes()
     };

@@ -1,7 +1,7 @@
 //! Tests for the RP placement strategies (the paper's "improving RP
 //! selection" future work implemented as `RpSelection`).
 
-use gcopss_core::scenario::{build_gcopss, expected_deliveries, GcopssConfig, NetworkSpec};
+use gcopss_core::scenario::{expected_deliveries, GcopssConfig, NetworkSpec, ScenarioSpec};
 use gcopss_core::{MetricsMode, RpSelection, SimParams};
 use gcopss_core::experiments::{Workload, WorkloadParams};
 
@@ -28,7 +28,10 @@ fn run_with_strategy(strategy: RpSelection, seed: u64) -> (Vec<u32>, u64, u64) {
         ..GcopssConfig::default()
     };
     let net = NetworkSpec::default_backbone(19);
-    let mut b = build_gcopss(cfg, &net, &w.map, &w.population, &w.trace, vec![]);
+    let mut b = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+        .gcopss(cfg)
+        .build()
+        .into_gcopss();
     b.sim.run();
     let world = b.sim.world();
     assert_eq!(world.metrics.delivered(), expected, "{strategy:?} lost updates");

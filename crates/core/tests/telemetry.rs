@@ -6,7 +6,7 @@
 
 use gcopss_core::experiments::rp_sweep::{self, RpSweepConfig};
 use gcopss_core::experiments::{TelemetryCapture, Workload, WorkloadParams};
-use gcopss_core::scenario::{build_gcopss, GcopssConfig, NetworkSpec};
+use gcopss_core::scenario::{GcopssConfig, NetworkSpec, ScenarioSpec};
 use gcopss_core::{MetricsMode, RecoveryConfig, SimParams};
 use gcopss_sim::json::Json;
 use gcopss_sim::{FaultPlan, SimDuration, SimTime, TelemetryConfig, TelemetryReport};
@@ -133,14 +133,10 @@ fn chaos_report(plan: Option<FaultPlan>, recovery: Option<RecoveryConfig>) -> Te
         recovery,
         ..GcopssConfig::default()
     };
-    let mut built = build_gcopss(
-        cfg,
-        &NetworkSpec::Testbed,
-        &w.map,
-        &w.population,
-        &w.trace,
-        vec![],
-    );
+    let mut built = ScenarioSpec::new(&NetworkSpec::Testbed, &w.map, &w.population, &w.trace)
+        .gcopss(cfg)
+        .build()
+        .into_gcopss();
     built.sim.enable_telemetry(TelemetryConfig::default());
     if let Some(p) = plan {
         built.sim.install_faults(p);

@@ -49,6 +49,7 @@
 
 mod bloom;
 mod cd;
+pub mod chunk;
 mod component;
 mod error;
 mod name;

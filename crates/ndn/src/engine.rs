@@ -37,7 +37,8 @@ pub enum NdnAction {
 ///   insert (aggregate / drop duplicates) and FIB longest-prefix forward to
 ///   every registered face except the arrival face.
 /// * Data: consume matching PIT entries, cache, and send out of each
-///   recorded downstream face. Unsolicited Data is dropped.
+///   recorded downstream face. Unsolicited Data is cached but not
+///   forwarded (cache-and-drop).
 ///
 /// The engine never performs I/O; see [`NdnAction`].
 #[derive(Debug, Default)]
@@ -143,6 +144,12 @@ impl NdnEngine {
     pub fn process_data(&mut self, now_ns: u64, face: FaceId, data: Data) -> Vec<NdnAction> {
         let downstream = self.pit.consume(now_ns, &data.name);
         if downstream.is_empty() {
+            // Cache-and-drop: under congestion Data can outlive its PIT
+            // breadcrumbs (the entries expired before it got back). It is
+            // not forwarded — no breadcrumb says where — but admitting it
+            // to the Content Store turns the wasted round trip into a
+            // shorter path for the consumer's inevitable retry.
+            self.cs.insert(now_ns, data);
             self.unsolicited_data += 1;
             return Vec::new();
         }

@@ -1242,7 +1242,7 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_node("a");
         let b = t.add_node("b");
-        t.add_link(a, b, SimDuration::from_millis(1), bw);
+        t.try_add_link(a, b, SimDuration::from_millis(1), bw).unwrap();
         let mut sim = Simulator::new(t, World::default());
         sim.set_behavior(
             a,
@@ -1430,8 +1430,8 @@ mod tests {
         let a = t.add_node("a");
         let b = t.add_node("b");
         let c = t.add_node("c");
-        t.add_link(a, b, SimDuration::from_millis(1), None);
-        t.add_link(b, c, SimDuration::from_millis(1), None);
+        t.try_add_link(a, b, SimDuration::from_millis(1), None).unwrap();
+        t.try_add_link(b, c, SimDuration::from_millis(1), None).unwrap();
         struct Bad(NodeId);
         impl NodeBehavior<u32, World> for Bad {
             fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, _f: Option<NodeId>, p: u32) {
@@ -1636,7 +1636,7 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_node("a");
         let b = t.add_node("b");
-        t.add_link(a, b, SimDuration::from_millis(1), None);
+        t.try_add_link(a, b, SimDuration::from_millis(1), None).unwrap();
         let mut sim = Simulator::new(t, World::default());
         sim.set_behavior(a, Box::new(Source(b)));
         sim.set_behavior(b, Box::new(Sink));
@@ -1709,9 +1709,9 @@ mod tests {
         let a = t.add_node("a");
         let b = t.add_node("b");
         let c = t.add_node("c");
-        let ab = t.add_link(a, b, SimDuration::from_millis(1), None);
-        t.add_link(b, c, SimDuration::from_millis(1), None);
-        t.add_link(a, c, SimDuration::from_millis(5), None);
+        let ab = t.try_add_link(a, b, SimDuration::from_millis(1), None).unwrap();
+        t.try_add_link(b, c, SimDuration::from_millis(1), None).unwrap();
+        t.try_add_link(a, c, SimDuration::from_millis(5), None).unwrap();
         struct Fwd(NodeId);
         impl NodeBehavior<u32, World> for Fwd {
             fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, _f: Option<NodeId>, p: u32) {
@@ -1782,7 +1782,7 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_node("a");
         let b = t.add_node("b");
-        t.add_link(a, b, SimDuration::from_millis(1), None);
+        t.try_add_link(a, b, SimDuration::from_millis(1), None).unwrap();
         let mut sim = Simulator::new(t, World::default());
         sim.set_behavior(a, Box::new(Relay { to: Some(b), service: SimDuration::ZERO }));
         sim.set_behavior(b, Box::new(Deliverer { entity: 77 }));
@@ -1943,8 +1943,8 @@ mod tests {
         let a = t.add_node("a");
         let b = t.add_node("b");
         let c = t.add_node("c");
-        t.add_link(a, b, SimDuration::from_millis(1), None);
-        t.add_link(b, c, SimDuration::from_millis(1), None);
+        t.try_add_link(a, b, SimDuration::from_millis(1), None).unwrap();
+        t.try_add_link(b, c, SimDuration::from_millis(1), None).unwrap();
         struct Fwd(NodeId);
         impl NodeBehavior<u32, World> for Fwd {
             fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, _f: Option<NodeId>, p: u32) {

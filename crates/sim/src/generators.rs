@@ -20,11 +20,11 @@ pub fn benchmark_testbed() -> (Topology, Vec<NodeId>) {
     let r: Vec<NodeId> = (1..=6).map(|i| t.add_node(format!("R{i}"))).collect();
     let d = SimDuration::from_micros(100);
     // Fig. 3b arrangement: R1 central, R2 a second aggregation point.
-    t.add_link(r[0], r[1], d, None); // R1-R2
-    t.add_link(r[0], r[2], d, None); // R1-R3
-    t.add_link(r[1], r[3], d, None); // R2-R4
-    t.add_link(r[1], r[4], d, None); // R2-R5
-    t.add_link(r[2], r[5], d, None); // R3-R6
+    t.try_add_link(r[0], r[1], d, None).expect("generated links are valid"); // R1-R2
+    t.try_add_link(r[0], r[2], d, None).expect("generated links are valid"); // R1-R3
+    t.try_add_link(r[1], r[3], d, None).expect("generated links are valid"); // R2-R4
+    t.try_add_link(r[1], r[4], d, None).expect("generated links are valid"); // R2-R5
+    t.try_add_link(r[2], r[5], d, None).expect("generated links are valid"); // R3-R6
     (t, r)
 }
 
@@ -104,7 +104,7 @@ pub fn rocketfuel_like(seed: u64, params: &BackboneParams) -> Backbone {
         let a = core[order[i]];
         let b = core[order[rng.gen_range(0..i)]];
         let d = delay(&mut rng);
-        t.add_link(a, b, d, None);
+        t.try_add_link(a, b, d, None).expect("generated links are valid");
     }
 
     // Extra shortcut links for mesh-like density.
@@ -119,7 +119,7 @@ pub fn rocketfuel_like(seed: u64, params: &BackboneParams) -> Backbone {
             continue;
         }
         let d = delay(&mut rng);
-        t.add_link(a, b, d, None);
+        t.try_add_link(a, b, d, None).expect("generated links are valid");
         added += 1;
     }
 
@@ -128,7 +128,7 @@ pub fn rocketfuel_like(seed: u64, params: &BackboneParams) -> Backbone {
     for (ci, &c) in core.iter().enumerate() {
         for j in 0..params.edge_per_core {
             let e = t.add_node_kind(format!("edge{ci}_{j}"), NodeKind::Edge);
-            t.add_link(c, e, params.edge_delay, None);
+            t.try_add_link(c, e, params.edge_delay, None).expect("generated links are valid");
             edge.push(e);
         }
     }
@@ -157,7 +157,7 @@ pub fn attach_hosts(
     (0..count)
         .map(|i| {
             let h = topology.add_node_kind(format!("{name_prefix}{i}"), NodeKind::Host);
-            topology.add_link(h, edges[i % edges.len()], access_delay, None);
+            topology.try_add_link(h, edges[i % edges.len()], access_delay, None).expect("generated links are valid");
             h
         })
         .collect()
@@ -170,7 +170,7 @@ pub fn line(k: usize, delay: SimDuration) -> (Topology, Vec<NodeId>) {
     let mut t = Topology::new();
     let nodes: Vec<NodeId> = (0..k).map(|i| t.add_node(format!("n{i}"))).collect();
     for w in nodes.windows(2) {
-        t.add_link(w[0], w[1], delay, None);
+        t.try_add_link(w[0], w[1], delay, None).expect("generated links are valid");
     }
     (t, nodes)
 }
@@ -183,7 +183,7 @@ pub fn star(k: usize, delay: SimDuration) -> (Topology, NodeId, Vec<NodeId>) {
     let leaves: Vec<NodeId> = (0..k)
         .map(|i| {
             let n = t.add_node(format!("leaf{i}"));
-            t.add_link(center, n, delay, None);
+            t.try_add_link(center, n, delay, None).expect("generated links are valid");
             n
         })
         .collect();

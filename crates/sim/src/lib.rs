@@ -66,7 +66,7 @@
 //! let mut topo = Topology::new();
 //! let a = topo.add_node("a");
 //! let b = topo.add_node("b");
-//! topo.add_link(a, b, SimDuration::from_millis(5), None);
+//! topo.try_add_link(a, b, SimDuration::from_millis(5), None).unwrap();
 //!
 //! let mut sim = Simulator::new(topo, Vec::new());
 //! sim.set_behavior(a, Box::new(Forward(b)));

@@ -20,8 +20,8 @@ use crate::{NodeId, SimDuration, Topology};
 /// let a = t.add_node("a");
 /// let b = t.add_node("b");
 /// let c = t.add_node("c");
-/// t.add_link(a, b, SimDuration::from_millis(1), None);
-/// t.add_link(b, c, SimDuration::from_millis(1), None);
+/// t.try_add_link(a, b, SimDuration::from_millis(1), None).unwrap();
+/// t.try_add_link(b, c, SimDuration::from_millis(1), None).unwrap();
 /// let rt = RoutingTable::shortest_paths(&t);
 /// assert_eq!(rt.next_hop(a, c), Some(b));
 /// assert_eq!(rt.path(a, c), vec![a, b, c]);
@@ -163,9 +163,9 @@ mod tests {
         let a = t.add_node("a");
         let b = t.add_node("b");
         let c = t.add_node("c");
-        t.add_link(a, b, ms(1), None);
-        t.add_link(b, c, ms(1), None);
-        t.add_link(a, c, ms(5), None);
+        t.try_add_link(a, b, ms(1), None).unwrap();
+        t.try_add_link(b, c, ms(1), None).unwrap();
+        t.try_add_link(a, c, ms(5), None).unwrap();
         let rt = RoutingTable::shortest_paths(&t);
         assert_eq!(rt.next_hop(a, c), Some(b));
         assert_eq!(rt.distance(a, c), Some(ms(2)));
@@ -179,9 +179,9 @@ mod tests {
         let a = t.add_node("a");
         let b = t.add_node("b");
         let c = t.add_node("c");
-        t.add_link(a, b, ms(3), None);
-        t.add_link(b, c, ms(3), None);
-        t.add_link(a, c, ms(5), None);
+        t.try_add_link(a, b, ms(3), None).unwrap();
+        t.try_add_link(b, c, ms(3), None).unwrap();
+        t.try_add_link(a, c, ms(5), None).unwrap();
         let rt = RoutingTable::shortest_paths(&t);
         assert_eq!(rt.next_hop(a, c), Some(c));
         assert_eq!(rt.distance(a, c), Some(ms(5)));
@@ -217,9 +217,9 @@ mod tests {
         let a = t.add_node("a");
         let b = t.add_node("b");
         let c = t.add_node("c");
-        let ab = t.add_link(a, b, ms(1), None);
-        t.add_link(b, c, ms(1), None);
-        t.add_link(a, c, ms(5), None);
+        let ab = t.try_add_link(a, b, ms(1), None).unwrap();
+        t.try_add_link(b, c, ms(1), None).unwrap();
+        t.try_add_link(a, c, ms(5), None).unwrap();
 
         // Killing the a-b link pushes a->c onto the direct link.
         let rt = RoutingTable::shortest_paths_filtered(&t, |l| l != ab, |_| true);
@@ -245,7 +245,7 @@ mod tests {
         let mut t = Topology::new();
         let nodes: Vec<_> = (0..6).map(|i| t.add_node(format!("n{i}"))).collect();
         for i in 0..6 {
-            t.add_link(nodes[i], nodes[(i + 1) % 6], ms(1), None);
+            t.try_add_link(nodes[i], nodes[(i + 1) % 6], ms(1), None).unwrap();
         }
         let rt = RoutingTable::shortest_paths(&t);
         for &src in &nodes {

@@ -112,7 +112,7 @@ pub(crate) struct Link {
 /// let mut t = Topology::new();
 /// let a = t.add_node("a");
 /// let b = t.add_node("b");
-/// t.add_link(a, b, SimDuration::from_millis(2), None);
+/// t.try_add_link(a, b, SimDuration::from_millis(2), None).unwrap();
 /// assert_eq!(t.neighbors(a).count(), 1);
 /// ```
 #[derive(Debug, Clone, Default)]
@@ -149,28 +149,9 @@ impl Topology {
     /// Adds a bidirectional link and returns its id.
     ///
     /// `bandwidth` is in bytes per second; `None` disables serialization
-    /// delay on this link.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either endpoint is unknown or if `a == b`; see
-    /// [`Topology::try_add_link`] for the non-panicking variant.
-    pub fn add_link(
-        &mut self,
-        a: NodeId,
-        b: NodeId,
-        delay: SimDuration,
-        bandwidth: Option<u64>,
-    ) -> LinkId {
-        match self.try_add_link(a, b, delay, bandwidth) {
-            Ok(id) => id,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Adds a bidirectional link, reporting malformed input as an error
-    /// instead of panicking (useful when the topology comes from an external
-    /// description rather than generator code).
+    /// delay on this link. Malformed input is reported as an error rather
+    /// than a panic, so topologies can come from external descriptions as
+    /// well as generator code.
     ///
     /// # Errors
     ///
@@ -329,8 +310,8 @@ mod tests {
         let a = t.add_node("a");
         let b = t.add_node("b");
         let c = t.add_node_kind("c", NodeKind::Host);
-        let l = t.add_link(a, b, SimDuration::from_millis(1), None);
-        t.add_link(b, c, SimDuration::from_millis(2), Some(1_000_000));
+        let l = t.try_add_link(a, b, SimDuration::from_millis(1), None).unwrap();
+        t.try_add_link(b, c, SimDuration::from_millis(2), Some(1_000_000)).unwrap();
 
         assert_eq!(t.node_count(), 3);
         assert_eq!(t.link_count(), 2);
@@ -352,21 +333,13 @@ mod tests {
         let a = t.add_node("a");
         let b = t.add_node("b");
         t.add_node("island");
-        t.add_link(a, b, SimDuration::from_millis(1), None);
+        t.try_add_link(a, b, SimDuration::from_millis(1), None).unwrap();
         assert!(!t.is_connected());
     }
 
     #[test]
     fn empty_topology_is_connected() {
         assert!(Topology::new().is_connected());
-    }
-
-    #[test]
-    #[should_panic(expected = "self-links")]
-    fn self_links_rejected() {
-        let mut t = Topology::new();
-        let a = t.add_node("a");
-        t.add_link(a, a, SimDuration::ZERO, None);
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn ping_pong(service: SimDuration) -> (Simulator<u32, World>, NodeId, NodeId) {
     let mut t = Topology::new();
     let a = t.add_node("a");
     let b = t.add_node("b");
-    t.add_link(a, b, SimDuration::from_millis(1), None);
+    t.try_add_link(a, b, SimDuration::from_millis(1), None).unwrap();
     let mut sim = Simulator::new(t, World::new());
     sim.set_behavior(a, Box::new(Echoes { peer: Some(b), service }));
     sim.set_behavior(b, Box::new(Echoes { peer: Some(a), service }));
@@ -70,7 +70,7 @@ fn bandwidth_throttles_throughput() {
     let mut t = Topology::new();
     let a = t.add_node("a");
     let b = t.add_node("b");
-    t.add_link(a, b, SimDuration::ZERO, Some(64_000));
+    t.try_add_link(a, b, SimDuration::ZERO, Some(64_000)).unwrap();
     struct Burst(NodeId);
     impl NodeBehavior<u32, World> for Burst {
         fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, from: Option<NodeId>, pkt: u32) {
@@ -129,7 +129,7 @@ fn fault_drops_have_journal_parity() {
     let mut t = Topology::new();
     let a = t.add_node("a");
     let b = t.add_node("b");
-    t.add_link(a, b, SimDuration::from_millis(1), None);
+    t.try_add_link(a, b, SimDuration::from_millis(1), None).unwrap();
     struct Fwd(NodeId);
     impl NodeBehavior<u32, World> for Fwd {
         fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, World>, from: Option<NodeId>, pkt: u32) {

@@ -8,10 +8,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use std::sync::Arc;
-
 use gcopss::core::experiments::Workload;
-use gcopss::core::scenario::{build_gcopss, expected_deliveries, GcopssConfig, NetworkSpec};
+use gcopss::core::scenario::{expected_deliveries, GcopssConfig, NetworkSpec, ScenarioSpec};
 use gcopss::core::{MetricsMode, SimParams};
 use gcopss::names::Name;
 use gcopss::sim::SimDuration;
@@ -43,14 +41,10 @@ fn main() {
         rp_count: 1,
         ..GcopssConfig::default()
     };
-    let mut built = build_gcopss(
-        cfg,
-        &NetworkSpec::Testbed,
-        &w.map,
-        &w.population,
-        &Arc::clone(&w.trace),
-        vec![],
-    );
+    let mut built = ScenarioSpec::new(&NetworkSpec::Testbed, &w.map, &w.population, &w.trace)
+        .gcopss(cfg)
+        .build()
+        .into_gcopss();
     built.sim.run();
 
     // 3. Inspect the outcome.

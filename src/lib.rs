@@ -37,8 +37,8 @@ pub mod prelude {
     pub use gcopss_copss::{CopssEngine, CopssPacket, MulticastPacket, RpId, RpTable};
     pub use gcopss_core::experiments::{Workload, WorkloadParams};
     pub use gcopss_core::scenario::{
-        build_gcopss, build_hybrid, build_ip_server, expected_deliveries, GcopssConfig,
-        HybridConfig, IpConfig, NetworkSpec,
+        expected_deliveries, ExtraHost, GcopssConfig, HybridConfig, IpConfig, NetworkSpec,
+        ScenarioSpec,
     };
     pub use gcopss_core::{GCopssRouter, GamePlayerClient, GameWorld, MetricsMode, SimParams};
     pub use gcopss_game::{GameMap, MoveType, ObjectModel, PlayerId, PlayerPopulation};

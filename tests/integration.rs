@@ -9,7 +9,7 @@ use std::sync::Arc;
 use gcopss::core::experiments::rp_sweep::{run_gcopss_once, run_ip_once};
 use gcopss::core::experiments::{Workload, WorkloadParams};
 use gcopss::core::scenario::{
-    build_gcopss, build_hybrid, expected_deliveries, GcopssConfig, HybridConfig, NetworkSpec,
+    expected_deliveries, GcopssConfig, HybridConfig, NetworkSpec, ScenarioSpec,
 };
 use gcopss::core::{MetricsMode, SimParams};
 use gcopss::sim::SimDuration;
@@ -57,7 +57,10 @@ fn all_systems_deliver_exactly_the_aoi() {
         rp_count: 3,
         ..GcopssConfig::default()
     };
-    let mut b = build_gcopss(cfg, &net, &w.map, &w.population, &w.trace, vec![]);
+    let mut b = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+        .gcopss(cfg)
+        .build()
+        .into_gcopss();
     b.sim.run();
     assert_eq!(b.sim.world().metrics.delivered(), expected, "gcopss");
     assert_eq!(b.sim.world().duplicate_deliveries, 0);
@@ -66,7 +69,10 @@ fn all_systems_deliver_exactly_the_aoi() {
         delivery_log: true,
         ..HybridConfig::default()
     };
-    let mut b = build_hybrid(cfg, &net, &w.map, &w.population, &w.trace);
+    let mut b = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+        .hybrid(cfg)
+        .build()
+        .into_hybrid();
     b.sim.run();
     assert_eq!(b.sim.world().metrics.delivered(), expected, "hybrid");
 }
@@ -90,7 +96,10 @@ fn auto_balancing_splits_without_loss() {
         rp_count: 1,
         ..GcopssConfig::default()
     };
-    let mut b = build_gcopss(cfg, &net, &w.map, &w.population, &w.trace, vec![]);
+    let mut b = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+        .gcopss(cfg)
+        .build()
+        .into_gcopss();
     b.sim.run();
     let world = b.sim.world();
     assert!(!world.splits.is_empty(), "no split fired");
@@ -172,7 +181,10 @@ fn deep_hierarchy_dissemination() {
         rp_count: 2,
         ..GcopssConfig::default()
     };
-    let mut b = build_gcopss(cfg, &NetworkSpec::Testbed, &map, &pop, &trace, vec![]);
+    let mut b = ScenarioSpec::new(&NetworkSpec::Testbed, &map, &pop, &trace)
+        .gcopss(cfg)
+        .build()
+        .into_gcopss();
     b.sim.run();
     assert_eq!(b.sim.world().metrics.delivered(), expected);
     assert_eq!(b.sim.world().duplicate_deliveries, 0);
