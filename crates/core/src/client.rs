@@ -13,7 +13,9 @@ use gcopss_ndn::{Data, Interest};
 use gcopss_sim::{Ctx, FaultNotice, NodeBehavior, NodeId, SimDuration, SimTime};
 
 use crate::broker::{chunk_name, parse_chunk_name, snapmani_ns, snapshot_ns};
-use crate::{payload_of, CatchUpMode, CatchUpRecord, GPacket, GameWorld, RecoveryConfig};
+use crate::{
+    payload_of, CatchUpMode, CatchUpRecord, GPacket, GameWorld, RateAdaptConfig, RecoveryConfig,
+};
 
 /// Timer key of trace-driven publishing.
 const TIMER_PUBLISH: u64 = 0;
@@ -23,6 +25,9 @@ const TIMER_WATCHDOG: u64 = 1;
 const TIMER_CATCHUP_RETRY: u64 = 2;
 /// Timer key of the scheduled initial (prewarm) catch-up.
 const TIMER_CATCHUP_START: u64 = 3;
+/// Timer key of the periodic soft-state Subscribe refresh
+/// ([`RecoveryConfig::subscribe_refresh`]).
+const TIMER_REFRESH: u64 = 4;
 
 /// Client-side recovery state: a silence watchdog with capped exponential
 /// backoff and seeded per-client jitter. Shared by the G-COPSS player
@@ -52,6 +57,77 @@ impl ClientRecovery {
             SimDuration::ZERO
         } else {
             SimDuration::from_nanos(self.rng.gen_range(0..=max))
+        }
+    }
+}
+
+/// Client-side congestion-feedback pacer: capped multiplicative rate
+/// reduction of the publish cadence, driven by sojourn marks on deliveries
+/// (see [`RateAdaptConfig`]). Shared by the G-COPSS player client and the
+/// IP baseline client.
+///
+/// The pacer is *off* (gap zero) until the first marked delivery installs
+/// `min_gap`; every further marked delivery doubles the gap up to `cap`,
+/// and every clean delivery halves it until it decays below `min_gap` and
+/// switches back off. Publishes attempted inside the gap are shed at the
+/// source with the `"rate-limited"` tag: under overload, a stale position
+/// update sent late is worse than one not sent at all.
+pub(crate) struct RatePacer {
+    pub(crate) cfg: RateAdaptConfig,
+    /// Current enforced publish gap; `ZERO` means the pacer is off.
+    pub(crate) gap: SimDuration,
+    /// When the last admitted publish went out.
+    pub(crate) last_pub: SimTime,
+}
+
+impl RatePacer {
+    pub(crate) fn new(cfg: RateAdaptConfig) -> Self {
+        Self {
+            cfg,
+            gap: SimDuration::ZERO,
+            last_pub: SimTime::ZERO,
+        }
+    }
+
+    /// Gates a publish attempt at `now`: admitted attempts stamp
+    /// `last_pub`; attempts inside the gap are rejected (shed by the
+    /// caller).
+    pub(crate) fn allow(&mut self, now: SimTime) -> bool {
+        if self.gap > SimDuration::ZERO && now < self.last_pub + self.gap {
+            return false;
+        }
+        self.last_pub = now;
+        true
+    }
+
+    /// A congestion-marked delivery arrived: stretch the gap.
+    pub(crate) fn on_marked(&mut self) {
+        self.gap = if self.gap == SimDuration::ZERO {
+            self.cfg.min_gap
+        } else {
+            self.gap.saturating_mul(2).min(self.cfg.cap)
+        };
+    }
+
+    /// A clean delivery arrived: decay the gap toward off.
+    pub(crate) fn on_clean(&mut self) {
+        if self.gap == SimDuration::ZERO {
+            return;
+        }
+        let halved = self.gap / 2;
+        self.gap = if halved < self.cfg.min_gap {
+            SimDuration::ZERO
+        } else {
+            halved
+        };
+    }
+
+    /// Feeds one delivery's mark bit into the pacer.
+    pub(crate) fn on_delivery(&mut self, marked: bool) {
+        if marked {
+            self.on_marked();
+        } else {
+            self.on_clean();
         }
     }
 }
@@ -248,6 +324,7 @@ pub struct GamePlayerClient {
     cursor: TraceCursor,
     dedup: DedupWindow,
     recovery: Option<ClientRecovery>,
+    pacer: Option<RatePacer>,
     catch_up: Option<CatchUpRunner>,
     /// Whether any multicast delivery arrived yet. Watchdog silence before
     /// the first delivery means the trace has not started, not that state
@@ -284,6 +361,7 @@ impl GamePlayerClient {
             cursor,
             dedup: DedupWindow::new(1024),
             recovery: None,
+            pacer: None,
             catch_up: None,
             seen_delivery: false,
             was_deaf: false,
@@ -319,6 +397,17 @@ impl GamePlayerClient {
         self
     }
 
+    /// Enables congestion-feedback rate adaptation: congestion-marked
+    /// deliveries (see [`gcopss_sim::Ctx::congestion_marked`]) stretch the
+    /// client's own publish cadence multiplicatively up to `cfg.cap`, and
+    /// clean deliveries decay it back. Publishes falling inside the gap are
+    /// shed at the source with the `"rate-limited"` tag.
+    #[must_use]
+    pub fn with_rate_adapt(mut self, cfg: RateAdaptConfig) -> Self {
+        self.pacer = Some(RatePacer::new(cfg));
+        self
+    }
+
     fn resubscribe(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
         let cds = self.map.subscription_cds(self.area);
         let g = GPacket::Copss(CopssPacket::Subscribe { cds, rp: None });
@@ -339,6 +428,23 @@ impl GamePlayerClient {
         };
         let (cd, size) = (e.cd.clone(), e.size);
         let now = ctx.now();
+        if let Some(p) = &mut self.pacer {
+            if !p.allow(now) {
+                // Shed at the source: the update is never published (the
+                // auditor sees it as unpublished, not lost), but the trace
+                // keeps advancing — position updates are superseded by the
+                // next one, not worth queueing.
+                ctx.emit(
+                    gcopss_sim::TraceEvent::Drop,
+                    crate::drops::RATE_LIMITED,
+                    size,
+                );
+                ctx.lineage_shed(id, crate::drops::RATE_LIMITED);
+                ctx.world().bump(crate::drops::RATE_LIMITED);
+                self.schedule_next(ctx);
+                return;
+            }
+        }
         ctx.world().metrics.publish(id, self.player, now);
         // Don't wait for our own copy to come back.
         self.dedup.insert(id);
@@ -615,6 +721,10 @@ impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
             r.last_activity = now;
             let delay = r.cfg.watchdog + r.jitter();
             ctx.schedule(delay, TIMER_WATCHDOG);
+            if let Some(iv) = r.cfg.subscribe_refresh {
+                let delay = iv + r.jitter();
+                ctx.schedule(delay, TIMER_REFRESH);
+            }
         }
         if let Some(cu) = &self.catch_up {
             if let Some(at) = cu.cfg.initial_at {
@@ -655,6 +765,20 @@ impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
             TIMER_CATCHUP_START => {
                 self.maybe_start_catchup(ctx, false);
             }
+            TIMER_REFRESH => {
+                // Soft-state refresh: re-express the subscription on a
+                // period, deliveries or not — COPSS ST entries are soft
+                // state, and under overload this keeps real control
+                // traffic contending with bulk data in the queues.
+                let Some(iv) = self.recovery.as_ref().and_then(|r| r.cfg.subscribe_refresh)
+                else {
+                    return;
+                };
+                self.resubscribe(ctx);
+                let r = self.recovery.as_mut().expect("refresh implies recovery");
+                let delay = iv + r.jitter();
+                ctx.schedule(delay, TIMER_REFRESH);
+            }
             _ => {}
         }
     }
@@ -683,6 +807,11 @@ impl NodeBehavior<GPacket, GameWorld> for GamePlayerClient {
                 }
                 if let Some(r) = &mut self.recovery {
                     r.last_activity = now;
+                }
+                if let Some(p) = &mut self.pacer {
+                    // Every arrival is a congestion sample — duplicates
+                    // traversed the network too.
+                    p.on_delivery(ctx.congestion_marked());
                 }
                 if self.dedup.insert(m.id) {
                     let now = ctx.now();
@@ -776,6 +905,49 @@ mod tests {
         let mut d = DedupWindow::new(0);
         assert!(d.insert(7));
         assert!(d.insert(7));
+    }
+
+    #[test]
+    fn rate_pacer_grows_caps_and_decays() {
+        let cfg = RateAdaptConfig {
+            min_gap: SimDuration::from_millis(20),
+            cap: SimDuration::from_millis(80),
+        };
+        let mut p = RatePacer::new(cfg);
+        // Off: back-to-back publishes pass.
+        assert!(p.allow(SimTime::ZERO));
+        assert!(p.allow(SimTime::from_millis(1)));
+        // Marks: install min_gap, then double to the cap.
+        p.on_marked();
+        assert_eq!(p.gap, SimDuration::from_millis(20));
+        p.on_marked();
+        p.on_marked();
+        p.on_marked();
+        assert_eq!(p.gap, SimDuration::from_millis(80), "capped");
+        // In-gap publish shed; the gap boundary admits.
+        assert!(!p.allow(SimTime::from_millis(50)));
+        assert!(p.allow(SimTime::from_millis(81)));
+        // Clean deliveries halve the gap until it switches off.
+        p.on_clean();
+        assert_eq!(p.gap, SimDuration::from_millis(40));
+        p.on_clean();
+        assert_eq!(p.gap, SimDuration::from_millis(20));
+        p.on_clean();
+        assert_eq!(p.gap, SimDuration::ZERO, "decayed below min_gap: off");
+        assert!(p.allow(SimTime::from_millis(82)), "off admits immediately");
+    }
+
+    #[test]
+    fn rate_pacer_mixed_feedback() {
+        let mut p = RatePacer::new(RateAdaptConfig::default());
+        p.on_delivery(true);
+        let after_mark = p.gap;
+        assert_eq!(after_mark, RateAdaptConfig::default().min_gap);
+        p.on_delivery(false);
+        assert_eq!(p.gap, SimDuration::ZERO);
+        // Clean deliveries while off stay off.
+        p.on_delivery(false);
+        assert_eq!(p.gap, SimDuration::ZERO);
     }
 
     #[test]

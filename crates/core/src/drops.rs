@@ -65,6 +65,18 @@ pub const LINK_LOST: &str = "link-lost";
 /// Engine fault injection: the packet was queued at (or destined to) a
 /// crashed node (tagged by `gcopss_sim`, listed here for coverage).
 pub const NODE_LOST: &str = "node-lost";
+/// Engine overload control: an arrival was rejected by (or a queued packet
+/// evicted from) a full bounded service queue (tagged by `gcopss_sim`).
+pub const QUEUE_FULL: &str = "queue-full";
+/// Engine overload control: the CoDel-style AQM shed a packet whose
+/// head-of-queue sojourn proved a standing queue (tagged by `gcopss_sim`).
+pub const AQM_SHED: &str = "aqm-shed";
+/// Engine overload control: a queued position update was evicted in favor
+/// of a newer arrival with the same supersede key (tagged by `gcopss_sim`).
+pub const STALE_SUPERSEDED: &str = "stale-superseded";
+/// A client shed a publish at the source because congestion feedback
+/// stretched its allowed cadence (capped multiplicative rate reduction).
+pub const RATE_LIMITED: &str = "rate-limited";
 
 /// Every registered drop reason. The coverage test iterates this; keep it
 /// in sync when adding a constant above.
@@ -89,6 +101,10 @@ pub const ALL: &[&str] = &[
     CLIENT_CHUNK_CORRUPT,
     LINK_LOST,
     NODE_LOST,
+    QUEUE_FULL,
+    AQM_SHED,
+    STALE_SUPERSEDED,
+    RATE_LIMITED,
 ];
 
 #[cfg(test)]
@@ -106,6 +122,6 @@ mod tests {
             );
             assert!(seen.insert(tag), "duplicate tag {tag:?}");
         }
-        assert_eq!(ALL.len(), 20);
+        assert_eq!(ALL.len(), 24);
     }
 }

@@ -18,6 +18,7 @@
 //! | Delivery audit (per-pair causal accounting under chaos) | [`audit`] |
 //! | Rejoin storm (chunked-delta vs full-snapshot catch-up) | [`rejoin`] |
 //! | ST/FIB lookup scaling, 1k → 1M(+) entries | [`scale`] |
+//! | Overload sweep (0.5×–4× load, queue regimes, rate adapt) | [`overload`] |
 
 pub mod ablation;
 pub mod audit;
@@ -25,6 +26,7 @@ pub mod failover;
 pub mod full_trace;
 pub mod microbench;
 pub mod movement;
+pub mod overload;
 pub mod player_sweep;
 pub mod rejoin;
 pub mod rp_sweep;

@@ -1,0 +1,607 @@
+//! Overload sweep (`exp_overload`): graceful degradation under offered
+//! loads from 0.5× to 4× the infrastructure's service capacity.
+//!
+//! Every run drives the same synthetic workload shape at a scaled update
+//! rate (offered load × the aggregate RP service rate) through one of the
+//! evaluated systems, under one of three queue regimes:
+//!
+//! * **unbounded** — the pre-overload engine: queues grow without limit,
+//!   nothing is dropped, latency diverges. The control arm.
+//! * **droptail** — bounded FIFO queues with tail rejection and no
+//!   priority: overload drops whatever arrives last, control plane
+//!   included, so recovery traffic dies exactly when it is needed.
+//! * **aqm** — bounded queues with the CoDel-style sojourn AQM, priority
+//!   classes (control preempts bulk, stale position updates shed first),
+//!   sojourn marking, and client-side multiplicative rate adaptation.
+//!
+//! The headline numbers are the control-plane survival ratio (the
+//! fraction of control-class queue admissions not matched by a
+//! control-class overload drop — the AQM+priority regime must hold it at
+//! ≈1.0 while drop-tail degrades), the data-plane delivery ratio against
+//! the AoI model, latency percentiles, and the per-class drop accounting
+//! (`queue-full` / `aqm-shed` / `stale-superseded` / `rate-limited`).
+//! G-COPSS AQM runs can additionally be audited end-to-end: with every
+//! overload drop recorded on the packet's lineage (source sheds included,
+//! via `Ctx::lineage_shed`), the delivery auditor must explain 100 % of
+//! the owed pairs with zero unexplained losses — overload degrades
+//! *gracefully*, never *silently*.
+
+use gcopss_sim::{
+    AdmissionPolicy, LineageConfig, OverloadConfig, SimDuration, SimTime, Simulator,
+    TelemetryConfig,
+};
+
+use crate::scenario::{
+    expected_deliveries, GcopssConfig, IpConfig, NdnBaselineConfig, NetworkSpec, ScenarioSpec,
+};
+use crate::{GPacket, GameWorld, MetricsMode, RateAdaptConfig, RecoveryConfig};
+
+use super::audit::register_expectations;
+use super::{TelemetryCapture, Workload, WorkloadParams};
+
+/// The queue regime of one run arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueRegime {
+    /// Unbounded queues, no overload control (the pre-overload engine).
+    Unbounded,
+    /// Bounded queues, tail rejection, no priorities, no marking.
+    DropTail,
+    /// Bounded queues, CoDel-style AQM, priority classes, sojourn marks,
+    /// and client rate adaptation where the system's clients support it.
+    Aqm,
+}
+
+impl QueueRegime {
+    /// Stable label fragment.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Unbounded => "unbounded",
+            Self::DropTail => "droptail",
+            Self::Aqm => "aqm",
+        }
+    }
+}
+
+/// Configuration of the overload sweep.
+#[derive(Debug, Clone)]
+pub struct OverloadSweepConfig {
+    /// Workload shape (players, updates, seed). `mean_interarrival` is
+    /// overridden per run: offered load × [`Self::capacity_interarrival`].
+    pub workload: WorkloadParams,
+    /// Topology seed.
+    pub net_seed: u64,
+    /// Initial RPs (G-COPSS) and game servers (IP baseline).
+    pub rp_count: usize,
+    /// Offered loads as multiples of service capacity (paper-style sweep:
+    /// 0.5×, 1×, 2×, 4×).
+    pub loads: Vec<f64>,
+    /// The network-wide mean update inter-arrival that saturates the
+    /// aggregate RP service rate — offered load 1×. The default derives
+    /// from the §V-B calibration: `rp_proc / rp_count`.
+    pub capacity_interarrival: SimDuration,
+    /// Bounded queue depth (waiting packets) of the droptail and aqm
+    /// regimes.
+    pub queue_capacity: usize,
+    /// CoDel target sojourn (aqm regime).
+    pub codel_target: SimDuration,
+    /// CoDel control interval (aqm regime).
+    pub codel_interval: SimDuration,
+    /// Sojourn above which delivered packets carry a congestion mark (aqm
+    /// regime).
+    pub mark_sojourn: SimDuration,
+    /// Client-side rate adaptation, applied in the aqm regime to systems
+    /// whose clients push (G-COPSS, IP; the NDN baseline's consumers pull
+    /// and need no pacer).
+    pub rate_adapt: RateAdaptConfig,
+    /// Recovery tunables applied to every system. The default enables the
+    /// periodic soft-state Subscribe refresh so real control traffic keeps
+    /// contending with bulk data *during* overload — which is exactly what
+    /// the priority lattice must protect (and what plain drop-tail loses).
+    pub recovery: RecoveryConfig,
+    /// Settling period before the first trace event.
+    pub warmup: SimDuration,
+    /// Extra simulated time after the last trace event before the horizon.
+    pub drain: SimDuration,
+    /// When `Some`, G-COPSS aqm runs replay under the lineage tracer and
+    /// the delivery auditor must account for every owed pair.
+    pub lineage: Option<LineageConfig>,
+}
+
+impl Default for OverloadSweepConfig {
+    fn default() -> Self {
+        Self {
+            workload: WorkloadParams {
+                players: 120,
+                updates: 10_000,
+                ..WorkloadParams::default()
+            },
+            net_seed: 7,
+            rp_count: 3,
+            loads: vec![0.5, 1.0, 2.0, 4.0],
+            // 3.3 ms RP service / 3 RPs.
+            capacity_interarrival: SimDuration::from_micros(1_100),
+            queue_capacity: 64,
+            // ≈4.5 RP service times: transient bursts at ρ≤0.5 stay under
+            // it, a standing queue (ρ>1 pins sojourn at cap × service ≈
+            // 210 ms) overruns it immediately.
+            codel_target: SimDuration::from_millis(15),
+            codel_interval: SimDuration::from_millis(100),
+            // ≈9 service times: essentially never reached below capacity,
+            // saturated above it — marks are an overload signal, not a
+            // burst detector.
+            mark_sojourn: SimDuration::from_millis(30),
+            rate_adapt: RateAdaptConfig::default(),
+            recovery: RecoveryConfig {
+                subscribe_refresh: Some(SimDuration::from_millis(200)),
+                ..RecoveryConfig::default()
+            },
+            warmup: SimDuration::from_secs(2),
+            drain: SimDuration::from_secs(10),
+            lineage: Some(LineageConfig::default()),
+        }
+    }
+}
+
+impl OverloadSweepConfig {
+    /// The per-run mean inter-arrival at offered load `load`.
+    #[must_use]
+    pub fn interarrival_at(&self, load: f64) -> SimDuration {
+        let ns = (self.capacity_interarrival.as_nanos() as f64 / load).round() as u64;
+        SimDuration::from_nanos(ns.max(1))
+    }
+
+    /// The engine overload config of one regime, or `None` for unbounded.
+    #[must_use]
+    pub fn engine_config(&self, regime: QueueRegime) -> Option<OverloadConfig> {
+        match regime {
+            QueueRegime::Unbounded => None,
+            QueueRegime::DropTail => Some(OverloadConfig {
+                queue_capacity: Some(self.queue_capacity),
+                policy: AdmissionPolicy::DropTail,
+                priority: false,
+                mark_sojourn: None,
+            }),
+            QueueRegime::Aqm => Some(OverloadConfig {
+                queue_capacity: Some(self.queue_capacity),
+                policy: AdmissionPolicy::CoDel {
+                    target: self.codel_target,
+                    interval: self.codel_interval,
+                },
+                priority: true,
+                mark_sojourn: Some(self.mark_sojourn),
+            }),
+        }
+    }
+}
+
+/// One run's outcome.
+#[derive(Debug, Clone)]
+pub struct OverloadRow {
+    /// Run label (`gcopss-aqm-x4.0`, …).
+    pub label: String,
+    /// System under test (`"gcopss"`, `"ip"`, `"ndn"`).
+    pub system: &'static str,
+    /// Queue regime of the run.
+    pub regime: QueueRegime,
+    /// Offered load as a multiple of service capacity.
+    pub load: f64,
+    /// Updates published (rate-limited source sheds never publish).
+    pub published: u64,
+    /// Non-self deliveries recorded.
+    pub delivered: u64,
+    /// Deliveries the AoI model expects for the full trace.
+    pub expected: u64,
+    /// `delivered / expected` — the data-plane delivery ratio.
+    pub delivery_ratio: f64,
+    /// Median delivery latency (log-histogram bucket bound).
+    pub p50: SimDuration,
+    /// 95th-percentile delivery latency.
+    pub p95: SimDuration,
+    /// 99th-percentile delivery latency.
+    pub p99: SimDuration,
+    /// Mean delivery latency.
+    pub mean_latency: SimDuration,
+    /// Control-class queue admissions, summed over all nodes.
+    pub ctl_in: u64,
+    /// Control-class overload drops (rejections + evictions).
+    pub ctl_drop: u64,
+    /// `1 − ctl_drop / (ctl_in + ctl_drop)` — the fraction of control
+    /// traffic surviving the queues. ≈1.0 under AQM+priority.
+    pub ctl_ratio: f64,
+    /// Arrivals rejected (or victims evicted) at full queues.
+    pub queue_full: u64,
+    /// Packets shed by the sojourn AQM.
+    pub aqm_shed: u64,
+    /// Stale position updates evicted by a fresher same-key arrival.
+    pub stale_superseded: u64,
+    /// Publishes shed at the source by client rate adaptation.
+    pub rate_limited: u64,
+    /// Congestion marks applied at dequeue.
+    pub marks: u64,
+    /// Aggregate network load in bytes.
+    pub network_bytes: u64,
+    /// Lineage audit of the run, when the tracer was armed: the auditor's
+    /// per-class accounting JSON and the span-log fingerprint.
+    pub audit: Option<(gcopss_sim::json::Json, u64)>,
+    /// Whether the armed audit explained every owed pair.
+    pub audit_clean: Option<bool>,
+}
+
+impl OverloadRow {
+    /// One formatted table row.
+    #[must_use]
+    pub fn row(&self) -> String {
+        format!(
+            "{:<22} {:>4.1} {:>8.4} {:>8.4} {:>9.2} {:>9.2} {:>8} {:>8} {:>7} {:>8} {:>7}",
+            self.label,
+            self.load,
+            self.delivery_ratio,
+            self.ctl_ratio,
+            self.p50.as_millis_f64(),
+            self.p99.as_millis_f64(),
+            self.queue_full,
+            self.aqm_shed,
+            self.stale_superseded,
+            self.rate_limited,
+            self.marks,
+        )
+    }
+}
+
+/// The sweep's full output: rows grouped by load, then
+/// gcopss-{aqm,unbounded,droptail}, ip-aqm, ndn-aqm.
+#[derive(Debug, Clone)]
+pub struct OverloadOutput {
+    /// Result rows in run order.
+    pub rows: Vec<OverloadRow>,
+}
+
+/// Runs the full sweep.
+#[must_use]
+pub fn run(cfg: &OverloadSweepConfig) -> OverloadOutput {
+    run_with(cfg, None)
+}
+
+/// Harvest of one finished run.
+struct RunHarvest {
+    world: GameWorld,
+    bytes: u64,
+    drops: (u64, u64, u64),
+    marks: u64,
+    ctl_in: u64,
+    ctl_drop: u64,
+    audit: Option<(gcopss_sim::json::Json, u64, bool)>,
+}
+
+/// Runs one assembled simulator to the horizon and harvests everything.
+fn run_one(
+    mut sim: Simulator<GPacket, GameWorld>,
+    horizon: SimTime,
+    audited: Option<(&LineageConfig, &Workload, SimDuration)>,
+    telemetry: Option<(&mut TelemetryCapture, &str)>,
+) -> RunHarvest {
+    match &telemetry {
+        Some((cap, _)) => cap.arm(&mut sim),
+        // The per-class control counters live in telemetry; arm the
+        // journal-free minimal config so captureless runs still count.
+        None => sim.enable_telemetry(TelemetryConfig {
+            journal_capacity: 0,
+            journal_sample: 1,
+        }),
+    }
+    if let Some((lineage, w, warmup)) = audited {
+        sim.enable_lineage(lineage.clone());
+        register_expectations(&mut sim, w, warmup);
+    }
+    sim.run_until(horizon);
+    let audit = audited.map(|_| {
+        // No faults are injected: every miss must be explained by a drop
+        // record (overload drops and source sheds land on the lineage), so
+        // no damage window is granted.
+        let report = sim.lineage().audit(horizon, None);
+        (
+            report.to_json(),
+            sim.lineage().fingerprint(),
+            report.is_clean(),
+        )
+    });
+    let ctl_in = sim.telemetry().counter_total("ctl-in");
+    let ctl_drop = sim.telemetry().counter_total("ctl-drop");
+    let bytes = sim.total_link_bytes();
+    let drops = sim.overload_drops();
+    let marks = sim.congestion_marks();
+    if let Some((cap, label)) = telemetry {
+        cap.collect(&sim, label);
+    }
+    RunHarvest {
+        world: sim.into_world(),
+        bytes,
+        drops,
+        marks,
+        ctl_in,
+        ctl_drop,
+        audit,
+    }
+}
+
+fn make_row(
+    label: String,
+    system: &'static str,
+    regime: QueueRegime,
+    load: f64,
+    h: RunHarvest,
+    w: &Workload,
+) -> OverloadRow {
+    let expected = expected_deliveries(&w.map, &w.population, &w.trace);
+    let delivered = h.world.metrics.delivered();
+    let hist = h.world.metrics.latency_hist();
+    let q = |p: f64| SimDuration::from_nanos(hist.quantile(p));
+    let (queue_full, aqm_shed, stale_superseded) = h.drops;
+    let offered_ctl = h.ctl_in + h.ctl_drop;
+    OverloadRow {
+        label,
+        system,
+        regime,
+        load,
+        published: h.world.metrics.published(),
+        delivered,
+        expected,
+        delivery_ratio: if expected == 0 {
+            1.0
+        } else {
+            delivered as f64 / expected as f64
+        },
+        p50: q(0.50),
+        p95: q(0.95),
+        p99: q(0.99),
+        mean_latency: h.world.metrics.stats().mean(),
+        ctl_in: h.ctl_in,
+        ctl_drop: h.ctl_drop,
+        ctl_ratio: if offered_ctl == 0 {
+            1.0
+        } else {
+            1.0 - h.ctl_drop as f64 / offered_ctl as f64
+        },
+        queue_full,
+        aqm_shed,
+        stale_superseded,
+        rate_limited: h.world.counters.get("rate-limited").copied().unwrap_or(0),
+        marks: h.marks,
+        network_bytes: h.bytes,
+        audit_clean: h.audit.as_ref().map(|&(_, _, clean)| clean),
+        audit: h.audit.map(|(json, fp, _)| (json, fp)),
+    }
+}
+
+/// Runs the full sweep, optionally harvesting one telemetry report per run.
+#[must_use]
+pub fn run_with(
+    cfg: &OverloadSweepConfig,
+    mut telemetry: Option<&mut TelemetryCapture>,
+) -> OverloadOutput {
+    let net = NetworkSpec::default_backbone(cfg.net_seed);
+    let mut rows = Vec::new();
+
+    for &load in &cfg.loads {
+        let w = Workload::counter_strike(&WorkloadParams {
+            mean_interarrival: cfg.interarrival_at(load),
+            ..cfg.workload.clone()
+        });
+        let span = SimDuration::from_nanos(w.trace.last().map_or(0, |e| e.time_ns));
+        let horizon = SimTime::ZERO + cfg.warmup + span + cfg.drain;
+
+        // G-COPSS under all three regimes.
+        for regime in [QueueRegime::Aqm, QueueRegime::Unbounded, QueueRegime::DropTail] {
+            let label = format!("gcopss-{}-x{load:.1}", regime.as_str());
+            let sys = GcopssConfig {
+                metrics_mode: MetricsMode::StatsOnly,
+                rp_count: cfg.rp_count,
+                warmup: cfg.warmup,
+                recovery: Some(cfg.recovery.clone()),
+                overload: cfg.engine_config(regime),
+                rate_adapt: (regime == QueueRegime::Aqm).then(|| cfg.rate_adapt.clone()),
+                ..GcopssConfig::default()
+            };
+            let built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+                .gcopss(sys)
+                .build()
+                .into_gcopss();
+            let audited = (regime == QueueRegime::Aqm)
+                .then_some(())
+                .and(cfg.lineage.as_ref())
+                .map(|l| (l, &w, cfg.warmup));
+            let t = telemetry.as_mut().map(|c| (&mut **c, label.as_str()));
+            let h = run_one(built.sim, horizon, audited, t);
+            rows.push(make_row(label, "gcopss", regime, load, h, &w));
+        }
+
+        // IP baseline under the AQM regime (with rate adaptation).
+        {
+            let label = format!("ip-aqm-x{load:.1}");
+            let sys = IpConfig {
+                metrics_mode: MetricsMode::StatsOnly,
+                server_count: cfg.rp_count,
+                warmup: cfg.warmup,
+                recovery: Some(cfg.recovery.clone()),
+                overload: cfg.engine_config(QueueRegime::Aqm),
+                rate_adapt: Some(cfg.rate_adapt.clone()),
+                ..IpConfig::default()
+            };
+            let built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+                .ip_server(sys)
+                .build()
+                .into_ip_server();
+            let t = telemetry.as_mut().map(|c| (&mut **c, label.as_str()));
+            let h = run_one(built.sim, horizon, None, t);
+            rows.push(make_row(label, "ip", QueueRegime::Aqm, load, h, &w));
+        }
+
+        // NDN baseline under the AQM regime (pull-based: no client pacer).
+        {
+            let label = format!("ndn-aqm-x{load:.1}");
+            let sys = NdnBaselineConfig {
+                metrics_mode: MetricsMode::StatsOnly,
+                warmup: cfg.warmup,
+                recovery: Some(cfg.recovery.clone()),
+                overload: cfg.engine_config(QueueRegime::Aqm),
+                ..NdnBaselineConfig::default()
+            };
+            let built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+                .ndn_baseline(sys)
+                .build()
+                .into_ndn_baseline();
+            let t = telemetry.as_mut().map(|c| (&mut **c, label.as_str()));
+            let h = run_one(built.sim, horizon, None, t);
+            rows.push(make_row(label, "ndn", QueueRegime::Aqm, load, h, &w));
+        }
+    }
+
+    OverloadOutput { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature sweep at sub-capacity and heavy overload: the bounded
+    /// regimes must shed under overload, AQM+priority must keep the
+    /// control plane near-lossless where drop-tail degrades, and the
+    /// audited run must explain every owed pair.
+    #[test]
+    fn mini_sweep_degrades_gracefully() {
+        let cfg = OverloadSweepConfig {
+            workload: WorkloadParams {
+                players: 60,
+                updates: 3_000,
+                ..WorkloadParams::default()
+            },
+            loads: vec![0.5, 4.0],
+            drain: SimDuration::from_secs(5),
+            ..OverloadSweepConfig::default()
+        };
+        let out = run(&cfg);
+        assert_eq!(out.rows.len(), 10);
+        let find = |label: &str| {
+            out.rows
+                .iter()
+                .find(|r| r.label == label)
+                .unwrap_or_else(|| panic!("missing row {label}"))
+        };
+
+        for r in &out.rows {
+            assert!(r.delivered > 0, "{}: nothing delivered", r.label);
+            assert!(
+                (0.0..=1.0).contains(&r.delivery_ratio),
+                "{}: ratio {}",
+                r.label,
+                r.delivery_ratio
+            );
+            if r.regime == QueueRegime::Unbounded {
+                assert_eq!(
+                    r.queue_full + r.aqm_shed + r.stale_superseded + r.marks,
+                    0,
+                    "{}: unbounded regime must not shed or mark",
+                    r.label
+                );
+            }
+        }
+
+        // Heavy overload bites the bounded regimes.
+        let aqm4 = find("gcopss-aqm-x4.0");
+        let tail4 = find("gcopss-droptail-x4.0");
+        assert!(
+            aqm4.aqm_shed + aqm4.queue_full + aqm4.stale_superseded > 0,
+            "aqm at 4x shed nothing"
+        );
+        assert!(aqm4.marks > 0, "aqm at 4x marked nothing");
+        assert!(tail4.queue_full > 0, "droptail at 4x dropped nothing");
+
+        // The priority lattice protects the control plane: the refresh
+        // keeps Subscribes contending with bulk, drop-tail loses some of
+        // them, AQM+priority keeps ≥99 %.
+        assert!(
+            tail4.ctl_drop > 0,
+            "droptail at 4x never dropped control — the comparison is vacuous"
+        );
+        assert!(
+            aqm4.ctl_ratio >= 0.99,
+            "aqm control survival {} < 0.99",
+            aqm4.ctl_ratio
+        );
+        assert!(
+            aqm4.ctl_ratio > tail4.ctl_ratio,
+            "priority did not beat droptail: {} <= {}",
+            aqm4.ctl_ratio,
+            tail4.ctl_ratio
+        );
+
+        // Rate adaptation responded to marks.
+        assert!(aqm4.rate_limited > 0, "no source sheds at 4x");
+
+        // The audited runs explain every pair.
+        for r in &out.rows {
+            if let Some(clean) = r.audit_clean {
+                assert!(clean, "{}: audit not clean: {:?}", r.label, r.audit);
+            }
+        }
+        assert!(
+            out.rows.iter().any(|r| r.audit_clean.is_some()),
+            "no run was audited"
+        );
+
+        // Below aggregate capacity the AQM regime is near-benign. It is not
+        // lossless: per-player rates are heavy-tailed, so one RP can run
+        // locally hot at aggregate ρ = 0.5 and pace its publishers a little.
+        let aqm05 = find("gcopss-aqm-x0.5");
+        assert!(
+            aqm05.delivery_ratio > 0.90,
+            "sub-capacity delivery ratio {}",
+            aqm05.delivery_ratio
+        );
+    }
+
+    /// Equal seeds must produce byte-identical telemetry and audit
+    /// exports, shed-heavy policies included.
+    #[test]
+    fn sweep_is_same_seed_deterministic() {
+        let cfg = OverloadSweepConfig {
+            workload: WorkloadParams {
+                players: 40,
+                updates: 1_500,
+                ..WorkloadParams::default()
+            },
+            loads: vec![4.0],
+            drain: SimDuration::from_secs(5),
+            ..OverloadSweepConfig::default()
+        };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.rows.len(), b.rows.len());
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.published, y.published, "{}", x.label);
+            assert_eq!(x.delivered, y.delivered, "{}", x.label);
+            assert_eq!(
+                (x.queue_full, x.aqm_shed, x.stale_superseded, x.rate_limited, x.marks),
+                (y.queue_full, y.aqm_shed, y.stale_superseded, y.rate_limited, y.marks),
+                "{}",
+                x.label
+            );
+            assert_eq!(x.network_bytes, y.network_bytes, "{}", x.label);
+            match (&x.audit, &y.audit) {
+                (Some((ja, fa)), Some((jb, fb))) => {
+                    assert_eq!(fa, fb, "{}: lineage fingerprints differ", x.label);
+                    assert_eq!(
+                        ja.to_string(),
+                        jb.to_string(),
+                        "{}: audit documents differ",
+                        x.label
+                    );
+                }
+                (None, None) => {}
+                _ => panic!("{}: audit presence differs", x.label),
+            }
+        }
+    }
+}

@@ -9,8 +9,8 @@ use gcopss_game::{AreaId, GameMap, PlayerId};
 use gcopss_names::Name;
 use gcopss_sim::{Ctx, FaultNotice, NodeBehavior, NodeId, SimDuration};
 
-use crate::client::{ClientRecovery, TraceCursor};
-use crate::{GPacket, GameWorld, IpPacket, IpUpdate, RecoveryConfig, SimParams};
+use crate::client::{ClientRecovery, RatePacer, TraceCursor};
+use crate::{GPacket, GameWorld, IpPacket, IpUpdate, RateAdaptConfig, RecoveryConfig, SimParams};
 
 /// Timer key of trace-driven publishing (IP client).
 const TIMER_PUBLISH: u64 = 0;
@@ -184,6 +184,7 @@ pub struct IpClient {
     server_of: Arc<BTreeMap<Name, NodeId>>,
     cursor: TraceCursor,
     recovery: Option<ClientRecovery>,
+    pacer: Option<RatePacer>,
 }
 
 impl IpClient {
@@ -202,6 +203,7 @@ impl IpClient {
             server_of,
             cursor,
             recovery: None,
+            pacer: None,
         }
     }
 
@@ -212,6 +214,16 @@ impl IpClient {
     #[must_use]
     pub fn with_recovery(mut self, cfg: RecoveryConfig) -> Self {
         self.recovery = Some(ClientRecovery::new(cfg, self.player));
+        self
+    }
+
+    /// Enables congestion-feedback rate adaptation, exactly as on the
+    /// G-COPSS client: marked `ToClient` deliveries stretch the publish
+    /// cadence multiplicatively (capped), clean deliveries decay it, and
+    /// in-gap publishes are shed at the source (`"rate-limited"`).
+    #[must_use]
+    pub fn with_rate_adapt(mut self, cfg: RateAdaptConfig) -> Self {
+        self.pacer = Some(RatePacer::new(cfg));
         self
     }
 
@@ -274,6 +286,18 @@ impl NodeBehavior<GPacket, GameWorld> for IpClient {
             return;
         };
         let (cd, size) = (e.cd.clone(), e.size);
+        if let Some(p) = &mut self.pacer {
+            if !p.allow(ctx.now()) {
+                // Shed at the source (never published — the auditor sees
+                // an unpublished trace event, not a lost packet); the
+                // trace keeps advancing.
+                ctx.emit(gcopss_sim::TraceEvent::Drop, crate::drops::RATE_LIMITED, size);
+                ctx.lineage_shed(id, crate::drops::RATE_LIMITED);
+                ctx.world().bump(crate::drops::RATE_LIMITED);
+                self.schedule_next(ctx);
+                return;
+            }
+        }
         let Some(&server) = self.server_of.get(&cd) else {
             ctx.emit(gcopss_sim::TraceEvent::Drop, crate::drops::IP_CLIENT_NO_SERVER, e.size);
             ctx.world().bump(crate::drops::IP_CLIENT_NO_SERVER);
@@ -301,6 +325,9 @@ impl NodeBehavior<GPacket, GameWorld> for IpClient {
             let now = ctx.now();
             if let Some(r) = &mut self.recovery {
                 r.last_activity = now;
+            }
+            if let Some(p) = &mut self.pacer {
+                p.on_delivery(ctx.congestion_marked());
             }
             ctx.world().record_delivery(update.id, self.player, now);
             ctx.lineage_deliver(self.player.0);

@@ -179,6 +179,71 @@ impl GPacket {
         }
     }
 
+    /// Overload-control priority class: 0 = control plane, 1 = bulk data.
+    ///
+    /// Control traffic — Subscribe/Unsubscribe, FIB and RP-rebalancing
+    /// messages, `Control` handoffs, IP session hellos, and snapshot
+    /// *manifest* Interests/Data (`/snapmani/...`, the tiny packets that
+    /// tell a rejoining client what to fetch) — must survive overload for
+    /// the system to recover, so it outranks bulk data (position updates,
+    /// chunk transfers) in bounded queues and is never AQM-shed.
+    #[must_use]
+    pub fn priority(&self) -> u8 {
+        match self {
+            Self::Copss(CopssPacket::Multicast(_)) => 1,
+            Self::Copss(_) | Self::Control { .. } | Self::Ip(IpPacket::Hello { .. }) => 0,
+            Self::ToRp { .. } | Self::Ip(_) => 1,
+            Self::Interest(i) => u8::from(!Self::is_manifest(&i.name)),
+            Self::Data(d) => u8::from(!Self::is_manifest(&d.name)),
+        }
+    }
+
+    /// `true` for names under the `/snapmani` manifest namespace.
+    fn is_manifest(name: &gcopss_names::Name) -> bool {
+        name.get(0).is_some_and(|c| c.as_str() == "snapmani")
+    }
+
+    /// Overload-control supersede key: packets with equal keys carry
+    /// versions of the same in-queue-replaceable state, so on a full queue
+    /// a newer arrival may evict a stale queued one.
+    ///
+    /// Position updates are keyed by their leaf CD (plus the leg-specific
+    /// address — RP, server, client, group — so copies on different legs
+    /// never cannibalize each other). This is an area-level approximation:
+    /// a CD's newest update stands in for the area's current state, which
+    /// is exactly the freshness-over-completeness trade a game makes under
+    /// overload. Control traffic and chunk transfers never supersede.
+    #[must_use]
+    pub fn supersede_key(&self) -> Option<u64> {
+        /// Mixes a leg discriminant into the CD hash (splitmix-style odd
+        /// constant, so adjacent ids spread).
+        fn mix(h: u64, leg: u64) -> u64 {
+            h ^ (leg + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        }
+        match self {
+            Self::Copss(CopssPacket::Multicast(m)) => Some(m.cd.hashes().full()),
+            Self::ToRp { rp, inner } => {
+                Some(mix(inner.cd.hashes().full(), u64::from(rp.0)))
+            }
+            Self::Ip(IpPacket::Mcast { group, inner, .. }) => {
+                Some(mix(inner.cd.hashes().full(), u64::from(*group)))
+            }
+            Self::Ip(IpPacket::ToServer { server, update }) => Some(mix(
+                gcopss_names::CdHashes::compute(&update.cd).full(),
+                u64::from(server.0) << 1,
+            )),
+            Self::Ip(IpPacket::ToClient { client, update }) => Some(mix(
+                gcopss_names::CdHashes::compute(&update.cd).full(),
+                (u64::from(client.0) << 1) | 1,
+            )),
+            Self::Copss(_)
+            | Self::Interest(_)
+            | Self::Data(_)
+            | Self::Ip(IpPacket::Hello { .. })
+            | Self::Control { .. } => None,
+        }
+    }
+
     /// Short tag for counters and logs.
     #[must_use]
     pub fn kind(&self) -> &'static str {

@@ -96,6 +96,15 @@ pub struct RecoveryConfig {
     pub jitter: SimDuration,
     /// Period of the router-side expired-PIT sweep.
     pub pit_sweep: SimDuration,
+    /// Periodic soft-state Subscribe refresh (COPSS only): every interval
+    /// (plus jitter) a client re-expresses its subscriptions and a router
+    /// re-expresses its upstream joins (one batched Subscribe per RP tree,
+    /// PIM-style), deliveries or not. Aggregation absorbs each refresh at
+    /// the next hop, but the packets still transit the upstream service
+    /// queues — so under overload, control traffic genuinely contends with
+    /// bulk data. `None` disables the refresh and is byte-identical to
+    /// builds that predate it.
+    pub subscribe_refresh: Option<SimDuration>,
     /// Seed for the per-client jitter PRNG (mixed with the player id).
     pub seed: u64,
 }
@@ -108,7 +117,37 @@ impl Default for RecoveryConfig {
             backoff_cap: SimDuration::from_millis(8_000),
             jitter: SimDuration::from_millis(100),
             pit_sweep: SimDuration::from_millis(1_000),
+            subscribe_refresh: None,
             seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// Tunables of client-side congestion-feedback rate adaptation.
+///
+/// Like [`RecoveryConfig`], this is strictly opt-in: scenario configs carry
+/// an `Option<RateAdaptConfig>` defaulting to `None`, and with `None` the
+/// simulation is byte-identical to builds that predate overload control.
+/// When enabled, a client that receives a congestion-marked delivery (see
+/// `Ctx::congestion_marked`) multiplicatively stretches the minimum gap
+/// between its own publishes — doubling per marked delivery, up to `cap` —
+/// and halves the gap again on every clean delivery. Publishes attempted
+/// inside the gap are shed at the source (`"rate-limited"`): under
+/// overload, sending a stale position later is worse than not sending it.
+#[derive(Debug, Clone)]
+pub struct RateAdaptConfig {
+    /// The gap installed by the first marked delivery (and the floor below
+    /// which decay switches the pacer back off).
+    pub min_gap: SimDuration,
+    /// Cap on the multiplicatively-grown publish gap.
+    pub cap: SimDuration,
+}
+
+impl Default for RateAdaptConfig {
+    fn default() -> Self {
+        Self {
+            min_gap: SimDuration::from_millis(20),
+            cap: SimDuration::from_millis(500),
         }
     }
 }

@@ -4,6 +4,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
+use gcopss_compat::{Rng, SeedableRng, SmallRng};
 use gcopss_copss::{CopssEngine, CopssPacket, JoinRequest, MulticastPacket, PruneRequest, RpId, TrafficWindow};
 use gcopss_names::Name;
 use gcopss_ndn::{FaceId, NdnAction, NdnConfig, NdnEngine};
@@ -107,6 +108,10 @@ const PRUNE_TIMER: u64 = 0x00de_fe55;
 /// Timer key of the periodic expired-PIT sweep (recovery mode only).
 const PIT_SWEEP_TIMER: u64 = 0x00de_fe56;
 
+/// Timer key of the periodic soft-state join refresh
+/// ([`RecoveryConfig::subscribe_refresh`] only).
+const JOIN_REFRESH_TIMER: u64 = 0x00de_fe57;
+
 /// The G-COPSS router behavior.
 ///
 /// One instance runs on every router node of a G-COPSS simulation. It hosts
@@ -152,6 +157,9 @@ pub struct GCopssRouter {
     recovery: Option<RecoveryConfig>,
     /// Whether the PIT-sweep timer is currently armed.
     sweep_armed: bool,
+    /// Jitter PRNG of the periodic join refresh (seeded per node in
+    /// `on_start`; `None` until then or when the refresh is disabled).
+    refresh_rng: Option<SmallRng>,
 }
 
 impl GCopssRouter {
@@ -194,6 +202,7 @@ impl GCopssRouter {
             tunnel_back: Vec::new(),
             recovery: None,
             sweep_armed: false,
+            refresh_rng: None,
         }
     }
 
@@ -244,6 +253,16 @@ impl GCopssRouter {
             .fib()
             .lookup(&rp.ndn_prefix())
             .and_then(|faces| faces.first().copied())
+    }
+
+    /// Seeded jitter added to each join-refresh re-arm (decorrelates the
+    /// per-router refresh phases). Zero when the refresh is disabled.
+    fn refresh_jitter(&mut self) -> SimDuration {
+        let max = self.recovery.as_ref().map_or(0, |c| c.jitter.as_nanos());
+        match (&mut self.refresh_rng, max) {
+            (Some(rng), 1..) => SimDuration::from_nanos(rng.gen_range(0..=max)),
+            _ => SimDuration::ZERO,
+        }
     }
 
     fn send_joins(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, joins: Vec<JoinRequest>) {
@@ -807,9 +826,48 @@ impl GCopssRouter {
 }
 
 impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let Some(iv) = self.recovery.as_ref().and_then(|c| c.subscribe_refresh) else {
+            return;
+        };
+        let seed = self.recovery.as_ref().map_or(0, |c| c.seed);
+        // A distinct stream from the clients' (which seed with the raw
+        // player id): multiply the node id by an odd constant first.
+        let mix = (ctx.node().index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.refresh_rng = Some(SmallRng::seed_from_u64(seed ^ mix));
+        let delay = iv + self.refresh_jitter();
+        ctx.schedule(delay, JOIN_REFRESH_TIMER);
+    }
+
     fn on_timer(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, key: u64) {
         let _p = prof::scope("copss/timer");
-        if key == PRUNE_TIMER {
+        if key == JOIN_REFRESH_TIMER {
+            let Some(iv) = self.recovery.as_ref().and_then(|c| c.subscribe_refresh) else {
+                return;
+            };
+            // Soft-state refresh (PIM-style): periodically re-express every
+            // join held upstream, one batched Subscribe per RP tree. COPSS
+            // aggregation absorbs the refresh at the next hop — it installs
+            // no new state in the steady case — but the *packet* still has
+            // to transit the upstream service queue, so under overload the
+            // control plane genuinely contends with bulk data hop by hop
+            // (and the priority lattice has something real to protect).
+            let mut per_rp: BTreeMap<RpId, Vec<Name>> = BTreeMap::new();
+            for j in self.copss.refresh_joins() {
+                per_rp.entry(j.rp).or_default().push(j.name);
+            }
+            for (rp, cds) in per_rp {
+                if self.local_rps.contains(&rp) {
+                    continue; // the tree roots here
+                }
+                if let Some(face) = self.face_toward_rp(rp) {
+                    self.send_copss(ctx, face, CopssPacket::Subscribe { cds, rp: Some(rp) });
+                    ctx.world().bump("router-join-refreshes");
+                }
+            }
+            let delay = iv + self.refresh_jitter();
+            ctx.schedule(delay, JOIN_REFRESH_TIMER);
+        } else if key == PRUNE_TIMER {
             let prunes = std::mem::take(&mut self.deferred_prunes);
             // Only prune joins that are still stale (a re-subscription may
             // have made them live again meanwhile).

@@ -10,14 +10,16 @@ use gcopss_game::{GameMap, PlayerPopulation};
 use gcopss_names::Name;
 use gcopss_ndn::FaceId;
 use gcopss_sim::generators::{attach_hosts, benchmark_testbed, rocketfuel_like, BackboneParams};
-use gcopss_sim::{FaultPlan, NodeBehavior, NodeId, RoutingTable, SimDuration, Simulator, Topology};
+use gcopss_sim::{
+    FaultPlan, NodeBehavior, NodeId, OverloadConfig, RoutingTable, SimDuration, Simulator, Topology,
+};
 
 use crate::client::{CatchUpConfig, GamePlayerClient, TraceCursor};
 use crate::hybrid::HybridEdgeRouter;
 use crate::ip_server::{partition_cds_to_servers, IpClient, IpServer, Roster};
 use crate::ndn_baseline::{player_prefix, NdnClientConfig, NdnPlayerClient};
 use crate::router::{FaceMap, GCopssRouter, SplitConfig};
-use crate::{GPacket, GameWorld, MetricsMode, RecoveryConfig, SimParams};
+use crate::{GPacket, GameWorld, MetricsMode, RateAdaptConfig, RecoveryConfig, SimParams};
 
 /// Builds the behavior of one player host given its id, its edge router and
 /// its trace cursor (used by movement scenarios to substitute
@@ -192,6 +194,15 @@ pub struct GcopssConfig {
     /// arms client watchdogs and router PIT sweeps, and requires running
     /// with [`Simulator::run_until`].
     pub recovery: Option<RecoveryConfig>,
+    /// Engine overload control (bounded service queues, admission policy,
+    /// priority classes, sojourn marking). `None` (the default) — or a
+    /// vacuous config — leaves the simulation byte-identical to
+    /// pre-overload builds.
+    pub overload: Option<OverloadConfig>,
+    /// Client-side congestion-feedback rate adaptation. Only meaningful
+    /// together with an `overload` config that sets `mark_sojourn`; `None`
+    /// (the default) is byte-identical to pre-overload builds.
+    pub rate_adapt: Option<RateAdaptConfig>,
 }
 
 impl Default for GcopssConfig {
@@ -207,6 +218,8 @@ impl Default for GcopssConfig {
             extra_rps: Vec::new(),
             rp_selection: crate::RpSelection::default(),
             recovery: None,
+            overload: None,
+            rate_adapt: None,
         }
     }
 }
@@ -514,49 +527,21 @@ fn default_gcopss_factory<'a>(
 ) -> ClientFactory<'a> {
     let map_arc = Arc::clone(map);
     let recovery = cfg.recovery.clone();
+    let rate_adapt = cfg.rate_adapt.clone();
     Box::new(move |p, edge, cursor| {
         let mut client =
             GamePlayerClient::new(p, edge, population.area_of(p), Arc::clone(&map_arc), cursor);
         if let Some(rc) = &recovery {
             client = client.with_recovery(rc.clone());
         }
+        if let Some(ra) = &rate_adapt {
+            client = client.with_rate_adapt(ra.clone());
+        }
         if let Some(cu) = &catch_up {
             client = client.with_catch_up(cu.clone());
         }
         Box::new(client)
     })
-}
-
-/// Builds a complete G-COPSS simulation: routers with NDN+COPSS engines,
-/// seeded `/rp/<id>` FIB routes, per-player clients driving the shared
-/// trace, and any extra hosts.
-#[deprecated(note = "use `ScenarioSpec::new(..).gcopss(cfg).build()`")]
-#[must_use]
-pub fn build_gcopss(
-    cfg: GcopssConfig,
-    net: &NetworkSpec,
-    map: &Arc<GameMap>,
-    population: &PlayerPopulation,
-    trace: &Arc<Vec<TraceEvent>>,
-    extra_hosts: Vec<ExtraHost>,
-) -> GcopssSim {
-    let factory = default_gcopss_factory(&cfg, map, population, None);
-    assemble_gcopss(cfg, net, map, population, trace, extra_hosts, factory)
-}
-
-/// Like [`build_gcopss`] but with a caller-supplied player behavior factory.
-#[deprecated(note = "use `ScenarioSpec::new(..).gcopss(cfg).client_factory(f).build()`")]
-#[must_use]
-pub fn build_gcopss_custom(
-    cfg: GcopssConfig,
-    net: &NetworkSpec,
-    map: &Arc<GameMap>,
-    population: &PlayerPopulation,
-    trace: &Arc<Vec<TraceEvent>>,
-    extra_hosts: Vec<ExtraHost>,
-    client_factory: ClientFactory<'_>,
-) -> GcopssSim {
-    assemble_gcopss(cfg, net, map, population, trace, extra_hosts, client_factory)
 }
 
 fn assemble_gcopss(
@@ -631,6 +616,11 @@ fn assemble_gcopss(
     let mut sim = Simulator::with_routing(bn.topology, routing, world);
     sim.set_packet_kinds(GPacket::kind);
     sim.set_lineage_ids(GPacket::lineage_id);
+    sim.set_priorities(GPacket::priority);
+    sim.set_supersede_keys(GPacket::supersede_key);
+    if let Some(ov) = cfg.overload.clone() {
+        sim.install_overload(ov);
+    }
 
     // Routers.
     for &r in &bn.routers {
@@ -718,6 +708,12 @@ pub struct IpConfig {
     /// Failure-recovery tunables: `Some` enables the session model
     /// (client `Hello`s, server connection table, reconnect watchdogs).
     pub recovery: Option<RecoveryConfig>,
+    /// Engine overload control; `None` (or a vacuous config) is
+    /// byte-identical to pre-overload builds.
+    pub overload: Option<OverloadConfig>,
+    /// Client-side congestion-feedback rate adaptation (see
+    /// [`GcopssConfig::rate_adapt`]).
+    pub rate_adapt: Option<RateAdaptConfig>,
 }
 
 impl Default for IpConfig {
@@ -729,6 +725,8 @@ impl Default for IpConfig {
             server_count: 3,
             warmup: SimDuration::from_secs(2),
             recovery: None,
+            overload: None,
+            rate_adapt: None,
         }
     }
 }
@@ -741,21 +739,6 @@ pub struct IpSim {
     pub player_nodes: Vec<NodeId>,
     /// The server nodes.
     pub server_nodes: Vec<NodeId>,
-}
-
-/// Builds the IP client/server baseline: plain IP forwarding at routers,
-/// `server_count` servers partitioning the leaf CDs, and unicast fan-out to
-/// every interested player.
-#[deprecated(note = "use `ScenarioSpec::new(..).ip_server(cfg).build()`")]
-#[must_use]
-pub fn build_ip_server(
-    cfg: IpConfig,
-    net: &NetworkSpec,
-    map: &Arc<GameMap>,
-    population: &PlayerPopulation,
-    trace: &Arc<Vec<TraceEvent>>,
-) -> IpSim {
-    assemble_ip_server(cfg, net, map, population, trace)
 }
 
 fn assemble_ip_server(
@@ -794,6 +777,11 @@ fn assemble_ip_server(
     let mut sim = Simulator::with_routing(bn.topology, routing, world);
     sim.set_packet_kinds(GPacket::kind);
     sim.set_lineage_ids(GPacket::lineage_id);
+    sim.set_priorities(GPacket::priority);
+    sim.set_supersede_keys(GPacket::supersede_key);
+    if let Some(ov) = cfg.overload.clone() {
+        sim.install_overload(ov);
+    }
 
     // Plain IP routers (a G-COPSS router with no RPs forwards IP packets).
     for &r in &bn.routers {
@@ -835,6 +823,9 @@ fn assemble_ip_server(
         if let Some(rc) = &cfg.recovery {
             client = client.with_recovery(rc.clone());
         }
+        if let Some(ra) = &cfg.rate_adapt {
+            client = client.with_rate_adapt(ra.clone());
+        }
         sim.set_behavior(node, Box::new(client));
     }
 
@@ -858,6 +849,12 @@ pub struct HybridConfig {
     pub group_count: u32,
     /// Time before the first trace event.
     pub warmup: SimDuration,
+    /// Engine overload control; `None` (or a vacuous config) is
+    /// byte-identical to pre-overload builds.
+    pub overload: Option<OverloadConfig>,
+    /// Client-side congestion-feedback rate adaptation (see
+    /// [`GcopssConfig::rate_adapt`]).
+    pub rate_adapt: Option<RateAdaptConfig>,
 }
 
 impl Default for HybridConfig {
@@ -868,6 +865,8 @@ impl Default for HybridConfig {
             delivery_log: false,
             group_count: 6,
             warmup: SimDuration::from_secs(2),
+            overload: None,
+            rate_adapt: None,
         }
     }
 }
@@ -878,20 +877,6 @@ pub struct HybridSim {
     pub sim: Simulator<GPacket, GameWorld>,
     /// Host node of each player.
     pub player_nodes: Vec<NodeId>,
-}
-
-/// Builds hybrid-G-COPSS: COPSS-aware edge routers mapping CDs onto
-/// `group_count` IP multicast groups, plain IP core.
-#[deprecated(note = "use `ScenarioSpec::new(..).hybrid(cfg).build()`")]
-#[must_use]
-pub fn build_hybrid(
-    cfg: HybridConfig,
-    net: &NetworkSpec,
-    map: &Arc<GameMap>,
-    population: &PlayerPopulation,
-    trace: &Arc<Vec<TraceEvent>>,
-) -> HybridSim {
-    assemble_hybrid(cfg, net, map, population, trace)
 }
 
 fn assemble_hybrid(
@@ -917,6 +902,11 @@ fn assemble_hybrid(
     let mut sim = Simulator::with_routing(bn.topology, routing, world);
     sim.set_packet_kinds(GPacket::kind);
     sim.set_lineage_ids(GPacket::lineage_id);
+    sim.set_priorities(GPacket::priority);
+    sim.set_supersede_keys(GPacket::supersede_key);
+    if let Some(ov) = cfg.overload.clone() {
+        sim.install_overload(ov);
+    }
 
     for &r in &bn.routers {
         let faces = FaceMap::new(sim.topology(), r);
@@ -948,16 +938,12 @@ fn assemble_hybrid(
             .next()
             .expect("player attached");
         let cursor = TraceCursor::for_player(Arc::clone(trace), p, cfg.warmup);
-        sim.set_behavior(
-            node,
-            Box::new(GamePlayerClient::new(
-                p,
-                edge,
-                population.area_of(p),
-                Arc::clone(map),
-                cursor,
-            )),
-        );
+        let mut client =
+            GamePlayerClient::new(p, edge, population.area_of(p), Arc::clone(map), cursor);
+        if let Some(ra) = &cfg.rate_adapt {
+            client = client.with_rate_adapt(ra.clone());
+        }
+        sim.set_behavior(node, Box::new(client));
     }
 
     HybridSim { sim, player_nodes }
@@ -980,6 +966,11 @@ pub struct NdnBaselineConfig {
     /// forces `client.retry_forever` so lost Interests are always
     /// re-expressed eventually.
     pub recovery: Option<RecoveryConfig>,
+    /// Engine overload control; `None` (or a vacuous config) is
+    /// byte-identical to pre-overload builds. The NDN baseline has no
+    /// client-side rate adaptation: its consumers pull (Interests pace the
+    /// producers already), so only the router queues are overload-managed.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl Default for NdnBaselineConfig {
@@ -991,6 +982,7 @@ impl Default for NdnBaselineConfig {
             client: NdnClientConfig::default(),
             warmup: SimDuration::from_secs(2),
             recovery: None,
+            overload: None,
         }
     }
 }
@@ -1002,21 +994,6 @@ pub struct NdnSim {
     pub sim: Simulator<GPacket, GameWorld>,
     /// Host node of each player.
     pub player_nodes: Vec<NodeId>,
-}
-
-/// Builds the VoCCN-style NDN baseline: plain NDN routers with
-/// `/player/<id>` routes toward every player, and clients that pipeline
-/// Interests to every producer in their AoI (roster from ACT).
-#[deprecated(note = "use `ScenarioSpec::new(..).ndn_baseline(cfg).build()`")]
-#[must_use]
-pub fn build_ndn_baseline(
-    cfg: NdnBaselineConfig,
-    net: &NetworkSpec,
-    map: &Arc<GameMap>,
-    population: &PlayerPopulation,
-    trace: &Arc<Vec<TraceEvent>>,
-) -> NdnSim {
-    assemble_ndn_baseline(cfg, net, map, population, trace)
 }
 
 fn assemble_ndn_baseline(
@@ -1042,6 +1019,11 @@ fn assemble_ndn_baseline(
     let mut sim = Simulator::with_routing(bn.topology, routing, world);
     sim.set_packet_kinds(GPacket::kind);
     sim.set_lineage_ids(GPacket::lineage_id);
+    sim.set_priorities(GPacket::priority);
+    sim.set_supersede_keys(GPacket::supersede_key);
+    if let Some(ov) = cfg.overload.clone() {
+        sim.install_overload(ov);
+    }
 
     // NDN routers with /player/<id> routes toward every player host.
     for &r in &bn.routers {

@@ -21,7 +21,8 @@ use gcopss_game::PlayerId;
 use gcopss_names::Name;
 use gcopss_sim::generators::BackboneParams;
 use gcopss_sim::{
-    FaultPlan, LineageConfig, SimDuration, SimTime, TelemetryConfig, TimeSeriesConfig,
+    AdmissionPolicy, FaultPlan, LineageConfig, OverloadConfig, SimDuration, SimTime,
+    TelemetryConfig, TimeSeriesConfig,
 };
 
 fn small_backbone() -> NetworkSpec {
@@ -48,9 +49,11 @@ struct SoakOutcome {
     spans_fingerprint: u64,
     spans_json: String,
     timeseries_json: String,
+    overload_active: bool,
+    overload_drops: (u64, u64, u64),
 }
 
-fn run_soak(seed: u64) -> SoakOutcome {
+fn run_soak(seed: u64, overload: Option<OverloadConfig>) -> SoakOutcome {
     // The self-profiler rides along: phase *counts* are part of the
     // determinism contract (wall times are not, and are excluded from the
     // fingerprint and the counts export).
@@ -69,6 +72,7 @@ fn run_soak(seed: u64) -> SoakOutcome {
         delivery_log: true,
         rp_count: 2,
         recovery: Some(RecoveryConfig::default()),
+        overload,
         ..GcopssConfig::default()
     };
     let warmup = cfg.warmup;
@@ -135,6 +139,8 @@ fn run_soak(seed: u64) -> SoakOutcome {
         .expect("sampler was armed")
         .to_string();
     let (link_lost, node_lost) = built.sim.fault_drops();
+    let overload_active = built.sim.overload_active();
+    let overload_drops = built.sim.overload_drops();
     let world = built.sim.into_world();
 
     // Expected fan-out per leaf CD under the AoI model.
@@ -180,12 +186,14 @@ fn run_soak(seed: u64) -> SoakOutcome {
         spans_fingerprint,
         spans_json,
         timeseries_json,
+        overload_active,
+        overload_drops,
     }
 }
 
 #[test]
 fn soak_recovers_fully_and_is_reproducible() {
-    let a = run_soak(33);
+    let a = run_soak(33, None);
     assert!(a.fault_drops > 0, "chaos never dropped a packet");
     assert!(a.rp_failovers >= 1, "RP crash did not trigger failover");
     assert!(a.post_expected > 0, "post-repair window is vacuous");
@@ -217,7 +225,7 @@ fn soak_recovers_fully_and_is_reproducible() {
         "audit classes do not sum to the owed pairs"
     );
 
-    let b = run_soak(33);
+    let b = run_soak(33, None);
     assert_eq!(a.fingerprint, b.fingerprint, "chaos is not reproducible");
     assert_eq!(a.last_repair, b.last_repair);
     assert_eq!(a.post_delivered, b.post_delivered);
@@ -234,4 +242,45 @@ fn soak_recovers_fully_and_is_reproducible() {
         "prof count fingerprints differ"
     );
     assert_eq!(a.prof_counts_json, b.prof_counts_json, "prof counts differ");
+}
+
+/// The same chaos soak with overload management installed: a generous
+/// bounded drop-tail queue with priorities and congestion marking must
+/// not change the healing story. The RP crash leaves the survivor above
+/// capacity, so the backlog it builds (a few hundred packets) stays far
+/// under the bound — nothing is shed, the priority lattice merely
+/// reorders, and the run must still deliver fully after the last repair
+/// with a clean audit. (An *AQM* policy would rightly shed that standing
+/// backlog instead of draining it in the tail; that trade-off is the
+/// overload sweep's subject, not this soak's.)
+#[test]
+fn soak_with_overload_management_still_heals() {
+    let overload = OverloadConfig {
+        queue_capacity: Some(4_096),
+        policy: AdmissionPolicy::DropTail,
+        priority: true,
+        mark_sojourn: Some(SimDuration::from_millis(50)),
+    };
+    assert!(!overload.is_vacuous());
+    let a = run_soak(33, Some(overload));
+    assert!(a.overload_active, "overload layer was not installed");
+    assert_eq!(
+        a.overload_drops,
+        (0, 0, 0),
+        "a generous queue must not shed at soak load"
+    );
+    assert!(a.fault_drops > 0, "chaos never dropped a packet");
+    assert!(a.rp_failovers >= 1, "RP crash did not trigger failover");
+    assert!(a.post_expected > 0, "post-repair window is vacuous");
+    assert_eq!(
+        a.post_delivered, a.post_expected,
+        "under-delivery after the last repair ({} of {})",
+        a.post_delivered, a.post_expected
+    );
+    assert!(
+        a.audit.is_clean(),
+        "audit not clean:\n{}\nerrors: {:?}",
+        a.audit.table(),
+        a.audit.errors
+    );
 }

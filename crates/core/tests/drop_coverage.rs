@@ -8,7 +8,9 @@
 //! subset of tags: chaos faults for the engine-level drops and soft-state
 //! purges, targeted [`gcopss_sim::Simulator::inject`] calls for the
 //! defensive arms that healthy runs never reach (unroutable RPs, unknown
-//! interests, unexpected packet kinds, aged-out NDN batches).
+//! interests, unexpected packet kinds, aged-out NDN batches), and a
+//! past-capacity run behind a tight bounded queue for the overload sheds
+//! (`queue-full`, `aqm-shed`, `stale-superseded`, `rate-limited`).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -22,14 +24,16 @@ use gcopss_core::scenario::{
     ExtraHost, GcopssConfig, HybridConfig, IpConfig, NdnBaselineConfig, NetworkSpec, ScenarioSpec,
 };
 use gcopss_core::{
-    drops, payload_of, GPacket, GameWorld, IpPacket, IpUpdate, MetricsMode, RecoveryConfig,
-    TraceCursor,
+    drops, payload_of, GPacket, GameWorld, IpPacket, IpUpdate, MetricsMode, RateAdaptConfig,
+    RecoveryConfig, TraceCursor,
 };
 use gcopss_game::{ObjectModel, ObjectModelParams, PlayerId};
 use gcopss_names::{Cd, Name};
 use gcopss_ndn::{Data, Interest};
 use gcopss_sim::generators::BackboneParams;
-use gcopss_sim::{FaultPlan, SimDuration, SimTime, Simulator, TelemetryConfig};
+use gcopss_sim::{
+    AdmissionPolicy, FaultPlan, OverloadConfig, SimDuration, SimTime, Simulator, TelemetryConfig,
+};
 
 /// Publication-id space for injected packets, far above any trace id.
 const INJECT_ID: u64 = 1 << 50;
@@ -344,6 +348,48 @@ fn hybrid_filtering(seen: &mut BTreeSet<&'static str>) {
     harvest(&built.sim, seen);
 }
 
+/// G-COPSS far past capacity behind a tight AQM queue: the admission layer
+/// fires `queue-full` rejections and `stale-superseded` evictions, CoDel
+/// sheds standing-queue heads (`aqm-shed`), and congestion marks drive the
+/// clients' pacers into source sheds (`rate-limited`).
+fn overload_shedding(seen: &mut BTreeSet<&'static str>) {
+    let w = Workload::counter_strike(&WorkloadParams {
+        seed: 19,
+        players: 24,
+        updates: 2_000,
+        // ≈4× the 2-RP aggregate service rate (3.3 ms / 2 = 1.65 ms).
+        mean_interarrival: SimDuration::from_micros(400),
+    });
+    let net = NetworkSpec::default_backbone(7);
+    let cfg = GcopssConfig {
+        metrics_mode: MetricsMode::StatsOnly,
+        rp_count: 2,
+        recovery: Some(RecoveryConfig::default()),
+        overload: Some(OverloadConfig {
+            queue_capacity: Some(8),
+            policy: AdmissionPolicy::CoDel {
+                target: SimDuration::from_millis(2),
+                interval: SimDuration::from_millis(20),
+            },
+            priority: true,
+            mark_sojourn: Some(SimDuration::from_millis(4)),
+        }),
+        rate_adapt: Some(RateAdaptConfig::default()),
+        ..GcopssConfig::default()
+    };
+    let warmup = cfg.warmup;
+    let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+        .gcopss(cfg)
+        .build()
+        .into_gcopss();
+    built.sim.enable_telemetry(TelemetryConfig::default());
+
+    let span = SimDuration::from_nanos(w.trace.last().expect("trace").time_ns);
+    let horizon = SimTime::ZERO + warmup + span + SimDuration::from_secs(5);
+    built.sim.run_until(horizon);
+    harvest(&built.sim, seen);
+}
+
 #[test]
 fn every_drop_reason_appears_in_some_telemetry_export() {
     let mut seen: BTreeSet<&'static str> = BTreeSet::new();
@@ -351,6 +397,7 @@ fn every_drop_reason_appears_in_some_telemetry_export() {
     ndn_faults(&mut seen);
     ip_server_crash(&mut seen);
     hybrid_filtering(&mut seen);
+    overload_shedding(&mut seen);
 
     let missing: Vec<&&str> = drops::ALL.iter().filter(|t| !seen.contains(**t)).collect();
     assert!(

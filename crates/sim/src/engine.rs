@@ -6,6 +6,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use crate::fault::FaultState;
 use crate::json::Json;
 use crate::lineage::{LineageConfig, LineageLog, NO_SPAN};
+use crate::overload::{AdmissionPolicy, OverloadConfig, OverloadState};
 use crate::prof;
 use crate::telemetry::{
     Telemetry, TelemetryConfig, TelemetryReport, TimeSeries, TimeSeriesConfig, TraceEvent,
@@ -84,6 +85,10 @@ pub struct Ctx<'a, P, W> {
     /// in timer/start/fault callbacks): the causal parent of every effect
     /// the behavior requests.
     cur_span: u32,
+    /// Whether the packet currently being serviced carries a congestion
+    /// mark (sojourn overran the overload config's threshold at this or an
+    /// upstream node). Always `false` outside packet service.
+    marked: bool,
     sends: Vec<(NodeId, P, u32)>,
     timers: Vec<(SimDuration, u64)>,
     extra_busy: SimDuration,
@@ -126,6 +131,19 @@ impl<P, W> Ctx<'_, P, W> {
     #[must_use]
     pub fn queue_len(&self) -> usize {
         self.queue_len
+    }
+
+    /// Whether the packet currently being serviced carries a congestion
+    /// mark: its sojourn through this or an upstream node exceeded the
+    /// installed overload config's `mark_sojourn` threshold. Always `false`
+    /// in timer/start/fault callbacks and without overload control.
+    ///
+    /// Clients use this as the feedback signal for multiplicative rate
+    /// reduction of their publish cadence.
+    #[must_use]
+    #[inline]
+    pub fn congestion_marked(&self) -> bool {
+        self.marked
     }
 
     /// Sends `pkt` of `size_bytes` to a *neighboring* node.
@@ -215,6 +233,17 @@ impl<P, W> Ctx<'_, P, W> {
         self.lineage.is_enabled()
     }
 
+    /// Records a source-side shed: message `lid` was never handed to the
+    /// network (e.g. a client's congestion pacer suppressed the publish),
+    /// so no span exists to mark. Appends a root-level drop record with
+    /// `reason` so the delivery auditor can still explain every pair the
+    /// message owed. No-op while lineage tracing is disabled or `lid` is
+    /// unsampled.
+    #[inline]
+    pub fn lineage_shed(&mut self, lid: u64, reason: &'static str) {
+        self.lineage.drop_at(lid, NO_SPAN, self.node.0, reason, self.now);
+    }
+
     /// Appends a behavior-level event (typically [`TraceEvent::Drop`] or
     /// [`TraceEvent::Mark`]) to the packet-trace journal, and bumps the
     /// matching per-node counter (`"drop"` / `"mark"`). No-op while
@@ -263,6 +292,9 @@ enum Event<P> {
         /// packet is untraced (lineage off, unsampled, or injected —
         /// injected packets open their origin span on arrival).
         span: u32,
+        /// Congestion mark inherited from upstream hops (always `false`
+        /// without overload control).
+        marked: bool,
     },
     /// `epoch` invalidates service/timer events that straddle a node crash:
     /// the node's epoch is bumped when it goes down, so stale events are
@@ -285,12 +317,32 @@ enum Event<P> {
     Fault(FaultEvent),
 }
 
+/// One packet waiting in (or at the head of) a node's service queue. The
+/// arrival stamp feeds the telemetry queueing-delay histogram and the
+/// overload layer's sojourn decisions; the span ties the queued copy to its
+/// lineage.
+struct Queued<P> {
+    from: Option<NodeId>,
+    pkt: P,
+    size: u32,
+    /// When the packet entered this queue.
+    at: SimTime,
+    span: u32,
+    /// Congestion mark inherited from upstream hops.
+    marked: bool,
+}
+
 struct NodeState<P> {
-    /// `(from, packet, size, enqueued_at, span)` — the arrival stamp feeds
-    /// the telemetry queueing-delay histogram, the span ties the queued
-    /// copy to its lineage.
-    queue: VecDeque<(Option<NodeId>, P, u32, SimTime, u32)>,
+    /// FIFO service queue; while `serving`, the front element is the packet
+    /// in service (the overload layer must never reorder or shed it).
+    queue: VecDeque<Queued<P>>,
     busy: bool,
+    /// True only between service start and the [`Event::EndService`] pop:
+    /// the window in which `queue[0]` is the in-service packet. During an
+    /// extra-busy tail ([`Ctx::consume`] / [`Event::Resume`]) the node is
+    /// still `busy` but the packet is gone, so every queued element is a
+    /// waiting one.
+    serving: bool,
     max_queue: usize,
     processed: u64,
     busy_time: SimDuration,
@@ -303,6 +355,7 @@ impl<P> Default for NodeState<P> {
         Self {
             queue: VecDeque::new(),
             busy: false,
+            serving: false,
             max_queue: 0,
             processed: 0,
             busy_time: SimDuration::ZERO,
@@ -349,6 +402,17 @@ pub struct Simulator<P, W> {
     /// Live fault-injection state; `None` unless a non-vacuous plan was
     /// installed, in which case every hot-path check below is one branch.
     faults: Option<FaultState>,
+    /// Live overload-control state; `None` unless a non-vacuous
+    /// [`OverloadConfig`] was installed (same rule as `faults`).
+    overload: Option<OverloadState>,
+    /// Maps packets to a priority class (0 = control plane, higher = bulk)
+    /// for the overload layer. Registering it alone is inert.
+    priorities: Option<fn(&P) -> u8>,
+    /// Maps packets to a supersede key: a newer arrival with the same key
+    /// makes queued older ones stale (position updates). Inert alone.
+    supersede_keys: Option<fn(&P) -> Option<u64>>,
+    /// Congestion mark of the packet currently being serviced.
+    cur_marked: bool,
 }
 
 impl<P, W> Simulator<P, W> {
@@ -387,6 +451,10 @@ impl<P, W> Simulator<P, W> {
             cur_span: NO_SPAN,
             timeseries: None,
             faults: None,
+            overload: None,
+            priorities: None,
+            supersede_keys: None,
+            cur_marked: false,
             topology,
             routing,
         }
@@ -437,6 +505,59 @@ impl<P, W> Simulator<P, W> {
     #[must_use]
     pub fn faults_active(&self) -> bool {
         self.faults.is_some()
+    }
+
+    /// Installs overload control: bounded per-node service queues with the
+    /// configured admission policy, optional priority shedding, and
+    /// optional congestion marking. A vacuous config (see
+    /// [`OverloadConfig::is_vacuous`]) is ignored entirely — it adds zero
+    /// branches of behavioral change, so the run stays byte-identical to
+    /// one without overload control (the vacuous-`FaultPlan` rule).
+    ///
+    /// All policies are deterministic by construction (no PRNG draws), so
+    /// same-seed overloaded runs export byte-identical telemetry.
+    pub fn install_overload(&mut self, cfg: OverloadConfig) {
+        if cfg.is_vacuous() {
+            return;
+        }
+        self.overload = Some(OverloadState::new(cfg, self.topology.node_count()));
+    }
+
+    /// `true` once a non-vacuous overload config has been installed.
+    #[must_use]
+    pub fn overload_active(&self) -> bool {
+        self.overload.is_some()
+    }
+
+    /// Packets shed by overload control so far, as
+    /// `(queue_full, aqm_shed, stale_superseded)`. All zero when overload
+    /// control is not active.
+    #[must_use]
+    pub fn overload_drops(&self) -> (u64, u64, u64) {
+        self.overload
+            .as_ref()
+            .map_or((0, 0, 0), |o| (o.queue_full, o.aqm_shed, o.stale_superseded))
+    }
+
+    /// Packets congestion-marked so far (zero without overload control).
+    #[must_use]
+    pub fn congestion_marks(&self) -> u64 {
+        self.overload.as_ref().map_or(0, |o| o.marks)
+    }
+
+    /// Registers the priority classifier used by overload control
+    /// (0 = control plane, larger = bulk; e.g. `GPacket::priority`).
+    /// Without an installed overload config this is inert.
+    pub fn set_priorities(&mut self, f: fn(&P) -> u8) {
+        self.priorities = Some(f);
+    }
+
+    /// Registers the supersede-key classifier used by overload control: an
+    /// arrival whose key equals a queued packet's key may evict the stale
+    /// one when the queue is full (e.g. `GPacket::supersede_key`). Inert
+    /// without an installed overload config.
+    pub fn set_supersede_keys(&mut self, f: fn(&P) -> Option<u64>) {
+        self.supersede_keys = Some(f);
     }
 
     /// Packets dropped by fault injection so far, as
@@ -645,6 +766,7 @@ impl<P, W> Simulator<P, W> {
                 pkt,
                 size: size_bytes,
                 span: NO_SPAN,
+                marked: false,
             },
         );
     }
@@ -791,7 +913,7 @@ impl<P, W> Simulator<P, W> {
     fn dispatch(&mut self, ev: Event<P>) {
         match ev {
             Event::Arrival {
-                node, from, pkt, size, mut span,
+                node, from, pkt, size, mut span, marked,
             } => {
                 let _arr = prof::scope("engine/arrival");
                 if span == NO_SPAN && self.lineage.is_enabled() {
@@ -809,10 +931,18 @@ impl<P, W> Simulator<P, W> {
                     self.fault_drop(node, from, size, "node-lost");
                     return;
                 }
+                if self.overload.is_some() && !self.admit(node, from, &pkt, size, span) {
+                    return; // arrival rejected (accounted inside)
+                }
                 if self.telemetry.is_enabled() {
                     let _tel = prof::scope("engine/telemetry");
                     let class = self.classify(&pkt);
                     self.telemetry.packet_in(node.0, size);
+                    if self.overload.is_some() {
+                        let ctl = self.priority_of(&pkt) == 0;
+                        self.telemetry
+                            .counter(node.0, if ctl { "ctl-in" } else { "bulk-in" }, 1);
+                    }
                     self.telemetry.journal(TraceRecord {
                         ts: self.now,
                         node: node.0,
@@ -823,8 +953,26 @@ impl<P, W> Simulator<P, W> {
                         dur_ns: 0,
                     });
                 }
+                let q = Queued { from, pkt, size, at: self.now, span, marked };
+                let priority_on =
+                    self.overload.as_ref().is_some_and(|o| o.cfg.priority);
                 let st = &mut self.nodes[node.index()];
-                st.queue.push_back((from, pkt, size, self.now, span));
+                if priority_on {
+                    // Class-ordered insertion, FIFO within a class: scan
+                    // back over strictly-worse classes, never past the
+                    // in-service front.
+                    let class = self.priorities.map_or(0, |f| f(&q.pkt));
+                    let start = usize::from(st.serving);
+                    let mut pos = st.queue.len();
+                    while pos > start
+                        && self.priorities.map_or(0, |f| f(&st.queue[pos - 1].pkt)) > class
+                    {
+                        pos -= 1;
+                    }
+                    st.queue.insert(pos, q);
+                } else {
+                    st.queue.push_back(q);
+                }
                 st.max_queue = st.max_queue.max(st.queue.len());
                 self.try_start_service(node);
             }
@@ -833,11 +981,39 @@ impl<P, W> Simulator<P, W> {
                 if epoch != self.nodes[node.index()].epoch {
                     return; // the node crashed since this service started
                 }
-                let (from, pkt, size, _enq, span) = self.nodes[node.index()]
-                    .queue
-                    .pop_front()
-                    .expect("end of service with empty queue");
+                let Queued { from, pkt, size, at: enq, span, mut marked } =
+                    self.nodes[node.index()]
+                        .queue
+                        .pop_front()
+                        .expect("end of service with empty queue");
+                self.nodes[node.index()].serving = false;
                 self.nodes[node.index()].processed += 1;
+                // Congestion marking: a packet whose total sojourn through
+                // this node (queueing + service) overran the threshold is
+                // marked, and the mark travels with every downstream copy.
+                let mark_th = self.overload.as_ref().and_then(|o| o.cfg.mark_sojourn);
+                if let Some(th) = mark_th {
+                    if !marked && self.now.saturating_duration_since(enq) > th {
+                        marked = true;
+                        if let Some(o) = self.overload.as_mut() {
+                            o.marks += 1;
+                        }
+                        if self.telemetry.is_enabled() {
+                            let _tel = prof::scope("engine/telemetry");
+                            self.telemetry.counter(node.0, "mark", 1);
+                            self.telemetry.counter(node.0, "congestion-marked", 1);
+                            self.telemetry.journal(TraceRecord {
+                                ts: self.now,
+                                node: node.0,
+                                event: TraceEvent::Mark,
+                                class: self.classify(&pkt),
+                                size,
+                                peer: u32::MAX,
+                                dur_ns: 0,
+                            });
+                        }
+                    }
+                }
                 if self.telemetry.is_enabled() {
                     let _tel = prof::scope("engine/telemetry");
                     let class = self.classify(&pkt);
@@ -852,10 +1028,12 @@ impl<P, W> Simulator<P, W> {
                     });
                 }
                 self.cur_span = span;
+                self.cur_marked = marked;
                 let extra = self.with_behavior(node, |b, ctx| {
                     b.on_packet(ctx, from, pkt);
                 });
                 self.cur_span = NO_SPAN;
+                self.cur_marked = false;
                 if self.lineage.is_enabled() {
                     let _lin = prof::scope("engine/lineage");
                     self.lineage.close(span, self.now);
@@ -929,11 +1107,11 @@ impl<P, W> Simulator<P, W> {
                 let st = &mut self.nodes[n.index()];
                 st.epoch += 1;
                 st.busy = false;
-                let flushed: Vec<(Option<NodeId>, P, u32, SimTime, u32)> =
-                    st.queue.drain(..).collect();
-                for (from, _pkt, size, _, span) in flushed {
-                    self.lineage.mark_dropped(span, "node-lost", self.now);
-                    self.fault_drop(n, from, size, "node-lost");
+                st.serving = false;
+                let flushed: Vec<Queued<P>> = st.queue.drain(..).collect();
+                for q in flushed {
+                    self.lineage.mark_dropped(q.span, "node-lost", self.now);
+                    self.fault_drop(n, q.from, q.size, "node-lost");
                 }
                 self.recompute_routing();
                 let peers: Vec<NodeId> = self
@@ -1012,7 +1190,141 @@ impl<P, W> Simulator<P, W> {
         }
     }
 
+    /// The arriving/queued packet's priority class (0 when no classifier
+    /// is registered — everything is control, i.e. nothing outranks).
+    #[inline]
+    fn priority_of(&self, pkt: &P) -> u8 {
+        self.priorities.map_or(0, |f| f(pkt))
+    }
+
+    /// Admission control for an arrival at a bounded queue. Returns `true`
+    /// when the arrival should be enqueued (possibly after evicting a
+    /// queued victim); `false` when it was rejected (fully accounted here:
+    /// lineage, telemetry counters, journal).
+    ///
+    /// Overflow resolution order: (1) a queued *stale* packet the arrival
+    /// supersedes sheds first; (2) head-drop evicts the oldest waiting
+    /// packet of the worst class; (3) drop-tail/CoDel evict the worst
+    /// queued packet only if the arrival outranks it, else reject the
+    /// arrival. The in-service front (index 0 while `serving`) is never
+    /// touched.
+    fn admit(&mut self, node: NodeId, from: Option<NodeId>, pkt: &P, size: u32, span: u32) -> bool {
+        let Some(ov) = self.overload.as_ref() else {
+            return true;
+        };
+        let Some(cap) = ov.cfg.queue_capacity else {
+            return true;
+        };
+        let st = &self.nodes[node.index()];
+        let start = usize::from(st.serving);
+        let waiting = st.queue.len() - start;
+        if waiting < cap {
+            return true;
+        }
+        let _ovp = prof::scope("engine/overload");
+        let priority_on = ov.cfg.priority;
+        let policy = ov.cfg.policy;
+        let arriving_class = self.priority_of(pkt);
+        // (1) Stale-superseded: the arrival carries a newer version of a
+        // queued update — evict the stale copy, admit the fresh one.
+        let mut victim: Option<(usize, &'static str)> = None;
+        if priority_on {
+            if let Some(key) = self.supersede_keys.and_then(|f| f(pkt)) {
+                victim = (start..st.queue.len())
+                    .find(|&i| {
+                        self.supersede_keys.and_then(|f| f(&st.queue[i].pkt)) == Some(key)
+                    })
+                    .map(|i| (i, "stale-superseded"));
+            }
+        }
+        // (2)/(3) Policy-driven overflow. With priorities on, the victim is
+        // in the worst (highest-numbered) class present; among equals
+        // head-drop evicts the oldest, drop-tail the newest.
+        if victim.is_none() {
+            let worst = (start..st.queue.len())
+                .map(|i| self.priority_of(&st.queue[i].pkt))
+                .max()
+                .expect("full queue has a waiting packet");
+            victim = match policy {
+                AdmissionPolicy::HeadDrop => {
+                    let idx = if priority_on {
+                        (start..st.queue.len())
+                            .find(|&i| self.priority_of(&st.queue[i].pkt) == worst)
+                            .expect("worst class present")
+                    } else {
+                        start
+                    };
+                    Some((idx, "queue-full"))
+                }
+                AdmissionPolicy::DropTail | AdmissionPolicy::CoDel { .. } => {
+                    if priority_on && worst > arriving_class {
+                        (start..st.queue.len())
+                            .rfind(|&i| self.priority_of(&st.queue[i].pkt) == worst)
+                            .map(|i| (i, "queue-full"))
+                    } else {
+                        None
+                    }
+                }
+            };
+        }
+        match victim {
+            Some((i, reason)) => {
+                let q = self.nodes[node.index()]
+                    .queue
+                    .remove(i)
+                    .expect("victim index in range");
+                let ctl = self.priority_of(&q.pkt) == 0;
+                self.lineage.mark_dropped(q.span, reason, self.now);
+                self.overload_drop(node, q.from, q.size, reason, ctl);
+                true
+            }
+            None => {
+                self.lineage.mark_dropped(span, "queue-full", self.now);
+                self.overload_drop(node, from, size, "queue-full", arriving_class == 0);
+                false
+            }
+        }
+    }
+
+    /// Records a packet shed by overload control at `node`: same telemetry
+    /// and journal shape as [`Simulator::fault_drop`], but accounted
+    /// against the overload counters (never the fault-injection ones).
+    fn overload_drop(
+        &mut self,
+        node: NodeId,
+        from: Option<NodeId>,
+        size: u32,
+        reason: &'static str,
+        ctl: bool,
+    ) {
+        if let Some(o) = self.overload.as_mut() {
+            match reason {
+                "queue-full" => o.queue_full += 1,
+                "aqm-shed" => o.aqm_shed += 1,
+                _ => o.stale_superseded += 1,
+            }
+        }
+        self.telemetry.counter(node.0, "drop", 1);
+        self.telemetry.counter(node.0, reason, 1);
+        self.telemetry
+            .counter(node.0, if ctl { "ctl-drop" } else { "bulk-drop" }, 1);
+        if self.telemetry.is_enabled() {
+            self.telemetry.journal(TraceRecord {
+                ts: self.now,
+                node: node.0,
+                event: TraceEvent::Drop,
+                class: reason,
+                size,
+                peer: from.map_or(u32::MAX, |n| n.0),
+                dur_ns: 0,
+            });
+        }
+    }
+
     fn try_start_service(&mut self, node: NodeId) {
+        if self.overload.is_some() {
+            self.aqm_dequeue(node);
+        }
         let st = &self.nodes[node.index()];
         if st.busy || st.queue.is_empty() {
             return;
@@ -1020,12 +1332,12 @@ impl<P, W> Simulator<P, W> {
         let front = st.queue.front().expect("non-empty");
         let service = self.behaviors[node.index()]
             .as_ref()
-            .map_or(SimDuration::ZERO, |b| b.service_time(&front.1));
+            .map_or(SimDuration::ZERO, |b| b.service_time(&front.pkt));
         if self.telemetry.is_enabled() {
             let _tel = prof::scope("engine/telemetry");
-            let class = self.classify(&front.1);
-            let size = front.2;
-            let wait = self.now.saturating_duration_since(front.3);
+            let class = self.classify(&front.pkt);
+            let size = front.size;
+            let wait = self.now.saturating_duration_since(front.at);
             self.telemetry.service_started(node.0, wait, service);
             self.telemetry.journal(TraceRecord {
                 ts: self.now,
@@ -1037,12 +1349,56 @@ impl<P, W> Simulator<P, W> {
                 dur_ns: service.as_nanos(),
             });
         }
-        self.lineage.service_start(front.4, self.now);
+        self.lineage.service_start(front.span, self.now);
         self.nodes[node.index()].busy = true;
+        self.nodes[node.index()].serving = true;
         self.nodes[node.index()].busy_time += service;
         let at = self.now + service;
         let epoch = self.nodes[node.index()].epoch;
         self.push_event(at, Event::EndService { node, epoch });
+    }
+
+    /// CoDel dequeue-time shedding: before the next packet starts service,
+    /// shed heads whose queueing delay proves a standing queue (see
+    /// `overload::CoDelState`). Never sheds the last waiting packet, and —
+    /// with priorities on — never a control-class head.
+    fn aqm_dequeue(&mut self, node: NodeId) {
+        let Some(ov) = self.overload.as_ref() else {
+            return;
+        };
+        let AdmissionPolicy::CoDel { target, interval } = ov.cfg.policy else {
+            return;
+        };
+        let priority_on = ov.cfg.priority;
+        let _ovp = prof::scope("engine/overload");
+        loop {
+            let st = &self.nodes[node.index()];
+            if st.busy {
+                return;
+            }
+            let Some(front) = st.queue.front() else {
+                return;
+            };
+            let can_drop = st.queue.len() > 1
+                && !(priority_on && self.priorities.map_or(0, |f| f(&front.pkt)) == 0);
+            let sojourn = self.now.saturating_duration_since(front.at);
+            let shed = self
+                .overload
+                .as_mut()
+                .expect("checked above")
+                .codel[node.index()]
+                .on_dequeue(self.now, sojourn, target, interval, can_drop);
+            if !shed {
+                return;
+            }
+            let q = self.nodes[node.index()]
+                .queue
+                .pop_front()
+                .expect("non-empty");
+            let ctl = self.priority_of(&q.pkt) == 0;
+            self.lineage.mark_dropped(q.span, "aqm-shed", self.now);
+            self.overload_drop(node, q.from, q.size, "aqm-shed", ctl);
+        }
     }
 
     /// Runs `f` with the node's behavior temporarily removed (so the
@@ -1066,6 +1422,7 @@ impl<P, W> Simulator<P, W> {
             telemetry: &mut self.telemetry,
             lineage: &mut self.lineage,
             cur_span: self.cur_span,
+            marked: self.cur_marked,
             sends: Vec::new(),
             timers: Vec::new(),
             extra_busy: SimDuration::ZERO,
@@ -1178,6 +1535,9 @@ impl<P, W> Simulator<P, W> {
                 pkt,
                 size,
                 span,
+                // ECN-style inheritance: copies sent while servicing a
+                // marked packet carry the mark downstream.
+                marked: self.cur_marked,
             },
         );
     }
@@ -1965,5 +2325,247 @@ mod tests {
             sim.world().arrivals,
             vec![(0, 5), (1_000_000, 5), (2_000_000, 5)]
         );
+    }
+
+    // ---- overload control ----
+
+    /// Test classifier: packets < 100 are control (class 0), rest bulk.
+    fn test_prio(p: &u32) -> u8 {
+        u8::from(*p >= 100)
+    }
+
+    /// Test supersede key: bulk packets supersede per last digit.
+    fn test_key(p: &u32) -> Option<u64> {
+        (*p >= 100).then_some(u64::from(*p % 10))
+    }
+
+    /// One node with 10 ms service and the given overload config.
+    fn one_node_overloaded(cfg: OverloadConfig) -> (Simulator<u32, World>, NodeId) {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let mut sim = Simulator::new(t, World::default());
+        sim.set_behavior(
+            a,
+            Box::new(Relay {
+                to: None,
+                service: SimDuration::from_millis(10),
+            }),
+        );
+        sim.set_priorities(test_prio);
+        sim.set_supersede_keys(test_key);
+        sim.install_overload(cfg);
+        (sim, a)
+    }
+
+    #[test]
+    fn vacuous_overload_config_never_installs() {
+        let (sim, _) = one_node_overloaded(OverloadConfig::default());
+        assert!(!sim.overload_active());
+        assert_eq!(sim.overload_drops(), (0, 0, 0));
+        assert_eq!(sim.congestion_marks(), 0);
+    }
+
+    #[test]
+    fn drop_tail_bounds_the_queue() {
+        let (mut sim, a) = one_node_overloaded(OverloadConfig {
+            queue_capacity: Some(2),
+            policy: AdmissionPolicy::DropTail,
+            ..OverloadConfig::default()
+        });
+        for i in 0..6u32 {
+            sim.inject(SimTime::ZERO, a, 100 + i, 50);
+        }
+        sim.run();
+        // One in service + two waiting admitted; three tail-dropped.
+        let served: Vec<u32> = sim.world().arrivals.iter().map(|&(_, p)| p).collect();
+        assert_eq!(served, vec![100, 101, 102]);
+        assert_eq!(sim.overload_drops(), (3, 0, 0));
+        assert_eq!(sim.node_max_queue(NodeId(0)), 3);
+    }
+
+    #[test]
+    fn head_drop_keeps_the_freshest() {
+        let (mut sim, a) = one_node_overloaded(OverloadConfig {
+            queue_capacity: Some(2),
+            policy: AdmissionPolicy::HeadDrop,
+            ..OverloadConfig::default()
+        });
+        for i in 0..6u32 {
+            sim.inject(SimTime::ZERO, a, 100 + i, 50);
+        }
+        sim.run();
+        // The in-service front is untouchable; each overflow evicts the
+        // oldest *waiting* packet, so the freshest two survive.
+        let served: Vec<u32> = sim.world().arrivals.iter().map(|&(_, p)| p).collect();
+        assert_eq!(served, vec![100, 104, 105]);
+        assert_eq!(sim.overload_drops(), (3, 0, 0));
+    }
+
+    #[test]
+    fn control_preempts_bulk_and_sheds_last() {
+        let (mut sim, a) = one_node_overloaded(OverloadConfig {
+            queue_capacity: Some(8),
+            policy: AdmissionPolicy::DropTail,
+            priority: true,
+            ..OverloadConfig::default()
+        });
+        // Bulk starts service, more bulk queues, then control arrives.
+        sim.inject(SimTime::ZERO, a, 200, 50);
+        sim.inject(SimTime::ZERO, a, 201, 50);
+        sim.inject(SimTime::ZERO, a, 1, 50);
+        sim.run();
+        let served: Vec<u32> = sim.world().arrivals.iter().map(|&(_, p)| p).collect();
+        assert_eq!(served, vec![200, 1, 201], "control jumps the bulk queue");
+    }
+
+    #[test]
+    fn overflow_evicts_bulk_for_control() {
+        let (mut sim, a) = one_node_overloaded(OverloadConfig {
+            queue_capacity: Some(2),
+            policy: AdmissionPolicy::DropTail,
+            priority: true,
+            ..OverloadConfig::default()
+        });
+        sim.inject(SimTime::ZERO, a, 200, 50); // in service
+        sim.inject(SimTime::ZERO, a, 201, 50); // waiting
+        sim.inject(SimTime::ZERO, a, 202, 50); // waiting (queue now full)
+        sim.inject(SimTime::ZERO, a, 1, 50); // control: evicts newest bulk
+        sim.run();
+        let served: Vec<u32> = sim.world().arrivals.iter().map(|&(_, p)| p).collect();
+        assert_eq!(served, vec![200, 1, 201], "202 evicted, control admitted");
+        assert_eq!(sim.overload_drops(), (1, 0, 0));
+    }
+
+    #[test]
+    fn superseded_update_sheds_first() {
+        let (mut sim, a) = one_node_overloaded(OverloadConfig {
+            queue_capacity: Some(2),
+            policy: AdmissionPolicy::DropTail,
+            priority: true,
+            ..OverloadConfig::default()
+        });
+        sim.inject(SimTime::ZERO, a, 100, 50); // in service
+        sim.inject(SimTime::ZERO, a, 101, 50); // waiting, key 1
+        sim.inject(SimTime::ZERO, a, 102, 50); // waiting, key 2 (full)
+        sim.inject(SimTime::ZERO, a, 111, 50); // key 1: supersedes 101
+        sim.run();
+        let served: Vec<u32> = sim.world().arrivals.iter().map(|&(_, p)| p).collect();
+        assert_eq!(served, vec![100, 102, 111], "stale 101 evicted for 111");
+        assert_eq!(sim.overload_drops(), (0, 0, 1));
+    }
+
+    #[test]
+    fn codel_sheds_under_standing_queue_but_never_the_last() {
+        let (mut sim, a) = one_node_overloaded(OverloadConfig {
+            policy: AdmissionPolicy::CoDel {
+                target: SimDuration::from_millis(5),
+                interval: SimDuration::from_millis(20),
+            },
+            ..OverloadConfig::default()
+        });
+        for i in 0..50u32 {
+            sim.inject(SimTime::ZERO, a, 100 + i, 50);
+        }
+        sim.run();
+        let (qf, aqm, stale) = sim.overload_drops();
+        assert_eq!((qf, stale), (0, 0));
+        assert!(aqm > 0, "standing 10x overload must shed");
+        let served = sim.world().arrivals.len() as u64;
+        assert_eq!(served + aqm, 50, "every packet served or shed");
+        assert!(served > 1, "AQM must not starve the queue");
+        // The very last packet is never shed.
+        assert_eq!(sim.world().arrivals.last().map(|&(_, p)| p), Some(149));
+    }
+
+    #[test]
+    fn codel_spares_control_class() {
+        let (mut sim, a) = one_node_overloaded(OverloadConfig {
+            policy: AdmissionPolicy::CoDel {
+                target: SimDuration::from_millis(5),
+                interval: SimDuration::from_millis(20),
+            },
+            priority: true,
+            ..OverloadConfig::default()
+        });
+        for i in 0..25u32 {
+            sim.inject(SimTime::ZERO, a, 100 + i, 50); // bulk
+            sim.inject(SimTime::ZERO, a, i, 50); // control
+        }
+        sim.run();
+        let served: Vec<u32> = sim.world().arrivals.iter().map(|&(_, p)| p).collect();
+        let ctl = served.iter().filter(|&&p| p < 100).count();
+        assert_eq!(ctl, 25, "control is never AQM-shed");
+        assert!(sim.overload_drops().1 > 0, "bulk is shed");
+    }
+
+    #[test]
+    fn sojourn_marks_propagate_downstream() {
+        struct Fwd {
+            to: Option<NodeId>,
+            service: SimDuration,
+        }
+        impl NodeBehavior<u32, Vec<bool>> for Fwd {
+            fn on_packet(&mut self, ctx: &mut Ctx<'_, u32, Vec<bool>>, _f: Option<NodeId>, p: u32) {
+                match self.to {
+                    Some(to) => ctx.send(to, p, 50),
+                    None => {
+                        let m = ctx.congestion_marked();
+                        ctx.world().push(m);
+                    }
+                }
+            }
+            fn service_time(&self, _p: &u32) -> SimDuration {
+                self.service
+            }
+        }
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        t.try_add_link(a, b, SimDuration::from_millis(1), None).unwrap();
+        let mut sim = Simulator::new(t, Vec::new());
+        // a is the bottleneck (10 ms); b is fast, so any mark seen at b was
+        // inherited from a's queue.
+        sim.set_behavior(a, Box::new(Fwd { to: Some(b), service: SimDuration::from_millis(10) }));
+        sim.set_behavior(b, Box::new(Fwd { to: None, service: SimDuration::ZERO }));
+        sim.install_overload(OverloadConfig {
+            mark_sojourn: Some(SimDuration::from_millis(15)),
+            ..OverloadConfig::default()
+        });
+        for i in 0..4u32 {
+            sim.inject(SimTime::ZERO, a, i, 50);
+        }
+        sim.run();
+        // Sojourns at a: 10, 20, 30, 40 ms — the first stays unmarked.
+        assert_eq!(sim.world(), &vec![false, true, true, true]);
+        assert_eq!(sim.congestion_marks(), 3);
+    }
+
+    #[test]
+    fn overload_policies_are_same_seed_deterministic() {
+        let run = || {
+            let (mut sim, a) = one_node_overloaded(OverloadConfig {
+                queue_capacity: Some(3),
+                policy: AdmissionPolicy::CoDel {
+                    target: SimDuration::from_millis(2),
+                    interval: SimDuration::from_millis(10),
+                },
+                priority: true,
+                mark_sojourn: Some(SimDuration::from_millis(4)),
+            });
+            sim.enable_telemetry(TelemetryConfig::default());
+            for i in 0..40u32 {
+                sim.inject(SimTime::from_millis(u64::from(i)), a, 100 + i, 50);
+                if i % 5 == 0 {
+                    sim.inject(SimTime::from_millis(u64::from(i)), a, i, 20);
+                }
+            }
+            sim.run();
+            let fp = sim.telemetry().journal_fingerprint();
+            (fp, sim.overload_drops(), sim.congestion_marks())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.1.0 + a.1.1 + a.1.2 > 0, "the scenario must shed");
     }
 }

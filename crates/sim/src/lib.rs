@@ -20,6 +20,13 @@
 //!   link/node failures and repairs plus per-hop Bernoulli loss, with
 //!   routing recomputed over the surviving subgraph after every change and
 //!   behaviors notified through [`NodeBehavior::on_fault`].
+//! * [`overload`] — overload control: bounded per-node service queues with
+//!   drop-tail / head-drop / CoDel-style sojourn AQM admission, priority
+//!   classes (control preempts bulk, stale superseded updates shed first),
+//!   and congestion marks surfaced to behaviors via
+//!   [`Ctx::congestion_marked`]; installed via
+//!   [`Simulator::install_overload`], vacuous configs are byte-identical
+//!   no-ops.
 //! * [`metrics`] — latency recorders, CDFs and link-load accounting used to
 //!   regenerate the paper's tables and figures.
 //! * [`telemetry`] — per-node/per-link counters, log-scale histograms, a
@@ -85,6 +92,7 @@ pub mod generators;
 pub mod json;
 pub mod lineage;
 pub mod metrics;
+pub mod overload;
 pub mod prof;
 mod routing;
 pub mod telemetry;
@@ -93,6 +101,7 @@ mod topology;
 
 pub use engine::{Ctx, NodeBehavior, Simulator};
 pub use fault::{FaultEvent, FaultNotice, FaultPlan};
+pub use overload::{AdmissionPolicy, OverloadConfig};
 pub use lineage::{AuditReport, LineageConfig, LineageLog, SpanEvent, SpanRecord, NO_SPAN};
 pub use telemetry::{
     LogHistogram, Telemetry, TelemetryConfig, TelemetryReport, TimeSeries, TimeSeriesConfig,
