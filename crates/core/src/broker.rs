@@ -24,7 +24,7 @@
 //!   Convergence time depends on object counts/sizes, which the trace's
 //!   updates fully determine.
 
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::sync::Arc;
 
 use gcopss_compat::bytes::Bytes;
@@ -37,6 +37,7 @@ use gcopss_ndn::{Data, Interest};
 use gcopss_sim::{Ctx, NodeBehavior, NodeId, SimDuration, SimTime};
 
 use crate::client::{DedupWindow, TraceCursor};
+use crate::router::cs_prefix_key;
 use crate::{payload_of, ConvergenceRecord, GPacket, GameWorld, SimParams};
 
 /// The `/snapshot` QR namespace root.
@@ -173,6 +174,11 @@ pub struct SnapshotBroker {
     next_snap_id: u64,
     /// Content-addressed chunk cache for the manifest/chunk serve path.
     chunks: BrokerChunkCache,
+    /// Prefix keys currently classified *hot* by the adaptive cache policy:
+    /// snapshot Data under these prefixes is stamped with a longer freshness
+    /// so path content stores absorb flash crowds. Empty unless
+    /// [`SimParams::cache_adaptive`] is set and metric streams are running.
+    hot: BTreeSet<u64>,
 }
 
 /// The broker's lazily rebuilt chunk view of its serving CDs. Manifests are
@@ -240,6 +246,7 @@ impl SnapshotBroker {
             cyclic: BTreeMap::new(),
             next_snap_id: 1 << 60,
             chunks: BrokerChunkCache::new(),
+            hot: BTreeSet::new(),
         }
     }
 
@@ -313,11 +320,52 @@ impl SnapshotBroker {
     fn send_data(&self, ctx: &mut Ctx<'_, GPacket, GameWorld>, name: Name, payload: Bytes) {
         // Snapshot data ages out quickly in a gaming scenario (§V-B): keep
         // freshness short so concurrent movers may share router caches but
-        // stale state does not linger.
-        let data = Data::with_freshness(name, payload, 50_000_000);
+        // stale state does not linger. Under the adaptive cache policy,
+        // prefixes the popularity stream classifies hot get a longer
+        // freshness so path content stores absorb flash crowds.
+        let mut freshness: u64 = 50_000_000;
+        if let Some(ac) = &self.params.cache_adaptive {
+            if self.hot.contains(&cs_prefix_key(&name)) {
+                freshness = freshness.saturating_mul(u64::from(ac.hot_freshness_mul));
+            }
+        }
+        let data = Data::with_freshness(name, payload, freshness);
         let g = GPacket::Data(data);
         let size = g.wire_size();
         ctx.send(self.edge, g, size);
+    }
+
+    /// Re-classifies `key` as hot/cold from the live `qr-pop` popularity
+    /// sketch. Entry requires the sketch to have seen a full warm-up window
+    /// and the key to hold at least `hot_num/hot_den` of the monitored mass;
+    /// exit fires at half that share (hysteresis, so a prefix straddling the
+    /// threshold does not flap its cache class every request).
+    fn update_hot(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, key: u64) {
+        let Some(ac) = self.params.cache_adaptive.clone() else {
+            return;
+        };
+        if !ctx.streams_enabled() {
+            return;
+        }
+        let (monitored, _offered) = ctx.stream_mass("qr-pop");
+        let count = ctx.stream_count("qr-pop", key).map_or(0, |(c, _)| c);
+        let num = ac.hot_num;
+        let den = ac.hot_den;
+        if self.hot.contains(&key) {
+            if count * den * 2 < monitored * num {
+                self.hot.remove(&key);
+                ctx.world().bump("cache-class-demotions");
+                if ctx.telemetry_enabled() {
+                    ctx.counter("cache-class-demotions", 1);
+                }
+            }
+        } else if monitored >= ac.min_window && count * den >= monitored * num {
+            self.hot.insert(key);
+            ctx.world().bump("cache-class-promotions");
+            if ctx.telemetry_enabled() {
+                ctx.counter("cache-class-promotions", 1);
+            }
+        }
     }
 
     fn send_chunk(&self, ctx: &mut Ctx<'_, GPacket, GameWorld>, name: Name, payload: Bytes) {
@@ -427,6 +475,9 @@ impl NodeBehavior<GPacket, GameWorld> for SnapshotBroker {
             GPacket::Interest(i) => {
                 if let Some((idx, req)) = self.parse_snapshot_name(&i.name) {
                     ctx.consume(self.params.broker_per_object);
+                    let key = cs_prefix_key(&i.name);
+                    ctx.stream_offer("qr-pop", key, 1);
+                    self.update_hot(ctx, key);
                     match req {
                         SnapshotRequest::Meta => {
                             let total = self.objects.objects_in(&self.serving[idx]).len() as u32;

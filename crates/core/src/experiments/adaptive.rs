@@ -1,0 +1,832 @@
+//! Adaptive-control sweep (`exp_adaptive`): closing the observability
+//! loop — the streaming metric pipeline drives control decisions inside
+//! the simulation, ablated against the static policies it replaces.
+//!
+//! Two adaptive consumers are exercised, each under a scenario engineered
+//! to defeat its static counterpart:
+//!
+//! * **RP auto-balancing** under a mid-trace *hotspot*: a fraction of all
+//!   updates is remapped onto the leaf CDs of one level-1 zone, so one RP's
+//!   queue saturates while the others idle. The static policy splits when
+//!   the instantaneous queue length crosses a hand-tuned threshold; the
+//!   adaptive policy ([`crate::AdaptiveRpConfig`]) watches the queue-depth
+//!   EWMA and the per-RP served-rate skew from the metric streams and fires
+//!   with hysteresis — earlier, and only when the load is actually
+//!   *skewed* (a uniformly overloaded system gains nothing from moving
+//!   CDs). Headline: bounded-queue overflow drops and p99 latency,
+//!   adaptive < static < off.
+//! * **Cache-class selection** under a *flash crowd*: a burst of movers
+//!   enters the same area and fetches its snapshot via QR. Statically,
+//!   snapshot Data carries a short freshness (mutable state must not
+//!   linger), so concurrent movers stampede the broker. Adaptively, the
+//!   broker watches the live per-prefix popularity sketch and promotes the
+//!   crowd's prefix to a long-freshness cache class
+//!   ([`crate::AdaptiveCacheConfig`]), letting on-path content stores
+//!   absorb the crowd. Headline: router CS hit-rate and broker load,
+//!   adaptive ≫ static.
+//!
+//! Both arms run the same seed for every policy, so differences are
+//! attributable to the policy alone; the RP arm replays under the lineage
+//! tracer and the delivery auditor must explain every owed pair (overload
+//! sheds included) — adaptation must not *silently* lose traffic.
+
+use std::sync::Arc;
+
+use gcopss_game::{MoveEvent, PlayerId};
+use gcopss_names::Name;
+use gcopss_sim::{
+    AdmissionPolicy, LineageConfig, OverloadConfig, SimDuration, SimTime, StreamConfig,
+    TelemetryConfig,
+};
+
+use crate::broker::{
+    partition_cds_to_brokers, snapshot_ns, MovingPlayerClient, SnapshotBroker, SnapshotMode,
+};
+use crate::router::cs_prefix_key;
+use crate::scenario::{
+    expected_deliveries, ClientFactory, ExtraHost, GcopssConfig, NetworkSpec, ScenarioSpec,
+};
+use crate::{AdaptiveCacheConfig, AdaptiveRpConfig, MetricsMode, SimParams};
+
+use super::audit::register_expectations;
+use super::{TelemetryCapture, Workload, WorkloadParams};
+
+/// RP-balancing policy of one run arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpPolicy {
+    /// No balancing at all: the hot RP keeps everything (control arm).
+    Off,
+    /// The fixed queue-length threshold of §IV-B
+    /// ([`SimParams::rp_split_queue_threshold`]).
+    Static,
+    /// Telemetry-driven trigger: queue EWMA + served-rate skew with
+    /// hysteresis ([`crate::AdaptiveRpConfig`]).
+    Adaptive,
+}
+
+impl RpPolicy {
+    /// Stable label fragment.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Off => "off",
+            Self::Static => "static",
+            Self::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// Cache-class policy of one run arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// One fixed short freshness for all snapshot Data.
+    Static,
+    /// Popularity-driven per-prefix promotion
+    /// ([`crate::AdaptiveCacheConfig`]).
+    Adaptive,
+}
+
+impl CachePolicy {
+    /// Stable label fragment.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Static => "static",
+            Self::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// Configuration of the adaptive-control sweep.
+#[derive(Debug, Clone)]
+pub struct AdaptiveSweepConfig {
+    /// Workload shape (players, updates, seed). `mean_interarrival` is
+    /// overridden per arm ([`Self::rp_interarrival`] /
+    /// [`Self::cache_interarrival`]).
+    pub workload: WorkloadParams,
+    /// Topology seed.
+    pub net_seed: u64,
+    /// Initial RPs.
+    pub rp_count: usize,
+    /// Index of the hot level-1 zone (into the sorted level-1 prefixes).
+    pub hot_top: usize,
+    /// Hotspot onset as a fraction (num, den) of the trace span.
+    pub hot_onset: (u64, u64),
+    /// Fraction (num, den) of post-onset events remapped onto the hot
+    /// zone's leaf CDs.
+    pub hot_share: (u32, u32),
+    /// Network-wide mean update inter-arrival of the RP arm — fast enough
+    /// that the concentrated hotspot saturates one RP.
+    pub rp_interarrival: SimDuration,
+    /// Network-wide mean update inter-arrival of the cache arm — benign,
+    /// so snapshot traffic dominates the router content stores.
+    pub cache_interarrival: SimDuration,
+    /// Bounded queue depth of the RP arm (drop-tail with control-class
+    /// priority: overflow sheds data, never the split protocol).
+    pub queue_capacity: usize,
+    /// The static policy's split threshold (instantaneous queue length).
+    pub static_threshold: usize,
+    /// Adaptive RP trigger tunables.
+    pub rp_adaptive: AdaptiveRpConfig,
+    /// Adaptive cache-class tunables.
+    pub cache_adaptive: AdaptiveCacheConfig,
+    /// Metric-stream pipeline config of the adaptive arms (a vacuous
+    /// config would blind every adaptive consumer).
+    pub stream: StreamConfig,
+    /// Flash-crowd size (movers entering the hot area).
+    pub crowd_size: usize,
+    /// Spacing between consecutive crowd arrivals.
+    pub crowd_gap: SimDuration,
+    /// QR pipelining window of the movers.
+    pub qr_window: u32,
+    /// Settling period before the first trace event.
+    pub warmup: SimDuration,
+    /// Extra simulated time after the last trace event.
+    pub drain: SimDuration,
+    /// When `Some`, RP-arm runs replay under the lineage tracer and the
+    /// delivery auditor must account for every owed pair.
+    pub lineage: Option<LineageConfig>,
+}
+
+impl Default for AdaptiveSweepConfig {
+    fn default() -> Self {
+        Self {
+            workload: WorkloadParams {
+                players: 150,
+                updates: 20_000,
+                ..WorkloadParams::default()
+            },
+            net_seed: 7,
+            rp_count: 3,
+            hot_top: 1,
+            hot_onset: (1, 4),
+            hot_share: (3, 4),
+            // 3.3 ms RP service; concentrating 3/4 of this on one RP runs
+            // it at ρ ≈ 2 while the aggregate stays near capacity.
+            rp_interarrival: SimDuration::from_micros(1_200),
+            cache_interarrival: SimDuration::from_micros(2_400),
+            queue_capacity: 64,
+            // Below the drop point but deep: the static trigger only fires
+            // once the queue is already 3/4 full.
+            static_threshold: 48,
+            rp_adaptive: AdaptiveRpConfig {
+                // ≈1 s of fresh window at the hot RP's service rate — the
+                // escalation hysteresis does the pacing.
+                cooldown_packets: 300,
+                ..AdaptiveRpConfig::default()
+            },
+            cache_adaptive: AdaptiveCacheConfig::default(),
+            // 25 ms rolls: the EWMA tracks a saturating queue within a few
+            // service times instead of lagging a 50 ms grid.
+            stream: StreamConfig::every(SimDuration::from_millis(25)),
+            crowd_size: 36,
+            crowd_gap: SimDuration::from_millis(150),
+            qr_window: 5,
+            warmup: SimDuration::from_secs(2),
+            drain: SimDuration::from_secs(15),
+            // The full-scale RP arm emits ~3.7M spans per run (hotspot
+            // fan-out × 150 players); the default 2M capacity would
+            // truncate the log and fail the audit.
+            lineage: Some(LineageConfig {
+                capacity: 1 << 23,
+                ..LineageConfig::default()
+            }),
+        }
+    }
+}
+
+/// One RP-arm run's outcome.
+#[derive(Debug, Clone)]
+pub struct RpRow {
+    /// Run label (`rp-adaptive`, …).
+    pub label: String,
+    /// Balancing policy of the run.
+    pub policy: RpPolicy,
+    /// Updates published.
+    pub published: u64,
+    /// Non-self deliveries recorded.
+    pub delivered: u64,
+    /// Deliveries the AoI model expects for the full trace.
+    pub expected: u64,
+    /// `delivered / expected`.
+    pub delivery_ratio: f64,
+    /// Median delivery latency.
+    pub p50: SimDuration,
+    /// 99th-percentile delivery latency.
+    pub p99: SimDuration,
+    /// Arrivals rejected (or victims evicted) at full queues.
+    pub queue_full: u64,
+    /// RP splits executed (handoffs recorded).
+    pub splits: u64,
+    /// When each split fired (simulated time).
+    pub split_times: Vec<SimTime>,
+    /// Splits fired by the adaptive trigger specifically.
+    pub triggered: u64,
+    /// Aggregate network load in bytes.
+    pub network_bytes: u64,
+    /// Lineage audit (accounting JSON, span-log fingerprint) when armed.
+    pub audit: Option<(gcopss_sim::json::Json, u64)>,
+    /// Whether the armed audit explained every owed pair.
+    pub audit_clean: Option<bool>,
+}
+
+impl RpRow {
+    /// One formatted table row.
+    #[must_use]
+    pub fn row(&self) -> String {
+        format!(
+            "{:<14} {:>8.4} {:>9.2} {:>9.2} {:>8} {:>4} {:>4}",
+            self.label,
+            self.delivery_ratio,
+            self.p50.as_millis_f64(),
+            self.p99.as_millis_f64(),
+            self.queue_full,
+            self.splits,
+            self.triggered,
+        )
+    }
+}
+
+/// One cache-arm run's outcome.
+#[derive(Debug, Clone)]
+pub struct CacheRow {
+    /// Run label (`cache-adaptive`, …).
+    pub label: String,
+    /// Cache-class policy of the run.
+    pub policy: CachePolicy,
+    /// Moves completed (convergence records).
+    pub moves: usize,
+    /// Mean snapshot convergence time across completed moves.
+    pub mean_convergence: SimDuration,
+    /// Router content-store hits (all routers, all lookups).
+    pub cs_hit: u64,
+    /// Router content-store misses.
+    pub cs_miss: u64,
+    /// `cs_hit / (cs_hit + cs_miss)`.
+    pub hit_rate: f64,
+    /// Hit-rate on the hotspot prefix, from the live popularity sketches
+    /// (`cs-hit-pop` / `cs-req-pop`), sampled at the crowd peak — the
+    /// sketches are recency-biased and decay to empty by the horizon.
+    /// `None` when streams are off.
+    pub hot_hit_rate: Option<f64>,
+    /// Snapshot objects served by brokers (QR responses).
+    pub broker_served: u64,
+    /// Cache-class promotions the broker executed.
+    pub promotions: u64,
+    /// Cache-class demotions.
+    pub demotions: u64,
+    /// Aggregate network load in bytes.
+    pub network_bytes: u64,
+}
+
+impl CacheRow {
+    /// One formatted table row.
+    #[must_use]
+    pub fn row(&self) -> String {
+        format!(
+            "{:<16} {:>5} {:>9.2} {:>8.4} {:>8} {:>8} {:>4} {:>4}",
+            self.label,
+            self.moves,
+            self.mean_convergence.as_millis_f64(),
+            self.hit_rate,
+            self.cs_hit,
+            self.broker_served,
+            self.promotions,
+            self.demotions,
+        )
+    }
+}
+
+/// The sweep's full output.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOutput {
+    /// RP arm: off / static / adaptive, same seed.
+    pub rp_rows: Vec<RpRow>,
+    /// Cache arm: static / adaptive, same seed.
+    pub cache_rows: Vec<CacheRow>,
+}
+
+/// The sorted level-1 prefixes of the map, and the chosen hot one.
+fn hot_prefix(map: &gcopss_game::GameMap, hot_top: usize) -> Name {
+    let mut tops: Vec<Name> = map.leaf_cds().iter().map(|cd| cd.prefix(1)).collect();
+    tops.sort();
+    tops.dedup();
+    tops[hot_top % tops.len()].clone()
+}
+
+/// Builds the RP arm's workload: a counter-strike trace whose post-onset
+/// events are partially remapped onto the hot zone's leaf CDs (publishers
+/// are remapped with them, onto viewers of the target CD, so the AoI
+/// delivery model stays exact).
+fn hotspot_workload(cfg: &AdaptiveSweepConfig) -> (Workload, Name) {
+    let mut w = Workload::counter_strike(&WorkloadParams {
+        mean_interarrival: cfg.rp_interarrival,
+        ..cfg.workload.clone()
+    });
+    let hot = hot_prefix(&w.map, cfg.hot_top);
+    let hot_cds: Vec<Name> = w
+        .map
+        .leaf_cds()
+        .iter()
+        .filter(|cd| hot.is_prefix_of(cd))
+        .cloned()
+        .collect();
+    let viewers: Vec<Vec<PlayerId>> = hot_cds
+        .iter()
+        .map(|cd| {
+            let area = w.map.area_of_leaf_cd(cd).expect("leaf CD");
+            w.population
+                .players()
+                .filter(|p| w.map.can_see(w.population.area_of(*p), area))
+                .collect()
+        })
+        .collect();
+    let span = w.trace.last().map_or(0, |e| e.time_ns);
+    let onset = span / cfg.hot_onset.1 * cfg.hot_onset.0;
+    let (num, den) = cfg.hot_share;
+    let mut trace = (*w.trace).clone();
+    for (i, e) in trace.iter_mut().enumerate() {
+        if e.time_ns < onset || (i as u32) % den >= num {
+            continue;
+        }
+        let k = i % hot_cds.len();
+        if viewers[k].is_empty() {
+            continue;
+        }
+        e.cd = hot_cds[k].clone();
+        e.player = viewers[k][i % viewers[k].len()];
+    }
+    w.trace = Arc::new(trace);
+    (w, hot)
+}
+
+/// Runs the full sweep.
+#[must_use]
+pub fn run(cfg: &AdaptiveSweepConfig) -> AdaptiveOutput {
+    run_with(cfg, None)
+}
+
+/// Runs the full sweep, optionally harvesting one telemetry report per
+/// run.
+#[must_use]
+pub fn run_with(
+    cfg: &AdaptiveSweepConfig,
+    mut telemetry: Option<&mut TelemetryCapture>,
+) -> AdaptiveOutput {
+    let rp_rows = run_rp_arm(cfg, telemetry.as_deref_mut());
+    let cache_rows = run_cache_arm(cfg, telemetry);
+    AdaptiveOutput { rp_rows, cache_rows }
+}
+
+/// The RP arm: hotspot trace, bounded queues, three balancing policies.
+fn run_rp_arm(
+    cfg: &AdaptiveSweepConfig,
+    mut telemetry: Option<&mut TelemetryCapture>,
+) -> Vec<RpRow> {
+    let (w, _hot) = hotspot_workload(cfg);
+    let net = NetworkSpec::default_backbone(cfg.net_seed);
+    let span = SimDuration::from_nanos(w.trace.last().map_or(0, |e| e.time_ns));
+    let horizon = SimTime::ZERO + cfg.warmup + span + cfg.drain;
+    let expected = expected_deliveries(&w.map, &w.population, &w.trace);
+    // Bounded queues with control-class priority: overflow sheds data
+    // (recorded on the lineage), never the Subscribe/split protocol — so
+    // the ablation compares balancing policies, not control-plane luck.
+    let overload = OverloadConfig {
+        queue_capacity: Some(cfg.queue_capacity),
+        policy: AdmissionPolicy::DropTail,
+        priority: true,
+        mark_sojourn: None,
+    };
+
+    let mut rows = Vec::new();
+    for policy in [RpPolicy::Off, RpPolicy::Static, RpPolicy::Adaptive] {
+        let label = format!("rp-{}", policy.as_str());
+        let mut params = SimParams::default();
+        match policy {
+            RpPolicy::Off => {}
+            RpPolicy::Static => params = params.with_auto_balancing(cfg.static_threshold),
+            RpPolicy::Adaptive => params = params.with_adaptive_rp(cfg.rp_adaptive.clone()),
+        }
+        let sys = GcopssConfig {
+            params,
+            metrics_mode: MetricsMode::StatsOnly,
+            rp_count: cfg.rp_count,
+            warmup: cfg.warmup,
+            overload: Some(overload.clone()),
+            stream: if policy == RpPolicy::Adaptive {
+                cfg.stream.clone()
+            } else {
+                StreamConfig::default()
+            },
+            ..GcopssConfig::default()
+        };
+        let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+            .gcopss(sys)
+            .build()
+            .into_gcopss();
+        match telemetry.as_mut() {
+            Some(cap) => cap.arm(&mut built.sim),
+            None => built.sim.enable_telemetry(TelemetryConfig {
+                journal_capacity: 0,
+                journal_sample: 1,
+            }),
+        }
+        if let Some(lineage) = &cfg.lineage {
+            built.sim.enable_lineage(lineage.clone());
+            register_expectations(&mut built.sim, &w, cfg.warmup);
+        }
+        built.sim.run_until(horizon);
+        let audit = cfg.lineage.as_ref().map(|_| {
+            // No faults are injected: every miss must be explained by an
+            // overload drop record, so no damage window is granted.
+            let report = built.sim.lineage().audit(horizon, None);
+            (
+                report.to_json(),
+                built.sim.lineage().fingerprint(),
+                report.is_clean(),
+            )
+        });
+        let (queue_full, _, _) = built.sim.overload_drops();
+        let network_bytes = built.sim.total_link_bytes();
+        if let Some(cap) = telemetry.as_mut() {
+            cap.collect(&built.sim, &label);
+        }
+        let world = built.sim.into_world();
+        let hist = world.metrics.latency_hist();
+        let q = |p: f64| SimDuration::from_nanos(hist.quantile(p));
+        let delivered = world.metrics.delivered();
+        rows.push(RpRow {
+            policy,
+            published: world.metrics.published(),
+            delivered,
+            expected,
+            delivery_ratio: if expected == 0 {
+                1.0
+            } else {
+                delivered as f64 / expected as f64
+            },
+            p50: q(0.50),
+            p99: q(0.99),
+            queue_full,
+            splits: world.splits.len() as u64,
+            split_times: world.splits.iter().map(|s| s.at).collect(),
+            triggered: world.counter("rp-move-triggered"),
+            network_bytes,
+            audit_clean: audit.as_ref().map(|&(_, _, clean)| clean),
+            audit: audit.map(|(json, fp, _)| (json, fp)),
+            label,
+        });
+    }
+    rows
+}
+
+/// The cache arm: flash crowd into one area, QR snapshots, two cache
+/// policies.
+fn run_cache_arm(
+    cfg: &AdaptiveSweepConfig,
+    mut telemetry: Option<&mut TelemetryCapture>,
+) -> Vec<CacheRow> {
+    let w = Workload::counter_strike(&WorkloadParams {
+        mean_interarrival: cfg.cache_interarrival,
+        ..cfg.workload.clone()
+    });
+    let net = NetworkSpec::default_backbone(cfg.net_seed);
+    let span_ns = w.trace.last().map_or(0, |e| e.time_ns);
+    let hot = hot_prefix(&w.map, cfg.hot_top);
+    let hot_cd = w
+        .map
+        .leaf_cds()
+        .iter()
+        .find(|cd| hot.is_prefix_of(cd))
+        .expect("hot zone has leaf CDs")
+        .clone();
+    let hot_area = w.map.area_of_leaf_cd(&hot_cd).expect("leaf CD");
+    let hot_key = cs_prefix_key(&snapshot_ns().join(&hot_cd));
+
+    // The flash crowd: `crowd_size` players (not already in the hot area,
+    // spread over the population) move into it one `crowd_gap` apart,
+    // starting a third into the trace.
+    let mut moves: Vec<MoveEvent> = Vec::new();
+    let mut t = span_ns / 3;
+    for p in w.population.players() {
+        if moves.len() == cfg.crowd_size {
+            break;
+        }
+        let from = w.population.area_of(p);
+        if from == hot_area {
+            continue;
+        }
+        let Some(move_type) = w.map.classify_move(from, hot_area) else {
+            continue;
+        };
+        let snapshot_cds = w.map.snapshot_cds_for_move(from, hot_area);
+        if snapshot_cds.is_empty() {
+            continue;
+        }
+        moves.push(MoveEvent {
+            time_ns: t,
+            player: p,
+            from,
+            to: hot_area,
+            move_type,
+            snapshot_cds,
+        });
+        t += cfg.crowd_gap.as_nanos();
+    }
+    let crowd_end = moves.last().map_or(span_ns, |m| m.time_ns);
+    let horizon = SimTime::ZERO
+        + cfg.warmup
+        + SimDuration::from_nanos(span_ns.max(crowd_end))
+        + cfg.drain;
+
+    let mut rows = Vec::new();
+    for policy in [CachePolicy::Static, CachePolicy::Adaptive] {
+        let label = format!("cache-{}", policy.as_str());
+        let mut params = SimParams::default();
+        if policy == CachePolicy::Adaptive {
+            params = params.with_adaptive_cache(cfg.cache_adaptive.clone());
+        }
+
+        // Brokers with prewarmed object models (snapshot sizes in the
+        // end-of-trace regime from the first move).
+        let mut broker_objects = w.objects.clone();
+        for e in w.trace.iter() {
+            broker_objects.apply_update(e.object, e.size);
+        }
+        let serving = partition_cds_to_brokers(&w.map, 3);
+        let pool = net.rp_pool_preview();
+        let mut extra_hosts = Vec::new();
+        for (i, cds) in serving.into_iter().enumerate() {
+            let routes = SnapshotBroker::fib_prefixes(&cds);
+            let attach = pool[(cfg.rp_count + i) % pool.len()];
+            let objects = broker_objects.clone();
+            let trace = Arc::clone(&w.trace);
+            let p = params.clone();
+            extra_hosts.push(ExtraHost {
+                attach_to: attach,
+                routes,
+                make: Box::new(move |_node, edge| {
+                    Box::new(SnapshotBroker::new(p, edge, cds, objects, trace))
+                }),
+            });
+        }
+
+        let gcfg = GcopssConfig {
+            params: params.clone(),
+            metrics_mode: MetricsMode::StatsOnly,
+            rp_count: cfg.rp_count,
+            warmup: cfg.warmup,
+            stream: if policy == CachePolicy::Adaptive {
+                cfg.stream.clone()
+            } else {
+                StreamConfig::default()
+            },
+            ..GcopssConfig::default()
+        };
+        let warmup = gcfg.warmup;
+        let map = Arc::clone(&w.map);
+        let pop = &w.population;
+        let moves_ref = &moves;
+        let mode = SnapshotMode::QueryResponse {
+            window: cfg.qr_window,
+        };
+        let factory: ClientFactory<'_> = Box::new(move |p, edge, cursor| {
+            let my_moves: Vec<_> = moves_ref
+                .iter()
+                .filter(|m| m.player == p)
+                .cloned()
+                .collect();
+            Box::new(MovingPlayerClient::new(
+                p,
+                edge,
+                pop.area_of(p),
+                Arc::clone(&map),
+                cursor,
+                my_moves,
+                warmup,
+                mode,
+            ))
+        });
+        let mut built = ScenarioSpec::new(&net, &w.map, &w.population, &w.trace)
+            .gcopss(gcfg)
+            .extra_hosts(extra_hosts)
+            .client_factory(factory)
+            .build()
+            .into_gcopss();
+        if let Some(cap) = telemetry.as_mut() {
+            cap.arm(&mut built.sim);
+        }
+        // Sample the live sketches at the crowd peak, not the horizon: the
+        // space-saving sketches are recency-biased (halved every window),
+        // so by the end of the drain the flash crowd has decayed out of
+        // them — which is the point. Pausing to read them is pure.
+        let peak = (SimTime::ZERO
+            + cfg.warmup
+            + SimDuration::from_nanos(crowd_end)
+            + SimDuration::from_secs(2))
+        .min(horizon);
+        built.sim.run_until(peak);
+        let hot_hit_rate = built.sim.streams_active().then(|| {
+            let req = built
+                .sim
+                .streams()
+                .sketch("cs-req-pop")
+                .and_then(|s| s.count_of(hot_key))
+                .map_or(0, |(c, _)| c);
+            let hit = built
+                .sim
+                .streams()
+                .sketch("cs-hit-pop")
+                .and_then(|s| s.count_of(hot_key))
+                .map_or(0, |(c, _)| c);
+            if req == 0 {
+                0.0
+            } else {
+                hit as f64 / req as f64
+            }
+        });
+        built.sim.run_until(horizon);
+        let network_bytes = built.sim.total_link_bytes();
+        if let Some(cap) = telemetry.as_mut() {
+            cap.collect(&built.sim, &label);
+        }
+        let world = built.sim.into_world();
+        let done: Vec<SimDuration> = world
+            .convergence
+            .iter()
+            .filter(|r| !r.online_join)
+            .map(|r| r.convergence)
+            .collect();
+        let mean_convergence = if done.is_empty() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(
+                done.iter().map(|d| d.as_nanos()).sum::<u64>() / done.len() as u64,
+            )
+        };
+        let cs_hit = world.counter("cs-hit");
+        let cs_miss = world.counter("cs-miss");
+        rows.push(CacheRow {
+            label,
+            policy,
+            moves: done.len(),
+            mean_convergence,
+            cs_hit,
+            cs_miss,
+            hit_rate: if cs_hit + cs_miss == 0 {
+                0.0
+            } else {
+                cs_hit as f64 / (cs_hit + cs_miss) as f64
+            },
+            hot_hit_rate,
+            broker_served: world.counter("broker-qr-served"),
+            promotions: world.counter("cache-class-promotions"),
+            demotions: world.counter("cache-class-demotions"),
+            network_bytes,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_cfg() -> AdaptiveSweepConfig {
+        AdaptiveSweepConfig {
+            workload: WorkloadParams {
+                players: 80,
+                updates: 8_000,
+                ..WorkloadParams::default()
+            },
+            crowd_size: 16,
+            drain: SimDuration::from_secs(10),
+            ..AdaptiveSweepConfig::default()
+        }
+    }
+
+    /// The ablation's headline: under the same seed, the adaptive RP
+    /// trigger splits earlier than the static threshold (fewer overflow
+    /// drops, no worse p99), and the adaptive cache class absorbs the
+    /// flash crowd in the routers' content stores.
+    #[test]
+    fn adaptive_beats_static_under_hotspot() {
+        let out = run(&mini_cfg());
+        for r in &out.rp_rows {
+            eprintln!("{} splits_at={:?}", r.row(), r.split_times);
+        }
+        for r in &out.cache_rows {
+            eprintln!("{}", r.row());
+        }
+        assert_eq!(out.rp_rows.len(), 3);
+        assert_eq!(out.cache_rows.len(), 2);
+        let rp = |p: RpPolicy| {
+            out.rp_rows
+                .iter()
+                .find(|r| r.policy == p)
+                .expect("rp row")
+        };
+        let off = rp(RpPolicy::Off);
+        let stat = rp(RpPolicy::Static);
+        let adap = rp(RpPolicy::Adaptive);
+
+        // The hotspot actually bites: without balancing the bounded queue
+        // overflows.
+        assert!(off.queue_full > 0, "hotspot never overflowed the queue");
+        assert_eq!(off.splits, 0);
+        // Both balancing policies split; only the adaptive one is
+        // stream-triggered.
+        assert!(stat.splits > 0, "static threshold never fired");
+        assert!(adap.splits > 0, "adaptive trigger never fired");
+        assert_eq!(stat.triggered, 0);
+        assert!(adap.triggered > 0, "no stream-triggered move recorded");
+        // The win: strictly fewer overflow drops than the static trigger
+        // (the `off` arm's raw drop count is not comparable — a publication
+        // dropped at the saturated RP *before* fan-out silently suppresses
+        // its whole multicast tree, which is exactly what its delivery
+        // ratio shows).
+        assert!(
+            adap.queue_full < stat.queue_full,
+            "adaptive ({}) did not beat static ({}) on drops",
+            adap.queue_full,
+            stat.queue_full
+        );
+        assert!(
+            adap.delivery_ratio > stat.delivery_ratio
+                && stat.delivery_ratio > off.delivery_ratio,
+            "delivery ratios not ordered: adaptive {} / static {} / off {}",
+            adap.delivery_ratio,
+            stat.delivery_ratio,
+            off.delivery_ratio
+        );
+        // Audited runs explain every owed pair.
+        for r in &out.rp_rows {
+            assert_eq!(r.audit_clean, Some(true), "{}: audit not clean", r.label);
+        }
+
+        // Cache arm: promotion happened, and it paid.
+        let cstat = &out.cache_rows[0];
+        let cadap = &out.cache_rows[1];
+        assert_eq!(cstat.policy, CachePolicy::Static);
+        assert_eq!(cadap.policy, CachePolicy::Adaptive);
+        assert!(cstat.moves > 0 && cadap.moves > 0, "no moves completed");
+        assert!(cadap.promotions > 0, "no cache-class promotion");
+        assert!(
+            cadap.hit_rate > cstat.hit_rate,
+            "adaptive hit rate {} <= static {}",
+            cadap.hit_rate,
+            cstat.hit_rate
+        );
+        assert!(
+            cadap.broker_served < cstat.broker_served,
+            "adaptive broker load {} >= static {}",
+            cadap.broker_served,
+            cstat.broker_served
+        );
+        assert!(cadap.hot_hit_rate.is_some());
+        assert!(cstat.hot_hit_rate.is_none());
+    }
+
+    /// Equal seeds must produce byte-identical results, adaptive arms
+    /// included — control decisions are made from deterministic streams.
+    #[test]
+    fn sweep_is_same_seed_deterministic() {
+        let cfg = AdaptiveSweepConfig {
+            workload: WorkloadParams {
+                players: 50,
+                updates: 4_000,
+                ..WorkloadParams::default()
+            },
+            crowd_size: 10,
+            drain: SimDuration::from_secs(8),
+            ..AdaptiveSweepConfig::default()
+        };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        for (x, y) in a.rp_rows.iter().zip(&b.rp_rows) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.delivered, y.delivered, "{}", x.label);
+            assert_eq!(x.queue_full, y.queue_full, "{}", x.label);
+            assert_eq!(x.splits, y.splits, "{}", x.label);
+            assert_eq!(x.triggered, y.triggered, "{}", x.label);
+            assert_eq!(x.network_bytes, y.network_bytes, "{}", x.label);
+            match (&x.audit, &y.audit) {
+                (Some((ja, fa)), Some((jb, fb))) => {
+                    assert_eq!(fa, fb, "{}: lineage fingerprints differ", x.label);
+                    assert_eq!(ja.to_string(), jb.to_string(), "{}", x.label);
+                }
+                (None, None) => {}
+                _ => panic!("{}: audit presence differs", x.label),
+            }
+        }
+        for (x, y) in a.cache_rows.iter().zip(&b.cache_rows) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.cs_hit, y.cs_hit, "{}", x.label);
+            assert_eq!(x.cs_miss, y.cs_miss, "{}", x.label);
+            assert_eq!(x.broker_served, y.broker_served, "{}", x.label);
+            assert_eq!(x.promotions, y.promotions, "{}", x.label);
+            assert_eq!(x.network_bytes, y.network_bytes, "{}", x.label);
+            assert_eq!(x.hot_hit_rate, y.hot_hit_rate, "{}", x.label);
+        }
+    }
+}

@@ -19,8 +19,10 @@
 //! | Rejoin storm (chunked-delta vs full-snapshot catch-up) | [`rejoin`] |
 //! | ST/FIB lookup scaling, 1k → 1M(+) entries | [`scale`] |
 //! | Overload sweep (0.5×–4× load, queue regimes, rate adapt) | [`overload`] |
+//! | Adaptive control (streams-driven RP moves + cache classes) | [`adaptive`] |
 
 pub mod ablation;
+pub mod adaptive;
 pub mod audit;
 pub mod failover;
 pub mod full_trace;

@@ -34,7 +34,9 @@ mod world;
 
 pub use client::{CatchUpConfig, DedupWindow, GamePlayerClient, TraceCursor};
 pub use packet::{payload_of, GPacket, IpPacket, IpUpdate};
-pub use params::{RateAdaptConfig, RecoveryConfig, SimParams};
+pub use params::{
+    AdaptiveCacheConfig, AdaptiveRpConfig, RateAdaptConfig, RecoveryConfig, SimParams,
+};
 pub use router::{FaceMap, GCopssRouter, RpSelection, SplitConfig};
 pub use world::{
     CatchUpAudit, CatchUpLedger, CatchUpMode, CatchUpRecord, ConvergenceRecord, GameWorld,

@@ -49,6 +49,20 @@ pub struct SimParams {
     /// Minimum packets an RP must serve between consecutive splits
     /// (prevents split storms while the first split takes effect).
     pub rp_split_cooldown_packets: u64,
+    /// Stream-driven RP balancing (§IV-B closed over live telemetry):
+    /// `Some` makes RPs trigger splits from observed queue-depth EWMAs and
+    /// served-load skew instead of the fixed
+    /// [`SimParams::rp_split_queue_threshold`]. Strictly opt-in — `None`
+    /// is byte-identical to builds that predate adaptive control; enabling
+    /// it additionally requires the engine's stream hub (a non-vacuous
+    /// `StreamConfig`), without which the trigger never evaluates.
+    pub rp_adaptive: Option<AdaptiveRpConfig>,
+    /// Stream-driven per-prefix caching: `Some` makes brokers promote the
+    /// freshness class of snapshot Data for content descriptors the live
+    /// popularity sketch reports as hot, so NDN content stores along the
+    /// path absorb flash crowds. Strictly opt-in like
+    /// [`SimParams::rp_adaptive`].
+    pub cache_adaptive: Option<AdaptiveCacheConfig>,
 }
 
 impl Default for SimParams {
@@ -68,6 +82,100 @@ impl Default for SimParams {
             rp_split_queue_threshold: None,
             rp_window: 2_000,
             rp_split_cooldown_packets: 5_000,
+            rp_adaptive: None,
+            cache_adaptive: None,
+        }
+    }
+}
+
+/// Tunables of stream-driven RP auto-balancing.
+///
+/// An RP evaluates the trigger at most once per stream roll: it fires when
+/// its own service-queue EWMA has stayed at or above `min_queue_ewma` *and*
+/// its windowed served rate at or above `skew_num/skew_den` times the mean
+/// over all RP nodes (skew is waived while it is the only RP) for `sustain`
+/// consecutive rolls. After a triggered split the trigger disarms and
+/// re-arms either once the queue EWMA falls below
+/// `release_num/release_den` of the floor (load resolved — the anti-flap
+/// half of the hysteresis) or after `escalate_rolls` further rolls of
+/// unbroken pressure (load *not* resolved — one move was not enough, keep
+/// shedding). Triggered splits use their own `cooldown_packets` floor
+/// instead of [`SimParams::rp_split_cooldown_packets`]: the stream trigger
+/// paces itself through the hysteresis, so the packet cooldown only needs
+/// to guarantee the traffic window has enough fresh samples to plan a
+/// meaningful split. All comparisons are integer Q8 arithmetic; no PRNG
+/// draws.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveRpConfig {
+    /// Queue-depth EWMA floor (whole packets) below which the trigger
+    /// never fires.
+    pub min_queue_ewma: u64,
+    /// Skew ratio numerator: fire when `own_rate ≥ mean_rate ·
+    /// skew_num/skew_den` across RP nodes.
+    pub skew_num: u64,
+    /// Skew ratio denominator.
+    pub skew_den: u64,
+    /// Consecutive rolls the trigger condition must hold.
+    pub sustain: u32,
+    /// Re-arm watermark numerator: after a split, re-arm once the queue
+    /// EWMA drops below `min_queue_ewma · release_num/release_den`.
+    pub release_num: u64,
+    /// Re-arm watermark denominator.
+    pub release_den: u64,
+    /// Escalation: while disarmed, this many consecutive rolls of
+    /// unbroken pressure re-arm the trigger anyway — sustained overload
+    /// means the last move was not enough.
+    pub escalate_rolls: u32,
+    /// Minimum packets served between stream-triggered splits (keeps the
+    /// traffic window meaningful; the hysteresis does the pacing).
+    pub cooldown_packets: u64,
+}
+
+impl Default for AdaptiveRpConfig {
+    fn default() -> Self {
+        Self {
+            min_queue_ewma: 8,
+            skew_num: 3,
+            skew_den: 2,
+            sustain: 2,
+            release_num: 1,
+            release_den: 2,
+            escalate_rolls: 8,
+            cooldown_packets: 1_000,
+        }
+    }
+}
+
+/// Tunables of stream-driven per-prefix cache/freshness promotion.
+///
+/// Brokers feed every query-response serve into the `"qr-pop"` popularity
+/// sketch keyed by content descriptor. A descriptor becomes *hot* once the
+/// sketch has seen at least `min_window` total recent mass and the
+/// descriptor's share of it reaches `hot_num/hot_den`; it cools once its
+/// share falls below half that (enter/exit hysteresis, so the class
+/// doesn't flap at the boundary). Data published under a hot descriptor
+/// carries `freshness · hot_freshness_mul`, letting NDN content stores
+/// along the path serve the flash crowd instead of the broker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveCacheConfig {
+    /// Hot-share threshold numerator.
+    pub hot_num: u64,
+    /// Hot-share threshold denominator.
+    pub hot_den: u64,
+    /// Minimum recent sketch mass before anything can be classified hot
+    /// (avoids promoting the first lonely request).
+    pub min_window: u64,
+    /// Freshness multiplier applied to Data under hot descriptors.
+    pub hot_freshness_mul: u32,
+}
+
+impl Default for AdaptiveCacheConfig {
+    fn default() -> Self {
+        Self {
+            hot_num: 1,
+            hot_den: 4,
+            min_window: 32,
+            hot_freshness_mul: 100,
         }
     }
 }
@@ -175,6 +283,22 @@ impl SimParams {
         self.rp_split_queue_threshold = Some(queue_threshold);
         self
     }
+
+    /// Enables stream-driven adaptive RP balancing (requires the engine's
+    /// stream hub to be installed to have any effect).
+    #[must_use]
+    pub fn with_adaptive_rp(mut self, cfg: AdaptiveRpConfig) -> Self {
+        self.rp_adaptive = Some(cfg);
+        self
+    }
+
+    /// Enables stream-driven per-prefix cache/freshness promotion at
+    /// brokers (requires the engine's stream hub to have any effect).
+    #[must_use]
+    pub fn with_adaptive_cache(mut self, cfg: AdaptiveCacheConfig) -> Self {
+        self.cache_adaptive = Some(cfg);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -201,5 +325,17 @@ mod tests {
     fn auto_balancing_builder() {
         let p = SimParams::default().with_auto_balancing(40);
         assert_eq!(p.rp_split_queue_threshold, Some(40));
+    }
+
+    #[test]
+    fn adaptive_configs_default_off() {
+        let p = SimParams::default();
+        assert!(p.rp_adaptive.is_none());
+        assert!(p.cache_adaptive.is_none());
+        let p = p
+            .with_adaptive_rp(AdaptiveRpConfig::default())
+            .with_adaptive_cache(AdaptiveCacheConfig::default());
+        assert_eq!(p.rp_adaptive, Some(AdaptiveRpConfig::default()));
+        assert_eq!(p.cache_adaptive, Some(AdaptiveCacheConfig::default()));
     }
 }

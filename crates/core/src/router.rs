@@ -160,6 +160,50 @@ pub struct GCopssRouter {
     /// Jitter PRNG of the periodic join refresh (seeded per node in
     /// `on_start`; `None` until then or when the refresh is disabled).
     refresh_rng: Option<SmallRng>,
+    /// Hysteresis state of stream-driven RP balancing; inert unless
+    /// `SimParams::rp_adaptive` is set *and* the stream hub is enabled.
+    adaptive: AdaptiveTrigger,
+}
+
+/// Per-router state of the adaptive split trigger (see
+/// [`crate::AdaptiveRpConfig`]): once-per-roll evaluation, the sustain
+/// streak, and the armed/released hysteresis latch.
+#[derive(Debug, Clone)]
+struct AdaptiveTrigger {
+    /// The last stream roll the trigger evaluated on.
+    last_roll: u64,
+    /// Consecutive rolls the trigger condition has held.
+    streak: u32,
+    /// Watching for overload; `false` between a triggered split and the
+    /// release watermark (the anti-flap half of the hysteresis).
+    armed: bool,
+    /// Consecutive pressured rolls seen while disarmed (escalation
+    /// counter — sustained overload re-arms the trigger).
+    hot_rolls: u32,
+}
+
+impl Default for AdaptiveTrigger {
+    fn default() -> Self {
+        Self {
+            last_roll: 0,
+            streak: 0,
+            armed: true,
+            hot_rolls: 0,
+        }
+    }
+}
+
+/// Aggregation depth of the per-prefix content-store streams: lookups are
+/// keyed by the stable hash of the interest name's first three components
+/// (`/snapshot/<area path>` for the game's snapshot traffic), so meta and
+/// object fetches of one content descriptor land on one sketch key.
+const CS_PREFIX_DEPTH: usize = 3;
+
+/// The sketch key of an interest name (see [`CS_PREFIX_DEPTH`]). Shared
+/// with the broker so producer-side popularity and router-side hit-rate
+/// streams key the same prefix identically.
+pub(crate) fn cs_prefix_key(name: &Name) -> u64 {
+    name.prefix(name.len().min(CS_PREFIX_DEPTH)).stable_hash()
 }
 
 impl GCopssRouter {
@@ -203,6 +247,7 @@ impl GCopssRouter {
             recovery: None,
             sweep_armed: false,
             refresh_rng: None,
+            adaptive: AdaptiveTrigger::default(),
         }
     }
 
@@ -253,6 +298,21 @@ impl GCopssRouter {
             .fib()
             .lookup(&rp.ndn_prefix())
             .and_then(|faces| faces.first().copied())
+    }
+
+    /// Accounts one content-store lookup: per-node telemetry counters and
+    /// world totals (`cs-hit`/`cs-miss`), plus the per-prefix popularity
+    /// and hit streams the adaptive caching layer consumes. Each hook is
+    /// one branch while its subsystem is disabled.
+    fn note_cs_lookup(&self, ctx: &mut Ctx<'_, GPacket, GameWorld>, pfx: u64, hit: bool) {
+        let tag = if hit { "cs-hit" } else { "cs-miss" };
+        ctx.counter(tag, 1);
+        ctx.world().bump(tag);
+        ctx.stream_bump(tag, 1);
+        ctx.stream_offer("cs-req-pop", pfx, 1);
+        if hit {
+            ctx.stream_offer("cs-hit-pop", pfx, 1);
+        }
     }
 
     /// Seeded jitter added to each join-refresh re-arm (decorrelates the
@@ -362,6 +422,11 @@ impl GCopssRouter {
             ctx.observe("rp-queue-depth", ctx.queue_len() as u64);
             ctx.gauge("st-entries", self.copss.st().len() as u64);
         }
+        // Live load streams (one branch while disabled): the windowed
+        // served rate feeds the adaptive balancer's skew signal, the
+        // sketch tracks which CDs carry the load.
+        ctx.stream_bump("rp-served", 1);
+        ctx.stream_offer("rp-cd-load", m.cd.name().stable_hash(), 1);
         let tagged = m.on_tree(rp);
         self.multicast(ctx, &tagged, None);
         // §IV-B transition: a *fresh* publication (not one proxied over
@@ -390,19 +455,106 @@ impl GCopssRouter {
             }
         }
         self.maybe_split(ctx);
+        self.maybe_adaptive_split(ctx);
     }
 
-    /// §IV-B: when the service queue exceeds the threshold, pick ~half the
-    /// observed load, appoint a new RP, and kick off handoff + flood.
+    /// §IV-B with the fixed trigger: when the instantaneous service queue
+    /// exceeds the configured threshold, attempt a split.
     fn maybe_split(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
         let Some(threshold) = self.params.rp_split_queue_threshold else {
             return;
         };
-        if ctx.queue_len() <= threshold
-            || self.served_since_split < self.params.rp_split_cooldown_packets
-            || self.split.candidates.is_empty()
-        {
+        if ctx.queue_len() <= threshold {
             return;
+        }
+        self.try_split(ctx, self.params.rp_split_cooldown_packets);
+    }
+
+    /// §IV-B with the stream-driven trigger: instead of an instantaneous
+    /// queue threshold, fire on *observed* sustained pressure — the node's
+    /// queue-depth EWMA at or above the configured floor and its windowed
+    /// served rate skewed above the mean over all RP nodes (skew is waived
+    /// while this is the only RP) for `sustain` consecutive stream rolls.
+    /// After a triggered split the latch disarms until the queue EWMA
+    /// drains below the release watermark — the hysteresis that keeps the
+    /// balancer from flapping. Evaluated at most once per stream roll;
+    /// inert without [`crate::AdaptiveRpConfig`] or without the stream hub.
+    fn maybe_adaptive_split(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>) {
+        let Some(cfg) = self.params.rp_adaptive.clone() else {
+            return;
+        };
+        if !ctx.streams_enabled() {
+            return;
+        }
+        let roll = ctx.stream_rolls();
+        if roll == 0 || roll == self.adaptive.last_roll {
+            return;
+        }
+        self.adaptive.last_roll = roll;
+        let me = ctx.node();
+        let q8 = ctx.stream_queue_ewma_q8(me);
+        let floor_q8 = cfg.min_queue_ewma << 8;
+        let pressure = q8 >= floor_q8;
+        if !self.adaptive.armed {
+            // Released: re-arm when the queue drains below the watermark
+            // (the move worked) — or when pressure holds unbroken for the
+            // escalation span (it did not; one move was not enough).
+            if q8 * cfg.release_den < floor_q8 * cfg.release_num {
+                self.adaptive.armed = true;
+                self.adaptive.streak = 0;
+                self.adaptive.hot_rolls = 0;
+            } else if pressure {
+                self.adaptive.hot_rolls += 1;
+                if self.adaptive.hot_rolls >= cfg.escalate_rolls {
+                    self.adaptive.armed = true;
+                    self.adaptive.streak = 0;
+                    self.adaptive.hot_rolls = 0;
+                }
+            } else {
+                self.adaptive.hot_rolls = 0;
+            }
+            return;
+        }
+        let skew = {
+            let mut rp_nodes: BTreeSet<u32> =
+                ctx.world().rp_locations.values().copied().collect();
+            rp_nodes.insert(me.0);
+            if rp_nodes.len() <= 1 {
+                true
+            } else {
+                let mine = ctx.stream_rate_of("rp-served", me);
+                let sum: u64 = rp_nodes
+                    .iter()
+                    .map(|&n| ctx.stream_rate_of("rp-served", NodeId(n)))
+                    .sum();
+                mine * cfg.skew_den * rp_nodes.len() as u64 >= sum * cfg.skew_num
+            }
+        };
+        if !(pressure && skew) {
+            self.adaptive.streak = 0;
+            return;
+        }
+        self.adaptive.streak += 1;
+        if self.adaptive.streak < cfg.sustain {
+            return;
+        }
+        if self.try_split(ctx, cfg.cooldown_packets) {
+            ctx.counter("rp-move-triggered", 1);
+            ctx.world().bump("rp-move-triggered");
+            self.adaptive.armed = false;
+            self.adaptive.streak = 0;
+            self.adaptive.hot_rolls = 0;
+        }
+    }
+
+    /// The split execution shared by both triggers: pick ~half the observed
+    /// load, appoint a new RP, and kick off handoff + flood. Returns `true`
+    /// when a split was actually performed (the cooldown may be running, no
+    /// candidate node may be free, or the traffic window may have nothing
+    /// eligible to move).
+    fn try_split(&mut self, ctx: &mut Ctx<'_, GPacket, GameWorld>, cooldown: u64) -> bool {
+        if self.served_since_split < cooldown || self.split.candidates.is_empty() {
+            return false;
         }
         // Served prefixes of every RP hosted here (splits move load off
         // this *node*). Only CDs this node still owns and that are not in
@@ -427,7 +579,7 @@ impl GCopssRouter {
                     .any(|(p, _, until)| *until >= now && p.is_prefix_of(cd))
         };
         let Some(plan) = self.traffic.plan_split_where(&served, 0.5, eligible) else {
-            return;
+            return false;
         };
         // Pick the new RP node per the configured strategy, skipping self
         // and nodes already hosting an RP.
@@ -475,7 +627,7 @@ impl GCopssRouter {
                         .unwrap_or(SimDuration::ZERO)
                 }),
         };
-        let Some(new_node) = chosen else { return };
+        let Some(new_node) = chosen else { return false };
         let new_rp = RpId(ctx.world().allocate_rp_id(new_node.0));
         let old_rp = *self.local_rps.iter().next().expect("RP router");
 
@@ -531,6 +683,7 @@ impl GCopssRouter {
             to_rp: new_rp.0,
             moved: plan.moved,
         });
+        true
     }
 
     fn on_to_rp(
@@ -1092,7 +1245,11 @@ impl NodeBehavior<GPacket, GameWorld> for GCopssRouter {
                 let _p = prof::scope("ndn/interest");
                 let Some(face) = arrival else { return };
                 let now = ctx.now().as_nanos();
+                let pfx = cs_prefix_key(&i.name);
+                let hits_before = self.ndn.content_store().hits();
                 let actions = self.ndn.process_interest(now, face, i);
+                let hit = self.ndn.content_store().hits() > hits_before;
+                self.note_cs_lookup(ctx, pfx, hit);
                 self.run_ndn_actions(ctx, actions);
                 // Recovery mode: keep a periodic sweep armed while
                 // breadcrumbs exist, so orphaned entries (satellite of the

@@ -11,7 +11,8 @@ use gcopss_names::Name;
 use gcopss_ndn::FaceId;
 use gcopss_sim::generators::{attach_hosts, benchmark_testbed, rocketfuel_like, BackboneParams};
 use gcopss_sim::{
-    FaultPlan, NodeBehavior, NodeId, OverloadConfig, RoutingTable, SimDuration, Simulator, Topology,
+    FaultPlan, NodeBehavior, NodeId, OverloadConfig, RoutingTable, SimDuration, Simulator,
+    StreamConfig, Topology,
 };
 
 use crate::client::{CatchUpConfig, GamePlayerClient, TraceCursor};
@@ -203,6 +204,12 @@ pub struct GcopssConfig {
     /// together with an `overload` config that sets `mark_sojourn`; `None`
     /// (the default) is byte-identical to pre-overload builds.
     pub rate_adapt: Option<RateAdaptConfig>,
+    /// In-simulation streaming-metric pipeline (windowed counters, EWMA
+    /// gauges, heavy-hitter sketches). The vacuous default is byte-identical
+    /// to builds without the pipeline; a non-vacuous config is required for
+    /// [`SimParams::rp_adaptive`] / [`SimParams::cache_adaptive`] consumers
+    /// to observe anything.
+    pub stream: StreamConfig,
 }
 
 impl Default for GcopssConfig {
@@ -220,6 +227,7 @@ impl Default for GcopssConfig {
             recovery: None,
             overload: None,
             rate_adapt: None,
+            stream: StreamConfig::default(),
         }
     }
 }
@@ -621,6 +629,7 @@ fn assemble_gcopss(
     if let Some(ov) = cfg.overload.clone() {
         sim.install_overload(ov);
     }
+    sim.install_streams(cfg.stream.clone());
 
     // Routers.
     for &r in &bn.routers {

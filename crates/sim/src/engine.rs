@@ -8,6 +8,7 @@ use crate::json::Json;
 use crate::lineage::{LineageConfig, LineageLog, NO_SPAN};
 use crate::overload::{AdmissionPolicy, OverloadConfig, OverloadState};
 use crate::prof;
+use crate::stream::{MetricStreams, StreamConfig};
 use crate::telemetry::{
     Telemetry, TelemetryConfig, TelemetryReport, TimeSeries, TimeSeriesConfig, TraceEvent,
     TraceRecord,
@@ -80,6 +81,7 @@ pub struct Ctx<'a, P, W> {
     routing: &'a RoutingTable,
     queue_len: usize,
     telemetry: &'a mut Telemetry,
+    streams: &'a mut MetricStreams,
     lineage: &'a mut LineageLog,
     /// Lineage span of the packet currently being serviced ([`NO_SPAN`]
     /// in timer/start/fault callbacks): the causal parent of every effect
@@ -215,6 +217,82 @@ impl<P, W> Ctx<'_, P, W> {
     #[inline]
     pub fn observe(&mut self, metric: &'static str, value: u64) {
         self.telemetry.observe(self.node.0, metric, value);
+    }
+
+    /// Whether the streaming-metrics hub is recording — adaptive consumers
+    /// gate their policy evaluation on this (no streams, no adaptation).
+    #[must_use]
+    #[inline]
+    pub fn streams_enabled(&self) -> bool {
+        self.streams.is_enabled()
+    }
+
+    /// Bumps this node's windowed stream counter `metric` by `delta`.
+    /// No-op while streams are disabled (one branch, like [`Ctx::counter`]).
+    #[inline]
+    pub fn stream_bump(&mut self, metric: &'static str, delta: u64) {
+        self.streams.bump(metric, self.node.0, delta);
+    }
+
+    /// Offers `weight` of `key` to the named heavy-hitter sketch. No-op
+    /// while streams are disabled.
+    #[inline]
+    pub fn stream_offer(&mut self, stream: &'static str, key: u64, weight: u64) {
+        self.streams.offer(stream, key, weight);
+    }
+
+    /// This node's sliding-window sum of stream counter `metric`.
+    #[must_use]
+    #[inline]
+    pub fn stream_rate(&self, metric: &'static str) -> u64 {
+        self.streams.rate(metric, self.node.0)
+    }
+
+    /// Another node's sliding-window sum of stream counter `metric` — the
+    /// hub is global, so behaviors can compare their load against peers
+    /// (the skew signal of adaptive RP balancing).
+    #[must_use]
+    #[inline]
+    pub fn stream_rate_of(&self, metric: &'static str, node: NodeId) -> u64 {
+        self.streams.rate(metric, node.0)
+    }
+
+    /// A node's service-queue-depth EWMA in Q8 fixed point (0 before the
+    /// first roll or while streams are disabled).
+    #[must_use]
+    #[inline]
+    pub fn stream_queue_ewma_q8(&self, node: NodeId) -> u64 {
+        self.streams.queue_ewma_q8(node.0)
+    }
+
+    /// The `k` heaviest keys of the named sketch as `(key, count, err)`.
+    #[must_use]
+    pub fn stream_top(&self, stream: &'static str, k: usize) -> Vec<(u64, u64, u64)> {
+        self.streams.top(stream, k)
+    }
+
+    /// The named sketch's estimate for `key`, when monitored.
+    #[must_use]
+    #[inline]
+    pub fn stream_count(&self, stream: &'static str, key: u64) -> Option<(u64, u64)> {
+        self.streams.sketch(stream).and_then(|s| s.count_of(key))
+    }
+
+    /// The named sketch's total monitored mass and all-time offered weight
+    /// as `(monitored, offered)` — the denominator of hot-share decisions.
+    #[must_use]
+    pub fn stream_mass(&self, stream: &'static str) -> (u64, u64) {
+        self.streams
+            .sketch(stream)
+            .map_or((0, 0), |s| (s.monitored_total(), s.offered()))
+    }
+
+    /// Stream rolls completed so far — consumers evaluate their policy at
+    /// most once per roll by remembering the last value they acted on.
+    #[must_use]
+    #[inline]
+    pub fn stream_rolls(&self) -> u64 {
+        self.streams.rolls()
     }
 
     /// Records a terminal delivery of the packet currently being serviced
@@ -399,6 +477,10 @@ pub struct Simulator<P, W> {
     cur_span: u32,
     /// Periodic counter/gauge/queue-depth snapshots; `None` unless enabled.
     timeseries: Option<TimeSeries>,
+    /// The streaming-metrics hub; disabled (one branch per hook) unless a
+    /// non-vacuous [`StreamConfig`] was installed. Held by value like
+    /// `telemetry` so [`Ctx`] can borrow it mutably.
+    streams: MetricStreams,
     /// Live fault-injection state; `None` unless a non-vacuous plan was
     /// installed, in which case every hot-path check below is one branch.
     faults: Option<FaultState>,
@@ -450,6 +532,7 @@ impl<P, W> Simulator<P, W> {
             lineage_ids: None,
             cur_span: NO_SPAN,
             timeseries: None,
+            streams: MetricStreams::disabled(),
             faults: None,
             overload: None,
             priorities: None,
@@ -527,6 +610,34 @@ impl<P, W> Simulator<P, W> {
     #[must_use]
     pub fn overload_active(&self) -> bool {
         self.overload.is_some()
+    }
+
+    /// Installs the streaming-metrics hub: windowed counters, queue-depth
+    /// EWMAs and heavy-hitter sketches rolled every `cfg.tick` of simulated
+    /// time, fed and read by behaviors through [`Ctx`]. A vacuous config
+    /// (zero tick, see [`StreamConfig::is_vacuous`]) is ignored entirely —
+    /// every hook stays a single branch, so the run is byte-identical to
+    /// one without streams (the vacuous-`FaultPlan` rule). The hub itself
+    /// only observes: installing it without an adaptive consumer changes
+    /// no packet schedule either.
+    pub fn install_streams(&mut self, cfg: StreamConfig) {
+        if cfg.is_vacuous() {
+            return;
+        }
+        self.streams = MetricStreams::new(cfg, self.topology.node_count());
+    }
+
+    /// `true` once a non-vacuous stream config has been installed.
+    #[must_use]
+    pub fn streams_active(&self) -> bool {
+        self.streams.is_enabled()
+    }
+
+    /// Read access to the streaming-metrics hub (e.g. for experiment
+    /// drivers harvesting end-of-run sketch contents).
+    #[must_use]
+    pub fn streams(&self) -> &MetricStreams {
+        &self.streams
     }
 
     /// Packets shed by overload control so far, as
@@ -646,32 +757,48 @@ impl<P, W> Simulator<P, W> {
         self.lineage_ids.and_then(|f| f(pkt))
     }
 
-    /// Captures every due time-series frame strictly before `upto`.
-    fn flush_timeseries(&mut self, upto: SimTime) {
-        let Some(mut ts) = self.timeseries.take() else {
-            return;
-        };
-        while let Some(next) = ts.next_frame_at() {
-            if next >= upto {
-                break;
+    /// Runs every due periodic sampler pass with timestamp before `upto`
+    /// (up to and including it when `inclusive` — the end of a bounded
+    /// run): stream-hub rolls and time-series frame captures, interleaved
+    /// in timestamp order. A roll due at the same instant as a frame lands
+    /// first, so the frame's `"streams"` section sees the just-closed
+    /// window — the two samplers share this one pass instead of exporting
+    /// on separate clocks.
+    fn flush_samplers(&mut self, upto: SimTime, inclusive: bool) {
+        let due = |t: SimTime| t < upto || (inclusive && t == upto);
+        loop {
+            let frame = self
+                .timeseries
+                .as_ref()
+                .and_then(TimeSeries::next_frame_at)
+                .filter(|&t| due(t));
+            let roll = self.streams.next_roll_at().filter(|&t| due(t));
+            match (frame, roll) {
+                (None, None) => break,
+                (Some(f), Some(r)) if r <= f => self.roll_streams(r),
+                (None, Some(r)) => self.roll_streams(r),
+                (Some(f), _) => self.capture_frame(f),
             }
-            ts.capture(next, &self.telemetry, self.nodes.iter().map(|n| n.queue.len()));
         }
-        self.timeseries = Some(ts);
     }
 
-    /// Captures the final frames up to and including `limit` (end of a
-    /// bounded run).
-    fn flush_timeseries_final(&mut self, limit: SimTime) {
+    /// One stream-hub roll at `at`, fed the live per-node queue depths.
+    fn roll_streams(&mut self, at: SimTime) {
+        self.streams.roll(at, self.nodes.iter().map(|n| n.queue.len()));
+    }
+
+    /// Captures one time-series frame at `at`; the frame carries a
+    /// `"streams"` section only when the stream hub is enabled, so
+    /// stream-less runs export byte-identical frames.
+    fn capture_frame(&mut self, at: SimTime) {
         let Some(mut ts) = self.timeseries.take() else {
             return;
         };
-        while let Some(next) = ts.next_frame_at() {
-            if next > limit {
-                break;
-            }
-            ts.capture(next, &self.telemetry, self.nodes.iter().map(|n| n.queue.len()));
-        }
+        let snap = self
+            .streams
+            .is_enabled()
+            .then(|| self.streams.snapshot_json());
+        ts.capture_with(at, &self.telemetry, self.nodes.iter().map(|n| n.queue.len()), snap);
         self.timeseries = Some(ts);
     }
 
@@ -829,9 +956,9 @@ impl<P, W> Simulator<P, W> {
             if t > limit || self.stopped {
                 break;
             }
-            if self.timeseries.is_some() {
+            if self.timeseries.is_some() || self.streams.is_enabled() {
                 let _ts = prof::scope("engine/timeseries");
-                self.flush_timeseries(t);
+                self.flush_samplers(t, false);
             }
             let ev = {
                 let _pop = prof::scope("engine/pop");
@@ -848,7 +975,7 @@ impl<P, W> Simulator<P, W> {
         }
         if limit < SimTime::MAX && !self.stopped {
             let _ts = prof::scope("engine/timeseries");
-            self.flush_timeseries_final(limit);
+            self.flush_samplers(limit, true);
         }
         self.prof_throughput(events_before);
     }
@@ -868,9 +995,9 @@ impl<P, W> Simulator<P, W> {
             let Some(Reverse((t, _, slot))) = popped else {
                 break;
             };
-            if self.timeseries.is_some() {
+            if self.timeseries.is_some() || self.streams.is_enabled() {
                 let _ts = prof::scope("engine/timeseries");
-                self.flush_timeseries(t);
+                self.flush_samplers(t, false);
             }
             self.now = t;
             let ev = self.payloads[slot as usize]
@@ -1420,6 +1547,7 @@ impl<P, W> Simulator<P, W> {
             routing: &self.routing,
             queue_len: self.nodes[node.index()].queue.len(),
             telemetry: &mut self.telemetry,
+            streams: &mut self.streams,
             lineage: &mut self.lineage,
             cur_span: self.cur_span,
             marked: self.cur_marked,

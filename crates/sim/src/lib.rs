@@ -38,6 +38,12 @@
 //!   drops, terminal deliveries) plus a post-run delivery auditor that
 //!   classifies every `(message, subscriber)` pair; enabled via
 //!   [`Simulator::enable_lineage`].
+//! * [`stream`] — in-simulation streaming metrics: windowed counters, EWMA
+//!   gauges and space-saving heavy-hitter sketches rolled at a simulated
+//!   tick, fed and read back by behaviors through [`Ctx`] so adaptive
+//!   policies (RP balancing, per-prefix caching) can act on live signals;
+//!   installed via [`Simulator::install_streams`], vacuous configs are
+//!   byte-identical no-ops.
 //! * [`prof`] — self-profiling of the simulator itself: a hierarchical
 //!   phase profiler over a monotonic clock, instrumenting the event loop
 //!   and every engine's dispatch path; reports a hot-loop time-attribution
@@ -95,6 +101,7 @@ pub mod metrics;
 pub mod overload;
 pub mod prof;
 mod routing;
+pub mod stream;
 pub mod telemetry;
 mod time;
 mod topology;
@@ -103,6 +110,7 @@ pub use engine::{Ctx, NodeBehavior, Simulator};
 pub use fault::{FaultEvent, FaultNotice, FaultPlan};
 pub use overload::{AdmissionPolicy, OverloadConfig};
 pub use lineage::{AuditReport, LineageConfig, LineageLog, SpanEvent, SpanRecord, NO_SPAN};
+pub use stream::{MetricStreams, SpaceSaving, StreamConfig};
 pub use telemetry::{
     LogHistogram, Telemetry, TelemetryConfig, TelemetryReport, TimeSeries, TimeSeriesConfig,
     TraceEvent, TraceRecord,

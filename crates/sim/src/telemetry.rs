@@ -750,6 +750,22 @@ impl TimeSeries {
         telemetry: &Telemetry,
         queue_depths: impl Iterator<Item = usize>,
     ) {
+        self.capture_with(at, telemetry, queue_depths, None);
+    }
+
+    /// Like [`TimeSeries::capture`], additionally embedding a `"streams"`
+    /// section (a [`crate::MetricStreams`] snapshot) when given one — the
+    /// engine's unified sampler pass routes live stream windows into the
+    /// same frames instead of a second export path. Frames without a
+    /// snapshot keep the exact pre-stream key set, so stream-less runs
+    /// stay byte-identical.
+    pub fn capture_with(
+        &mut self,
+        at: SimTime,
+        telemetry: &Telemetry,
+        queue_depths: impl Iterator<Item = usize>,
+        streams: Option<Json>,
+    ) {
         let (mut queue_sum, mut queue_max) = (0u64, 0u64);
         for q in queue_depths {
             queue_sum += q as u64;
@@ -780,14 +796,18 @@ impl TimeSeries {
                 (m, Json::Array(rows))
             })
             .collect::<Vec<_>>();
-        self.frames.push(Json::obj([
-            ("t_ns", Json::from(at.as_nanos())),
-            ("counters", Json::obj(counters)),
-            ("gauges", Json::obj(gauges)),
-            ("per_node", Json::obj(per_node)),
-            ("queue_sum", Json::from(queue_sum)),
-            ("queue_max", Json::from(queue_max)),
-        ]));
+        let mut frame = vec![
+            ("t_ns".to_string(), Json::from(at.as_nanos())),
+            ("counters".to_string(), Json::obj(counters)),
+            ("gauges".to_string(), Json::obj(gauges)),
+            ("per_node".to_string(), Json::obj(per_node)),
+            ("queue_sum".to_string(), Json::from(queue_sum)),
+            ("queue_max".to_string(), Json::from(queue_max)),
+        ];
+        if let Some(s) = streams {
+            frame.push(("streams".to_string(), s));
+        }
+        self.frames.push(Json::Object(frame));
         self.next = at + self.cfg.tick;
     }
 

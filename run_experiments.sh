@@ -18,7 +18,7 @@ fi
 
 mkdir -p results
 ARGS="${1:-}"
-for exp in trace_stats fig4 table1 fig5 fig6 table2 table3 ablation failover scale rejoin overload; do
+for exp in trace_stats fig4 table1 fig5 fig6 table2 table3 ablation failover audit scale rejoin overload adaptive; do
     echo ">>> exp_${exp} ${ARGS}"
     cargo run --release --offline -p gcopss-bench --bin "exp_${exp}" -- ${ARGS} \
         | tee "results/exp_${exp}.txt"
